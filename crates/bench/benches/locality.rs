@@ -1,0 +1,16 @@
+//! Criterion bench: detection-distance measurement with f faults (F-LOC).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locality");
+    group.sample_size(10);
+    for f in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("faults", f), &f, |b, &f| {
+            b.iter(|| smst_bench::locality_sweep(32, &[f], 17)[0].max_detection_distance)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locality);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: one stabilization episode per Table-1 variant.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smst_graph::generators::random_connected_graph;
+use smst_selfstab::{SelfStabilizingMst, Variant};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let g = random_connected_graph(48, 144, 4);
+    for variant in Variant::all() {
+        group.bench_with_input(
+            BenchmarkId::new("stabilize", variant.name()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    SelfStabilizingMst::new(variant)
+                        .stabilize_from_garbage(&g, 9)
+                        .total_rounds()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

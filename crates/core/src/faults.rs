@@ -1,0 +1,138 @@
+//! Transient-fault corruption helpers for the fault-detection experiments.
+//!
+//! The paper's adversary may rewrite any subset of node registers. These
+//! helpers implement representative corruptions of a [`CoreState`]: label
+//! strings, the SP distance, stored pieces (the fragment weights the
+//! minimality checks rely on), the partition metadata and the train buffers.
+//! The experiment harnesses pick nodes with a
+//! [`smst_sim::FaultPlan`] and apply one of these mutators.
+
+use crate::strings::{EndpSym, RootSym};
+use crate::verifier::CoreState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kinds of register corruption the experiments inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip an entry of the `Roots` string.
+    RootsString,
+    /// Erase an `EndP` endpoint mark.
+    EndpString,
+    /// Corrupt the SP distance field.
+    SpDistance,
+    /// Corrupt the weight inside a permanently stored piece.
+    StoredPieceWeight,
+    /// Corrupt the partition metadata (part root identity).
+    PartRoot,
+    /// Scramble the dynamic train buffers (self-healing state).
+    TrainBuffers,
+}
+
+impl FaultKind {
+    /// All kinds, for sweep experiments.
+    pub fn all() -> [FaultKind; 6] {
+        [
+            FaultKind::RootsString,
+            FaultKind::EndpString,
+            FaultKind::SpDistance,
+            FaultKind::StoredPieceWeight,
+            FaultKind::PartRoot,
+            FaultKind::TrainBuffers,
+        ]
+    }
+}
+
+/// Applies one corruption of the given kind to a node register.
+pub fn corrupt(state: &mut CoreState, kind: FaultKind, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match kind {
+        FaultKind::RootsString => {
+            let len = state.label.strings.roots.len();
+            if len > 0 {
+                let j = rng.gen_range(0..len);
+                state.label.strings.roots[j] = match state.label.strings.roots[j] {
+                    RootSym::Root => RootSym::NonRoot,
+                    RootSym::NonRoot => RootSym::Absent,
+                    RootSym::Absent => RootSym::Root,
+                };
+            }
+        }
+        FaultKind::EndpString => {
+            let len = state.label.strings.endp.len();
+            if len > 0 {
+                let j = rng.gen_range(0..len);
+                state.label.strings.endp[j] = match state.label.strings.endp[j] {
+                    EndpSym::Up | EndpSym::Down => EndpSym::NotEndpoint,
+                    _ => EndpSym::Up,
+                };
+            }
+        }
+        FaultKind::SpDistance => {
+            state.label.sp.dist = state.label.sp.dist.wrapping_add(rng.gen_range(1..7));
+        }
+        FaultKind::StoredPieceWeight => {
+            let part = if rng.gen_bool(0.5) || state.label.bottom_part.stored.is_empty() {
+                &mut state.label.top_part
+            } else {
+                &mut state.label.bottom_part
+            };
+            if let Some(stored) = part.stored.first_mut() {
+                match stored.piece.min_out.as_mut() {
+                    Some(w) => w.weight = w.weight.wrapping_add(rng.gen_range(1..1000)),
+                    None => stored.piece.root_id = stored.piece.root_id.wrapping_add(1),
+                }
+            } else {
+                // nothing stored here: fall back to a string corruption
+                corrupt(state, FaultKind::RootsString, seed ^ 1);
+            }
+        }
+        FaultKind::PartRoot => {
+            state.label.top_part.part_root_id = state.label.top_part.part_root_id.wrapping_add(7);
+        }
+        FaultKind::TrainBuffers => {
+            for t in &mut state.trains {
+                t.want = rng.gen();
+                t.done = None;
+                t.up = None;
+                t.down = None;
+            }
+            state.seen_levels = rng.gen();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marker::Marker;
+    use crate::verifier::CoreVerifier;
+    use smst_graph::generators::random_connected_graph;
+    use smst_graph::mst::kruskal;
+    use smst_graph::NodeId;
+    use smst_labeling::Instance;
+    use smst_sim::NodeProgram;
+
+    #[test]
+    fn every_fault_kind_changes_the_register_or_is_benign() {
+        let g = random_connected_graph(20, 50, 1);
+        let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+        let inst = Instance::from_tree(g, &tree);
+        let (labels, _) = Marker.label(&inst).unwrap();
+        let verifier = CoreVerifier::new(inst.graph.clone(), inst.components.clone(), labels);
+        let net = verifier.network();
+        for (i, kind) in FaultKind::all().into_iter().enumerate() {
+            let mut state = net.state(NodeId(3)).clone();
+            let before = state.clone();
+            corrupt(&mut state, kind, 42 + i as u64);
+            // every fault kind except the (self-healing) train-buffer one
+            // must change the label portion of the register
+            if kind != FaultKind::TrainBuffers {
+                assert_ne!(before.label, state.label, "{kind:?} left the label intact");
+            }
+            // memory accounting still works on the corrupted register
+            let ctx = net.context(NodeId(3));
+            assert!(verifier.state_bits(ctx, &state) > 0);
+        }
+    }
+}

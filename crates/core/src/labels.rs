@@ -1,0 +1,181 @@
+//! The complete `O(log n)`-bit node label of the paper's scheme.
+//!
+//! Each node's label is the concatenation of:
+//!
+//! * the Example SP / NumK fields (spanning tree + knowledge of `n`, §2.6);
+//! * the `Roots`/`EndP`/`Parents`/`Or-EndP` strings (§5.2–§5.3);
+//! * for each of the two partitions (`Top` and `Bottom`, §6.1): the identity
+//!   of the node's part root, the node's depth inside the part, the claimed
+//!   bound on the part's diameter, the number of pieces circulating in the
+//!   part, and the (at most two) pieces of information `I(F)` the node stores
+//!   permanently together with their slots in the part's cycle (§6.2).
+//!
+//! Every component is `O(log n)` bits, so the whole label is `O(log n)` bits —
+//! the memory-optimality claim of the paper, which the `fig_memory`
+//! experiment measures against the `O(log² n)`-bit baseline.
+
+use crate::strings::NodeStrings;
+use serde::{Deserialize, Serialize};
+use smst_graph::weight::{bits_for, CompositeWeight};
+use smst_labeling::SpLabel;
+
+/// The piece of information `I(F) = ID(F) ∘ ω(F)` of a fragment (§3.4/§6):
+/// the identity of the fragment's root, its level, and the (composite) weight
+/// of its minimum outgoing edge (`None` only for the top fragment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PieceInfo {
+    /// Identity of the fragment's root node.
+    pub root_id: u64,
+    /// The fragment's level.
+    pub level: u32,
+    /// The composite weight of the fragment's minimum outgoing edge.
+    pub min_out: Option<CompositeWeight>,
+}
+
+impl PieceInfo {
+    /// Number of bits of a faithful encoding.
+    pub fn bits(max_id: u64, max_weight: u64, levels: usize) -> u64 {
+        u64::from(bits_for(max_id))
+            + u64::from(bits_for(levels as u64))
+            + (u64::from(bits_for(max_weight)) + 2 * u64::from(bits_for(max_id)) + 1)
+            + 1
+    }
+}
+
+/// A permanently stored piece together with its slot in the part's cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredPiece {
+    /// The slot (DFS index) of the piece in the part's cycle.
+    pub slot: u8,
+    /// The piece itself.
+    pub piece: PieceInfo,
+}
+
+/// The per-partition portion of the label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartLabel {
+    /// Identity of the root of the node's part.
+    pub part_root_id: u64,
+    /// The node's hop depth inside the part's subtree.
+    pub depth_in_part: u64,
+    /// Claimed upper bound on the part's diameter (must be `O(log n)`).
+    pub diameter_bound: u64,
+    /// The number of piece slots circulating in the part.
+    pub piece_count: u8,
+    /// The pieces stored permanently at this node (at most two).
+    pub stored: Vec<StoredPiece>,
+}
+
+impl PartLabel {
+    /// Number of bits of a faithful encoding.
+    pub fn bits(&self, max_id: u64, max_weight: u64, levels: usize, n: usize) -> u64 {
+        u64::from(bits_for(max_id))
+            + 2 * u64::from(bits_for(n as u64))
+            + 8
+            + self.stored.len() as u64 * (8 + PieceInfo::bits(max_id, max_weight, levels))
+    }
+}
+
+/// The complete node label assigned by the marker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreLabel {
+    /// Example SP fields (root identity, distance, own identity, parent
+    /// identity).
+    pub sp: SpLabel,
+    /// The claimed number of nodes (Example NumK).
+    pub n_claim: u64,
+    /// The number of nodes in this node's subtree (Example NumK aggregation).
+    pub subtree_count: u64,
+    /// The hierarchy strings of §5.
+    pub strings: NodeStrings,
+    /// The delimiter of §8 splitting `J(v)` into bottom and top levels: the
+    /// smallest level at which this node's fragment is a *top* fragment
+    /// (fragment sizes grow along the containment chain, so a single
+    /// threshold suffices).
+    pub top_min_level: u8,
+    /// The `Top`-partition portion.
+    pub top_part: PartLabel,
+    /// The `Bottom`-partition portion.
+    pub bottom_part: PartLabel,
+}
+
+impl CoreLabel {
+    /// Number of bits of a faithful encoding of the whole label.
+    pub fn bits(&self, max_id: u64, max_weight: u64, n: usize) -> u64 {
+        let levels = self.strings.len();
+        let sp_bits = u64::from(bits_for(max_id)) * 3 + u64::from(bits_for(n as u64)) + 2;
+        sp_bits
+            + 2 * u64::from(bits_for(n as u64))
+            + self.strings.bits()
+            + 8
+            + self.top_part.bits(max_id, max_weight, levels, n)
+            + self.bottom_part.bits(max_id, max_weight, levels, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strings::NodeStrings;
+
+    fn sample_label(levels: usize, stored: usize) -> CoreLabel {
+        let piece = PieceInfo {
+            root_id: 3,
+            level: 1,
+            min_out: Some(CompositeWeight::new(10, true, 1, 2)),
+        };
+        let part = PartLabel {
+            part_root_id: 1,
+            depth_in_part: 2,
+            diameter_bound: 8,
+            piece_count: 4,
+            stored: (0..stored)
+                .map(|i| StoredPiece {
+                    slot: i as u8,
+                    piece,
+                })
+                .collect(),
+        };
+        CoreLabel {
+            sp: SpLabel {
+                root_id: 0,
+                dist: 3,
+                own_id: 7,
+                parent_id: Some(2),
+            },
+            n_claim: 64,
+            subtree_count: 5,
+            strings: NodeStrings::blank(levels),
+            top_min_level: 2,
+            top_part: part.clone(),
+            bottom_part: part,
+        }
+    }
+
+    #[test]
+    fn label_bits_scale_logarithmically() {
+        // with ℓ + 1 = log n levels and at most 4 stored pieces, the label is
+        // a constant number of log n-bit words
+        let n = 1024usize;
+        let levels = 11;
+        let label = sample_label(levels, 2);
+        let bits = label.bits(n as u64, 1_000_000, n);
+        let log_n = (n as f64).log2();
+        assert!(
+            (bits as f64) < 60.0 * log_n + 100.0,
+            "label of {bits} bits exceeds the O(log n) budget"
+        );
+    }
+
+    #[test]
+    fn more_stored_pieces_cost_more_bits() {
+        let a = sample_label(8, 0).bits(100, 100, 100);
+        let b = sample_label(8, 2).bits(100, 100, 100);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn piece_bits_positive() {
+        assert!(PieceInfo::bits(100, 100, 8) > 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # smst-core
+//!
+//! The paper's primary contribution: a memory-optimal (`O(log n)` bits per
+//! node) self-stabilizing proof labeling scheme for MST with polylogarithmic
+//! detection time, together with the `O(n)`-time, `O(log n)`-memory
+//! synchronous MST construction (SYNC_MST) that doubles as its distributed
+//! marker.
+//!
+//! Module map (mirroring the paper's sections):
+//!
+//! * [`sync_mst`] — §4: the synchronous fragment-merging construction; it
+//!   produces the MST, the hierarchy of *active* fragments and the candidate
+//!   (minimum outgoing) edges, with ideal-time and memory accounting.
+//! * [`strings`] — §5: the `Roots` / `EndP` / `Parents` / `Or-EndP` strings
+//!   that represent the hierarchy and candidate function distributively, and
+//!   their local legality conditions RS0–RS5 and EPS0–EPS5.
+//! * [`partition`] — §6: top/bottom fragments, the red/blue/large colouring,
+//!   the `Top` and `Bottom` partitions, and the DFS placement of the pieces
+//!   of information `I(F)` on the nodes of each part.
+//! * [`labels`] — the complete `O(log n)`-bit node label and its bit
+//!   accounting.
+//! * [`marker`] — §5.4 / §6.3: the marker algorithm assigning the labels,
+//!   with its `O(n)` construction-time accounting.
+//! * [`verifier`] — §7–§8: the self-stabilizing verifier, implemented as a
+//!   [`smst_sim::NodeProgram`]: structural 1-round checks, the per-part
+//!   *trains* circulating the pieces, the Ask/Show/Want comparison mechanism
+//!   and the minimality checks C1/C2.
+//! * [`faults`] — corruption helpers used by the fault-detection experiments.
+//! * [`scheme`] — a facade tying marker and verifier together and the
+//!   experiment drivers (detection time, detection distance, memory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod labels;
+pub mod marker;
+pub mod partition;
+pub mod scheme;
+pub mod strings;
+pub mod sync_mst;
+pub mod verifier;
+
+pub use labels::{CoreLabel, PieceInfo};
+pub use marker::{ConstructionReport, Marker};
+pub use scheme::MstVerificationScheme;
+pub use sync_mst::{SyncMst, SyncMstOutcome};
+pub use verifier::{CoreState, CoreVerifier};

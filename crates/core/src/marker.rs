@@ -1,0 +1,278 @@
+//! The marker algorithm (§5.4, §6.3): assigning the `O(log n)`-bit labels in
+//! `O(n)` time.
+//!
+//! For a correct instance (the candidate subgraph is an MST) the marker
+//!
+//! 1. re-runs SYNC_MST under the ω′ ordering of the candidate tree, which
+//!    reconstructs exactly that tree and records the hierarchy `H_M` of
+//!    active fragments and the candidate function `χ_M` (§5.1);
+//! 2. derives the `Roots`/`EndP`/`Parents`/`Or-EndP` strings (§5.2–§5.3);
+//! 3. builds the `Top`/`Bottom` partitions and places the pieces `I(F)` on
+//!    the parts' nodes in DFS order (§6);
+//! 4. emits one [`CoreLabel`] per node.
+//!
+//! In the paper the label assignment is piggybacked on the construction's
+//! waves (Lemma 5.4, Corollary 6.11), adding only a constant factor to the
+//! `O(n)` construction time; the [`ConstructionReport`] accounts for the
+//! construction rounds plus that linear marker overhead.
+
+use crate::labels::{CoreLabel, PartLabel};
+use crate::partition::{build_partitions, Partitions};
+use crate::strings::build_strings;
+use crate::sync_mst::{SyncMst, SyncMstOutcome};
+use smst_labeling::scheme::{Instance, MarkError};
+use smst_labeling::sp::SpanningTreeScheme;
+use smst_labeling::OneRoundScheme;
+
+/// Ideal-time accounting of the construction + marking process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstructionReport {
+    /// Rounds used by SYNC_MST itself (Theorem 4.4: `O(n)`).
+    pub construction_rounds: u64,
+    /// Rounds charged to the label-assignment waves (multi-wave piece
+    /// distribution and partition construction, §6.3: `O(n)`).
+    pub marker_rounds: u64,
+    /// The height of the hierarchy (`ℓ ≤ ⌈log n⌉`).
+    pub hierarchy_height: u32,
+    /// Memory bits per node used during construction and marking.
+    pub memory_bits_per_node: u64,
+}
+
+impl ConstructionReport {
+    /// Total construction time (construction + marking).
+    pub fn total_rounds(&self) -> u64 {
+        self.construction_rounds + self.marker_rounds
+    }
+}
+
+/// The marker algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Marker;
+
+impl Marker {
+    /// Creates the marker.
+    pub fn new() -> Self {
+        Marker
+    }
+
+    /// Labels a correct instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkError::PredicateViolated`] if the candidate subgraph is
+    /// not an MST, or [`MarkError::MalformedInstance`] if it is not even a
+    /// spanning tree.
+    pub fn label(
+        &self,
+        instance: &Instance,
+    ) -> Result<(Vec<CoreLabel>, ConstructionReport), MarkError> {
+        let (labels, report, _) = self.label_with_internals(instance)?;
+        Ok((labels, report))
+    }
+
+    /// Like [`Self::label`] but also returns the internal structures
+    /// (hierarchy outcome and partitions), used by tests and by the fault
+    /// injectors.
+    pub fn label_with_internals(
+        &self,
+        instance: &Instance,
+    ) -> Result<(Vec<CoreLabel>, ConstructionReport, (SyncMstOutcome, Partitions)), MarkError>
+    {
+        if !instance.satisfies_mst() {
+            return Err(MarkError::PredicateViolated(
+                "candidate subgraph is not an MST".into(),
+            ));
+        }
+        let g = &instance.graph;
+        let tree = instance.candidate_tree()?;
+        let outcome = SyncMst.run_for_candidate(g, &tree);
+        debug_assert_eq!(
+            {
+                let mut a = outcome.tree.edges();
+                a.sort_unstable();
+                a
+            },
+            {
+                let mut b = tree.edges();
+                b.sort_unstable();
+                b
+            },
+            "SYNC_MST under the candidate ordering reconstructs the candidate tree"
+        );
+
+        let strings = build_strings(g, &outcome.tree, &outcome.hierarchy);
+        let partitions = build_partitions(g, &outcome.tree, &outcome.hierarchy);
+        let sp_labels = SpanningTreeScheme.mark(instance)?;
+        let n = g.node_count();
+
+        let labels: Vec<CoreLabel> = g
+            .nodes()
+            .map(|v| {
+                let tp = &partitions.top_parts[partitions.top_part_of[v.index()]];
+                let bp = &partitions.bottom_parts[partitions.bottom_part_of[v.index()]];
+                let part_label = |part: &crate::partition::Part| PartLabel {
+                    part_root_id: g.id(part.root),
+                    depth_in_part: part.depth_of(v) as u64,
+                    diameter_bound: part.diameter as u64,
+                    piece_count: part.pieces.len() as u8,
+                    stored: part.stored_at(v),
+                };
+                let top_min_level = outcome
+                    .hierarchy
+                    .fragments_containing(v)
+                    .into_iter()
+                    .filter(|&i| outcome.hierarchy.fragment(i).len() >= partitions.threshold)
+                    .map(|i| outcome.hierarchy.fragment(i).level)
+                    .min()
+                    .unwrap_or(0) as u8;
+                CoreLabel {
+                    sp: sp_labels[v.index()].clone(),
+                    n_claim: n as u64,
+                    subtree_count: outcome.tree.subtree_size(v) as u64,
+                    strings: strings[v.index()].clone(),
+                    top_min_level,
+                    top_part: part_label(tp),
+                    bottom_part: part_label(bp),
+                }
+            })
+            .collect();
+
+        let report = ConstructionReport {
+            construction_rounds: outcome.rounds,
+            // partition construction + multi-wave piece distribution +
+            // string assignment are all piggybacked waves over the tree
+            // (§6.3.7–§6.3.8): a constant number of linear-time passes.
+            marker_rounds: 6 * n as u64 + 4 * (outcome.phases as u64 + 1),
+            hierarchy_height: outcome.hierarchy.height(),
+            memory_bits_per_node: outcome.memory_bits_per_node,
+        };
+        Ok((labels, report, (outcome, partitions)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_graph::generators::{path_graph, random_connected_graph, star_graph};
+    use smst_graph::mst::kruskal;
+    use smst_graph::NodeId;
+
+    fn mst_instance(n: usize, m: usize, seed: u64) -> Instance {
+        let g = random_connected_graph(n, m, seed);
+        let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+        Instance::from_tree(g, &tree)
+    }
+
+    #[test]
+    fn labels_every_node() {
+        let inst = mst_instance(30, 80, 1);
+        let (labels, report) = Marker.label(&inst).unwrap();
+        assert_eq!(labels.len(), 30);
+        assert!(report.total_rounds() > 0);
+        assert!(report.hierarchy_height <= 6);
+    }
+
+    #[test]
+    fn refuses_non_mst_instances() {
+        let g = random_connected_graph(10, 30, 2);
+        let mst = kruskal(&g);
+        // find a swap producing a spanning non-MST tree
+        let non_tree: Vec<_> = g
+            .edge_entries()
+            .map(|(e, _)| e)
+            .filter(|e| !mst.contains(*e))
+            .collect();
+        let mut bad = None;
+        'search: for &extra in &non_tree {
+            for i in 0..mst.edges().len() {
+                let mut edges = mst.edges().to_vec();
+                edges[i] = extra;
+                if let Ok(tree) = smst_graph::RootedTree::from_edges(&g, &edges, NodeId(0)) {
+                    let inst = Instance::from_tree(g.clone(), &tree);
+                    if !inst.satisfies_mst() {
+                        bad = Some(inst);
+                        break 'search;
+                    }
+                }
+            }
+        }
+        let bad = bad.expect("a spanning non-MST tree exists");
+        assert!(matches!(
+            Marker.label(&bad),
+            Err(MarkError::PredicateViolated(_))
+        ));
+    }
+
+    #[test]
+    fn label_size_is_logarithmic_in_n() {
+        for n in [16usize, 64, 256] {
+            let inst = mst_instance(n, 3 * n, 3);
+            let (labels, _) = Marker.label(&inst).unwrap();
+            let max_id = n as u64;
+            let max_w = inst.graph.edges().iter().map(|e| e.weight).max().unwrap();
+            let bits = labels
+                .iter()
+                .map(|l| l.bits(max_id, max_w, n))
+                .max()
+                .unwrap();
+            let log_n = (n as f64).log2();
+            assert!(
+                (bits as f64) <= 60.0 * log_n + 80.0,
+                "n={n}: {bits} bits exceeds the O(log n) budget"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_time_is_linear() {
+        let mut prev = 0u64;
+        for n in [32usize, 64, 128, 256] {
+            let inst = mst_instance(n, 3 * n, 4);
+            let (_, report) = Marker.label(&inst).unwrap();
+            let total = report.total_rounds();
+            assert!(
+                total <= 120 * n as u64,
+                "n={n}: {total} rounds is not O(n)"
+            );
+            assert!(total > prev / 8, "construction time should grow with n");
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn works_on_paths_and_stars() {
+        for g in [path_graph(20, 1), star_graph(20, 2)] {
+            let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+            let inst = Instance::from_tree(g, &tree);
+            let (labels, _) = Marker.label(&inst).unwrap();
+            assert_eq!(labels.len(), 20);
+        }
+    }
+
+    #[test]
+    fn stored_pieces_cover_every_level_of_every_node() {
+        let inst = mst_instance(50, 120, 5);
+        let (labels, _, (outcome, _)) = Marker.label_with_internals(&inst).unwrap();
+        let g = &inst.graph;
+        for v in g.nodes() {
+            let needed: Vec<(u64, u32)> = outcome
+                .hierarchy
+                .fragments_containing(v)
+                .into_iter()
+                .map(|i| {
+                    let f = outcome.hierarchy.fragment(i);
+                    (g.id(f.root), f.level)
+                })
+                .collect();
+            // the pieces circulating in v's two parts must include every
+            // (root, level) pair v needs; the per-node label only stores a
+            // constant number, the rest arrive by train — here we check that
+            // the label's own part metadata is consistent.
+            let label = &labels[v.index()];
+            assert!(label.top_part.stored.len() <= 2);
+            assert!(label.bottom_part.stored.len() <= 2);
+            assert!(!needed.is_empty());
+            assert_eq!(label.n_claim, g.node_count() as u64);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The `Roots`, `EndP`, `Parents` and `Or-EndP` strings of §5.2–§5.3.
+//!
+//! These strings represent the fragment hierarchy and the candidate function
+//! distributively using `O(log n)` bits per node: each string has `ℓ + 1`
+//! entries (one per level) of one or two bits each. The module provides the
+//! marker-side builder (from a [`Hierarchy`]) and the node-local legality
+//! checks — the RS and EPS conditions — that the verifier evaluates in a
+//! single round by reading its own strings and those of its tree parent and
+//! children.
+
+use serde::{Deserialize, Serialize};
+use smst_graph::{Hierarchy, RootedTree, WeightedGraph};
+
+/// One entry of the `Roots` string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RootSym {
+    /// `1`: the node is the root of its level-`j` fragment.
+    Root,
+    /// `0`: the node belongs to a level-`j` fragment but is not its root.
+    NonRoot,
+    /// `*`: the node belongs to no level-`j` fragment.
+    Absent,
+}
+
+/// One entry of the `EndP` string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EndpSym {
+    /// The node is the endpoint of its fragment's candidate edge, which leads
+    /// to the node's tree parent.
+    Up,
+    /// The node is the endpoint of its fragment's candidate edge, which leads
+    /// to one of the node's tree children (marked by that child's `Parents`
+    /// bit).
+    Down,
+    /// The node belongs to a level-`j` fragment but is not the candidate's
+    /// endpoint.
+    NotEndpoint,
+    /// `*`: the node belongs to no level-`j` fragment.
+    Absent,
+}
+
+/// The four per-node strings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStrings {
+    /// The `Roots` string (one symbol per level `0..=ℓ`).
+    pub roots: Vec<RootSym>,
+    /// The `EndP` string.
+    pub endp: Vec<EndpSym>,
+    /// The `Parents` string: entry `j` is `true` iff the candidate edge of
+    /// the level-`j` fragment containing this node's *parent* leads from the
+    /// parent down to this node.
+    pub parents: Vec<bool>,
+    /// The `Or-EndP` string: entry `j` is `true` iff some node in this node's
+    /// subtree, restricted to this node's level-`j` fragment, is the
+    /// candidate's endpoint (the aggregation certifying EPS1 existence).
+    pub or_endp: Vec<bool>,
+}
+
+impl NodeStrings {
+    /// The string length `ℓ + 1`.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// `true` if the strings are empty (never produced by the marker).
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// The set of levels at which this node belongs to a fragment (`J(v)`).
+    pub fn levels_present(&self) -> Vec<usize> {
+        (0..self.roots.len())
+            .filter(|&j| self.roots[j] != RootSym::Absent)
+            .collect()
+    }
+
+    /// An empty-but-structurally-consistent string set of a given length
+    /// (used only by fault injectors and tests).
+    pub fn blank(len: usize) -> Self {
+        NodeStrings {
+            roots: vec![RootSym::Absent; len],
+            endp: vec![EndpSym::Absent; len],
+            parents: vec![false; len],
+            or_endp: vec![false; len],
+        }
+    }
+
+    /// Number of bits of a faithful encoding: two bits per `Roots`/`EndP`
+    /// entry and one per `Parents`/`Or-EndP` entry.
+    pub fn bits(&self) -> u64 {
+        (self.roots.len() * 2 + self.endp.len() * 2 + self.parents.len() + self.or_endp.len())
+            as u64
+    }
+}
+
+/// Builds the strings of every node from a hierarchy with candidates.
+///
+/// `hierarchy` must contain candidates for every non-top fragment (as
+/// produced by SYNC_MST); the strings have length `hierarchy.height() + 1`.
+pub fn build_strings(
+    g: &WeightedGraph,
+    tree: &RootedTree,
+    hierarchy: &Hierarchy,
+) -> Vec<NodeStrings> {
+    let ell = hierarchy.height() as usize;
+    let len = ell + 1;
+    let n = g.node_count();
+    let mut out: Vec<NodeStrings> = (0..n).map(|_| NodeStrings::blank(len)).collect();
+
+    for idx in 0..hierarchy.len() {
+        let frag = hierarchy.fragment(idx);
+        let j = frag.level as usize;
+        for &v in &frag.nodes {
+            out[v.index()].roots[j] = if frag.root == v {
+                RootSym::Root
+            } else {
+                RootSym::NonRoot
+            };
+            out[v.index()].endp[j] = EndpSym::NotEndpoint;
+        }
+        if let Some(cand) = hierarchy.candidate(idx) {
+            let edge = g.edge(cand);
+            let (inside, outside) = if frag.contains(edge.u) {
+                (edge.u, edge.v)
+            } else {
+                (edge.v, edge.u)
+            };
+            debug_assert!(!frag.contains(outside), "candidate must be outgoing");
+            if tree.parent(inside) == Some(outside) {
+                out[inside.index()].endp[j] = EndpSym::Up;
+            } else {
+                debug_assert_eq!(tree.parent(outside), Some(inside));
+                out[inside.index()].endp[j] = EndpSym::Down;
+                out[outside.index()].parents[j] = true;
+            }
+        }
+    }
+
+    // Or-EndP aggregation, bottom-up, restricted to same-fragment children.
+    let order = tree.dfs_preorder();
+    for j in 0..len {
+        for &v in order.iter().rev() {
+            let mut val = matches!(out[v.index()].endp[j], EndpSym::Up | EndpSym::Down);
+            for &c in tree.children(v) {
+                if out[c.index()].roots[j] == RootSym::NonRoot && out[c.index()].or_endp[j] {
+                    val = true;
+                }
+            }
+            out[v.index()].or_endp[j] = val;
+        }
+    }
+    out
+}
+
+/// Everything the node-local string checks need to see: the node's own
+/// strings, its tree parent's (if any) and its tree children's.
+#[derive(Debug)]
+pub struct StringNeighborhood<'a> {
+    /// The node's own strings.
+    pub own: &'a NodeStrings,
+    /// The tree parent's strings (as identified through the component
+    /// pointer), if the node is not the root.
+    pub parent: Option<&'a NodeStrings>,
+    /// The tree children's strings (neighbours whose parent pointer names
+    /// this node).
+    pub children: Vec<&'a NodeStrings>,
+    /// Whether this node is the root of the candidate tree.
+    pub is_tree_root: bool,
+    /// An upper bound on `ℓ + 1` derived from the (verified) knowledge of `n`
+    /// (`⌈log₂ n⌉ + 1`).
+    pub max_len: usize,
+}
+
+/// Evaluates the RS and EPS legality conditions of §5.2–§5.3 at one node.
+///
+/// Returns `Err` with the name of the first violated condition.
+pub fn check_strings(view: &StringNeighborhood<'_>) -> Result<(), &'static str> {
+    let own = view.own;
+    let len = own.len();
+
+    // structural alignment of the four strings
+    if own.endp.len() != len || own.parents.len() != len || own.or_endp.len() != len {
+        return Err("strings have inconsistent lengths");
+    }
+    // RS1: bounded, agreed-upon length
+    if len == 0 || len > view.max_len {
+        return Err("RS1: string length out of range");
+    }
+    if let Some(p) = view.parent {
+        if p.len() != len {
+            return Err("RS1: length disagrees with parent");
+        }
+    }
+    for c in &view.children {
+        if c.len() != len {
+            return Err("RS1: length disagrees with a child");
+        }
+    }
+    // alignment between Roots and EndP: a level is absent in both or neither
+    for j in 0..len {
+        let absent_r = own.roots[j] == RootSym::Absent;
+        let absent_e = own.endp[j] == EndpSym::Absent;
+        if absent_r != absent_e {
+            return Err("Roots/EndP absence mismatch");
+        }
+    }
+    // RS0: no '1' after a '0'
+    let mut seen_zero = false;
+    for j in 0..len {
+        match own.roots[j] {
+            RootSym::NonRoot => seen_zero = true,
+            RootSym::Root if seen_zero => return Err("RS0: root entry after a non-root entry"),
+            _ => {}
+        }
+    }
+    // RS2 / RS4
+    if view.is_tree_root {
+        if own.roots.iter().any(|&r| r == RootSym::NonRoot) {
+            return Err("RS2: tree root has a non-root entry");
+        }
+        if own.roots[len - 1] != RootSym::Root {
+            return Err("RS2: tree root is not the root of the top fragment");
+        }
+    } else if own.roots[len - 1] != RootSym::NonRoot {
+        return Err("RS4: non-root node's top entry is not 0");
+    }
+    // RS3
+    if own.roots[0] != RootSym::Root {
+        return Err("RS3: level-0 entry is not a root entry");
+    }
+    // RS5
+    for j in 0..len {
+        if own.roots[j] == RootSym::NonRoot {
+            match view.parent {
+                None => return Err("RS5: non-root fragment member has no tree parent"),
+                Some(p) => {
+                    if p.roots[j] == RootSym::Absent {
+                        return Err("RS5: parent has no fragment at this level");
+                    }
+                }
+            }
+        }
+    }
+    // EPS0: if Parents_j(v) = 1 then the parent's EndP_j is Down
+    for j in 0..len {
+        if own.parents[j] {
+            match view.parent {
+                None => return Err("EPS0: Parents bit set at the tree root"),
+                Some(p) => {
+                    if p.endp[j] != EndpSym::Down {
+                        return Err("EPS0: parent's EndP is not Down");
+                    }
+                }
+            }
+        }
+    }
+    // EPS1 (existence half, via Or-EndP): aggregation correctness and
+    // positivity at every non-top fragment root
+    for j in 0..len {
+        let mut expected = matches!(own.endp[j], EndpSym::Up | EndpSym::Down);
+        for c in &view.children {
+            if c.roots[j] == RootSym::NonRoot && c.or_endp[j] {
+                expected = true;
+            }
+        }
+        if own.or_endp[j] != expected {
+            return Err("EPS1: Or-EndP aggregation mismatch");
+        }
+        let is_top_fragment_root = view.is_tree_root && j == len - 1;
+        if own.roots[j] == RootSym::Root && !is_top_fragment_root && !own.or_endp[j] {
+            return Err("EPS1: fragment has no candidate endpoint");
+        }
+        if is_top_fragment_root && own.endp[j] != EndpSym::NotEndpoint {
+            return Err("EPS1: the top fragment must have no candidate");
+        }
+    }
+    // EPS2: a Down endpoint has exactly one child with the Parents bit set
+    for j in 0..len {
+        if own.endp[j] == EndpSym::Down {
+            let marked = view.children.iter().filter(|c| c.parents[j]).count();
+            if marked != 1 {
+                return Err("EPS2: Down endpoint without exactly one marked child");
+            }
+        } else {
+            // a child may only set its Parents bit when we are a Down endpoint
+            if view.children.iter().any(|c| c.parents[j])
+                && own.endp[j] != EndpSym::Down
+            {
+                return Err("EPS2: child marks a candidate the parent does not have");
+            }
+        }
+    }
+    // EPS3
+    for j in 0..len {
+        if own.endp[j] == EndpSym::Up {
+            if own.roots[j] != RootSym::Root {
+                return Err("EPS3: Up endpoint is not its fragment's root");
+            }
+            if own.roots[(j + 1)..].iter().any(|&r| r == RootSym::Root) {
+                return Err("EPS3: Up endpoint is a root again at a higher level");
+            }
+        }
+    }
+    // EPS4
+    for j in 0..len {
+        if own.parents[j] {
+            if own.roots[j] == RootSym::NonRoot {
+                return Err("EPS4: Parents bit set but node is a fragment non-root");
+            }
+            if own.roots[(j + 1)..].iter().any(|&r| r == RootSym::Root) {
+                return Err("EPS4: Parents bit set but node is a root at a higher level");
+            }
+        }
+    }
+    // EPS5
+    if !view.is_tree_root {
+        let merges = (0..len).any(|j| own.parents[j] || own.endp[j] == EndpSym::Up);
+        if !merges {
+            return Err("EPS5: node never merges with its parent's fragment");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync_mst::SyncMst;
+    use smst_graph::generators::random_connected_graph;
+    use smst_graph::NodeId;
+
+    fn build(n: usize, seed: u64) -> (WeightedGraph, RootedTree, Vec<NodeStrings>) {
+        let g = random_connected_graph(n, 3 * n, seed);
+        let outcome = SyncMst.run(&g);
+        let strings = build_strings(&g, &outcome.tree, &outcome.hierarchy);
+        (g, outcome.tree, strings)
+    }
+
+    fn check_all(g: &WeightedGraph, tree: &RootedTree, strings: &[NodeStrings]) -> Result<(), (NodeId, &'static str)> {
+        let max_len = (g.node_count().max(2) as f64).log2().ceil() as usize + 1;
+        for v in g.nodes() {
+            let view = StringNeighborhood {
+                own: &strings[v.index()],
+                parent: tree.parent(v).map(|p| &strings[p.index()]),
+                children: tree.children(v).iter().map(|c| &strings[c.index()]).collect(),
+                is_tree_root: tree.root() == v,
+                max_len,
+            };
+            check_strings(&view).map_err(|e| (v, e))?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn marker_strings_satisfy_all_conditions() {
+        for seed in 0..8 {
+            let (g, tree, strings) = build(20, seed);
+            check_all(&g, &tree, &strings).unwrap_or_else(|(v, e)| {
+                panic!("seed {seed}: node {v} violates {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn strings_are_logarithmically_sized() {
+        let (_, _, strings) = build(200, 1);
+        for s in &strings {
+            assert!(s.len() <= 9, "length {} exceeds ⌈log 200⌉ + 1", s.len());
+            assert!(s.bits() <= 6 * 9);
+        }
+    }
+
+    #[test]
+    fn corrupting_roots_breaks_a_condition() {
+        let (g, tree, mut strings) = build(18, 3);
+        // flip a Root into a NonRoot somewhere
+        'outer: for s in strings.iter_mut().skip(1) {
+            for j in 1..s.roots.len() {
+                if s.roots[j] == RootSym::Root {
+                    s.roots[j] = RootSym::NonRoot;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(check_all(&g, &tree, &strings).is_err());
+    }
+
+    #[test]
+    fn corrupting_endp_breaks_a_condition() {
+        // every node (n ≥ 2) is the endpoint of its singleton fragment's
+        // candidate at level 0; erasing that mark must be detected
+        let (g, tree, mut strings) = build(18, 4);
+        assert!(matches!(strings[1].endp[0], EndpSym::Up | EndpSym::Down));
+        strings[1].endp[0] = EndpSym::NotEndpoint;
+        assert!(check_all(&g, &tree, &strings).is_err());
+    }
+
+    #[test]
+    fn spurious_parents_bit_breaks_a_condition() {
+        let (g, tree, mut strings) = build(18, 5);
+        // set a Parents bit at a node whose parent has no matching Down mark
+        let mut target = None;
+        'outer: for v in g.nodes() {
+            if let Some(p) = tree.parent(v) {
+                for j in 0..strings[v.index()].parents.len() {
+                    if !strings[v.index()].parents[j]
+                        && strings[p.index()].endp[j] != EndpSym::Down
+                    {
+                        target = Some((v, j));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (v, j) = target.expect("some unmarkable (node, level) pair exists");
+        strings[v.index()].parents[j] = true;
+        assert!(check_all(&g, &tree, &strings).is_err());
+    }
+
+    #[test]
+    fn truncated_strings_are_rejected() {
+        let (g, tree, mut strings) = build(18, 6);
+        strings[2].roots.pop();
+        assert!(check_all(&g, &tree, &strings).is_err());
+    }
+
+    #[test]
+    fn levels_present_matches_roots() {
+        let (_, _, strings) = build(20, 7);
+        for s in &strings {
+            let levels = s.levels_present();
+            assert!(levels.contains(&0), "every node has a singleton fragment");
+            for &j in &levels {
+                assert_ne!(s.roots[j], RootSym::Absent);
+            }
+        }
+    }
+
+    #[test]
+    fn blank_strings_helpers() {
+        let b = NodeStrings::blank(5);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert!(b.levels_present().is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::WeightedGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier was outside the range of existing nodes.
+    UnknownNode(usize),
+    /// An edge identifier was outside the range of existing edges.
+    UnknownEdge(usize),
+    /// An edge between the two given endpoints already exists.
+    DuplicateEdge(usize, usize),
+    /// Self-loops are not allowed in the paper's model.
+    SelfLoop(usize),
+    /// The requested operation requires a connected graph.
+    Disconnected,
+    /// A port number did not correspond to any incident edge of the node.
+    UnknownPort {
+        /// The node whose port table was consulted.
+        node: usize,
+        /// The offending port number.
+        port: usize,
+    },
+    /// The candidate subgraph was expected to be a spanning tree but is not.
+    NotASpanningTree(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(v) => write!(f, "unknown node id {v}"),
+            GraphError::UnknownEdge(e) => write!(f, "unknown edge id {e}"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "edge between {u} and {v} already exists")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::UnknownPort { node, port } => {
+                write!(f, "node {node} has no port {port}")
+            }
+            GraphError::NotASpanningTree(reason) => {
+                write!(f, "subgraph is not a spanning tree: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_meaningful() {
+        let msgs = [
+            GraphError::UnknownNode(3).to_string(),
+            GraphError::UnknownEdge(7).to_string(),
+            GraphError::DuplicateEdge(1, 2).to_string(),
+            GraphError::SelfLoop(4).to_string(),
+            GraphError::Disconnected.to_string(),
+            GraphError::UnknownPort { node: 1, port: 9 }.to_string(),
+            GraphError::NotASpanningTree("cycle".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

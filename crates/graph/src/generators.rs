@@ -1,0 +1,307 @@
+//! Graph families used by the tests, examples and experiments.
+//!
+//! All generators are deterministic in their `seed` argument, assign distinct
+//! raw edge weights where convenient, and produce connected graphs (except
+//! where documented). These are the workloads of the paper's experiments:
+//! random connected graphs for Table 1 and the scaling figures, paths/rings
+//! for the low-degree extremes, stars and complete graphs for the Δ sweeps,
+//! grids and caterpillars as structured topologies.
+
+use crate::graph::{NodeId, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A path `0 − 1 − ⋯ − (n−1)` with pseudo-random distinct weights.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path_graph(n: usize, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "path_graph requires at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::with_nodes(n);
+    let mut weights = distinct_weights(n.saturating_sub(1), &mut rng);
+    for i in 0..n - 1 {
+        g.add_edge(NodeId(i), NodeId(i + 1), weights.pop().unwrap())
+            .expect("path edges are unique");
+    }
+    g
+}
+
+/// A cycle on `n ≥ 3` nodes with distinct weights.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring_graph(n: usize, seed: u64) -> WeightedGraph {
+    assert!(n >= 3, "ring_graph requires at least three nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::with_nodes(n);
+    let mut weights = distinct_weights(n, &mut rng);
+    for i in 0..n {
+        g.add_edge(NodeId(i), NodeId((i + 1) % n), weights.pop().unwrap())
+            .expect("ring edges are unique");
+    }
+    g
+}
+
+/// The complete graph on `n` nodes with distinct weights.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete_graph(n: usize, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "complete_graph requires at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::with_nodes(n);
+    let mut weights = distinct_weights(n * (n - 1) / 2, &mut rng);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId(i), NodeId(j), weights.pop().unwrap())
+                .expect("complete graph edges are unique");
+        }
+    }
+    g
+}
+
+/// A star: node 0 is the centre, connected to every other node.
+///
+/// The star maximizes Δ and is used for the asynchronous detection-time
+/// experiments (whose bound is `O(Δ log³ n)`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star_graph(n: usize, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "star_graph requires at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::with_nodes(n);
+    let mut weights = distinct_weights(n.saturating_sub(1), &mut rng);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId(i), weights.pop().unwrap())
+            .expect("star edges are unique");
+    }
+    g
+}
+
+/// An `rows × cols` grid with distinct weights.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid_graph(rows: usize, cols: usize, seed: u64) -> WeightedGraph {
+    assert!(rows > 0 && cols > 0, "grid_graph requires positive dimensions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut g = WeightedGraph::with_nodes(n);
+    let m = rows * (cols - 1) + cols * (rows - 1);
+    let mut weights = distinct_weights(m, &mut rng);
+    let at = |r: usize, c: usize| NodeId(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(at(r, c), at(r, c + 1), weights.pop().unwrap())
+                    .expect("grid edges are unique");
+            }
+            if r + 1 < rows {
+                g.add_edge(at(r, c), at(r + 1, c), weights.pop().unwrap())
+                    .expect("grid edges are unique");
+            }
+        }
+    }
+    g
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each with `legs` leaf
+/// children. Total nodes: `spine * (1 + legs)`.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar_graph(spine: usize, legs: usize, seed: u64) -> WeightedGraph {
+    assert!(spine > 0, "caterpillar_graph requires a non-empty spine");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = spine * (1 + legs);
+    let mut g = WeightedGraph::with_nodes(n);
+    let m = (spine - 1) + spine * legs;
+    let mut weights = distinct_weights(m, &mut rng);
+    for i in 0..spine - 1 {
+        g.add_edge(NodeId(i), NodeId(i + 1), weights.pop().unwrap())
+            .expect("spine edges are unique");
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            g.add_edge(NodeId(s), NodeId(leaf), weights.pop().unwrap())
+                .expect("leg edges are unique");
+        }
+    }
+    g
+}
+
+/// A random connected graph with `n` nodes and (approximately) `m` edges:
+/// a uniformly random spanning tree backbone plus random extra edges, with
+/// distinct weights.
+///
+/// If `m < n − 1` the edge count is raised to `n − 1`; if `m` exceeds the
+/// complete graph it is clamped.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_connected_graph(n: usize, m: usize, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "random_connected_graph requires at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_m = n * n.saturating_sub(1) / 2;
+    let m = m.clamp(n.saturating_sub(1), max_m.max(n.saturating_sub(1)));
+    let mut g = WeightedGraph::with_nodes(n);
+    let mut weights = distinct_weights(m, &mut rng);
+
+    // random spanning tree backbone: random permutation, attach each node to a
+    // random earlier node (a random recursive tree).
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        g.add_edge(NodeId(perm[i]), NodeId(perm[j]), weights.pop().unwrap())
+            .expect("backbone edges are unique");
+    }
+    // extra edges
+    let mut attempts = 0usize;
+    while g.edge_count() < m && attempts < 50 * m + 100 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        if g.edge_between(NodeId(u), NodeId(v)).is_some() {
+            continue;
+        }
+        let w = weights.pop().unwrap_or_else(|| rng.gen_range(1..1_000_000) * 2 + 1);
+        g.add_edge(NodeId(u), NodeId(v), w).expect("checked for duplicates");
+    }
+    g
+}
+
+/// A random connected graph with scrambled (non-consecutive) node identities.
+///
+/// Useful for checking that algorithms only rely on identity *comparisons*,
+/// never on identities being `0..n`.
+pub fn random_graph_scrambled_ids(n: usize, m: usize, seed: u64) -> WeightedGraph {
+    let base = random_connected_graph(n, m, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut ids: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
+    ids.shuffle(&mut rng);
+    let mut g = WeightedGraph::new();
+    for &id in ids.iter().take(n) {
+        g.add_node_with_id(id);
+    }
+    for e in base.edges() {
+        g.add_edge(e.u, e.v, e.weight).expect("copying unique edges");
+    }
+    g
+}
+
+/// Distinct odd weights in random order (odd so that explicitly-chosen even
+/// weights in tests can never collide with generated ones).
+fn distinct_weights(count: usize, rng: &mut StdRng) -> Vec<u64> {
+    let mut ws: Vec<u64> = (0..count as u64).map(|i| 2 * i + 1).collect();
+    ws.shuffle(rng);
+    ws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn path_ring_star_shapes() {
+        let p = path_graph(5, 1);
+        assert_eq!((p.node_count(), p.edge_count(), p.max_degree()), (5, 4, 2));
+        let r = ring_graph(5, 1);
+        assert_eq!((r.node_count(), r.edge_count(), r.max_degree()), (5, 5, 2));
+        let s = star_graph(5, 1);
+        assert_eq!((s.node_count(), s.edge_count(), s.max_degree()), (5, 4, 4));
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete_graph(7, 2);
+        assert_eq!(g.edge_count(), 21);
+        assert!(g.is_connected());
+        assert!(g.has_distinct_weights());
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let g = grid_graph(3, 4, 9);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 4 * 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar_graph(4, 3, 5);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 3 + 12);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(NodeId(15)), 1);
+    }
+
+    #[test]
+    fn random_graph_is_connected_and_distinct() {
+        for seed in 0..8 {
+            let g = random_connected_graph(40, 100, seed);
+            assert!(g.is_connected());
+            assert!(g.has_distinct_weights() || g.edge_count() > 100);
+            assert_eq!(g.node_count(), 40);
+            assert!(g.edge_count() >= 39);
+        }
+    }
+
+    #[test]
+    fn random_graph_clamps_edge_count() {
+        let g = random_connected_graph(5, 1000, 3);
+        assert_eq!(g.edge_count(), 10);
+        let g2 = random_connected_graph(5, 0, 3);
+        assert_eq!(g2.edge_count(), 4);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_connected_graph(20, 50, 77);
+        let b = random_connected_graph(20, 50, 77);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn scrambled_ids_are_distinct() {
+        let g = random_graph_scrambled_ids(15, 30, 4);
+        let mut ids: Vec<u64> = g.nodes().map(|v| g.id(v)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 15);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn single_node_generators() {
+        assert_eq!(path_graph(1, 0).node_count(), 1);
+        assert_eq!(star_graph(1, 0).edge_count(), 0);
+        assert_eq!(complete_graph(1, 0).edge_count(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn random_graphs_always_connected(n in 1usize..60, extra in 0usize..100, seed in 0u64..1000) {
+            let g = random_connected_graph(n, n + extra, seed);
+            prop_assert!(g.is_connected());
+            prop_assert!(g.edge_count() >= n.saturating_sub(1));
+        }
+    }
+}

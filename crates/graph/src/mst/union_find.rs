@@ -1,0 +1,159 @@
+//! A union–find (disjoint-set) structure with union by rank and path
+//! compression.
+
+/// Disjoint-set forest over dense indices `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use smst_graph::mst::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.same(0, 2));
+/// assert!(uf.union(1, 3));
+/// assert!(uf.same(0, 2));
+/// assert_eq!(uf.component_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // path compression
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `x` and `y`.
+    ///
+    /// Returns `true` if the sets were distinct (a merge happened).
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// `true` if `x` and `y` are in the same set.
+    pub fn same(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(uf.same(i, j), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.component_count(), 4);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        let uf2 = UnionFind::new(3);
+        assert_eq!(uf2.len(), 3);
+        assert!(!uf2.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn union_find_matches_naive_partition(ops in proptest::collection::vec((0usize..20, 0usize..20), 0..80)) {
+            let n = 20;
+            let mut uf = UnionFind::new(n);
+            // naive: component label per element
+            let mut label: Vec<usize> = (0..n).collect();
+            for (a, b) in ops {
+                uf.union(a, b);
+                let (la, lb) = (label[a], label[b]);
+                if la != lb {
+                    for l in label.iter_mut() {
+                        if *l == lb { *l = la; }
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert_eq!(uf.same(i, j), label[i] == label[j]);
+                }
+            }
+            let mut labels: Vec<usize> = label.clone();
+            labels.sort_unstable();
+            labels.dedup();
+            prop_assert_eq!(uf.component_count(), labels.len());
+        }
+    }
+}

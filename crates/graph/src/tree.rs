@@ -1,0 +1,383 @@
+//! Rooted spanning-tree utilities.
+//!
+//! A [`RootedTree`] is a rooted spanning tree of a [`WeightedGraph`],
+//! represented by a parent-pointer array (exactly the "component" encoding of
+//! §2.1 once rooted). It offers the traversals and bookkeeping the marker and
+//! the verifier need: children lists, DFS orders, subtree sizes, depths and
+//! tree distances.
+
+use crate::error::GraphError;
+use crate::graph::{EdgeId, NodeId, WeightedGraph};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A rooted spanning tree over the nodes of a [`WeightedGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use smst_graph::{WeightedGraph, NodeId, RootedTree};
+///
+/// let mut g = WeightedGraph::with_nodes(4);
+/// g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+/// g.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+/// g.add_edge(NodeId(1), NodeId(3), 3).unwrap();
+/// let tree_edges: Vec<_> = (0..3).map(smst_graph::EdgeId).collect();
+/// let t = RootedTree::from_edges(&g, &tree_edges, NodeId(0)).unwrap();
+/// assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+/// assert_eq!(t.depth(NodeId(3)), 2);
+/// assert_eq!(t.subtree_size(NodeId(1)), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RootedTree {
+    root: NodeId,
+    /// parent[v] = None for the root.
+    parent: Vec<Option<NodeId>>,
+    /// parent_edge[v] = the graph edge to the parent (None for the root).
+    parent_edge: Vec<Option<EdgeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<usize>,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from a set of `n − 1` tree edges of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotASpanningTree`] if the edges do not form a
+    /// spanning tree of `g` (wrong count, cycle, or not spanning).
+    pub fn from_edges(g: &WeightedGraph, tree_edges: &[EdgeId], root: NodeId) -> Result<Self> {
+        let n = g.node_count();
+        if n == 0 {
+            return Err(GraphError::NotASpanningTree("empty graph".into()));
+        }
+        if root.0 >= n {
+            return Err(GraphError::UnknownNode(root.0));
+        }
+        if tree_edges.len() != n - 1 {
+            return Err(GraphError::NotASpanningTree(format!(
+                "expected {} edges, got {}",
+                n - 1,
+                tree_edges.len()
+            )));
+        }
+        // adjacency restricted to tree edges
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+        for &e in tree_edges {
+            if e.0 >= g.edge_count() {
+                return Err(GraphError::UnknownEdge(e.0));
+            }
+            let edge = g.edge(e);
+            adj[edge.u.0].push((edge.v, e));
+            adj[edge.v.0].push((edge.u, e));
+        }
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut depth = vec![usize::MAX; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut queue = VecDeque::new();
+        depth[root.0] = 0;
+        queue.push_back(root);
+        let mut visited = 1;
+        while let Some(v) = queue.pop_front() {
+            for &(u, e) in &adj[v.0] {
+                if depth[u.0] == usize::MAX {
+                    depth[u.0] = depth[v.0] + 1;
+                    parent[u.0] = Some(v);
+                    parent_edge[u.0] = Some(e);
+                    children[v.0].push(u);
+                    visited += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if visited != n {
+            return Err(GraphError::NotASpanningTree(format!(
+                "only {visited} of {n} nodes reachable from the root"
+            )));
+        }
+        Ok(RootedTree {
+            root,
+            parent,
+            parent_edge,
+            children,
+            depth,
+        })
+    }
+
+    /// The root of the tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The parent of `v` (`None` for the root).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.0]
+    }
+
+    /// The graph edge connecting `v` to its parent (`None` for the root).
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.0]
+    }
+
+    /// The children of `v`, in the order they were discovered.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.0]
+    }
+
+    /// The depth (hop distance from the root) of `v`.
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.depth[v.0]
+    }
+
+    /// The height of the tree (maximum depth).
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `true` if `v` is a leaf (has no children).
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v.0].is_empty()
+    }
+
+    /// The tree edges, one per non-root node.
+    pub fn edges(&self) -> Vec<EdgeId> {
+        self.parent_edge.iter().filter_map(|&e| e).collect()
+    }
+
+    /// Returns `true` if `e` is one of the tree's edges.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.parent_edge.iter().any(|&pe| pe == Some(e))
+    }
+
+    /// `true` if `ancestor` lies on the path from `v` to the root
+    /// (a node is its own ancestor).
+    pub fn is_ancestor(&self, ancestor: NodeId, v: NodeId) -> bool {
+        let mut cur = Some(v);
+        while let Some(x) = cur {
+            if x == ancestor {
+                return true;
+            }
+            cur = self.parent[x.0];
+        }
+        false
+    }
+
+    /// Nodes in preorder DFS, children visited in stored order.
+    pub fn dfs_preorder(&self) -> Vec<NodeId> {
+        self.dfs_preorder_from(self.root)
+    }
+
+    /// Preorder DFS of the subtree rooted at `start`.
+    pub fn dfs_preorder_from(&self, start: NodeId) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            // push children in reverse so that the first child is visited first
+            for &c in self.children[v.0].iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Nodes in BFS order from the root.
+    pub fn bfs_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.node_count());
+        let mut queue = VecDeque::new();
+        queue.push_back(self.root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &c in &self.children[v.0] {
+                queue.push_back(c);
+            }
+        }
+        order
+    }
+
+    /// Size of the subtree rooted at `v` (including `v`).
+    pub fn subtree_size(&self, v: NodeId) -> usize {
+        self.dfs_preorder_from(v).len()
+    }
+
+    /// All nodes of the subtree rooted at `v`.
+    pub fn subtree_nodes(&self, v: NodeId) -> Vec<NodeId> {
+        self.dfs_preorder_from(v)
+    }
+
+    /// Hop distance between two nodes *in the tree*.
+    pub fn tree_distance(&self, u: NodeId, v: NodeId) -> usize {
+        // walk both nodes up to their lowest common ancestor
+        let (mut a, mut b) = (u, v);
+        let mut da = self.depth[a.0];
+        let mut db = self.depth[b.0];
+        let mut dist = 0;
+        while da > db {
+            a = self.parent[a.0].expect("non-root node has a parent");
+            da -= 1;
+            dist += 1;
+        }
+        while db > da {
+            b = self.parent[b.0].expect("non-root node has a parent");
+            db -= 1;
+            dist += 1;
+        }
+        while a != b {
+            a = self.parent[a.0].expect("non-root node has a parent");
+            b = self.parent[b.0].expect("non-root node has a parent");
+            dist += 2;
+        }
+        dist
+    }
+
+    /// The path from `v` up to (and including) `ancestor`.
+    ///
+    /// Returns `None` if `ancestor` is not an ancestor of `v`.
+    pub fn path_to_ancestor(&self, v: NodeId, ancestor: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != ancestor {
+            cur = self.parent[cur.0]?;
+            path.push(cur);
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fixed tree:
+    /// ```text
+    ///        0
+    ///       / \
+    ///      1   2
+    ///     / \    \
+    ///    3   4    5
+    /// ```
+    fn sample() -> (WeightedGraph, RootedTree) {
+        let mut g = WeightedGraph::with_nodes(6);
+        let e01 = g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        let e02 = g.add_edge(NodeId(0), NodeId(2), 2).unwrap();
+        let e13 = g.add_edge(NodeId(1), NodeId(3), 3).unwrap();
+        let e14 = g.add_edge(NodeId(1), NodeId(4), 4).unwrap();
+        let e25 = g.add_edge(NodeId(2), NodeId(5), 5).unwrap();
+        // one extra non-tree edge
+        g.add_edge(NodeId(3), NodeId(5), 10).unwrap();
+        let t = RootedTree::from_edges(&g, &[e01, e02, e13, e14, e25], NodeId(0)).unwrap();
+        (g, t)
+    }
+
+    #[test]
+    fn parents_and_children() {
+        let (_, t) = sample();
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert!(t.is_leaf(NodeId(4)));
+        assert!(!t.is_leaf(NodeId(1)));
+    }
+
+    #[test]
+    fn depth_and_height() {
+        let (_, t) = sample();
+        assert_eq!(t.depth(NodeId(0)), 0);
+        assert_eq!(t.depth(NodeId(5)), 2);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn dfs_preorder_visits_all_once() {
+        let (_, t) = sample();
+        let order = t.dfs_preorder();
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], NodeId(0));
+        let mut sorted: Vec<usize> = order.iter().map(|v| v.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        // children before siblings' subtrees
+        assert_eq!(order[1], NodeId(1));
+        assert_eq!(order[2], NodeId(3));
+    }
+
+    #[test]
+    fn bfs_order_is_level_by_level() {
+        let (_, t) = sample();
+        let order = t.bfs_order();
+        assert_eq!(order[0], NodeId(0));
+        assert_eq!(&order[1..3], &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn subtree_sizes() {
+        let (_, t) = sample();
+        assert_eq!(t.subtree_size(NodeId(0)), 6);
+        assert_eq!(t.subtree_size(NodeId(1)), 3);
+        assert_eq!(t.subtree_size(NodeId(5)), 1);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let (_, t) = sample();
+        assert!(t.is_ancestor(NodeId(0), NodeId(5)));
+        assert!(t.is_ancestor(NodeId(1), NodeId(4)));
+        assert!(!t.is_ancestor(NodeId(2), NodeId(3)));
+        assert!(t.is_ancestor(NodeId(3), NodeId(3)));
+    }
+
+    #[test]
+    fn tree_distances() {
+        let (_, t) = sample();
+        assert_eq!(t.tree_distance(NodeId(3), NodeId(4)), 2);
+        assert_eq!(t.tree_distance(NodeId(3), NodeId(5)), 4);
+        assert_eq!(t.tree_distance(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.tree_distance(NodeId(5), NodeId(0)), 2);
+    }
+
+    #[test]
+    fn path_to_ancestor_works() {
+        let (_, t) = sample();
+        assert_eq!(
+            t.path_to_ancestor(NodeId(3), NodeId(0)).unwrap(),
+            vec![NodeId(3), NodeId(1), NodeId(0)]
+        );
+        assert!(t.path_to_ancestor(NodeId(3), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        let (g, _) = sample();
+        let err = RootedTree::from_edges(&g, &[EdgeId(0)], NodeId(0)).unwrap_err();
+        assert!(matches!(err, GraphError::NotASpanningTree(_)));
+    }
+
+    #[test]
+    fn rejects_cycle_as_spanning_tree() {
+        let mut g = WeightedGraph::with_nodes(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        let e1 = g.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        let e2 = g.add_edge(NodeId(2), NodeId(0), 1).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        // three edges but they form a triangle, leaving node 3 unreached
+        let err = RootedTree::from_edges(&g, &[e0, e1, e2], NodeId(0)).unwrap_err();
+        assert!(matches!(err, GraphError::NotASpanningTree(_)));
+    }
+
+    #[test]
+    fn contains_edge_and_edges() {
+        let (_, t) = sample();
+        let edges = t.edges();
+        assert_eq!(edges.len(), 5);
+        assert!(t.contains_edge(EdgeId(0)));
+        assert!(!t.contains_edge(EdgeId(5)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Adapter running a 1-round proof labeling scheme inside the simulator.
+//!
+//! A 1-round scheme's verifier is memoryless: every activation it re-derives
+//! its verdict from its own label and its neighbours' labels. Wrapping it as a
+//! [`NodeProgram`] lets the same fault-injection and measurement machinery be
+//! used for the 1-round baselines and for the paper's multi-round scheme, so
+//! that Table 1 and the detection figures compare like with like.
+
+use crate::scheme::{Instance, LabelView, OneRoundScheme};
+use smst_sim::{Network, NodeContext, NodeProgram, Verdict};
+
+/// The register of a node running a wrapped 1-round verifier: its (possibly
+/// corrupted) label plus its current verdict.
+#[derive(Debug, Clone)]
+pub struct OneRoundState<L> {
+    /// The node's label (the part a transient fault may corrupt).
+    pub label: L,
+    /// The verdict computed at the last activation.
+    pub verdict: Verdict,
+}
+
+/// A [`NodeProgram`] that repeatedly runs the verifier of a 1-round scheme.
+#[derive(Debug)]
+pub struct OneRoundVerifierProgram<S: OneRoundScheme> {
+    scheme: S,
+    instance: Instance,
+    labels: Vec<S::Label>,
+}
+
+impl<S: OneRoundScheme> OneRoundVerifierProgram<S> {
+    /// Wraps a scheme together with the instance and the labels assigned by
+    /// its marker (or by an adversary).
+    pub fn new(scheme: S, instance: Instance, labels: Vec<S::Label>) -> Self {
+        OneRoundVerifierProgram {
+            scheme,
+            instance,
+            labels,
+        }
+    }
+
+    /// The wrapped instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Builds the network whose registers hold the wrapped labels.
+    pub fn network(&self) -> Network<Self>
+    where
+        S::Label: Clone,
+    {
+        Network::new(self, self.instance.graph.clone())
+    }
+}
+
+impl<S: OneRoundScheme> NodeProgram for OneRoundVerifierProgram<S> {
+    type State = OneRoundState<S::Label>;
+
+    fn init(&self, ctx: &NodeContext) -> Self::State {
+        OneRoundState {
+            label: self.labels[ctx.node.index()].clone(),
+            verdict: Verdict::Working,
+        }
+    }
+
+    fn step(
+        &self,
+        ctx: &NodeContext,
+        own: &Self::State,
+        neighbors: &[&Self::State],
+    ) -> Self::State {
+        let view = LabelView {
+            node: ctx.node,
+            own: &own.label,
+            neighbors: neighbors.iter().map(|s| &s.label).collect(),
+        };
+        let ok = self.scheme.verify_at(&self.instance, &view);
+        OneRoundState {
+            label: own.label.clone(),
+            verdict: if ok { Verdict::Accept } else { Verdict::Reject },
+        }
+    }
+
+    fn verdict(&self, _ctx: &NodeContext, state: &Self::State) -> Verdict {
+        state.verdict
+    }
+
+    fn state_bits(&self, ctx: &NodeContext, state: &Self::State) -> u64 {
+        // label bits plus the two-bit verdict
+        self.scheme
+            .label_bits(&self.instance, ctx.node, &state.label)
+            + 2
+    }
+
+    fn name(&self) -> &str {
+        self.scheme.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp::SpanningTreeScheme;
+    use smst_graph::generators::random_connected_graph;
+    use smst_graph::mst::kruskal;
+    use smst_graph::NodeId;
+    use smst_sim::{FaultPlan, SyncRunner};
+
+    fn mst_instance(n: usize, m: usize, seed: u64) -> Instance {
+        let g = random_connected_graph(n, m, seed);
+        let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+        Instance::from_tree(g, &tree)
+    }
+
+    #[test]
+    fn wrapped_sp_scheme_accepts_after_one_round() {
+        let inst = mst_instance(15, 40, 1);
+        let labels = SpanningTreeScheme.mark(&inst).unwrap();
+        let program = OneRoundVerifierProgram::new(SpanningTreeScheme, inst, labels);
+        let net = program.network();
+        let mut runner = SyncRunner::new(&program, net);
+        let t = runner.run_until_all_accept(5).unwrap();
+        assert_eq!(t, 1, "a 1-round scheme accepts after exactly one round");
+    }
+
+    #[test]
+    fn corrupted_label_detected_in_one_round_at_distance_one() {
+        let inst = mst_instance(15, 40, 2);
+        let graph = inst.graph.clone();
+        let labels = SpanningTreeScheme.mark(&inst).unwrap();
+        let program = OneRoundVerifierProgram::new(SpanningTreeScheme, inst, labels);
+        let mut net = program.network();
+        // corrupt one node's label register
+        let plan = FaultPlan::single(NodeId(6));
+        plan.apply(&mut net, |_v, s| s.label.dist += 3);
+        let mut runner = SyncRunner::new(&program, net);
+        let t = runner.run_until_alarm(5).unwrap();
+        assert_eq!(t, 1);
+        let alarms = runner.network().alarming_nodes(&program);
+        // the alarm is raised at the fault or at one of its neighbours
+        let dists = smst_sim::metrics::detection_distances(&graph, &[NodeId(6)], &alarms);
+        assert!(dists[0] <= 1);
+    }
+
+    #[test]
+    fn memory_accounting_reports_label_bits() {
+        let inst = mst_instance(32, 80, 3);
+        let labels = SpanningTreeScheme.mark(&inst).unwrap();
+        let program = OneRoundVerifierProgram::new(SpanningTreeScheme, inst, labels);
+        let net = program.network();
+        let bits = net.memory_bits(&program);
+        assert!(bits.iter().all(|&b| b > 0 && b < 200));
+    }
+}

@@ -1,0 +1,151 @@
+//! Verification from scratch: the label-free baseline.
+//!
+//! Without labels, verifying that `H(G)` is an MST requires recomputing (a
+//! certificate of) the MST, which costs `Ω(√n + D)` time and `Ω(|E|)`
+//! messages (Kor–Korman–Peleg, [53] in the paper), and in the self-stabilizing
+//! constructions of Table 1 that rely on repeated recomputation the time
+//! degenerates to `Ω(n·|E|)`. This module models that baseline: the *checker*
+//! recomputes the MST centrally and compares; the *cost model* charges the
+//! number of rounds a distributed recomputation would take, which is what the
+//! Table 1 harness reports.
+
+use crate::scheme::Instance;
+use serde::{Deserialize, Serialize};
+use smst_graph::mst::kruskal;
+use smst_graph::weight::bits_for;
+
+/// The cost model charged to one label-free verification pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecomputeCost {
+    /// Rounds charged to one full verification-from-scratch pass.
+    pub rounds: u64,
+    /// Memory bits per node used by the recomputation (GHS-style fragment
+    /// state: `O(log n)`).
+    pub bits_per_node: u64,
+}
+
+/// The label-free (recompute-and-compare) MST checker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecomputeChecker;
+
+impl RecomputeChecker {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        RecomputeChecker
+    }
+
+    /// Whether the instance's candidate subgraph is an MST (the functional
+    /// outcome of the recomputation).
+    pub fn check(&self, instance: &Instance) -> bool {
+        match instance.candidate_tree() {
+            Ok(tree) => {
+                let mst = kruskal(&instance.graph);
+                let mut a = tree.edges();
+                a.sort_unstable();
+                a == mst.edges()
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The rounds and memory charged to one distributed verification pass,
+    /// following the cost of a GHS-style recomputation (`O(n)` rounds in the
+    /// paper's model, since messages are free) plus the comparison wave.
+    pub fn cost(&self, instance: &Instance) -> RecomputeCost {
+        let n = instance.node_count() as u64;
+        let d = instance.graph.diameter().unwrap_or(instance.node_count()) as u64;
+        RecomputeCost {
+            rounds: n + 2 * d,
+            bits_per_node: 4 * u64::from(bits_for(n.max(2))),
+        }
+    }
+
+    /// The rounds charged to one verification pass in the *message-conscious*
+    /// low-memory model of Higham–Liang ([48]): each of the `n` beacon rounds
+    /// re-examines every edge, giving the `Ω(n·|E|)`-flavoured bound Table 1
+    /// quotes. Used by the Table 1 harness as the time of the
+    /// recompute-checker self-stabilizing baseline.
+    pub fn low_memory_cost(&self, instance: &Instance) -> RecomputeCost {
+        let n = instance.node_count() as u64;
+        let m = instance.graph.edge_count() as u64;
+        RecomputeCost {
+            rounds: n.saturating_mul(m).max(1),
+            bits_per_node: 3 * u64::from(bits_for(n.max(2))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_graph::generators::random_connected_graph;
+    use smst_graph::mst::kruskal;
+    use smst_graph::{NodeId, RootedTree};
+
+    #[test]
+    fn accepts_mst_instance() {
+        let g = random_connected_graph(20, 60, 1);
+        let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+        let inst = Instance::from_tree(g, &tree);
+        assert!(RecomputeChecker.check(&inst));
+    }
+
+    #[test]
+    fn rejects_non_mst_instance() {
+        let g = random_connected_graph(10, 30, 2);
+        let mst = kruskal(&g);
+        // swap one tree edge for any non-tree edge that keeps it spanning
+        let non_tree: Vec<_> = g
+            .edge_entries()
+            .map(|(e, _)| e)
+            .filter(|e| !mst.contains(*e))
+            .collect();
+        let mut found_bad = false;
+        for &extra in &non_tree {
+            for drop_idx in 0..mst.edges().len() {
+                let mut edges = mst.edges().to_vec();
+                edges[drop_idx] = extra;
+                if let Ok(bad_tree) = RootedTree::from_edges(&g, &edges, NodeId(0)) {
+                    let inst = Instance::from_tree(g.clone(), &bad_tree);
+                    if !inst.satisfies_mst() {
+                        assert!(!RecomputeChecker.check(&inst));
+                        found_bad = true;
+                    }
+                }
+            }
+        }
+        assert!(found_bad, "expected at least one non-MST swap to exist");
+    }
+
+    #[test]
+    fn rejects_broken_components() {
+        let g = random_connected_graph(8, 20, 3);
+        let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+        let mut inst = Instance::from_tree(g, &tree);
+        inst.components.set_pointer(NodeId(2), None);
+        assert!(!RecomputeChecker.check(&inst));
+    }
+
+    #[test]
+    fn cost_models_scale_as_expected() {
+        let small = {
+            let g = random_connected_graph(16, 32, 4);
+            let t = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+            Instance::from_tree(g, &t)
+        };
+        let large = {
+            let g = random_connected_graph(128, 256, 4);
+            let t = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+            Instance::from_tree(g, &t)
+        };
+        let c_small = RecomputeChecker.cost(&small);
+        let c_large = RecomputeChecker.cost(&large);
+        assert!(c_large.rounds > c_small.rounds);
+        assert!(c_large.bits_per_node >= c_small.bits_per_node);
+
+        let lm_small = RecomputeChecker.low_memory_cost(&small);
+        let lm_large = RecomputeChecker.low_memory_cost(&large);
+        // the n·|E| cost grows much faster than the n + D cost
+        assert!(lm_large.rounds / lm_small.rounds > c_large.rounds / c_small.rounds);
+    }
+}

@@ -1,0 +1,36 @@
+//! # smst-selfstab
+//!
+//! The self-stabilization layer of the paper (§10): the enhanced
+//! Awerbuch–Varghese transformer that combines a non-stabilizing construction
+//! algorithm (SYNC_MST) with a self-stabilizing verification scheme to obtain
+//! a self-stabilizing MST construction, plus the baselines the paper's
+//! Table 1 compares against.
+//!
+//! The transformer's behaviour (Theorem 10.3) is: run the construction and
+//! the marker once; from then on run the verifier forever; whenever some node
+//! raises an alarm, reset and re-run the construction. Its stabilization time
+//! is `O(T_construction + T_marker + T_detection + n)` and its memory is the
+//! maximum of the construction's and the verifier's — with the paper's
+//! verifier this gives the headline `O(n)` time / `O(log n)` bits row of
+//! Table 1.
+//!
+//! Three variants are provided, matching the rows of Table 1:
+//!
+//! * [`Variant::Paper`] — SYNC_MST + the `O(log n)`-bit verifier of
+//!   `smst-core` (this paper);
+//! * [`Variant::OneRoundLabels`] — SYNC_MST + the `O(log² n)`-bit 1-round
+//!   scheme of Korman–Kutten (what one gets by plugging [54, 55] into the
+//!   transformer; the closest implementable stand-in for the `O(log² n)`-bit
+//!   algorithm of Blin et al. [17]);
+//! * [`Variant::Recompute`] — the label-free checker that re-verifies by
+//!   recomputation, whose repeated checking cost models the `Ω(n·|E|)`-time
+//!   behaviour of the `O(log n)`-bit algorithms of Higham–Liang [48] and
+//!   Blin et al. [18].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod transformer;
+
+pub use transformer::{SelfStabilizingMst, StabilizationOutcome, Variant};

@@ -1,0 +1,295 @@
+//! The asynchronous executor: single-node activations chosen by a daemon.
+//!
+//! The paper's asynchronous model assumes a distributed daemon with strong
+//! fairness and fine-grained atomicity (§2.1). We simulate it with a central
+//! daemon that activates one node at a time; *time* is measured in the
+//! standard normalized way: a time unit elapses once every node has been
+//! activated at least once since the end of the previous time unit. The
+//! daemon is free to interleave extra activations of arbitrary nodes inside a
+//! time unit, which is how asynchrony (some nodes running much faster than
+//! others) is modelled.
+
+use crate::network::Network;
+use crate::program::NodeProgram;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use smst_graph::NodeId;
+
+/// The activation policy of the asynchronous scheduler.
+#[derive(Debug, Clone)]
+pub enum Daemon {
+    /// Every time unit activates the nodes once each, in index order.
+    /// This is the most benign asynchronous schedule (equivalent to a
+    /// synchronous round executed sequentially).
+    RoundRobin,
+    /// Every time unit activates the nodes once each in a fresh random order,
+    /// plus a random number of extra activations of random nodes
+    /// (up to `extra_factor` × n), modelling nodes that run at very different
+    /// speeds.
+    Random {
+        /// PRNG seed (executions are reproducible per seed).
+        seed: u64,
+        /// Maximum number of extra activations per time unit, as a multiple
+        /// of the node count.
+        extra_factor: usize,
+    },
+    /// Every time unit activates the nodes once each in *reverse* index
+    /// order and repeats a fixed pivot node several times first — a simple
+    /// adversarial schedule that maximally delays information flowing from
+    /// low-index to high-index nodes.
+    Adversarial {
+        /// The node the daemon favours with extra activations.
+        pivot: usize,
+        /// How many extra activations the pivot receives per time unit.
+        pivot_repeats: usize,
+    },
+}
+
+impl Daemon {
+    /// The activation sequence of one time unit for a network of `n` nodes.
+    fn schedule(&self, n: usize, unit_index: usize) -> Vec<NodeId> {
+        match self {
+            Daemon::RoundRobin => (0..n).map(NodeId).collect(),
+            Daemon::Random { seed, extra_factor } => {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(unit_index as u64));
+                let mut order: Vec<NodeId> = (0..n).map(NodeId).collect();
+                order.shuffle(&mut rng);
+                let extras = if *extra_factor == 0 || n == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=extra_factor * n)
+                };
+                for _ in 0..extras {
+                    let v = NodeId(rng.gen_range(0..n));
+                    let pos = rng.gen_range(0..=order.len());
+                    order.insert(pos, v);
+                }
+                order
+            }
+            Daemon::Adversarial {
+                pivot,
+                pivot_repeats,
+            } => {
+                let mut order = Vec::with_capacity(n + pivot_repeats);
+                if n > 0 {
+                    for _ in 0..*pivot_repeats {
+                        order.push(NodeId(pivot % n));
+                    }
+                }
+                order.extend((0..n).rev().map(NodeId));
+                order
+            }
+        }
+    }
+}
+
+/// Runs a [`Network`] under an asynchronous daemon, counting normalized time
+/// units and raw activations.
+#[derive(Debug)]
+pub struct AsyncRunner<'p, P: NodeProgram> {
+    program: &'p P,
+    network: Network<P>,
+    daemon: Daemon,
+    time_units: usize,
+    activations: usize,
+}
+
+impl<'p, P: NodeProgram> AsyncRunner<'p, P> {
+    /// Creates a runner over an existing network with the given daemon.
+    pub fn new(program: &'p P, network: Network<P>, daemon: Daemon) -> Self {
+        AsyncRunner {
+            program,
+            network,
+            daemon,
+            time_units: 0,
+            activations: 0,
+        }
+    }
+
+    /// Normalized asynchronous time units elapsed so far.
+    pub fn time_units(&self) -> usize {
+        self.time_units
+    }
+
+    /// Raw single-node activations executed so far.
+    pub fn activations(&self) -> usize {
+        self.activations
+    }
+
+    /// The network being executed.
+    pub fn network(&self) -> &Network<P> {
+        &self.network
+    }
+
+    /// Mutable access to the network (used for mid-execution fault injection).
+    pub fn network_mut(&mut self) -> &mut Network<P> {
+        &mut self.network
+    }
+
+    /// Consumes the runner, returning the network.
+    pub fn into_network(self) -> Network<P> {
+        self.network
+    }
+
+    /// Executes one normalized time unit (every node activated at least once).
+    pub fn step_time_unit(&mut self) {
+        let schedule = self
+            .daemon
+            .schedule(self.network.node_count(), self.time_units);
+        for v in schedule {
+            self.network.activate(self.program, v);
+            self.activations += 1;
+        }
+        self.time_units += 1;
+    }
+
+    /// Executes `count` time units.
+    pub fn run_time_units(&mut self, count: usize) {
+        for _ in 0..count {
+            self.step_time_unit();
+        }
+    }
+
+    /// Runs until `stop` holds (checked after every time unit) or until
+    /// `max_units` additional units have elapsed; returns the number of units
+    /// executed by this call if the condition was met.
+    pub fn run_until<F>(&mut self, max_units: usize, mut stop: F) -> Option<usize>
+    where
+        F: FnMut(&Network<P>) -> bool,
+    {
+        if stop(&self.network) {
+            return Some(0);
+        }
+        for executed in 1..=max_units {
+            self.step_time_unit();
+            if stop(&self.network) {
+                return Some(executed);
+            }
+        }
+        None
+    }
+
+    /// Runs until some node raises an alarm; returns the detection time in
+    /// asynchronous time units.
+    pub fn run_until_alarm(&mut self, max_units: usize) -> Option<usize> {
+        let program = self.program;
+        self.run_until(max_units, |net| net.any_alarm(program))
+    }
+
+    /// Runs until every node accepts.
+    pub fn run_until_all_accept(&mut self, max_units: usize) -> Option<usize> {
+        let program = self.program;
+        self.run_until(max_units, |net| net.all_accept(program))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{NodeContext, Verdict};
+    use smst_graph::generators::path_graph;
+
+    struct MinId;
+
+    impl NodeProgram for MinId {
+        type State = u64;
+        fn init(&self, ctx: &NodeContext) -> u64 {
+            ctx.id
+        }
+        fn step(&self, _ctx: &NodeContext, own: &u64, neighbors: &[&u64]) -> u64 {
+            neighbors.iter().fold(*own, |acc, &&x| acc.min(x))
+        }
+        fn verdict(&self, _ctx: &NodeContext, state: &u64) -> Verdict {
+            if *state == 0 {
+                Verdict::Accept
+            } else {
+                Verdict::Working
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_converges_within_diameter_units() {
+        let g = path_graph(8, 0);
+        let d = g.diameter().unwrap();
+        let net = Network::new(&MinId, g);
+        let mut runner = AsyncRunner::new(&MinId, net, Daemon::RoundRobin);
+        let t = runner.run_until_all_accept(100).unwrap();
+        // index-order round robin on a path rooted at node 0 converges in 1 unit
+        assert!(t <= d);
+        assert!(runner.activations() >= runner.network().node_count());
+    }
+
+    #[test]
+    fn random_daemon_is_fair_and_converges() {
+        let g = path_graph(12, 0);
+        let net = Network::new(&MinId, g);
+        let mut runner = AsyncRunner::new(
+            &MinId,
+            net,
+            Daemon::Random {
+                seed: 3,
+                extra_factor: 2,
+            },
+        );
+        let t = runner.run_until_all_accept(50).unwrap();
+        assert!(t <= 12, "random daemon should converge within n units");
+    }
+
+    #[test]
+    fn adversarial_daemon_still_fair() {
+        let g = path_graph(6, 0);
+        let net = Network::new(&MinId, g);
+        let mut runner = AsyncRunner::new(
+            &MinId,
+            net,
+            Daemon::Adversarial {
+                pivot: 5,
+                pivot_repeats: 4,
+            },
+        );
+        let t = runner.run_until_all_accept(50).unwrap();
+        assert!(t <= 6);
+    }
+
+    #[test]
+    fn daemon_schedules_cover_all_nodes() {
+        for daemon in [
+            Daemon::RoundRobin,
+            Daemon::Random {
+                seed: 9,
+                extra_factor: 1,
+            },
+            Daemon::Adversarial {
+                pivot: 2,
+                pivot_repeats: 3,
+            },
+        ] {
+            let sched = daemon.schedule(7, 0);
+            for v in 0..7 {
+                assert!(
+                    sched.contains(&NodeId(v)),
+                    "{daemon:?} misses node {v} in its time unit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let g = path_graph(20, 0);
+        let net = Network::new(&MinId, g);
+        let mut runner = AsyncRunner::new(
+            &MinId,
+            net,
+            Daemon::Adversarial {
+                pivot: 0,
+                pivot_repeats: 1,
+            },
+        );
+        // reverse order maximally delays the spread from node 0: needs ~n units
+        assert_eq!(runner.run_until_all_accept(1), None);
+        assert_eq!(runner.time_units(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # smst-sim
+//!
+//! A discrete, shared-memory network simulator implementing the execution
+//! model of Korman–Kutten–Masuzawa (§2.1–§2.2 of the paper):
+//!
+//! * every node owns a bounded *register* (its public state) that all of its
+//!   neighbours can read;
+//! * in the **synchronous** model, a round consists of every node reading all
+//!   neighbour registers and rewriting its own register ("ideal time");
+//! * in the **asynchronous** model, a *daemon* activates one node at a time;
+//!   a time unit elapses once every node has been activated at least once
+//!   since the previous time unit (the standard round-normalization of a
+//!   strongly fair distributed daemon);
+//! * *transient faults* arbitrarily corrupt the registers of any subset of
+//!   nodes; self-stabilizing programs must recover (or, for verifiers,
+//!   detect) from any initial configuration.
+//!
+//! The crate provides:
+//!
+//! * [`program::NodeProgram`] — the node-level state machine interface all
+//!   distributed algorithms in the workspace implement;
+//! * [`network::Network`] — a graph plus per-node execution contexts;
+//! * [`sync::SyncRunner`] — the synchronous round executor;
+//! * [`asynch::AsyncRunner`] and [`asynch::Daemon`] — asynchronous execution
+//!   under round-robin, random, or adversarial daemons;
+//! * [`faults`] — transient-fault injection;
+//! * [`memory`] — per-node memory-size accounting in bits;
+//! * [`metrics`] — detection time / detection distance / stabilization
+//!   statistics;
+//! * [`trace`] — a bounded execution trace for debugging and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asynch;
+pub mod faults;
+pub mod memory;
+pub mod metrics;
+pub mod network;
+pub mod program;
+pub mod sync;
+pub mod trace;
+
+pub use asynch::{AsyncRunner, Daemon};
+pub use faults::FaultPlan;
+pub use memory::MemoryUsage;
+pub use metrics::{DetectionReport, ExecutionStats};
+pub use network::Network;
+pub use program::{NodeContext, NodeProgram, Verdict};
+pub use sync::SyncRunner;

@@ -1,0 +1,83 @@
+//! Per-node memory-size accounting.
+//!
+//! The paper's *memory size* measure (§2.4) is the maximum number of bits any
+//! single node stores: identity, marker labels, and verifier working memory.
+//! Programs report their register size in bits through
+//! [`crate::program::NodeProgram::state_bits`]; [`MemoryUsage`] aggregates the
+//! per-node values into the statistics the experiments report.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated per-node memory sizes (in bits).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryUsage {
+    per_node: Vec<u64>,
+}
+
+impl MemoryUsage {
+    /// Wraps a vector of per-node bit counts.
+    pub fn from_bits(per_node: Vec<u64>) -> Self {
+        MemoryUsage { per_node }
+    }
+
+    /// Per-node bit counts, indexed by node.
+    pub fn per_node(&self) -> &[u64] {
+        &self.per_node
+    }
+
+    /// The paper's memory-size measure: the maximum over all nodes.
+    pub fn max_bits(&self) -> u64 {
+        self.per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Arithmetic mean of the per-node bit counts.
+    pub fn mean_bits(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        self.per_node.iter().copied().sum::<u64>() as f64 / self.per_node.len() as f64
+    }
+
+    /// Total bits stored across the whole network.
+    pub fn total_bits(&self) -> u64 {
+        self.per_node.iter().copied().sum()
+    }
+
+    /// The ratio `max_bits / log2(n)` — how many "words" of `log n` bits the
+    /// heaviest node uses. For the paper's scheme this stays bounded by a
+    /// constant as `n` grows; for the `O(log² n)`-bit baselines it grows like
+    /// `log n`.
+    pub fn words_of_log_n(&self) -> f64 {
+        let n = self.per_node.len().max(2);
+        self.max_bits() as f64 / (n as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let m = MemoryUsage::from_bits(vec![10, 20, 30]);
+        assert_eq!(m.max_bits(), 30);
+        assert_eq!(m.total_bits(), 60);
+        assert!((m.mean_bits() - 20.0).abs() < 1e-9);
+        assert_eq!(m.per_node(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_usage() {
+        let m = MemoryUsage::from_bits(vec![]);
+        assert_eq!(m.max_bits(), 0);
+        assert_eq!(m.total_bits(), 0);
+        assert_eq!(m.mean_bits(), 0.0);
+    }
+
+    #[test]
+    fn words_of_log_n_scales() {
+        // 1024 nodes each holding 100 bits: 100 / 10 = 10 words
+        let m = MemoryUsage::from_bits(vec![100; 1024]);
+        assert!((m.words_of_log_n() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,232 @@
+//! A network: a graph plus the per-node contexts and registers of a running
+//! program.
+
+use crate::program::{NodeContext, NodeProgram, Verdict};
+use smst_graph::{NodeId, WeightedGraph};
+
+/// A network executing a [`NodeProgram`]: the topology, the per-node static
+/// contexts, and the current register of every node.
+///
+/// The network itself is scheduler-agnostic; [`crate::sync::SyncRunner`] and
+/// [`crate::asynch::AsyncRunner`] drive it.
+#[derive(Debug, Clone)]
+pub struct Network<P: NodeProgram> {
+    graph: WeightedGraph,
+    contexts: Vec<NodeContext>,
+    states: Vec<P::State>,
+}
+
+impl<P: NodeProgram> Network<P> {
+    /// Creates a network over `graph` with every node initialized by
+    /// `program.init`.
+    pub fn new(program: &P, graph: WeightedGraph) -> Self {
+        let contexts: Vec<NodeContext> = graph
+            .nodes()
+            .map(|v| NodeContext::for_node(&graph, v))
+            .collect();
+        let states: Vec<P::State> = contexts.iter().map(|ctx| program.init(ctx)).collect();
+        Network {
+            graph,
+            contexts,
+            states,
+        }
+    }
+
+    /// Creates a network with explicitly provided initial registers (used to
+    /// model arbitrary initial configurations / adversarial initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the number of nodes.
+    pub fn with_states(graph: WeightedGraph, states: Vec<P::State>) -> Self {
+        assert_eq!(
+            states.len(),
+            graph.node_count(),
+            "one initial state per node is required"
+        );
+        let contexts: Vec<NodeContext> = graph
+            .nodes()
+            .map(|v| NodeContext::for_node(&graph, v))
+            .collect();
+        Network {
+            graph,
+            contexts,
+            states,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The static context of a node.
+    pub fn context(&self, v: NodeId) -> &NodeContext {
+        &self.contexts[v.index()]
+    }
+
+    /// The current register of a node.
+    pub fn state(&self, v: NodeId) -> &P::State {
+        &self.states[v.index()]
+    }
+
+    /// Mutable access to the register of a node (used by fault injection).
+    pub fn state_mut(&mut self, v: NodeId) -> &mut P::State {
+        &mut self.states[v.index()]
+    }
+
+    /// All registers, indexed by node.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Replaces the register of a node.
+    pub fn set_state(&mut self, v: NodeId, state: P::State) {
+        self.states[v.index()] = state;
+    }
+
+    /// Performs one atomic activation of node `v`: reads the neighbours'
+    /// registers and rewrites `v`'s register. Returns `true` if the register
+    /// changed (assuming `PartialEq` is not required, change detection is by
+    /// the caller; this method always writes).
+    pub fn activate(&mut self, program: &P, v: NodeId) {
+        let ctx = &self.contexts[v.index()];
+        let neighbor_states: Vec<&P::State> = self
+            .graph
+            .incident_edges(v)
+            .iter()
+            .map(|&e| &self.states[self.graph.edge(e).other(v).index()])
+            .collect();
+        let next = program.step(ctx, &self.states[v.index()], &neighbor_states);
+        self.states[v.index()] = next;
+    }
+
+    /// Computes (without applying) the next register of node `v`.
+    pub fn next_state(&self, program: &P, v: NodeId) -> P::State {
+        let ctx = &self.contexts[v.index()];
+        let neighbor_states: Vec<&P::State> = self
+            .graph
+            .incident_edges(v)
+            .iter()
+            .map(|&e| &self.states[self.graph.edge(e).other(v).index()])
+            .collect();
+        program.step(ctx, &self.states[v.index()], &neighbor_states)
+    }
+
+    /// The verdicts of all nodes under the current configuration.
+    pub fn verdicts(&self, program: &P) -> Vec<Verdict> {
+        self.graph
+            .nodes()
+            .map(|v| program.verdict(&self.contexts[v.index()], &self.states[v.index()]))
+            .collect()
+    }
+
+    /// The nodes currently raising an alarm ([`Verdict::Reject`]).
+    pub fn alarming_nodes(&self, program: &P) -> Vec<NodeId> {
+        self.graph
+            .nodes()
+            .filter(|&v| {
+                program.verdict(&self.contexts[v.index()], &self.states[v.index()])
+                    == Verdict::Reject
+            })
+            .collect()
+    }
+
+    /// `true` if at least one node raises an alarm.
+    pub fn any_alarm(&self, program: &P) -> bool {
+        !self.alarming_nodes(program).is_empty()
+    }
+
+    /// `true` if every node outputs [`Verdict::Accept`].
+    pub fn all_accept(&self, program: &P) -> bool {
+        self.verdicts(program).iter().all(|&v| v == Verdict::Accept)
+    }
+
+    /// Per-node register sizes in bits, as reported by the program.
+    pub fn memory_bits(&self, program: &P) -> Vec<u64> {
+        self.graph
+            .nodes()
+            .map(|v| program.state_bits(&self.contexts[v.index()], &self.states[v.index()]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::NodeContext;
+    use smst_graph::generators::path_graph;
+
+    /// Each node repeatedly adopts the minimum identity it has seen.
+    struct MinId;
+
+    impl NodeProgram for MinId {
+        type State = u64;
+
+        fn init(&self, ctx: &NodeContext) -> u64 {
+            ctx.id
+        }
+
+        fn step(&self, _ctx: &NodeContext, own: &u64, neighbors: &[&u64]) -> u64 {
+            neighbors.iter().fold(*own, |acc, &&x| acc.min(x))
+        }
+
+        fn verdict(&self, _ctx: &NodeContext, state: &u64) -> Verdict {
+            if *state == 0 {
+                Verdict::Accept
+            } else {
+                Verdict::Working
+            }
+        }
+
+        fn state_bits(&self, _ctx: &NodeContext, _state: &u64) -> u64 {
+            64
+        }
+    }
+
+    #[test]
+    fn activation_reads_neighbors() {
+        let g = path_graph(3, 0);
+        let mut net: Network<MinId> = Network::new(&MinId, g);
+        // node 2 initially holds id 2
+        assert_eq!(*net.state(NodeId(2)), 2);
+        net.activate(&MinId, NodeId(2));
+        // after one activation it sees node 1's register (1)
+        assert_eq!(*net.state(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn verdicts_and_alarms() {
+        let g = path_graph(3, 0);
+        let net: Network<MinId> = Network::new(&MinId, g);
+        let verdicts = net.verdicts(&MinId);
+        assert_eq!(verdicts[0], Verdict::Accept);
+        assert_eq!(verdicts[2], Verdict::Working);
+        assert!(!net.any_alarm(&MinId));
+        assert!(!net.all_accept(&MinId));
+    }
+
+    #[test]
+    fn with_states_and_mutation() {
+        let g = path_graph(2, 0);
+        let mut net: Network<MinId> = Network::with_states(g, vec![7, 9]);
+        assert_eq!(*net.state(NodeId(1)), 9);
+        *net.state_mut(NodeId(1)) = 3;
+        assert_eq!(*net.state(NodeId(1)), 3);
+        net.set_state(NodeId(0), 5);
+        assert_eq!(net.states(), &[5, 3]);
+        assert_eq!(net.memory_bits(&MinId), vec![64, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial state per node")]
+    fn with_states_checks_length() {
+        let g = path_graph(3, 0);
+        let _: Network<MinId> = Network::with_states(g, vec![1]);
+    }
+}

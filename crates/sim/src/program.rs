@@ -1,0 +1,138 @@
+//! The node-program interface: the state machine every distributed algorithm
+//! in the workspace implements.
+//!
+//! The execution model is the paper's shared-memory model with *ideal time*
+//! (§2.1): in one atomic activation a node reads its own register, the
+//! registers of **all** its neighbours, and rewrites its own register. The
+//! register is the node's entire state — there is no hidden private memory —
+//! so transient faults (arbitrary corruption of registers) model the paper's
+//! adversary exactly, and the memory size of the algorithm is the size of the
+//! register.
+
+use smst_graph::weight::Weight;
+use smst_graph::{NodeId, Port, WeightedGraph};
+
+/// The verdict a node exposes after an activation.
+///
+/// Verifiers output [`Verdict::Reject`] to "raise an alarm" (§2.4);
+/// construction algorithms stay at [`Verdict::Working`] until they are done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The node currently accepts the configuration.
+    Accept,
+    /// The node raises an alarm (detects a fault / rejects the proof).
+    Reject,
+    /// The node is still computing and has no opinion yet.
+    Working,
+}
+
+/// Static, per-node information available to a program at every activation.
+///
+/// This mirrors exactly what the paper allows a node to know for free: its
+/// own identity, its degree, and for every port the weight of the incident
+/// edge. Neighbour identities are *not* listed here — a node learns them only
+/// by reading its neighbours' registers.
+#[derive(Debug, Clone)]
+pub struct NodeContext {
+    /// The dense simulator index of the node.
+    pub node: NodeId,
+    /// The node's unique identity `ID(v)` (an `O(log n)`-bit value).
+    pub id: u64,
+    /// The node's degree (number of ports).
+    pub degree: usize,
+    /// `edge_weight[p]` is the weight of the edge behind port `p`.
+    pub edge_weights: Vec<Weight>,
+}
+
+impl NodeContext {
+    /// Builds the context of node `v` in graph `g`.
+    pub fn for_node(g: &WeightedGraph, v: NodeId) -> Self {
+        let edge_weights = g
+            .incident_edges(v)
+            .iter()
+            .map(|&e| g.weight(e))
+            .collect::<Vec<_>>();
+        NodeContext {
+            node: v,
+            id: g.id(v),
+            degree: g.degree(v),
+            edge_weights,
+        }
+    }
+
+    /// The weight of the edge behind a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn weight_at(&self, port: Port) -> Weight {
+        self.edge_weights[port.index()]
+    }
+
+    /// Iterator over all ports of the node.
+    pub fn ports(&self) -> impl Iterator<Item = Port> {
+        (0..self.degree).map(Port)
+    }
+}
+
+/// A distributed algorithm, described as the state machine run by every node.
+///
+/// Implementations must be deterministic functions of the read registers so
+/// that executions are reproducible; randomized algorithms should carry their
+/// randomness explicitly inside the state.
+pub trait NodeProgram {
+    /// The register (full state) of a node.
+    type State: Clone + std::fmt::Debug;
+
+    /// The initial register of a node when the algorithm starts from a clean
+    /// configuration. Self-stabilizing programs must also behave correctly
+    /// when started from *any* register contents (see [`crate::faults`]).
+    fn init(&self, ctx: &NodeContext) -> Self::State;
+
+    /// One atomic activation: compute the node's next register from its own
+    /// register and the registers of its neighbours (indexed by port).
+    fn step(&self, ctx: &NodeContext, own: &Self::State, neighbors: &[&Self::State])
+        -> Self::State;
+
+    /// The verdict the node exposes in a given register.
+    fn verdict(&self, _ctx: &NodeContext, _state: &Self::State) -> Verdict {
+        Verdict::Working
+    }
+
+    /// The number of memory bits a faithful encoding of this register uses.
+    ///
+    /// This is the quantity the paper's *memory size* measure counts; the
+    /// default of 0 is only suitable for throwaway test programs.
+    fn state_bits(&self, _ctx: &NodeContext, _state: &Self::State) -> u64 {
+        0
+    }
+
+    /// A short label used by execution traces.
+    fn name(&self) -> &str {
+        "unnamed-program"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_graph::generators::star_graph;
+
+    #[test]
+    fn context_exposes_degree_and_weights() {
+        let g = star_graph(4, 1);
+        let centre = NodeContext::for_node(&g, NodeId(0));
+        assert_eq!(centre.degree, 3);
+        assert_eq!(centre.edge_weights.len(), 3);
+        assert_eq!(centre.ports().count(), 3);
+        let leaf = NodeContext::for_node(&g, NodeId(2));
+        assert_eq!(leaf.degree, 1);
+        assert_eq!(leaf.weight_at(Port(0)), g.weight(g.incident_edges(NodeId(2))[0]));
+    }
+
+    #[test]
+    fn verdict_equality() {
+        assert_eq!(Verdict::Accept, Verdict::Accept);
+        assert_ne!(Verdict::Accept, Verdict::Reject);
+    }
+}

@@ -1,0 +1,207 @@
+//! The synchronous executor: lock-step rounds of the paper's "ideal time".
+//!
+//! In a synchronous round every node simultaneously reads the registers of all
+//! its neighbours (as they were at the end of the previous round) and rewrites
+//! its own register. One round is one time unit.
+
+use crate::network::Network;
+use crate::program::NodeProgram;
+use smst_graph::NodeId;
+
+/// Runs a [`Network`] in lock-step synchronous rounds and keeps a running
+/// round counter.
+#[derive(Debug)]
+pub struct SyncRunner<'p, P: NodeProgram> {
+    program: &'p P,
+    network: Network<P>,
+    rounds: usize,
+}
+
+impl<'p, P: NodeProgram> SyncRunner<'p, P> {
+    /// Creates a runner over an existing network.
+    pub fn new(program: &'p P, network: Network<P>) -> Self {
+        SyncRunner {
+            program,
+            network,
+            rounds: 0,
+        }
+    }
+
+    /// The number of rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The network being executed.
+    pub fn network(&self) -> &Network<P> {
+        &self.network
+    }
+
+    /// Mutable access to the network (used for mid-execution fault injection).
+    pub fn network_mut(&mut self) -> &mut Network<P> {
+        &mut self.network
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &P {
+        self.program
+    }
+
+    /// Consumes the runner, returning the network.
+    pub fn into_network(self) -> Network<P> {
+        self.network
+    }
+
+    /// Executes exactly one synchronous round.
+    pub fn step_round(&mut self) {
+        let n = self.network.node_count();
+        let mut next: Vec<P::State> = Vec::with_capacity(n);
+        for v in 0..n {
+            next.push(self.network.next_state(self.program, NodeId(v)));
+        }
+        for (v, state) in next.into_iter().enumerate() {
+            self.network.set_state(NodeId(v), state);
+        }
+        self.rounds += 1;
+    }
+
+    /// Executes `count` synchronous rounds.
+    pub fn run_rounds(&mut self, count: usize) {
+        for _ in 0..count {
+            self.step_round();
+        }
+    }
+
+    /// Runs until `stop` returns `true` (checked *after* each round) or until
+    /// `max_rounds` additional rounds have elapsed.
+    ///
+    /// Returns the number of rounds executed by this call if the condition was
+    /// met, and `None` on timeout.
+    pub fn run_until<F>(&mut self, max_rounds: usize, mut stop: F) -> Option<usize>
+    where
+        F: FnMut(&Network<P>) -> bool,
+    {
+        if stop(&self.network) {
+            return Some(0);
+        }
+        for executed in 1..=max_rounds {
+            self.step_round();
+            if stop(&self.network) {
+                return Some(executed);
+            }
+        }
+        None
+    }
+
+    /// Runs until some node raises an alarm, for at most `max_rounds` rounds.
+    ///
+    /// Returns the detection time (in rounds) if an alarm was raised.
+    pub fn run_until_alarm(&mut self, max_rounds: usize) -> Option<usize> {
+        let program = self.program;
+        self.run_until(max_rounds, |net| net.any_alarm(program))
+    }
+
+    /// Runs until every node accepts, for at most `max_rounds` rounds.
+    pub fn run_until_all_accept(&mut self, max_rounds: usize) -> Option<usize> {
+        let program = self.program;
+        self.run_until(max_rounds, |net| net.all_accept(program))
+    }
+}
+
+impl<'p, P> SyncRunner<'p, P>
+where
+    P: NodeProgram,
+    P::State: PartialEq,
+{
+    /// Runs until a fixpoint (no register changes in a round) is reached, for
+    /// at most `max_rounds` rounds. Returns the number of rounds until the
+    /// first unchanged round.
+    pub fn run_to_fixpoint(&mut self, max_rounds: usize) -> Option<usize> {
+        for executed in 1..=max_rounds {
+            let before = self.network.states().to_vec();
+            self.step_round();
+            if before == self.network.states() {
+                return Some(executed);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{NodeContext, Verdict};
+    use smst_graph::generators::{path_graph, random_connected_graph};
+
+    /// Propagates the minimum identity; accepts once it holds the global
+    /// minimum (which, with identities `0..n`, is 0).
+    struct MinId;
+
+    impl NodeProgram for MinId {
+        type State = u64;
+        fn init(&self, ctx: &NodeContext) -> u64 {
+            ctx.id
+        }
+        fn step(&self, _ctx: &NodeContext, own: &u64, neighbors: &[&u64]) -> u64 {
+            neighbors.iter().fold(*own, |acc, &&x| acc.min(x))
+        }
+        fn verdict(&self, _ctx: &NodeContext, state: &u64) -> Verdict {
+            if *state == 0 {
+                Verdict::Accept
+            } else {
+                Verdict::Working
+            }
+        }
+    }
+
+    #[test]
+    fn min_id_converges_in_diameter_rounds() {
+        let g = path_graph(10, 0);
+        let diameter = g.diameter().unwrap();
+        let net = Network::new(&MinId, g);
+        let mut runner = SyncRunner::new(&MinId, net);
+        let t = runner.run_until_all_accept(100).unwrap();
+        assert_eq!(t, diameter);
+        assert_eq!(runner.rounds(), diameter);
+    }
+
+    #[test]
+    fn fixpoint_detection() {
+        let g = random_connected_graph(12, 20, 1);
+        let net = Network::new(&MinId, g);
+        let mut runner = SyncRunner::new(&MinId, net);
+        let t = runner.run_to_fixpoint(100).unwrap();
+        assert!(t <= 13);
+        assert!(runner.network().all_accept(&MinId));
+    }
+
+    #[test]
+    fn run_until_timeout_returns_none() {
+        let g = path_graph(6, 0);
+        let net = Network::new(&MinId, g);
+        let mut runner = SyncRunner::new(&MinId, net);
+        assert_eq!(runner.run_until(2, |net| net.all_accept(&MinId)), None);
+        assert_eq!(runner.rounds(), 2);
+    }
+
+    #[test]
+    fn immediate_condition_costs_zero_rounds() {
+        let g = path_graph(4, 0);
+        let net = Network::new(&MinId, g);
+        let mut runner = SyncRunner::new(&MinId, net);
+        assert_eq!(runner.run_until(10, |_| true), Some(0));
+        assert_eq!(runner.rounds(), 0);
+    }
+
+    #[test]
+    fn run_rounds_counts() {
+        let g = path_graph(4, 0);
+        let net = Network::new(&MinId, g);
+        let mut runner = SyncRunner::new(&MinId, net);
+        runner.run_rounds(5);
+        assert_eq!(runner.rounds(), 5);
+        let net = runner.into_network();
+        assert!(net.all_accept(&MinId));
+    }
+}

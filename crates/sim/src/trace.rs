@@ -1,0 +1,143 @@
+//! A bounded execution trace.
+//!
+//! Examples and debugging sessions want to see *what happened*: which node
+//! detected a fault at which round, when a construction phase ended, when a
+//! train completed a cycle. A [`Trace`] is a cheap, bounded, append-only log
+//! that algorithm drivers can write such events to.
+
+use smst_graph::NodeId;
+use std::fmt;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The round / time unit at which the event occurred.
+    pub time: usize,
+    /// The node concerned, if any.
+    pub node: Option<NodeId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(v) => write!(f, "[t={:>5}] {}: {}", self.time, v, self.message),
+            None => write!(f, "[t={:>5}] {}", self.time, self.message),
+        }
+    }
+}
+
+/// An append-only, capacity-bounded event log.
+///
+/// Once the capacity is reached further events are counted but dropped, so a
+/// long execution can keep a trace enabled without unbounded memory growth.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl Trace {
+    /// A trace that keeps at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// A trace that records nothing (capacity 0).
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, time: usize, node: Option<NodeId>, message: impl Into<String>) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent {
+                time,
+                node,
+                message: message.into(),
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events dropped because the capacity was exceeded.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for event in &self.events {
+            writeln!(f, "{event}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "… and {} more events (dropped)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity() {
+        let mut t = Trace::with_capacity(2);
+        t.record(0, None, "start");
+        t.record(1, Some(NodeId(3)), "alarm");
+        t.record(2, None, "ignored");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn disabled_trace_drops_everything() {
+        let mut t = Trace::disabled();
+        t.record(0, None, "x");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn display_formats_events() {
+        let mut t = Trace::default();
+        t.record(5, Some(NodeId(1)), "detected fault");
+        t.record(6, None, "reset");
+        let s = t.to_string();
+        assert!(s.contains("v1"));
+        assert!(s.contains("detected fault"));
+        assert!(s.contains("reset"));
+        assert_eq!(TraceEvent { time: 1, node: None, message: "m".into() }.to_string(), "[t=    1] m");
+    }
+}
