@@ -1,24 +1,17 @@
-//! Criterion bench: SYNC_MST construction and marker (reproduces the O(n)
+//! Bench: SYNC_MST construction and marker (reproduces the O(n)
 //! construction-time claim — Theorem 4.4 / Corollary 6.11).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smst_bench::harness::{bench, header};
 use smst_core::{Marker, SyncMst};
 use smst_graph::generators::random_connected_graph;
 
-fn bench_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("construction");
-    group.sample_size(10);
+fn main() {
+    header("construction");
     for n in [32usize, 64, 128] {
         let g = random_connected_graph(n, 3 * n, 1);
-        group.bench_with_input(BenchmarkId::new("sync_mst", n), &g, |b, g| {
-            b.iter(|| SyncMst.run(g).rounds)
-        });
+        bench(&format!("sync_mst/{n}"), 10, || SyncMst.run(&g).rounds);
         let inst = smst_bench::mst_instance(n, 3 * n, 1);
-        group.bench_with_input(BenchmarkId::new("marker", n), &inst, |b, inst| {
-            b.iter(|| Marker.label(inst).unwrap().1.total_rounds())
+        bench(&format!("marker/{n}"), 10, || {
+            Marker.label(&inst).unwrap().1.total_rounds()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_construction);
-criterion_main!(benches);

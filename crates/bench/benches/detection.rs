@@ -1,40 +1,31 @@
-//! Criterion bench: one synchronous round of the paper's verifier and a full
+//! Bench: one synchronous round of the paper's verifier and a full
 //! single-fault detection episode (the F-DET experiment).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smst_bench::harness::{bench, header};
 use smst_core::faults::FaultKind;
 use smst_core::scheme::run_sync_fault_experiment;
 use smst_core::MstVerificationScheme;
 use smst_graph::NodeId;
 use smst_sim::{FaultPlan, SyncRunner};
 
-fn bench_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detection");
-    group.sample_size(10);
+fn main() {
+    header("detection");
     for n in [16usize, 32] {
         let inst = smst_bench::mst_instance(n, 3 * n, 2);
         let scheme = MstVerificationScheme::new();
         let (labels, _) = scheme.mark(&inst).unwrap();
         let verifier = scheme.verifier(&inst, labels);
-        group.bench_with_input(BenchmarkId::new("verifier_round", n), &n, |b, _| {
-            let net = verifier.network();
-            let mut runner = SyncRunner::new(&verifier, net);
-            b.iter(|| runner.step_round())
-        });
-        group.bench_with_input(BenchmarkId::new("single_fault_episode", n), &n, |b, _| {
-            b.iter(|| {
-                run_sync_fault_experiment(
-                    &inst,
-                    &FaultPlan::single(NodeId(n / 2)),
-                    FaultKind::SpDistance,
-                    3,
-                )
-                .report
-                .detection_time
-            })
+        let net = verifier.network();
+        let mut runner = SyncRunner::new(&verifier, net);
+        bench(&format!("verifier_round/{n}"), 10, || runner.step_round());
+        bench(&format!("single_fault_episode/{n}"), 10, || {
+            run_sync_fault_experiment(
+                &inst,
+                &FaultPlan::single(NodeId(n / 2)),
+                FaultKind::SpDistance,
+                3,
+            )
+            .report
+            .detection_time
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_detection);
-criterion_main!(benches);

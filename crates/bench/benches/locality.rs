@@ -1,16 +1,11 @@
-//! Criterion bench: detection-distance measurement with f faults (F-LOC).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Bench: detection-distance measurement with f faults (F-LOC).
+use smst_bench::harness::{bench, header};
 
-fn bench_locality(c: &mut Criterion) {
-    let mut group = c.benchmark_group("locality");
-    group.sample_size(10);
+fn main() {
+    header("locality");
     for f in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("faults", f), &f, |b, &f| {
-            b.iter(|| smst_bench::locality_sweep(32, &[f], 17)[0].max_detection_distance)
+        bench(&format!("faults/{f}"), 10, || {
+            smst_bench::locality_sweep(32, &[f], 17)[0].max_detection_distance
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_locality);
-criterion_main!(benches);

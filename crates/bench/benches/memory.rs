@@ -1,27 +1,20 @@
-//! Criterion bench: computing the memory footprints of the paper's scheme and
-//! the O(log² n) baseline (the F-MEM experiment).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Bench: computing the memory footprints of the paper's scheme and the
+//! O(log² n) baseline (the F-MEM experiment).
+use smst_bench::harness::{bench, header};
 use smst_labeling::kkp::KkpMstScheme;
 use smst_labeling::scheme::max_label_bits;
 use smst_labeling::OneRoundScheme;
 
-fn bench_memory(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memory");
-    group.sample_size(10);
+fn main() {
+    header("memory");
     for n in [64usize, 256] {
         let inst = smst_bench::mst_instance(n, 3 * n, 3);
-        group.bench_with_input(BenchmarkId::new("paper_scheme", n), &inst, |b, inst| {
-            b.iter(|| smst_bench::memory_sweep(&[inst.node_count()], 3)[0].paper_bits)
+        bench(&format!("paper_scheme/{n}"), 10, || {
+            smst_bench::memory_sweep(&[inst.node_count()], 3)[0].paper_bits
         });
-        group.bench_with_input(BenchmarkId::new("kkp_labels", n), &inst, |b, inst| {
-            b.iter(|| {
-                let labels = KkpMstScheme.mark(inst).unwrap();
-                max_label_bits(&KkpMstScheme, inst, &labels)
-            })
+        bench(&format!("kkp_labels/{n}"), 10, || {
+            let labels = KkpMstScheme.mark(&inst).unwrap();
+            max_label_bits(&KkpMstScheme, &inst, &labels)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_memory);
-criterion_main!(benches);

@@ -1,27 +1,16 @@
-//! Criterion bench: one stabilization episode per Table-1 variant.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Bench: one stabilization episode per Table-1 variant.
+use smst_bench::harness::{bench, header};
 use smst_graph::generators::random_connected_graph;
 use smst_selfstab::{SelfStabilizingMst, Variant};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn main() {
+    header("table1");
     let g = random_connected_graph(48, 144, 4);
     for variant in Variant::all() {
-        group.bench_with_input(
-            BenchmarkId::new("stabilize", variant.name()),
-            &variant,
-            |b, &variant| {
-                b.iter(|| {
-                    SelfStabilizingMst::new(variant)
-                        .stabilize_from_garbage(&g, 9)
-                        .total_rounds()
-                })
-            },
-        );
+        bench(&format!("stabilize/{}", variant.name()), 10, || {
+            SelfStabilizingMst::new(variant)
+                .stabilize_from_garbage(&g, 9)
+                .total_rounds()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -2,8 +2,14 @@
 fn main() {
     let sizes = [32usize, 64, 128, 256, 512, 1024];
     println!("Construction + marker time (Theorem 4.4 / Corollary 6.11)");
-    println!("{:>6} {:>18} {:>15} {:>18}", "n", "SYNC_MST rounds", "marker rounds", "rounds per node");
+    println!(
+        "{:>6} {:>18} {:>15} {:>18}",
+        "n", "SYNC_MST rounds", "marker rounds", "rounds per node"
+    );
     for p in smst_bench::construction_sweep(&sizes, 13) {
-        println!("{:>6} {:>18} {:>15} {:>18.2}", p.n, p.sync_mst_rounds, p.marker_rounds, p.rounds_per_node);
+        println!(
+            "{:>6} {:>18} {:>15} {:>18.2}",
+            p.n, p.sync_mst_rounds, p.marker_rounds, p.rounds_per_node
+        );
     }
 }

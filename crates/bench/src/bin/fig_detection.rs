@@ -3,9 +3,19 @@
 fn main() {
     let sizes = [16usize, 24, 32, 48, 64];
     println!("Detection time of the paper's verifier (synchronous, single stored-piece fault)");
-    println!("{:>6} {:>6} {:>18} {:>20} {:>14}", "n", "Δ", "detection rounds", "rounds / log^3 n", "distance");
+    println!(
+        "{:>6} {:>6} {:>18} {:>20} {:>14}",
+        "n", "Δ", "detection rounds", "rounds / log^3 n", "distance"
+    );
     for p in smst_bench::detection_sweep(&sizes, 7) {
         let l = (p.n as f64).log2();
-        println!("{:>6} {:>6} {:>18} {:>20.2} {:>14}", p.n, p.max_degree, p.detection_rounds, p.detection_rounds as f64 / (l * l * l), p.detection_distance);
+        println!(
+            "{:>6} {:>6} {:>18} {:>20.2} {:>14}",
+            p.n,
+            p.max_degree,
+            p.detection_rounds,
+            p.detection_rounds as f64 / (l * l * l),
+            p.detection_distance
+        );
     }
 }

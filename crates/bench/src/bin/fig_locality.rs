@@ -3,8 +3,16 @@ fn main() {
     let n = 64usize;
     let faults = [1usize, 2, 4, 8, 16];
     println!("Detection distance with f faults (n = {n})");
-    println!("{:>6} {:>24} {:>18}", "f", "max detection distance", "f · log2 n");
+    println!(
+        "{:>6} {:>24} {:>18}",
+        "f", "max detection distance", "f · log2 n"
+    );
     for p in smst_bench::locality_sweep(n, &faults, 21) {
-        println!("{:>6} {:>24} {:>18.1}", p.faults, p.max_detection_distance, p.faults as f64 * (n as f64).log2());
+        println!(
+            "{:>6} {:>24} {:>18.1}",
+            p.faults,
+            p.max_detection_distance,
+            p.faults as f64 * (n as f64).log2()
+        );
     }
 }

@@ -3,7 +3,9 @@
 //! instance from a correct one.
 fn main() {
     let tau = 4usize;
-    println!("Edge→path blow-up with τ = {tau}: can radius-k views distinguish a non-MST instance?");
+    println!(
+        "Edge→path blow-up with τ = {tau}: can radius-k views distinguish a non-MST instance?"
+    );
     println!("{:>8} {:>18}", "radius", "distinguishable");
     for p in smst_bench::lower_bound_sweep(tau, 3) {
         println!("{:>8} {:>18}", p.radius, p.distinguishable);

@@ -3,8 +3,14 @@
 fn main() {
     let sizes = [32usize, 64, 128, 256, 512, 1024];
     println!("Per-node memory (bits, and 'words' of log n bits)");
-    println!("{:>6} {:>14} {:>16} {:>14} {:>16}", "n", "paper bits", "paper words", "1-round bits", "1-round words");
+    println!(
+        "{:>6} {:>14} {:>16} {:>14} {:>16}",
+        "n", "paper bits", "paper words", "1-round bits", "1-round words"
+    );
     for p in smst_bench::memory_sweep(&sizes, 11) {
-        println!("{:>6} {:>14} {:>16.1} {:>14} {:>16.1}", p.n, p.paper_bits, p.paper_words, p.one_round_bits, p.one_round_words);
+        println!(
+            "{:>6} {:>14} {:>16.1} {:>14} {:>16.1}",
+            p.n, p.paper_bits, p.paper_words, p.one_round_bits, p.one_round_words
+        );
     }
 }

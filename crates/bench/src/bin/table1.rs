@@ -2,9 +2,21 @@
 //! algorithms compared by stabilization time and memory per node.
 fn main() {
     let sizes = [32usize, 64, 128, 256];
-    println!("Table 1 — self-stabilizing MST construction (measured on random connected graphs, m = 3n)");
-    println!("{:<38} {:>6} {:>7} {:>22} {:>16}", "algorithm", "n", "m", "stabilization rounds", "bits per node");
+    println!(
+        "Table 1 — self-stabilizing MST construction (measured on random connected graphs, m = 3n)"
+    );
+    println!(
+        "{:<38} {:>6} {:>7} {:>22} {:>16}",
+        "algorithm", "n", "m", "stabilization rounds", "bits per node"
+    );
     for row in smst_bench::table1(&sizes, 42) {
-        println!("{:<38} {:>6} {:>7} {:>22} {:>16}", row.variant.name(), row.n, row.m, row.stabilization_rounds, row.memory_bits);
+        println!(
+            "{:<38} {:>6} {:>7} {:>22} {:>16}",
+            row.variant.name(),
+            row.n,
+            row.m,
+            row.stabilization_rounds,
+            row.memory_bits
+        );
     }
 }

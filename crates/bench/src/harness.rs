@@ -1,0 +1,113 @@
+//! A minimal wall-clock timing harness.
+//!
+//! The offline build environment cannot fetch Criterion, so the `benches/`
+//! targets use `harness = false` and this module instead: warm-up, a fixed
+//! number of timed iterations, and min / mean / max reporting. The numbers
+//! are indicative, not statistically rigorous — for the repository's
+//! purposes (ordering variants, spotting regressions of 2× and up, and the
+//! sequential-vs-sharded speedup comparison) that is enough.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timing summary of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Case name (`group/case`).
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u128,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: u128,
+}
+
+impl BenchResult {
+    /// Mean iteration time in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        self.mean_ns / 1e9
+    }
+}
+
+/// Times `f` for `iters` iterations (after one untimed warm-up call),
+/// prints a summary line, and returns the measurements.
+pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult {
+    assert!(iters > 0, "at least one iteration is required");
+    black_box(f());
+    let mut min_ns = u128::MAX;
+    let mut max_ns = 0u128;
+    let mut total_ns = 0u128;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let ns = start.elapsed().as_nanos();
+        min_ns = min_ns.min(ns);
+        max_ns = max_ns.max(ns);
+        total_ns += ns;
+    }
+    let result = BenchResult {
+        name: name.to_string(),
+        iters,
+        min_ns,
+        mean_ns: total_ns as f64 / f64::from(iters),
+        max_ns,
+    };
+    println!(
+        "{:<44} {:>10} {:>10} {:>10}   ({} iters)",
+        result.name,
+        format_ns(result.min_ns as f64),
+        format_ns(result.mean_ns),
+        format_ns(result.max_ns as f64),
+        result.iters,
+    );
+    result
+}
+
+/// Prints the header matching [`bench`]'s output columns.
+pub fn header(group: &str) {
+    println!("\n== {group} ==");
+    println!("{:<44} {:>10} {:>10} {:>10}", "case", "min", "mean", "max");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let r = bench("test/spin", 5, || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(r.iters, 5);
+        assert!(r.min_ns <= r.mean_ns as u128 + 1);
+        assert!(r.mean_ns <= r.max_ns as f64 + 1.0);
+        assert!(r.mean_secs() > 0.0);
+    }
+
+    #[test]
+    fn formatting_covers_all_scales() {
+        assert!(format_ns(5e2).ends_with("ns"));
+        assert!(format_ns(5e4).ends_with("µs"));
+        assert!(format_ns(5e7).ends_with("ms"));
+        assert!(format_ns(5e9).ends_with('s'));
+    }
+}

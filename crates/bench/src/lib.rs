@@ -2,8 +2,11 @@
 //!
 //! Each public function regenerates one of the paper's evaluation artifacts
 //! (see `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for the
-//! recorded results). The `bin` targets print the tables; the Criterion
-//! benches time the underlying primitives.
+//! recorded results). The `bin` targets print the tables; the `benches/`
+//! targets time the underlying primitives with the in-repo [`harness`]
+//! (Criterion is unavailable in the offline build environment).
+
+pub mod harness;
 
 use smst_core::faults::FaultKind;
 use smst_core::scheme::{run_sync_fault_experiment, MstVerificationScheme};
@@ -233,7 +236,11 @@ pub fn lower_bound_sweep(tau: usize, seed: u64) -> Vec<LowerBoundPoint> {
         g_bad.add_node_with_id(g.id(v));
     }
     for (eid, e) in g.edge_entries() {
-        let w = if eid == heavy_edge { max_w + 1000 } else { e.weight };
+        let w = if eid == heavy_edge {
+            max_w + 1000
+        } else {
+            e.weight
+        };
         g_bad.add_edge(e.u, e.v, w).expect("copying edges");
     }
     let tree_bad = smst_graph::RootedTree::from_edges(&g_bad, &tree.edges(), tree.root())
@@ -300,7 +307,10 @@ mod tests {
     fn detection_is_polylogarithmic_in_practice() {
         let points = detection_sweep(&[16, 32], 2);
         for p in &points {
-            assert!(p.detection_rounds < p.n * p.n, "detection should beat Θ(n²)");
+            assert!(
+                p.detection_rounds < p.n * p.n,
+                "detection should beat Θ(n²)"
+            );
         }
     }
 
@@ -326,7 +336,11 @@ mod tests {
         let points = lower_bound_sweep(tau, 5);
         for p in &points {
             if p.radius <= tau {
-                assert!(!p.distinguishable, "radius {} must not distinguish", p.radius);
+                assert!(
+                    !p.distinguishable,
+                    "radius {} must not distinguish",
+                    p.radius
+                );
             }
         }
         assert!(

@@ -9,8 +9,7 @@
 
 use crate::strings::{EndpSym, RootSym};
 use crate::verifier::CoreState;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smst_rng::{Rng, SeedableRng, StdRng};
 
 /// The kinds of register corruption the experiments inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

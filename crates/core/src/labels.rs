@@ -15,14 +15,13 @@
 //! experiment measures against the `O(log² n)`-bit baseline.
 
 use crate::strings::NodeStrings;
-use serde::{Deserialize, Serialize};
 use smst_graph::weight::{bits_for, CompositeWeight};
 use smst_labeling::SpLabel;
 
 /// The piece of information `I(F) = ID(F) ∘ ω(F)` of a fragment (§3.4/§6):
 /// the identity of the fragment's root, its level, and the (composite) weight
 /// of its minimum outgoing edge (`None` only for the top fragment).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PieceInfo {
     /// Identity of the fragment's root node.
     pub root_id: u64,
@@ -43,7 +42,7 @@ impl PieceInfo {
 }
 
 /// A permanently stored piece together with its slot in the part's cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoredPiece {
     /// The slot (DFS index) of the piece in the part's cycle.
     pub slot: u8,
@@ -52,7 +51,7 @@ pub struct StoredPiece {
 }
 
 /// The per-partition portion of the label.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartLabel {
     /// Identity of the root of the node's part.
     pub part_root_id: u64,
@@ -77,7 +76,7 @@ impl PartLabel {
 }
 
 /// The complete node label assigned by the marker.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreLabel {
     /// Example SP fields (root identity, distance, own identity, parent
     /// identity).

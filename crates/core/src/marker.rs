@@ -24,6 +24,15 @@ use smst_labeling::scheme::{Instance, MarkError};
 use smst_labeling::sp::SpanningTreeScheme;
 use smst_labeling::OneRoundScheme;
 
+/// The marker's full output: the labels, the time/memory accounting, and
+/// the internal structures (SYNC_MST outcome and partitions) tests and
+/// fault injectors inspect.
+pub type LabeledInternals = (
+    Vec<CoreLabel>,
+    ConstructionReport,
+    (SyncMstOutcome, Partitions),
+);
+
 /// Ideal-time accounting of the construction + marking process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConstructionReport {
@@ -73,11 +82,7 @@ impl Marker {
     /// Like [`Self::label`] but also returns the internal structures
     /// (hierarchy outcome and partitions), used by tests and by the fault
     /// injectors.
-    pub fn label_with_internals(
-        &self,
-        instance: &Instance,
-    ) -> Result<(Vec<CoreLabel>, ConstructionReport, (SyncMstOutcome, Partitions)), MarkError>
-    {
+    pub fn label_with_internals(&self, instance: &Instance) -> Result<LabeledInternals, MarkError> {
         if !instance.satisfies_mst() {
             return Err(MarkError::PredicateViolated(
                 "candidate subgraph is not an MST".into(),
@@ -230,10 +235,7 @@ mod tests {
             let inst = mst_instance(n, 3 * n, 4);
             let (_, report) = Marker.label(&inst).unwrap();
             let total = report.total_rounds();
-            assert!(
-                total <= 120 * n as u64,
-                "n={n}: {total} rounds is not O(n)"
-            );
+            assert!(total <= 120 * n as u64, "n={n}: {total} rounds is not O(n)");
             assert!(total > prev / 8, "construction time should grow with n");
             prev = total;
         }

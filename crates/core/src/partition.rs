@@ -87,11 +87,7 @@ pub struct Partitions {
 ///
 /// Panics if the hierarchy is inconsistent with the tree (these structures
 /// come from the marker, which validated them).
-pub fn build_partitions(
-    g: &WeightedGraph,
-    tree: &RootedTree,
-    hierarchy: &Hierarchy,
-) -> Partitions {
+pub fn build_partitions(g: &WeightedGraph, tree: &RootedTree, hierarchy: &Hierarchy) -> Partitions {
     let n = g.node_count();
     let threshold = ((n.max(2) as f64).log2().ceil() as usize).max(1);
 
@@ -101,7 +97,9 @@ pub fn build_partitions(
     let is_red: Vec<bool> = (0..hierarchy.len())
         .map(|i| is_top[i] && hierarchy.children_of(i).iter().all(|&c| !is_top[c]))
         .collect();
-    let is_large: Vec<bool> = (0..hierarchy.len()).map(|i| is_top[i] && !is_red[i]).collect();
+    let is_large: Vec<bool> = (0..hierarchy.len())
+        .map(|i| is_top[i] && !is_red[i])
+        .collect();
     let is_blue: Vec<bool> = (0..hierarchy.len())
         .map(|i| !is_top[i] && hierarchy.parent_of(i).map(|p| is_large[p]).unwrap_or(false))
         .collect();
@@ -114,8 +112,8 @@ pub fn build_partitions(
     let mut pp_nodes: Vec<BTreeSet<NodeId>> = Vec::new();
     let mut pp_red: Vec<usize> = Vec::new();
     let mut pp_of: Vec<Option<usize>> = vec![None; n];
-    for i in 0..hierarchy.len() {
-        if is_red[i] {
+    for (i, &red) in is_red.iter().enumerate() {
+        if red {
             let set = hierarchy.fragment(i).nodes.clone();
             for &v in &set {
                 pp_of[v.index()] = Some(pp_nodes.len());
@@ -183,9 +181,9 @@ pub fn build_partitions(
     let top_idx = (0..hierarchy.len())
         .find(|&i| hierarchy.fragment(i).len() == n)
         .expect("the hierarchy contains the whole tree");
-    for v in 0..n {
-        if pp_of[v].is_none() {
-            pp_of[v] = Some(pp_nodes.len());
+    for (v, slot) in pp_of.iter_mut().enumerate() {
+        if slot.is_none() {
+            *slot = Some(pp_nodes.len());
             pp_nodes.push(BTreeSet::from([NodeId(v)]));
             pp_red.push(top_idx);
         }
@@ -224,9 +222,7 @@ pub fn build_partitions(
             let frag = hierarchy.fragment(i);
             // all bottom fragments contained in this fragment
             let inner: Vec<usize> = (0..hierarchy.len())
-                .filter(|&j| {
-                    !is_top[j] && hierarchy.fragment(j).nodes.is_subset(&frag.nodes)
-                })
+                .filter(|&j| !is_top[j] && hierarchy.fragment(j).nodes.is_subset(&frag.nodes))
                 .collect();
             let pieces = pieces_for(g, tree, hierarchy, &inner);
             let part = make_part(tree, frag.nodes.iter().copied().collect(), pieces);
@@ -238,14 +234,14 @@ pub fn build_partitions(
     }
     // fallback for nodes not covered by any blue/green fragment (happens only
     // when their singleton fragment is itself top, i.e. for very small n)
-    for v in 0..n {
-        if bottom_part_of[v] == usize::MAX {
+    for (v, slot) in bottom_part_of.iter_mut().enumerate() {
+        if *slot == usize::MAX {
             let singleton = hierarchy
                 .fragment_at_level(NodeId(v), 0)
                 .expect("every node has a level-0 fragment");
             let pieces = pieces_for(g, tree, hierarchy, &[singleton]);
             let part = make_part(tree, vec![NodeId(v)], pieces);
-            bottom_part_of[v] = bottom_parts.len();
+            *slot = bottom_parts.len();
             bottom_parts.push(part);
         }
     }
@@ -401,8 +397,8 @@ fn make_part(tree: &RootedTree, mut nodes: Vec<NodeId>, pieces: Vec<PieceInfo>) 
 mod tests {
     use super::*;
     use crate::sync_mst::SyncMst;
-    use smst_graph::generators::{path_graph, random_connected_graph};
     use proptest::prelude::*;
+    use smst_graph::generators::{path_graph, random_connected_graph};
 
     fn build(n: usize, seed: u64) -> (WeightedGraph, RootedTree, Hierarchy, Partitions) {
         let g = random_connected_graph(n, 3 * n, seed);
@@ -417,7 +413,9 @@ mod tests {
         for v in 0..n {
             assert!(parts.top_part_of[v] < parts.top_parts.len());
             assert!(parts.bottom_part_of[v] < parts.bottom_parts.len());
-            assert!(parts.top_parts[parts.top_part_of[v]].nodes.contains(&NodeId(v)));
+            assert!(parts.top_parts[parts.top_part_of[v]]
+                .nodes
+                .contains(&NodeId(v)));
             assert!(parts.bottom_parts[parts.bottom_part_of[v]]
                 .nodes
                 .contains(&NodeId(v)));
@@ -516,9 +514,7 @@ mod tests {
             let mut seen_levels = std::collections::HashSet::new();
             for i in 0..h.len() {
                 let frag = h.fragment(i);
-                if frag.len() >= threshold
-                    && p.nodes.iter().any(|v| frag.contains(*v))
-                {
+                if frag.len() >= threshold && p.nodes.iter().any(|v| frag.contains(*v)) {
                     assert!(
                         seen_levels.insert(frag.level),
                         "part intersects two top fragments of level {}",

@@ -6,9 +6,7 @@ use crate::labels::CoreLabel;
 use crate::marker::{ConstructionReport, Marker};
 use crate::verifier::CoreVerifier;
 use smst_labeling::scheme::{Instance, MarkError};
-use smst_sim::{
-    AsyncRunner, Daemon, DetectionReport, FaultPlan, MemoryUsage, Network, SyncRunner,
-};
+use smst_sim::{AsyncRunner, Daemon, DetectionReport, FaultPlan, MemoryUsage, Network, SyncRunner};
 
 /// The paper's MST proof labeling scheme: `O(log n)` bits per node,
 /// polylogarithmic detection time, `O(n)`-time marker.
@@ -225,7 +223,10 @@ mod tests {
         let inst = mst_instance(24, 60, 4);
         let plan = FaultPlan::single(NodeId(5));
         let outcome = run_sync_fault_experiment(&inst, &plan, FaultKind::StoredPieceWeight, 2);
-        assert!(outcome.report.detected, "a corrupted piece weight must be detected");
+        assert!(
+            outcome.report.detected,
+            "a corrupted piece weight must be detected"
+        );
     }
 
     #[test]

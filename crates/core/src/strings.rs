@@ -8,11 +8,10 @@
 //! single round by reading its own strings and those of its tree parent and
 //! children.
 
-use serde::{Deserialize, Serialize};
 use smst_graph::{Hierarchy, RootedTree, WeightedGraph};
 
 /// One entry of the `Roots` string.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RootSym {
     /// `1`: the node is the root of its level-`j` fragment.
     Root,
@@ -23,7 +22,7 @@ pub enum RootSym {
 }
 
 /// One entry of the `EndP` string.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EndpSym {
     /// The node is the endpoint of its fragment's candidate edge, which leads
     /// to the node's tree parent.
@@ -40,7 +39,7 @@ pub enum EndpSym {
 }
 
 /// The four per-node strings.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeStrings {
     /// The `Roots` string (one symbol per level `0..=ℓ`).
     pub roots: Vec<RootSym>,
@@ -215,7 +214,7 @@ pub fn check_strings(view: &StringNeighborhood<'_>) -> Result<(), &'static str> 
     }
     // RS2 / RS4
     if view.is_tree_root {
-        if own.roots.iter().any(|&r| r == RootSym::NonRoot) {
+        if own.roots.contains(&RootSym::NonRoot) {
             return Err("RS2: tree root has a non-root entry");
         }
         if own.roots[len - 1] != RootSym::Root {
@@ -283,9 +282,7 @@ pub fn check_strings(view: &StringNeighborhood<'_>) -> Result<(), &'static str> 
             }
         } else {
             // a child may only set its Parents bit when we are a Down endpoint
-            if view.children.iter().any(|c| c.parents[j])
-                && own.endp[j] != EndpSym::Down
-            {
+            if view.children.iter().any(|c| c.parents[j]) && own.endp[j] != EndpSym::Down {
                 return Err("EPS2: child marks a candidate the parent does not have");
             }
         }
@@ -296,7 +293,7 @@ pub fn check_strings(view: &StringNeighborhood<'_>) -> Result<(), &'static str> 
             if own.roots[j] != RootSym::Root {
                 return Err("EPS3: Up endpoint is not its fragment's root");
             }
-            if own.roots[(j + 1)..].iter().any(|&r| r == RootSym::Root) {
+            if own.roots[(j + 1)..].contains(&RootSym::Root) {
                 return Err("EPS3: Up endpoint is a root again at a higher level");
             }
         }
@@ -307,7 +304,7 @@ pub fn check_strings(view: &StringNeighborhood<'_>) -> Result<(), &'static str> 
             if own.roots[j] == RootSym::NonRoot {
                 return Err("EPS4: Parents bit set but node is a fragment non-root");
             }
-            if own.roots[(j + 1)..].iter().any(|&r| r == RootSym::Root) {
+            if own.roots[(j + 1)..].contains(&RootSym::Root) {
                 return Err("EPS4: Parents bit set but node is a root at a higher level");
             }
         }
@@ -336,13 +333,21 @@ mod tests {
         (g, outcome.tree, strings)
     }
 
-    fn check_all(g: &WeightedGraph, tree: &RootedTree, strings: &[NodeStrings]) -> Result<(), (NodeId, &'static str)> {
+    fn check_all(
+        g: &WeightedGraph,
+        tree: &RootedTree,
+        strings: &[NodeStrings],
+    ) -> Result<(), (NodeId, &'static str)> {
         let max_len = (g.node_count().max(2) as f64).log2().ceil() as usize + 1;
         for v in g.nodes() {
             let view = StringNeighborhood {
                 own: &strings[v.index()],
                 parent: tree.parent(v).map(|p| &strings[p.index()]),
-                children: tree.children(v).iter().map(|c| &strings[c.index()]).collect(),
+                children: tree
+                    .children(v)
+                    .iter()
+                    .map(|c| &strings[c.index()])
+                    .collect(),
                 is_tree_root: tree.root() == v,
                 max_len,
             };
@@ -403,8 +408,7 @@ mod tests {
         'outer: for v in g.nodes() {
             if let Some(p) = tree.parent(v) {
                 for j in 0..strings[v.index()].parents.len() {
-                    if !strings[v.index()].parents[j]
-                        && strings[p.index()].endp[j] != EndpSym::Down
+                    if !strings[v.index()].parents[j] && strings[p.index()].endp[j] != EndpSym::Down
                     {
                         target = Some((v, j));
                         break 'outer;

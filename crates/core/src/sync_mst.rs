@@ -108,9 +108,8 @@ impl SyncMst {
         // fragment state: component representative per node, fragment root,
         // fragment level, member sets
         let mut comp: Vec<usize> = (0..n).collect();
-        let mut members: HashMap<usize, BTreeSet<NodeId>> = (0..n)
-            .map(|v| (v, BTreeSet::from([NodeId(v)])))
-            .collect();
+        let mut members: HashMap<usize, BTreeSet<NodeId>> =
+            (0..n).map(|v| (v, BTreeSet::from([NodeId(v)]))).collect();
         let mut root_of: HashMap<usize, NodeId> = (0..n).map(|v| (v, NodeId(v))).collect();
         let mut level_of: HashMap<usize, u32> = (0..n).map(|v| (v, 0)).collect();
 
@@ -126,7 +125,7 @@ impl SyncMst {
             let mut active: Vec<usize> = Vec::new();
             for &f in &frags {
                 let size = members[&f].len() as u64;
-                if size <= (1u64 << (phase + 1)) - 1 {
+                if size < (1u64 << (phase + 1)) {
                     // count succeeded: the root keeps level = phase and is active
                     level_of.insert(f, phase);
                     active.push(f);
@@ -140,7 +139,7 @@ impl SyncMst {
             // succeeded ends the algorithm at the end of Count_Size
             if members.len() == 1 {
                 let f = frags[0];
-                if (members[&f].len() as u64) <= (1u64 << (phase + 1)) - 1 {
+                if (members[&f].len() as u64) < (1u64 << (phase + 1)) {
                     // record the spanning fragment as the top of the hierarchy
                     active_fragments.push(ActiveFragment {
                         nodes: members[&f].clone(),
@@ -249,8 +248,8 @@ impl SyncMst {
                 new_roots.insert(*rep, root);
                 new_levels.insert(*rep, max_level.max(phase + 1));
             }
-            for v in 0..n {
-                comp[v] = find(&new_rep, comp[v]);
+            for c in comp.iter_mut() {
+                *c = find(&new_rep, *c);
             }
             members = new_members;
             root_of = new_roots;
@@ -299,9 +298,9 @@ impl SyncMst {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use smst_graph::generators::{complete_graph, path_graph, random_connected_graph};
     use smst_graph::mst::{is_mst, kruskal};
-    use proptest::prelude::*;
 
     #[test]
     fn builds_the_unique_mst() {

@@ -184,7 +184,13 @@ impl CoreVerifier {
             .filter(|p| p.index() < self.graph.degree(v))
     }
 
-    fn edge_weight(&self, v: NodeId, port: Port, neighbor: &CoreState, is_tree: bool) -> CompositeWeight {
+    fn edge_weight(
+        &self,
+        v: NodeId,
+        port: Port,
+        neighbor: &CoreState,
+        is_tree: bool,
+    ) -> CompositeWeight {
         let e = self.graph.incident_edges(v)[port.index()];
         CompositeWeight::new(
             self.graph.weight(e),
@@ -197,8 +203,7 @@ impl CoreVerifier {
     /// Whether the edge behind `port` is a tree edge (the neighbour is this
     /// node's component parent, or claims this node as its parent).
     fn is_tree_edge(&self, ctx: &NodeContext, port: Port, neighbor: &CoreState) -> bool {
-        self.parent_port(ctx.node) == Some(port)
-            || neighbor.label.sp.parent_id == Some(ctx.id)
+        self.parent_port(ctx.node) == Some(port) || neighbor.label.sp.parent_id == Some(ctx.id)
     }
 
     // ----- structural 1-round checks (§5, SP, NumK, partitions) ------------
@@ -268,8 +273,14 @@ impl CoreVerifier {
         // piece counts are bounded and agreed upon inside the part
         let log_n = (label.n_claim.max(2) as f64).log2().ceil() as u64;
         for (mine, getter) in [
-            (&label.top_part, top_part_of as fn(&CoreState) -> &crate::labels::PartLabel),
-            (&label.bottom_part, bottom_part_of as fn(&CoreState) -> &crate::labels::PartLabel),
+            (
+                &label.top_part,
+                top_part_of as fn(&CoreState) -> &crate::labels::PartLabel,
+            ),
+            (
+                &label.bottom_part,
+                bottom_part_of as fn(&CoreState) -> &crate::labels::PartLabel,
+            ),
         ] {
             let i_am_part_root = mine.part_root_id == ctx.id;
             if i_am_part_root {
@@ -307,11 +318,7 @@ impl CoreVerifier {
             if mine.stored.len() > 2 {
                 return false;
             }
-            if mine
-                .stored
-                .iter()
-                .any(|s| s.slot >= mine.piece_count)
-            {
+            if mine.stored.iter().any(|s| s.slot >= mine.piece_count) {
                 return false;
             }
         }
@@ -500,7 +507,11 @@ impl CoreVerifier {
         let children_done = part_children
             .iter()
             .all(|c| c.trains[which].done == Some(want));
-        out.done = if have && children_done { Some(want) } else { None };
+        out.done = if have && children_done {
+            Some(want)
+        } else {
+            None
+        };
 
         // 5. checks on the member piece currently shown (§8, Claim 8.3)
         if let Some(d) = out.down {
@@ -546,9 +557,7 @@ impl CoreVerifier {
         if d.piece.root_id == ctx.id {
             return true;
         }
-        d.member
-            && j < label.strings.len()
-            && label.strings.roots[j] == RootSym::NonRoot
+        d.member && j < label.strings.len() && label.strings.roots[j] == RootSym::NonRoot
     }
 
     // ----- comparison machinery (§7.2, §8) ----------------------------------
@@ -600,8 +609,8 @@ impl CoreVerifier {
             let port = Port(usize::from(cmp.neighbor_ptr));
             let u = neighbors[port.index()];
             let j = level as usize;
-            let u_has_level = j < u.label.strings.len()
-                && u.label.strings.roots[j] != RootSym::Absent;
+            let u_has_level =
+                j < u.label.strings.len() && u.label.strings.roots[j] != RootSym::Absent;
             if !u_has_level {
                 // the neighbour has no level-j fragment: the edge is outgoing
                 self.check_outgoing(ctx, own, port, u, ask, level, alarm);
@@ -628,8 +637,8 @@ impl CoreVerifier {
             // not shown: file a Want and count the neighbour's cycles
             cmp.want_cmp = Some((u.label.sp.own_id, level));
             let cur = [u.trains[0].want, u.trains[1].want];
-            for t in 0..2 {
-                if cur[t] < cmp.watched_prev[t] {
+            for (t, &c) in cur.iter().enumerate() {
+                if c < cmp.watched_prev[t] {
                     cmp.watched_wraps[t] = cmp.watched_wraps[t].saturating_add(1);
                 }
             }
@@ -702,10 +711,8 @@ impl CoreVerifier {
         // Claim 8.3: tree neighbours in the same fragment must hold identical
         // pieces; the strings already tell whether the parent shares the
         // fragment
-        if is_parent && own.label.strings.roots.get(j) == Some(&RootSym::NonRoot) {
-            if ask != their {
-                *alarm = true;
-            }
+        if is_parent && own.label.strings.roots.get(j) == Some(&RootSym::NonRoot) && ask != their {
+            *alarm = true;
         }
         if same_fragment && ask != their {
             *alarm = true;
@@ -764,7 +771,7 @@ const MAX_WATCH_WRAPS: u8 = 3;
 /// Cycles of both own trains after which the completeness check fires.
 const COMPLETENESS_WRAPS: u8 = 2;
 
-fn part_of<'a>(s: &'a CoreState, which: usize) -> &'a crate::labels::PartLabel {
+fn part_of(s: &CoreState, which: usize) -> &crate::labels::PartLabel {
     if which == TRAIN_TOP {
         &s.label.top_part
     } else {
@@ -805,8 +812,18 @@ impl NodeProgram for CoreVerifier {
 
         // 2. trains
         let wants_hold = self.neighbor_wants_shown(ctx, own, neighbors);
-        self.step_train(TRAIN_TOP, ctx, own, neighbors, &mut next, wants_hold, &mut alarm);
-        self.step_train(TRAIN_BOTTOM, ctx, own, neighbors, &mut next, wants_hold, &mut alarm);
+        self.step_train(
+            TRAIN_TOP, ctx, own, neighbors, &mut next, wants_hold, &mut alarm,
+        );
+        self.step_train(
+            TRAIN_BOTTOM,
+            ctx,
+            own,
+            neighbors,
+            &mut next,
+            wants_hold,
+            &mut alarm,
+        );
 
         // 3. comparisons
         self.step_compare(ctx, own, neighbors, &mut next, &mut alarm);
@@ -869,11 +886,7 @@ mod tests {
         let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
         let inst = Instance::from_tree(g, &tree);
         let (labels, _) = Marker.label(&inst).unwrap();
-        let verifier = CoreVerifier::new(
-            inst.graph.clone(),
-            inst.components.clone(),
-            labels,
-        );
+        let verifier = CoreVerifier::new(inst.graph.clone(), inst.components.clone(), labels);
         (inst, verifier)
     }
 

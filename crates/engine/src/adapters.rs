@@ -1,0 +1,287 @@
+//! Adapters: the paper's verifier and the self-stabilizing transformer on
+//! the engine.
+//!
+//! [`smst_core::CoreVerifier`] already implements
+//! [`NodeProgram`](smst_sim::NodeProgram), so the engine runs it *unchanged*
+//! — these drivers only mirror the sequential experiment harnesses of
+//! [`smst_core::scheme`] and [`smst_selfstab`] on top of
+//! [`ParallelSyncRunner`] / [`ShardedAsyncRunner`], producing the same
+//! outcome types so downstream tables and figures accept either engine.
+//!
+//! Because the parallel synchronous rounds are bit-for-bit identical to the
+//! sequential ones, every number these functions return (warm-up rounds,
+//! detection times, alarming nodes, memory) **equals** the sequential
+//! harness's output; the adapter tests pin that equality.
+
+use crate::parallel_sync::ParallelSyncRunner;
+use crate::sharded_async::ShardedAsyncRunner;
+use smst_core::faults::{corrupt, FaultKind};
+use smst_core::scheme::FaultExperimentOutcome;
+use smst_core::{CoreLabel, CoreVerifier, Marker, MstVerificationScheme};
+use smst_graph::mst::kruskal;
+use smst_graph::{ComponentMap, NodeId, WeightedGraph};
+use smst_labeling::Instance;
+use smst_selfstab::baselines::DetectionCost;
+use smst_selfstab::{SelfStabilizingMst, StabilizationOutcome, Variant};
+use smst_sim::{Daemon, DetectionReport, FaultPlan, MemoryUsage, NodeProgram};
+
+/// Per-node register sizes of a parallel run, as reported by the program.
+fn memory_bits(runner: &ParallelSyncRunner<'_, CoreVerifier>) -> Vec<u64> {
+    (0..runner.graph().node_count())
+        .map(|v| {
+            runner
+                .program()
+                .state_bits(runner.context(NodeId(v)), runner.state(NodeId(v)))
+        })
+        .collect()
+}
+
+/// Parallel mirror of [`smst_core::scheme::run_sync_fault_experiment`]:
+/// warm the verifier up on a correct, marker-labelled instance, inject the
+/// planned faults, and measure synchronous detection — over `threads`
+/// shards.
+///
+/// # Panics
+///
+/// Panics if the instance is not a correct MST instance.
+pub fn run_parallel_sync_fault_experiment(
+    instance: &Instance,
+    plan: &FaultPlan,
+    kind: FaultKind,
+    seed: u64,
+    threads: usize,
+) -> FaultExperimentOutcome {
+    let scheme = MstVerificationScheme::new();
+    let (labels, _) = scheme
+        .mark(instance)
+        .expect("fault experiments start from a correct instance");
+    let verifier = scheme.verifier(instance, labels);
+    let n = instance.node_count();
+    let budget = MstVerificationScheme::sync_budget(n);
+
+    let mut runner = ParallelSyncRunner::new(&verifier, instance.graph.clone(), threads);
+    runner.run_rounds(budget);
+    let warmup_rounds = runner.rounds();
+    assert!(
+        runner.alarming_nodes().is_empty(),
+        "a correct instance must not raise alarms during warm-up"
+    );
+    let memory = MemoryUsage::from_bits(memory_bits(&runner));
+
+    let mut i = 0u64;
+    runner.apply_faults(plan, |_v, state| {
+        corrupt(state, kind, seed.wrapping_add(i));
+        i += 1;
+    });
+
+    let report = match runner.run_until_alarm(4 * budget) {
+        Some(t) => {
+            DetectionReport::from_alarms(&instance.graph, t, runner.alarming_nodes(), plan.nodes())
+        }
+        None => DetectionReport::not_detected(),
+    };
+    FaultExperimentOutcome {
+        warmup_rounds,
+        report,
+        memory,
+    }
+}
+
+/// Sharded-daemon mirror of
+/// [`smst_core::scheme::run_async_fault_experiment`]: the same experiment
+/// under an asynchronous daemon executed in parallel batches of `batch`
+/// simultaneous activations.
+pub fn run_sharded_async_fault_experiment(
+    instance: &Instance,
+    plan: &FaultPlan,
+    kind: FaultKind,
+    daemon: Daemon,
+    seed: u64,
+    batch: usize,
+    threads: usize,
+) -> FaultExperimentOutcome {
+    let scheme = MstVerificationScheme::new();
+    let (labels, _) = scheme
+        .mark(instance)
+        .expect("fault experiments start from a correct instance");
+    let verifier = scheme.verifier(instance, labels);
+    let n = instance.node_count();
+    let budget = MstVerificationScheme::async_budget(n, instance.graph.max_degree());
+
+    let mut runner =
+        ShardedAsyncRunner::new(&verifier, instance.graph.clone(), daemon, batch, threads);
+    runner.run_time_units(budget);
+    let warmup_rounds = runner.time_units();
+    assert!(
+        !runner.any_alarm(),
+        "a correct instance must not raise alarms during warm-up"
+    );
+    let memory = {
+        let bits: Vec<u64> = (0..n)
+            .map(|v| verifier.state_bits(runner.context(NodeId(v)), runner.state(NodeId(v))))
+            .collect();
+        MemoryUsage::from_bits(bits)
+    };
+
+    let mut i = 0u64;
+    runner.apply_faults(plan, |_v, state| {
+        corrupt(state, kind, seed.wrapping_add(i));
+        i += 1;
+    });
+
+    let report = match runner.run_until_alarm(4 * budget) {
+        Some(t) => {
+            DetectionReport::from_alarms(&instance.graph, t, runner.alarming_nodes(), plan.nodes())
+        }
+        None => DetectionReport::not_detected(),
+    };
+    FaultExperimentOutcome {
+        warmup_rounds,
+        report,
+        memory,
+    }
+}
+
+/// Parallel mirror of [`smst_core::scheme::rounds_until_rejection`]: runs
+/// the verifier on a (non-MST) instance with the given labels until the
+/// first alarm.
+pub fn rounds_until_rejection_parallel(
+    instance: &Instance,
+    labels: Vec<CoreLabel>,
+    max_rounds: usize,
+    threads: usize,
+) -> Option<usize> {
+    let verifier = MstVerificationScheme::new().verifier(instance, labels);
+    let mut runner = ParallelSyncRunner::new(&verifier, instance.graph.clone(), threads);
+    runner.run_until_alarm(max_rounds)
+}
+
+/// Stale labels of the graph's correct MST (what an adversarially corrupted
+/// configuration still carries); mirrors the transformer's baseline.
+fn stale_core_labels(graph: &WeightedGraph) -> Option<Vec<CoreLabel>> {
+    let tree = kruskal(graph).rooted_at(graph, NodeId(0)).ok()?;
+    let correct = Instance::from_tree(graph.clone(), &tree);
+    Marker.label(&correct).ok().map(|(labels, _)| labels)
+}
+
+/// One stabilization episode of the transformer with its **detection phase
+/// executed on the engine** (the construction and marking phases are the
+/// centralized reference algorithms, exactly as in
+/// [`smst_selfstab::SelfStabilizingMst::stabilize`]).
+///
+/// Only [`Variant::Paper`] has a per-round distributed verifier to
+/// parallelize; the baseline variants fall back to the sequential
+/// transformer unchanged.
+pub fn stabilize_with_engine(
+    variant: Variant,
+    graph: &WeightedGraph,
+    initial_components: &ComponentMap,
+    threads: usize,
+) -> StabilizationOutcome {
+    let transformer = SelfStabilizingMst::new(variant);
+    if variant != Variant::Paper {
+        return transformer.stabilize(graph, initial_components);
+    }
+    let instance = Instance::new(graph.clone(), initial_components.clone());
+    let already_correct = instance.satisfies_mst();
+
+    // 1. detection, on the parallel engine (mirrors the sequential
+    //    baseline's stale-labels protocol, executed by the sharded runner)
+    let detection = if already_correct {
+        DetectionCost {
+            rounds: 0,
+            detected: false,
+        }
+    } else {
+        let budget = MstVerificationScheme::sync_budget(graph.node_count()) * 4;
+        match stale_core_labels(graph) {
+            Some(labels) => {
+                match rounds_until_rejection_parallel(&instance, labels, budget, threads) {
+                    Some(rounds) => DetectionCost {
+                        rounds: rounds as u64,
+                        detected: true,
+                    },
+                    None => DetectionCost {
+                        rounds: budget as u64,
+                        detected: false,
+                    },
+                }
+            }
+            None => DetectionCost {
+                rounds: 1,
+                detected: true,
+            },
+        }
+    };
+
+    // 2.–4. reset, reconstruction, memory and correctness accounting: the
+    // transformer's own episode completion, shared with the sequential path
+    transformer.complete_episode(graph, initial_components, already_correct, detection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_core::scheme::run_sync_fault_experiment;
+    use smst_graph::generators::random_connected_graph;
+    use smst_selfstab::transformer::garbage_components;
+    use smst_selfstab::SelfStabilizingMst;
+
+    fn mst_instance(n: usize, m: usize, seed: u64) -> Instance {
+        let g = random_connected_graph(n, m, seed);
+        let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+        Instance::from_tree(g, &tree)
+    }
+
+    #[test]
+    fn parallel_fault_experiment_equals_sequential() {
+        let inst = mst_instance(16, 40, 3);
+        let plan = FaultPlan::single(NodeId(7));
+        let seq = run_sync_fault_experiment(&inst, &plan, FaultKind::SpDistance, 1);
+        let par = run_parallel_sync_fault_experiment(&inst, &plan, FaultKind::SpDistance, 1, 4);
+        assert_eq!(par.warmup_rounds, seq.warmup_rounds);
+        assert_eq!(par.report.detected, seq.report.detected);
+        assert_eq!(par.report.detection_time, seq.report.detection_time);
+        assert_eq!(par.report.alarm_nodes, seq.report.alarm_nodes);
+        assert_eq!(par.memory.max_bits(), seq.memory.max_bits());
+    }
+
+    #[test]
+    fn transformer_stabilizes_on_the_engine_and_matches_sequential() {
+        let g = random_connected_graph(18, 45, 5);
+        let components = garbage_components(&g, 7);
+        let seq = SelfStabilizingMst::new(Variant::Paper).stabilize(&g, &components);
+        let par = stabilize_with_engine(Variant::Paper, &g, &components, 3);
+        assert!(par.output_correct);
+        assert_eq!(par.detection_rounds, seq.detection_rounds);
+        assert_eq!(par.construction_rounds, seq.construction_rounds);
+        assert_eq!(par.memory_bits_per_node, seq.memory_bits_per_node);
+    }
+
+    #[test]
+    fn baseline_variants_fall_back_to_the_sequential_transformer() {
+        let g = random_connected_graph(14, 35, 2);
+        let components = garbage_components(&g, 4);
+        let outcome = stabilize_with_engine(Variant::Recompute, &g, &components, 2);
+        assert!(outcome.output_correct);
+    }
+
+    #[test]
+    fn async_adapter_detects_injected_faults() {
+        // path graph: Δ = 2 keeps the async warm-up budget small
+        let g = smst_graph::generators::path_graph(8, 9);
+        let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
+        let inst = Instance::from_tree(g, &tree);
+        let plan = FaultPlan::single(NodeId(5));
+        let outcome = run_sharded_async_fault_experiment(
+            &inst,
+            &plan,
+            FaultKind::SpDistance,
+            Daemon::RoundRobin,
+            2,
+            4,
+            2,
+        );
+        assert!(outcome.report.detected);
+    }
+}

@@ -1,0 +1,66 @@
+//! # smst-engine
+//!
+//! A sharded, deterministic, **parallel** execution engine that runs any
+//! [`smst_sim::NodeProgram`] over million-node graphs.
+//!
+//! The sequential simulator in `smst-sim` is the semantic reference: one
+//! thread, one node at a time. This crate scales the same execution model to
+//! the sizes where the paper's claims become interesting (`O(log n)` bits
+//! and polylog detection only matter when `n` is large) without changing a
+//! single program:
+//!
+//! * [`topology::CsrTopology`] — a flattened, port-ordered, cache-friendly
+//!   neighbour index built once per run;
+//! * [`shard::Shard`] + [`shard::partition_balanced`] — contiguous node
+//!   ranges with equalized per-round work (adjacency entries, not node
+//!   counts), one per worker thread;
+//! * [`ParallelSyncRunner`] — double-buffered lock-step rounds; each round
+//!   is an embarrassingly parallel map over shards, **bit-for-bit equal**
+//!   to [`smst_sim::SyncRunner`] at every thread count;
+//! * [`ShardedAsyncRunner`] — the distributed-daemon generalization of
+//!   [`smst_sim::AsyncRunner`]: seeded-RNG schedules executed in parallel
+//!   batches, reproducible at any thread count, and exactly equal to the
+//!   central daemon at batch width 1;
+//! * [`ScenarioSpec`] — one declarative API over graph family × fault
+//!   bursts × daemon × thread count;
+//! * [`adapters`] — the paper's verifier and the self-stabilizing
+//!   transformer running unchanged on the engine, with sequential-equality
+//!   guarantees pinned by tests;
+//! * [`programs`] — compact demo workloads for million-node smoke tests
+//!   and throughput benches.
+//!
+//! # Determinism contract
+//!
+//! Every run is a pure function of `(program, scenario/graph seed, daemon
+//! seed, batch width)`. Thread count **never** changes results — it is
+//! purely a wall-clock knob — because rounds and batches read only
+//! pre-step registers (double buffering) and all scheduling randomness
+//! comes from counter-seeded [`smst_rng`] generators, never from thread
+//! interleaving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod parallel_sync;
+pub mod programs;
+pub mod scenario;
+pub mod shard;
+pub mod sharded_async;
+pub mod topology;
+
+pub use parallel_sync::ParallelSyncRunner;
+pub use scenario::{
+    FaultBurst, GraphFamily, ScenarioOutcome, ScenarioReport, ScenarioSpec, Schedule, StopCondition,
+};
+pub use shard::{partition_balanced, Shard};
+pub use sharded_async::ShardedAsyncRunner;
+pub use topology::CsrTopology;
+
+/// The number of worker threads to use by default: the machine's available
+/// parallelism (1 when it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}

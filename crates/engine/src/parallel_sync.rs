@@ -1,0 +1,439 @@
+//! The sharded, parallel synchronous executor.
+//!
+//! [`ParallelSyncRunner`] executes the same lock-step rounds as
+//! [`smst_sim::SyncRunner`], but over shards: the register vector is
+//! **double-buffered**, every round is a pure function of the previous
+//! round's registers, and each worker thread computes the next registers of
+//! one contiguous [`Shard`](crate::shard::Shard) into its disjoint slice of
+//! the scratch buffer. The buffers are swapped at the end of the round —
+//! no locks, no atomics, no `unsafe`.
+//!
+//! # Determinism
+//!
+//! A synchronous round is deterministic by construction ([`NodeProgram`]
+//! implementations are required to be deterministic functions of the read
+//! registers), and sharding only changes *who computes* a register, never
+//! *what it reads*. Final states are therefore **bit-for-bit identical** to
+//! the sequential [`SyncRunner`](smst_sim::SyncRunner) at every thread
+//! count; `tests/` pins this with a per-round differential test.
+
+use crate::shard::{partition_balanced, Shard};
+use crate::topology::CsrTopology;
+use smst_graph::{NodeId, WeightedGraph};
+use smst_sim::{FaultPlan, Network, NodeContext, NodeProgram, Verdict};
+
+/// Runs a [`NodeProgram`] in lock-step synchronous rounds, one shard per
+/// worker thread.
+#[derive(Debug)]
+pub struct ParallelSyncRunner<'p, P: NodeProgram> {
+    program: &'p P,
+    graph: WeightedGraph,
+    topo: CsrTopology,
+    contexts: Vec<NodeContext>,
+    states: Vec<P::State>,
+    scratch: Vec<P::State>,
+    shards: Vec<Shard>,
+    threads: usize,
+    rounds: usize,
+}
+
+impl<'p, P> ParallelSyncRunner<'p, P>
+where
+    P: NodeProgram + Sync,
+    P::State: Send + Sync,
+{
+    /// Creates a runner over `graph` with every register initialized by
+    /// `program.init`, using `threads` worker threads.
+    pub fn new(program: &'p P, graph: WeightedGraph, threads: usize) -> Self {
+        let contexts: Vec<NodeContext> = graph
+            .nodes()
+            .map(|v| NodeContext::for_node(&graph, v))
+            .collect();
+        let states: Vec<P::State> = contexts.iter().map(|ctx| program.init(ctx)).collect();
+        Self::from_parts(program, graph, contexts, states, threads)
+    }
+
+    /// Creates a runner with explicitly provided initial registers
+    /// (arbitrary / adversarial initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count.
+    pub fn with_states(
+        program: &'p P,
+        graph: WeightedGraph,
+        states: Vec<P::State>,
+        threads: usize,
+    ) -> Self {
+        assert_eq!(
+            states.len(),
+            graph.node_count(),
+            "one initial state per node is required"
+        );
+        let contexts: Vec<NodeContext> = graph
+            .nodes()
+            .map(|v| NodeContext::for_node(&graph, v))
+            .collect();
+        Self::from_parts(program, graph, contexts, states, threads)
+    }
+
+    /// Adopts the graph and current registers of a sequential [`Network`],
+    /// so existing programs migrate without changes.
+    pub fn from_network(program: &'p P, network: &Network<P>, threads: usize) -> Self {
+        Self::with_states(
+            program,
+            network.graph().clone(),
+            network.states().to_vec(),
+            threads,
+        )
+    }
+
+    fn from_parts(
+        program: &'p P,
+        graph: WeightedGraph,
+        contexts: Vec<NodeContext>,
+        states: Vec<P::State>,
+        threads: usize,
+    ) -> Self {
+        let topo = CsrTopology::build(&graph);
+        let threads = threads.max(1);
+        let shards = partition_balanced(&topo, threads);
+        let scratch = states.clone();
+        ParallelSyncRunner {
+            program,
+            graph,
+            topo,
+            contexts,
+            states,
+            scratch,
+            shards,
+            threads,
+            rounds: 0,
+        }
+    }
+
+    /// The number of rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The worker-thread count the runner was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shard layout (one entry per worker).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The graph being executed.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &P {
+        self.program
+    }
+
+    /// All registers, indexed by dense node id.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The register of one node.
+    pub fn state(&self, v: NodeId) -> &P::State {
+        &self.states[v.index()]
+    }
+
+    /// Mutable access to one register (fault injection).
+    pub fn state_mut(&mut self, v: NodeId) -> &mut P::State {
+        &mut self.states[v.index()]
+    }
+
+    /// The static context of a node.
+    pub fn context(&self, v: NodeId) -> &NodeContext {
+        &self.contexts[v.index()]
+    }
+
+    /// Applies a [`FaultPlan`] by passing every planned node's register to
+    /// `mutate` (mirrors [`FaultPlan::apply`] for the sequential runner).
+    pub fn apply_faults<F>(&mut self, plan: &FaultPlan, mut mutate: F)
+    where
+        F: FnMut(NodeId, &mut P::State),
+    {
+        for &v in plan.nodes() {
+            mutate(v, &mut self.states[v.index()]);
+        }
+    }
+
+    /// Consumes the runner, returning a sequential [`Network`] holding the
+    /// final registers (interop with the rest of the workspace).
+    pub fn into_network(self) -> Network<P> {
+        Network::with_states(self.graph, self.states)
+    }
+
+    /// Executes exactly one synchronous round.
+    pub fn step_round(&mut self) {
+        let program = self.program;
+        let topo = &self.topo;
+        let contexts = &self.contexts;
+        let states = &self.states;
+        if self.shards.len() == 1 {
+            // no thread launch on the single-shard path
+            compute_shard(
+                program,
+                topo,
+                contexts,
+                states,
+                self.shards[0],
+                &mut self.scratch,
+            );
+        } else {
+            // hand each worker its disjoint slice of the scratch buffer
+            let mut slices: Vec<(Shard, &mut [P::State])> = Vec::with_capacity(self.shards.len());
+            let mut rest: &mut [P::State] = &mut self.scratch;
+            for &shard in &self.shards {
+                let (chunk, tail) = rest.split_at_mut(shard.len());
+                slices.push((shard, chunk));
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                for (shard, out) in slices {
+                    scope.spawn(move || {
+                        compute_shard(program, topo, contexts, states, shard, out);
+                    });
+                }
+            });
+        }
+        std::mem::swap(&mut self.states, &mut self.scratch);
+        self.rounds += 1;
+    }
+
+    /// Executes `count` rounds.
+    pub fn run_rounds(&mut self, count: usize) {
+        for _ in 0..count {
+            self.step_round();
+        }
+    }
+
+    /// Runs until `stop` returns `true` (checked after each round) or until
+    /// `max_rounds` additional rounds have elapsed. Returns the number of
+    /// rounds executed by this call if the condition was met.
+    pub fn run_until<F>(&mut self, max_rounds: usize, mut stop: F) -> Option<usize>
+    where
+        F: FnMut(&[P::State]) -> bool,
+    {
+        if stop(&self.states) {
+            return Some(0);
+        }
+        for executed in 1..=max_rounds {
+            self.step_round();
+            if stop(&self.states) {
+                return Some(executed);
+            }
+        }
+        None
+    }
+
+    /// The verdicts of all nodes under the current configuration.
+    pub fn verdicts(&self) -> Vec<Verdict> {
+        self.contexts
+            .iter()
+            .zip(&self.states)
+            .map(|(ctx, s)| self.program.verdict(ctx, s))
+            .collect()
+    }
+
+    /// The nodes currently raising an alarm.
+    pub fn alarming_nodes(&self) -> Vec<NodeId> {
+        self.contexts
+            .iter()
+            .zip(&self.states)
+            .enumerate()
+            .filter(|(_, (ctx, s))| self.program.verdict(ctx, s) == Verdict::Reject)
+            .map(|(v, _)| NodeId(v))
+            .collect()
+    }
+
+    /// `true` if at least one node raises an alarm.
+    pub fn any_alarm(&self) -> bool {
+        self.contexts
+            .iter()
+            .zip(&self.states)
+            .any(|(ctx, s)| self.program.verdict(ctx, s) == Verdict::Reject)
+    }
+
+    /// `true` if every node accepts.
+    pub fn all_accept(&self) -> bool {
+        self.contexts
+            .iter()
+            .zip(&self.states)
+            .all(|(ctx, s)| self.program.verdict(ctx, s) == Verdict::Accept)
+    }
+
+    /// Runs until some node raises an alarm, for at most `max_rounds`
+    /// rounds. Returns the detection time in rounds.
+    pub fn run_until_alarm(&mut self, max_rounds: usize) -> Option<usize> {
+        if self.any_alarm() {
+            return Some(0);
+        }
+        for executed in 1..=max_rounds {
+            self.step_round();
+            if self.any_alarm() {
+                return Some(executed);
+            }
+        }
+        None
+    }
+
+    /// Runs until every node accepts, for at most `max_rounds` rounds.
+    pub fn run_until_all_accept(&mut self, max_rounds: usize) -> Option<usize> {
+        if self.all_accept() {
+            return Some(0);
+        }
+        for executed in 1..=max_rounds {
+            self.step_round();
+            if self.all_accept() {
+                return Some(executed);
+            }
+        }
+        None
+    }
+}
+
+impl<'p, P> ParallelSyncRunner<'p, P>
+where
+    P: NodeProgram + Sync,
+    P::State: Send + Sync + PartialEq,
+{
+    /// Runs until a fixpoint (no register changed in a round), for at most
+    /// `max_rounds` rounds. Returns the number of rounds until the first
+    /// unchanged round.
+    pub fn run_to_fixpoint(&mut self, max_rounds: usize) -> Option<usize> {
+        for executed in 1..=max_rounds {
+            self.step_round();
+            // after the swap, `scratch` holds the previous round's registers
+            if self.states == self.scratch {
+                return Some(executed);
+            }
+        }
+        None
+    }
+}
+
+/// Computes the next registers of one shard into `out`
+/// (`out[i]` ↔ node `shard.start + i`).
+fn compute_shard<P: NodeProgram>(
+    program: &P,
+    topo: &CsrTopology,
+    contexts: &[NodeContext],
+    states: &[P::State],
+    shard: Shard,
+    out: &mut [P::State],
+) {
+    debug_assert_eq!(out.len(), shard.len());
+    let mut neighbor_buf: Vec<&P::State> = Vec::with_capacity(16);
+    for (slot, v) in out.iter_mut().zip(shard.nodes()) {
+        neighbor_buf.clear();
+        neighbor_buf.extend(topo.neighbors_of(v).iter().map(|&u| &states[u as usize]));
+        *slot = program.step(&contexts[v], &states[v], &neighbor_buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_graph::generators::{path_graph, random_connected_graph};
+    use smst_sim::SyncRunner;
+
+    /// Propagates the minimum identity (same toy program as the sim tests).
+    struct MinId;
+
+    impl NodeProgram for MinId {
+        type State = u64;
+        fn init(&self, ctx: &NodeContext) -> u64 {
+            ctx.id
+        }
+        fn step(&self, _ctx: &NodeContext, own: &u64, neighbors: &[&u64]) -> u64 {
+            neighbors.iter().fold(*own, |acc, &&x| acc.min(x))
+        }
+        fn verdict(&self, _ctx: &NodeContext, state: &u64) -> Verdict {
+            if *state == 0 {
+                Verdict::Accept
+            } else {
+                Verdict::Working
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_runner_every_round() {
+        let g = random_connected_graph(60, 150, 11);
+        for threads in [1, 2, 4, 7] {
+            let mut par = ParallelSyncRunner::new(&MinId, g.clone(), threads);
+            let mut seq = SyncRunner::new(&MinId, Network::new(&MinId, g.clone()));
+            for round in 0..12 {
+                assert_eq!(
+                    par.states(),
+                    seq.network().states(),
+                    "round {round}, {threads} threads"
+                );
+                par.step_round();
+                seq.step_round();
+            }
+        }
+    }
+
+    #[test]
+    fn converges_like_the_sequential_runner() {
+        let g = path_graph(10, 0);
+        let d = g.diameter().unwrap();
+        let mut runner = ParallelSyncRunner::new(&MinId, g, 3);
+        let t = runner.run_until_all_accept(100).unwrap();
+        assert_eq!(t, d);
+        assert_eq!(runner.rounds(), d);
+    }
+
+    #[test]
+    fn fixpoint_detection() {
+        let g = random_connected_graph(12, 20, 1);
+        let mut runner = ParallelSyncRunner::new(&MinId, g, 4);
+        let t = runner.run_to_fixpoint(100).unwrap();
+        assert!(t <= 13);
+        assert!(runner.all_accept());
+    }
+
+    #[test]
+    fn fault_injection_and_healing() {
+        let g = random_connected_graph(30, 80, 2);
+        let mut runner = ParallelSyncRunner::new(&MinId, g, 4);
+        runner.run_to_fixpoint(100).unwrap();
+        let plan = FaultPlan::random(30, 5, 9);
+        runner.apply_faults(&plan, |_v, s| *s = u64::MAX);
+        assert!(!runner.all_accept());
+        runner.run_until_all_accept(100).unwrap();
+        assert!(runner.states().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn from_network_adopts_registers() {
+        let g = path_graph(5, 0);
+        let mut net = Network::new(&MinId, g);
+        net.set_state(NodeId(4), 99);
+        let runner = ParallelSyncRunner::from_network(&MinId, &net, 2);
+        assert_eq!(runner.state(NodeId(4)), &99);
+        let back = runner.into_network();
+        assert_eq!(back.state(NodeId(4)), &99);
+    }
+
+    #[test]
+    fn run_until_counts_and_times_out() {
+        let g = path_graph(6, 0);
+        let mut runner = ParallelSyncRunner::new(&MinId, g, 2);
+        assert_eq!(runner.run_until(2, |_| false), None);
+        assert_eq!(runner.rounds(), 2);
+        assert_eq!(runner.run_until(10, |_| true), Some(0));
+    }
+}

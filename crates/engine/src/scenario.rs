@@ -1,0 +1,493 @@
+//! Scenario specification: one API over graph family × fault plan × daemon.
+//!
+//! A [`ScenarioSpec`] bundles everything that defines an execution-engine
+//! workload — the topology family and its size, the schedule (synchronous
+//! rounds or an asynchronous daemon with a batch width), the thread count,
+//! and a list of [`FaultBurst`]s to inject mid-run — so examples, benches
+//! and tests can describe diverse runs declaratively and reproducibly (the
+//! whole scenario derives from explicit seeds).
+
+use crate::parallel_sync::ParallelSyncRunner;
+use crate::sharded_async::ShardedAsyncRunner;
+use smst_graph::generators::{
+    caterpillar_graph, complete_graph, expander_graph, grid_graph, path_graph,
+    random_connected_graph, ring_graph, star_graph,
+};
+use smst_graph::{NodeId, WeightedGraph};
+use smst_sim::{Daemon, FaultPlan, Network, NodeProgram};
+
+/// The topology families a scenario can run on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphFamily {
+    /// A path on `n` nodes.
+    Path {
+        /// Node count.
+        n: usize,
+    },
+    /// A ring on `n` nodes.
+    Ring {
+        /// Node count.
+        n: usize,
+    },
+    /// A `rows × cols` grid.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// A star with `n − 1` leaves.
+    Star {
+        /// Node count.
+        n: usize,
+    },
+    /// A caterpillar with `spine` spine nodes and `legs` leaves each.
+    Caterpillar {
+        /// Spine length.
+        spine: usize,
+        /// Leaves per spine node.
+        legs: usize,
+    },
+    /// A random connected graph with `n` nodes and ≈ `m` edges.
+    RandomConnected {
+        /// Node count.
+        n: usize,
+        /// Approximate edge count.
+        m: usize,
+    },
+    /// A random circulant expander of the given (even) degree.
+    Expander {
+        /// Node count.
+        n: usize,
+        /// Target degree.
+        degree: usize,
+    },
+    /// The complete graph on `n` nodes.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+}
+
+impl GraphFamily {
+    /// Builds the graph of this family with the given seed.
+    pub fn build(&self, seed: u64) -> WeightedGraph {
+        match *self {
+            GraphFamily::Path { n } => path_graph(n, seed),
+            GraphFamily::Ring { n } => ring_graph(n, seed),
+            GraphFamily::Grid { rows, cols } => grid_graph(rows, cols, seed),
+            GraphFamily::Star { n } => star_graph(n, seed),
+            GraphFamily::Caterpillar { spine, legs } => caterpillar_graph(spine, legs, seed),
+            GraphFamily::RandomConnected { n, m } => random_connected_graph(n, m, seed),
+            GraphFamily::Expander { n, degree } => expander_graph(n, degree, seed),
+            GraphFamily::Complete { n } => complete_graph(n, seed),
+        }
+    }
+
+    /// The number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            GraphFamily::Path { n }
+            | GraphFamily::Ring { n }
+            | GraphFamily::Star { n }
+            | GraphFamily::RandomConnected { n, .. }
+            | GraphFamily::Expander { n, .. }
+            | GraphFamily::Complete { n } => n,
+            GraphFamily::Grid { rows, cols } => rows * cols,
+            GraphFamily::Caterpillar { spine, legs } => spine * (1 + legs),
+        }
+    }
+}
+
+/// A transient-fault burst: at the start of step `at`, corrupt `count`
+/// random registers (chosen with `seed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultBurst {
+    /// The step (round / time unit) before which the burst fires.
+    pub at: usize,
+    /// How many distinct nodes are hit.
+    pub count: usize,
+    /// Node-selection seed.
+    pub seed: u64,
+}
+
+/// The schedule a scenario runs under.
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// Lock-step synchronous rounds ([`ParallelSyncRunner`]).
+    Sync,
+    /// Daemon-driven batches ([`ShardedAsyncRunner`]).
+    Async {
+        /// The activation daemon.
+        daemon: Daemon,
+        /// Simultaneous activations per batch.
+        batch: usize,
+    },
+}
+
+/// When a scenario run ends (always bounded by the step budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run the full step budget.
+    Steps,
+    /// Stop at the first alarm ([`smst_sim::Verdict::Reject`]).
+    FirstAlarm,
+    /// Stop once every node accepts.
+    AllAccept,
+}
+
+/// A declarative description of one engine run.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Topology family.
+    pub family: GraphFamily,
+    /// Graph seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Synchronous or asynchronous execution.
+    pub schedule: Schedule,
+    /// Fault bursts, in firing order.
+    pub faults: Vec<FaultBurst>,
+    /// Termination condition (checked after every step).
+    pub until: StopCondition,
+}
+
+impl ScenarioSpec {
+    /// A synchronous, fault-free scenario on one thread.
+    pub fn new(family: GraphFamily) -> Self {
+        ScenarioSpec {
+            family,
+            seed: 0,
+            threads: 1,
+            schedule: Schedule::Sync,
+            faults: Vec::new(),
+            until: StopCondition::Steps,
+        }
+    }
+
+    /// Sets the graph seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Switches to an asynchronous schedule.
+    pub fn asynchronous(mut self, daemon: Daemon, batch: usize) -> Self {
+        self.schedule = Schedule::Async {
+            daemon,
+            batch: batch.max(1),
+        };
+        self
+    }
+
+    /// Adds a fault burst.
+    pub fn fault_burst(mut self, at: usize, count: usize, seed: u64) -> Self {
+        self.faults.push(FaultBurst { at, count, seed });
+        self
+    }
+
+    /// Sets the termination condition.
+    pub fn until(mut self, until: StopCondition) -> Self {
+        self.until = until;
+        self
+    }
+
+    /// Builds the scenario's graph.
+    pub fn build_graph(&self) -> WeightedGraph {
+        self.family.build(self.seed)
+    }
+
+    /// Runs the scenario: `program` over the built graph for at most
+    /// `max_steps` steps, corrupting burst-selected registers with
+    /// `corrupt`.
+    ///
+    /// Returns the final registers (as a sequential [`Network`] for
+    /// interop) plus a [`ScenarioReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`FaultBurst`] is scheduled at or after `max_steps` —
+    /// such a burst could never fire, and silently dropping it would make a
+    /// misconfigured fault scenario look like a passing fault-free one.
+    pub fn run<P, F>(&self, program: &P, mut corrupt: F, max_steps: usize) -> ScenarioOutcome<P>
+    where
+        P: NodeProgram + Sync,
+        P::State: Send + Sync,
+        F: FnMut(NodeId, &mut P::State),
+    {
+        if let Some(burst) = self.faults.iter().find(|b| b.at >= max_steps) {
+            panic!(
+                "fault burst at step {} can never fire within the {max_steps}-step budget",
+                burst.at
+            );
+        }
+        let graph = self.build_graph();
+        let n = graph.node_count();
+        // alarms and recovery are measured from the first burst; in a
+        // fault-free scenario they are measured from the start of the run
+        let measure_from = self.faults.iter().map(|b| b.at).min().unwrap_or(0);
+        let mut injected = 0usize;
+        let mut first_alarm = None;
+        let mut recovered = None;
+        let mut steps_run = 0usize;
+
+        macro_rules! drive {
+            ($runner:ident, $step:ident) => {{
+                for step in 0..max_steps {
+                    for burst in self.faults.iter().filter(|b| b.at == step) {
+                        let plan = FaultPlan::random(n, burst.count.min(n), burst.seed);
+                        for &v in plan.nodes() {
+                            corrupt(v, $runner.state_mut(v));
+                        }
+                        injected += plan.len();
+                    }
+                    $runner.$step();
+                    steps_run = step + 1;
+                    let measuring = step >= measure_from;
+                    if first_alarm.is_none() && measuring && $runner.any_alarm() {
+                        first_alarm = Some(step + 1 - measure_from);
+                    }
+                    match self.until {
+                        StopCondition::Steps => {}
+                        StopCondition::FirstAlarm => {
+                            if first_alarm.is_some() {
+                                break;
+                            }
+                        }
+                        StopCondition::AllAccept => {
+                            // never stop while bursts are still scheduled:
+                            // converging before the burst would otherwise
+                            // silently skip the configured faults
+                            let bursts_pending = self.faults.iter().any(|b| b.at > step);
+                            if $runner.all_accept() && !bursts_pending {
+                                if measuring {
+                                    recovered = Some(step + 1 - measure_from);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+                let all_accept = $runner.all_accept();
+                (($runner).into_network(), all_accept)
+            }};
+        }
+
+        let (network, all_accept) = match &self.schedule {
+            Schedule::Sync => {
+                let mut runner = ParallelSyncRunner::new(program, graph, self.threads);
+                drive!(runner, step_round)
+            }
+            Schedule::Async { daemon, batch } => {
+                let mut runner =
+                    ShardedAsyncRunner::new(program, graph, daemon.clone(), *batch, self.threads);
+                drive!(runner, step_time_unit)
+            }
+        };
+
+        ScenarioOutcome {
+            report: ScenarioReport {
+                node_count: n,
+                steps_run,
+                injected_faults: injected,
+                first_alarm,
+                recovered,
+                all_accept,
+            },
+            network,
+        }
+    }
+}
+
+/// What happened during a scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Node count of the built graph.
+    pub node_count: usize,
+    /// Steps actually executed.
+    pub steps_run: usize,
+    /// Total registers corrupted by bursts.
+    pub injected_faults: usize,
+    /// Steps from the first burst (or from the start of a fault-free run)
+    /// to the first alarm, if any.
+    pub first_alarm: Option<usize>,
+    /// Steps from the first burst (or from the start of a fault-free run)
+    /// until every node accepted (only recorded under
+    /// [`StopCondition::AllAccept`]).
+    pub recovered: Option<usize>,
+    /// Whether every node accepted at the end of the run.
+    pub all_accept: bool,
+}
+
+/// Final registers plus the run report.
+#[derive(Debug)]
+pub struct ScenarioOutcome<P: NodeProgram> {
+    /// The run report.
+    pub report: ScenarioReport,
+    /// The final configuration.
+    pub network: Network<P>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::MinIdFlood;
+    use smst_sim::Verdict;
+
+    #[test]
+    fn family_node_counts_match_built_graphs() {
+        let families = [
+            GraphFamily::Path { n: 9 },
+            GraphFamily::Ring { n: 8 },
+            GraphFamily::Grid { rows: 3, cols: 4 },
+            GraphFamily::Star { n: 7 },
+            GraphFamily::Caterpillar { spine: 3, legs: 2 },
+            GraphFamily::RandomConnected { n: 15, m: 30 },
+            GraphFamily::Expander { n: 20, degree: 4 },
+            GraphFamily::Complete { n: 6 },
+        ];
+        for family in families {
+            let g = family.build(3);
+            assert_eq!(g.node_count(), family.node_count(), "{family:?}");
+            assert!(g.is_connected(), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn sync_scenario_recovers_from_burst() {
+        let spec = ScenarioSpec::new(GraphFamily::Expander { n: 60, degree: 4 })
+            .seed(5)
+            .threads(3)
+            .fault_burst(4, 10, 99)
+            .until(StopCondition::AllAccept);
+        let outcome = spec.run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 500);
+        assert_eq!(outcome.report.injected_faults, 10);
+        assert!(outcome.report.all_accept, "flood must heal after the burst");
+        assert!(outcome.report.recovered.is_some());
+        assert!(outcome.network.states().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn burst_scheduled_after_convergence_still_fires() {
+        // the flood converges in ~3 steps; the burst at step 40 must still
+        // fire (the AllAccept stop waits for pending bursts) and recovery
+        // must be measured from it
+        let spec = ScenarioSpec::new(GraphFamily::Path { n: 5 })
+            .seed(2)
+            .fault_burst(40, 3, 8)
+            .until(StopCondition::AllAccept);
+        let outcome = spec.run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 200);
+        assert_eq!(outcome.report.injected_faults, 3);
+        assert!(outcome.report.all_accept);
+        assert!(outcome.report.recovered.is_some());
+        assert!(outcome.report.steps_run > 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fire")]
+    fn burst_beyond_the_step_budget_is_rejected() {
+        let spec = ScenarioSpec::new(GraphFamily::Path { n: 4 })
+            .fault_burst(40, 2, 1)
+            .until(StopCondition::AllAccept);
+        let _ = spec.run(&MinIdFlood::new(0), |_v, s| *s = 1, 30);
+    }
+
+    #[test]
+    fn async_scenario_runs_and_reports() {
+        let spec = ScenarioSpec::new(GraphFamily::RandomConnected { n: 30, m: 70 })
+            .seed(2)
+            .threads(2)
+            .asynchronous(
+                Daemon::Random {
+                    seed: 4,
+                    extra_factor: 1,
+                },
+                4,
+            )
+            .until(StopCondition::AllAccept);
+        let outcome = spec.run(&MinIdFlood::new(0), |_v, s| *s = 1, 200);
+        assert!(outcome.report.all_accept);
+        assert_eq!(outcome.report.injected_faults, 0);
+        assert!(outcome.report.steps_run <= 200);
+    }
+
+    #[test]
+    fn scenarios_are_reproducible() {
+        let spec = ScenarioSpec::new(GraphFamily::RandomConnected { n: 40, m: 90 })
+            .seed(8)
+            .threads(4)
+            .fault_burst(2, 6, 3);
+        let a = spec.run(&MinIdFlood::new(0), |_v, s| *s ^= 0xFFFF, 20);
+        let b = spec.run(&MinIdFlood::new(0), |_v, s| *s ^= 0xFFFF, 20);
+        assert_eq!(a.network.states(), b.network.states());
+        assert_eq!(a.report.injected_faults, b.report.injected_faults);
+    }
+
+    #[test]
+    fn alarm_stop_condition_reports_detection() {
+        // a one-node "program" that rejects as soon as its register is
+        // nonzero: detection must be exactly 1 step after the burst
+        struct RejectNonZero;
+        impl NodeProgram for RejectNonZero {
+            type State = u64;
+            fn init(&self, _ctx: &smst_sim::NodeContext) -> u64 {
+                0
+            }
+            fn step(&self, _ctx: &smst_sim::NodeContext, own: &u64, _n: &[&u64]) -> u64 {
+                *own
+            }
+            fn verdict(&self, _ctx: &smst_sim::NodeContext, state: &u64) -> Verdict {
+                if *state == 0 {
+                    Verdict::Accept
+                } else {
+                    Verdict::Reject
+                }
+            }
+        }
+        let spec = ScenarioSpec::new(GraphFamily::Ring { n: 12 })
+            .fault_burst(3, 2, 7)
+            .until(StopCondition::FirstAlarm);
+        let outcome = spec.run(&RejectNonZero, |_v, s| *s = 9, 50);
+        assert_eq!(outcome.report.first_alarm, Some(1));
+        assert_eq!(outcome.report.steps_run, 4);
+
+        // fault-free scenario: an initial configuration that already rejects
+        // must still be reported and must still stop the run
+        struct RejectFromInit;
+        impl NodeProgram for RejectFromInit {
+            type State = u64;
+            fn init(&self, ctx: &smst_sim::NodeContext) -> u64 {
+                ctx.id // nonzero everywhere except the leader
+            }
+            fn step(&self, _ctx: &smst_sim::NodeContext, own: &u64, _n: &[&u64]) -> u64 {
+                *own
+            }
+            fn verdict(&self, _ctx: &smst_sim::NodeContext, state: &u64) -> Verdict {
+                if *state == 0 {
+                    Verdict::Accept
+                } else {
+                    Verdict::Reject
+                }
+            }
+        }
+        let spec = ScenarioSpec::new(GraphFamily::Ring { n: 12 }).until(StopCondition::FirstAlarm);
+        let mut poisoned = false;
+        let outcome = spec.run(
+            &RejectFromInit,
+            |_v, _s| {
+                poisoned = true;
+            },
+            50,
+        );
+        assert!(!poisoned, "no bursts configured, no corruption expected");
+        assert_eq!(outcome.report.first_alarm, Some(1));
+        assert_eq!(outcome.report.steps_run, 1);
+    }
+}

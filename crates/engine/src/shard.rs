@@ -1,0 +1,134 @@
+//! Shards: contiguous node ranges with balanced round work.
+//!
+//! A synchronous round under double-buffered registers is an embarrassingly
+//! parallel map, so the only scheduling question is how to split the node
+//! range. Splitting by *node count* is wrong on skewed-degree graphs (one
+//! shard inherits the hubs); [`partition_balanced`] instead splits by the
+//! CSR **work prefix** (adjacency entries + nodes), so every shard performs
+//! roughly the same number of register reads and writes per round.
+
+use crate::topology::CsrTopology;
+
+/// A contiguous range `[start, end)` of dense node indices owned by one
+/// worker thread for the duration of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// First node of the shard.
+    pub start: usize,
+    /// One past the last node of the shard.
+    pub end: usize,
+}
+
+impl Shard {
+    /// Number of nodes in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the shard owns no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The dense node indices of the shard.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Splits `0..n` into at most `count` non-empty shards whose per-round work
+/// (register reads + writes, as measured by [`CsrTopology::work`]) is as
+/// even as contiguity allows.
+///
+/// Returns fewer than `count` shards when the graph is too small to fill
+/// them. Always returns at least one shard when the graph is non-empty.
+pub fn partition_balanced(topo: &CsrTopology, count: usize) -> Vec<Shard> {
+    let n = topo.node_count();
+    let count = count.max(1);
+    if n == 0 {
+        return vec![Shard { start: 0, end: 0 }];
+    }
+    let total = topo.total_work();
+    let mut shards = Vec::with_capacity(count);
+    let mut start = 0usize;
+    for k in 0..count {
+        if start >= n {
+            break;
+        }
+        // ideal cumulative work at the end of shard k
+        let target = total * (k + 1) / count;
+        let mut end = if k + 1 == count { n } else { start + 1 };
+        while end < n && topo.work_prefix(end) < target {
+            end += 1;
+        }
+        shards.push(Shard { start, end });
+        start = end;
+    }
+    if let Some(last) = shards.last_mut() {
+        last.end = n;
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_graph::generators::{random_connected_graph, star_graph};
+
+    fn work_of(topo: &CsrTopology, s: &Shard) -> usize {
+        s.nodes().map(|v| topo.work(v)).sum()
+    }
+
+    #[test]
+    fn shards_cover_the_range_exactly_once() {
+        let g = random_connected_graph(101, 300, 3);
+        let topo = CsrTopology::build(&g);
+        for count in [1, 2, 3, 7, 16, 200] {
+            let shards = partition_balanced(&topo, count);
+            assert!(shards.len() <= count.max(1));
+            assert_eq!(shards.first().unwrap().start, 0);
+            assert_eq!(shards.last().unwrap().end, 101);
+            for w in shards.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            assert!(shards.iter().all(|s| !s.is_empty()));
+        }
+    }
+
+    #[test]
+    fn work_is_roughly_balanced() {
+        let g = random_connected_graph(4000, 12000, 5);
+        let topo = CsrTopology::build(&g);
+        let shards = partition_balanced(&topo, 8);
+        assert_eq!(shards.len(), 8);
+        let works: Vec<usize> = shards.iter().map(|s| work_of(&topo, s)).collect();
+        let avg = topo.total_work() / 8;
+        for w in &works {
+            assert!(
+                *w > avg / 2 && *w < avg * 2,
+                "shard work {w} too far from average {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn hub_graph_does_not_collapse_into_one_shard() {
+        // star: node 0 carries half the work; remaining shards still split
+        // the leaves
+        let g = star_graph(1000, 2);
+        let topo = CsrTopology::build(&g);
+        let shards = partition_balanced(&topo, 4);
+        assert!(shards.len() >= 2);
+        assert_eq!(shards.first().unwrap().start, 0);
+        assert_eq!(shards.last().unwrap().end, 1000);
+    }
+
+    #[test]
+    fn more_shards_than_nodes() {
+        let g = random_connected_graph(3, 3, 1);
+        let topo = CsrTopology::build(&g);
+        let shards = partition_balanced(&topo, 64);
+        assert_eq!(shards.iter().map(Shard::len).sum::<usize>(), 3);
+        assert!(shards.len() <= 3);
+    }
+}

@@ -1,0 +1,439 @@
+//! The sharded asynchronous executor: daemon-driven batches of activations.
+//!
+//! The sequential [`AsyncRunner`](smst_sim::AsyncRunner) activates one node
+//! at a time. [`ShardedAsyncRunner`] generalizes the central daemon to the
+//! standard **distributed daemon**: each time unit is a seeded-RNG-derived
+//! activation sequence (identical to the sequential daemon's), executed in
+//! consecutive *batches* of `batch` activations. All activations of a batch
+//! read the registers as they were at the start of the batch — they are
+//! simultaneous — and a batch is computed in parallel across worker threads.
+//!
+//! # Determinism
+//!
+//! The schedule is a pure function of `(daemon, n, unit_index)` — the RNG
+//! is re-seeded per unit from the daemon's seed, never from wall-clock or
+//! thread identity — and batch results are pure functions of the pre-batch
+//! registers. Runs are therefore **bit-for-bit reproducible at any thread
+//! count**; only the `batch` parameter (part of the schedule's semantics,
+//! not of its execution) changes outcomes. With `batch == 1` the runner
+//! reproduces the sequential [`AsyncRunner`](smst_sim::AsyncRunner)
+//! activation-for-activation, which `tests/` pins differentially.
+
+use crate::topology::CsrTopology;
+use smst_graph::{NodeId, WeightedGraph};
+use smst_sim::{Daemon, FaultPlan, Network, NodeContext, NodeProgram, Verdict};
+
+/// One time unit's activation sequence, as dense `u32` indices.
+///
+/// Delegates to [`Daemon::schedule`] — the single source of truth shared
+/// with the sequential runner — so `batch == 1` replays it by construction.
+fn schedule(daemon: &Daemon, n: usize, unit_index: usize) -> Vec<u32> {
+    daemon
+        .schedule(n, unit_index)
+        .into_iter()
+        .map(|v| v.index() as u32)
+        .collect()
+}
+
+/// Runs a [`NodeProgram`] under an asynchronous daemon, executing each time
+/// unit's schedule in parallel batches.
+#[derive(Debug)]
+pub struct ShardedAsyncRunner<'p, P: NodeProgram> {
+    program: &'p P,
+    graph: WeightedGraph,
+    topo: CsrTopology,
+    contexts: Vec<NodeContext>,
+    states: Vec<P::State>,
+    daemon: Daemon,
+    batch: usize,
+    threads: usize,
+    time_units: usize,
+    activations: usize,
+}
+
+impl<'p, P> ShardedAsyncRunner<'p, P>
+where
+    P: NodeProgram + Sync,
+    P::State: Send + Sync,
+{
+    /// Creates a runner with program-initialized registers.
+    ///
+    /// `batch` is the number of simultaneous activations per step (`1`
+    /// replays the central daemon); `threads` only affects wall-clock.
+    pub fn new(
+        program: &'p P,
+        graph: WeightedGraph,
+        daemon: Daemon,
+        batch: usize,
+        threads: usize,
+    ) -> Self {
+        let contexts: Vec<NodeContext> = graph
+            .nodes()
+            .map(|v| NodeContext::for_node(&graph, v))
+            .collect();
+        let states: Vec<P::State> = contexts.iter().map(|ctx| program.init(ctx)).collect();
+        let topo = CsrTopology::build(&graph);
+        ShardedAsyncRunner {
+            program,
+            graph,
+            topo,
+            contexts,
+            states,
+            daemon,
+            batch: batch.max(1),
+            threads: threads.max(1),
+            time_units: 0,
+            activations: 0,
+        }
+    }
+
+    /// Normalized asynchronous time units elapsed so far.
+    pub fn time_units(&self) -> usize {
+        self.time_units
+    }
+
+    /// Raw single-node activations executed so far.
+    pub fn activations(&self) -> usize {
+        self.activations
+    }
+
+    /// The batch size (simultaneous activations per step).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The graph being executed.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    /// All registers, indexed by dense node id.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The register of one node.
+    pub fn state(&self, v: NodeId) -> &P::State {
+        &self.states[v.index()]
+    }
+
+    /// Mutable access to one register (fault injection).
+    pub fn state_mut(&mut self, v: NodeId) -> &mut P::State {
+        &mut self.states[v.index()]
+    }
+
+    /// The static context of a node.
+    pub fn context(&self, v: NodeId) -> &NodeContext {
+        &self.contexts[v.index()]
+    }
+
+    /// The nodes currently raising an alarm.
+    pub fn alarming_nodes(&self) -> Vec<NodeId> {
+        self.contexts
+            .iter()
+            .zip(&self.states)
+            .enumerate()
+            .filter(|(_, (ctx, s))| self.program.verdict(ctx, s) == Verdict::Reject)
+            .map(|(v, _)| NodeId(v))
+            .collect()
+    }
+
+    /// Applies a [`FaultPlan`] through a caller-supplied mutator.
+    pub fn apply_faults<F>(&mut self, plan: &FaultPlan, mut mutate: F)
+    where
+        F: FnMut(NodeId, &mut P::State),
+    {
+        for &v in plan.nodes() {
+            mutate(v, &mut self.states[v.index()]);
+        }
+    }
+
+    /// Consumes the runner, returning a sequential [`Network`] holding the
+    /// final registers.
+    pub fn into_network(self) -> Network<P> {
+        Network::with_states(self.graph, self.states)
+    }
+
+    /// Executes one batch of simultaneous activations.
+    fn activate_batch(&mut self, chunk: &[u32]) {
+        // all reads are pre-batch: the next states are fully computed before
+        // any register is written, so results do not depend on the worker
+        // split (which is why the spawn threshold cannot change outcomes,
+        // only wall-clock)
+        let computed: Vec<P::State> = if self.threads == 1 || chunk.len() < PARALLEL_BATCH_MIN {
+            compute_nodes(
+                self.program,
+                &self.topo,
+                &self.contexts,
+                &self.states,
+                chunk,
+            )
+        } else {
+            let pieces = self.threads.min(chunk.len());
+            let (program, topo) = (self.program, &self.topo);
+            let (contexts, states) = (&self.contexts, &self.states);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..pieces)
+                    .map(|k| {
+                        let lo = chunk.len() * k / pieces;
+                        let hi = chunk.len() * (k + 1) / pieces;
+                        let piece = &chunk[lo..hi];
+                        scope.spawn(move || compute_nodes(program, topo, contexts, states, piece))
+                    })
+                    .collect();
+                let mut all = Vec::with_capacity(chunk.len());
+                for handle in handles {
+                    all.extend(handle.join().expect("engine worker panicked"));
+                }
+                all
+            })
+        };
+        for (&v, value) in chunk.iter().zip(computed) {
+            self.states[v as usize] = value;
+        }
+        self.activations += chunk.len();
+    }
+
+    /// Executes one normalized time unit (every node activated at least
+    /// once, in daemon-chosen batches).
+    pub fn step_time_unit(&mut self) {
+        let order = schedule(&self.daemon, self.topo.node_count(), self.time_units);
+        for chunk in order.chunks(self.batch) {
+            self.activate_batch(chunk);
+        }
+        self.time_units += 1;
+    }
+
+    /// Executes `count` time units.
+    pub fn run_time_units(&mut self, count: usize) {
+        for _ in 0..count {
+            self.step_time_unit();
+        }
+    }
+
+    /// Runs until `stop` holds (checked after every time unit) or until
+    /// `max_units` additional units have elapsed.
+    pub fn run_until<F>(&mut self, max_units: usize, mut stop: F) -> Option<usize>
+    where
+        F: FnMut(&[P::State]) -> bool,
+    {
+        if stop(&self.states) {
+            return Some(0);
+        }
+        for executed in 1..=max_units {
+            self.step_time_unit();
+            if stop(&self.states) {
+                return Some(executed);
+            }
+        }
+        None
+    }
+
+    /// `true` if at least one node raises an alarm.
+    pub fn any_alarm(&self) -> bool {
+        self.contexts
+            .iter()
+            .zip(&self.states)
+            .any(|(ctx, s)| self.program.verdict(ctx, s) == Verdict::Reject)
+    }
+
+    /// `true` if every node accepts.
+    pub fn all_accept(&self) -> bool {
+        self.contexts
+            .iter()
+            .zip(&self.states)
+            .all(|(ctx, s)| self.program.verdict(ctx, s) == Verdict::Accept)
+    }
+
+    /// Runs until some node raises an alarm; returns the detection time in
+    /// time units.
+    pub fn run_until_alarm(&mut self, max_units: usize) -> Option<usize> {
+        if self.any_alarm() {
+            return Some(0);
+        }
+        for executed in 1..=max_units {
+            self.step_time_unit();
+            if self.any_alarm() {
+                return Some(executed);
+            }
+        }
+        None
+    }
+
+    /// Runs until every node accepts.
+    pub fn run_until_all_accept(&mut self, max_units: usize) -> Option<usize> {
+        if self.all_accept() {
+            return Some(0);
+        }
+        for executed in 1..=max_units {
+            self.step_time_unit();
+            if self.all_accept() {
+                return Some(executed);
+            }
+        }
+        None
+    }
+}
+
+/// Smallest batch worth spawning worker threads for: below this, the
+/// per-batch thread-launch cost (tens of µs) exceeds the step work and the
+/// inline sweep is faster. Thread splits never affect results, so this is
+/// purely a wall-clock knob.
+const PARALLEL_BATCH_MIN: usize = 1024;
+
+/// Computes the next registers of the given nodes from the current
+/// (pre-batch) registers.
+fn compute_nodes<P: NodeProgram>(
+    program: &P,
+    topo: &CsrTopology,
+    contexts: &[NodeContext],
+    states: &[P::State],
+    nodes: &[u32],
+) -> Vec<P::State> {
+    let mut buf: Vec<&P::State> = Vec::with_capacity(16);
+    nodes
+        .iter()
+        .map(|&v| {
+            let v = v as usize;
+            buf.clear();
+            buf.extend(topo.neighbors_of(v).iter().map(|&u| &states[u as usize]));
+            program.step(&contexts[v], &states[v], &buf)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_graph::generators::{path_graph, random_connected_graph};
+    use smst_sim::AsyncRunner;
+
+    struct MinId;
+
+    impl NodeProgram for MinId {
+        type State = u64;
+        fn init(&self, ctx: &NodeContext) -> u64 {
+            ctx.id
+        }
+        fn step(&self, _ctx: &NodeContext, own: &u64, neighbors: &[&u64]) -> u64 {
+            neighbors.iter().fold(*own, |acc, &&x| acc.min(x))
+        }
+        fn verdict(&self, _ctx: &NodeContext, state: &u64) -> Verdict {
+            if *state == 0 {
+                Verdict::Accept
+            } else {
+                Verdict::Working
+            }
+        }
+    }
+
+    #[test]
+    fn batch_one_replays_the_sequential_daemon() {
+        let g = random_connected_graph(25, 60, 3);
+        for daemon in [
+            Daemon::RoundRobin,
+            Daemon::Random {
+                seed: 5,
+                extra_factor: 2,
+            },
+            Daemon::Adversarial {
+                pivot: 3,
+                pivot_repeats: 4,
+            },
+        ] {
+            let mut seq = AsyncRunner::new(&MinId, Network::new(&MinId, g.clone()), daemon.clone());
+            let mut par = ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), 1, 4);
+            for unit in 0..6 {
+                assert_eq!(
+                    par.states(),
+                    seq.network().states(),
+                    "{daemon:?}, unit {unit}"
+                );
+                seq.step_time_unit();
+                par.step_time_unit();
+            }
+            assert_eq!(par.activations(), seq.activations(), "{daemon:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_path_is_identical_across_thread_counts() {
+        // batch >= PARALLEL_BATCH_MIN so the scoped-thread split actually
+        // executes; with the RoundRobin daemon and batch = n, one time unit
+        // is one synchronous round, which the sequential SyncRunner pins
+        let n = 3000;
+        let g = random_connected_graph(n, 8000, 12);
+        let batch = n; // > PARALLEL_BATCH_MIN
+        assert!(batch >= super::PARALLEL_BATCH_MIN);
+        let mut sync = smst_sim::SyncRunner::new(&MinId, Network::new(&MinId, g.clone()));
+        let mut single = ShardedAsyncRunner::new(&MinId, g.clone(), Daemon::RoundRobin, batch, 1);
+        let mut multi = ShardedAsyncRunner::new(&MinId, g.clone(), Daemon::RoundRobin, batch, 4);
+        for unit in 0..4 {
+            sync.step_round();
+            single.step_time_unit();
+            multi.step_time_unit();
+            assert_eq!(
+                multi.states(),
+                single.states(),
+                "thread split changed results at unit {unit}"
+            );
+            assert_eq!(
+                multi.states(),
+                sync.network().states(),
+                "full-batch round-robin diverged from a synchronous round at unit {unit}"
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_identical_at_any_thread_count() {
+        let g = random_connected_graph(40, 100, 8);
+        let daemon = Daemon::Random {
+            seed: 13,
+            extra_factor: 1,
+        };
+        let mut reference = ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), 8, 1);
+        reference.run_time_units(5);
+        for threads in [2, 3, 4, 9] {
+            let mut runner = ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), 8, threads);
+            runner.run_time_units(5);
+            assert_eq!(
+                runner.states(),
+                reference.states(),
+                "thread count {threads} changed the outcome"
+            );
+            assert_eq!(runner.activations(), reference.activations());
+        }
+    }
+
+    #[test]
+    fn converges_under_every_daemon() {
+        let g = path_graph(12, 0);
+        for daemon in [
+            Daemon::RoundRobin,
+            Daemon::Random {
+                seed: 3,
+                extra_factor: 2,
+            },
+            Daemon::Adversarial {
+                pivot: 11,
+                pivot_repeats: 2,
+            },
+        ] {
+            let mut runner = ShardedAsyncRunner::new(&MinId, g.clone(), daemon, 4, 3);
+            let t = runner.run_until_all_accept(50).unwrap();
+            assert!(t <= 12);
+        }
+    }
+
+    #[test]
+    fn fault_injection_heals() {
+        let g = random_connected_graph(20, 50, 4);
+        let mut runner = ShardedAsyncRunner::new(&MinId, g, Daemon::RoundRobin, 5, 2);
+        runner.run_until_all_accept(30).unwrap();
+        let plan = FaultPlan::random(20, 4, 1);
+        runner.apply_faults(&plan, |_v, s| *s = 77);
+        assert!(!runner.all_accept());
+        assert!(runner.run_until_all_accept(30).is_some());
+    }
+}

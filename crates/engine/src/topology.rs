@@ -1,0 +1,135 @@
+//! A compressed-sparse-row (CSR) view of a [`WeightedGraph`].
+//!
+//! The simulator's [`smst_graph::WeightedGraph`] stores one incidence `Vec`
+//! per node — flexible for graph construction, but cache-hostile when a
+//! million-node round has to walk every adjacency list. [`CsrTopology`]
+//! flattens the port-ordered neighbour indices into two arrays so a round is
+//! a single linear sweep: `neighbors[offsets[v]..offsets[v + 1]]` are the
+//! dense indices of `v`'s neighbours, **in port order** (port `p` of `v` is
+//! entry `offsets[v] + p`), matching the `neighbors` slice order that
+//! [`smst_sim::NodeProgram::step`] expects.
+
+use smst_graph::{NodeId, WeightedGraph};
+
+/// Flattened, port-ordered adjacency of a graph, indexed by dense node id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrTopology {
+    /// `offsets[v]..offsets[v + 1]` delimits `v`'s neighbour slice.
+    offsets: Vec<usize>,
+    /// Dense index of the neighbour behind each port, node-major, port order.
+    neighbors: Vec<u32>,
+}
+
+impl CsrTopology {
+    /// Builds the CSR index of a graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` nodes (the engine packs
+    /// neighbour indices into 32 bits to halve the index's footprint).
+    pub fn build(graph: &WeightedGraph) -> Self {
+        let n = graph.node_count();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "CsrTopology supports at most 2^32 - 1 nodes"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for v in graph.nodes() {
+            for &e in graph.incident_edges(v) {
+                neighbors.push(graph.edge(e).other(v).index() as u32);
+            }
+            offsets.push(neighbors.len());
+        }
+        CsrTopology { offsets, neighbors }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The dense neighbour indices of node `v`, in port order.
+    pub fn neighbors_of(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Total number of directed adjacency entries (`2·m`).
+    pub fn entry_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The work weight of node `v` used for shard balancing: reading all
+    /// neighbour registers plus rewriting one's own.
+    pub fn work(&self, v: usize) -> usize {
+        self.degree(v) + 1
+    }
+
+    /// Prefix of total work up to (excluding) node `v`; used by the
+    /// balanced partitioner.
+    pub fn work_prefix(&self, v: usize) -> usize {
+        self.offsets[v] + v
+    }
+
+    /// Total work of a full round.
+    pub fn total_work(&self) -> usize {
+        self.entry_count() + self.node_count()
+    }
+}
+
+/// Convenience: the [`NodeId`]s of a topology.
+pub fn node_ids(topo: &CsrTopology) -> impl Iterator<Item = NodeId> + '_ {
+    (0..topo.node_count()).map(NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_graph::generators::{path_graph, random_connected_graph, star_graph};
+
+    #[test]
+    fn csr_matches_incidence_lists() {
+        let g = random_connected_graph(40, 120, 7);
+        let topo = CsrTopology::build(&g);
+        assert_eq!(topo.node_count(), 40);
+        assert_eq!(topo.entry_count(), 2 * g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(topo.degree(v.index()), g.degree(v));
+            let expected: Vec<u32> = g
+                .incident_edges(v)
+                .iter()
+                .map(|&e| g.edge(e).other(v).index() as u32)
+                .collect();
+            assert_eq!(topo.neighbors_of(v.index()), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn port_order_is_preserved() {
+        // star: centre's ports are 0..n-1 in leaf order
+        let g = star_graph(6, 1);
+        let topo = CsrTopology::build(&g);
+        assert_eq!(topo.neighbors_of(0), &[1, 2, 3, 4, 5]);
+        for leaf in 1..6 {
+            assert_eq!(topo.neighbors_of(leaf), &[0]);
+        }
+    }
+
+    #[test]
+    fn work_accounting() {
+        let g = path_graph(4, 0);
+        let topo = CsrTopology::build(&g);
+        // degrees 1, 2, 2, 1 → work 2, 3, 3, 2
+        assert_eq!(topo.total_work(), 10);
+        assert_eq!(topo.work(0), 2);
+        assert_eq!(topo.work(1), 3);
+        assert_eq!(topo.work_prefix(0), 0);
+        assert_eq!(topo.work_prefix(2), 5);
+    }
+}

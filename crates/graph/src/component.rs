@@ -13,7 +13,6 @@ use crate::error::GraphError;
 use crate::graph::{EdgeId, NodeId, Port, WeightedGraph};
 use crate::tree::RootedTree;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Per-node parent pointers representing a candidate subgraph distributively.
 ///
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// let tree = c.rooted_spanning_tree(&g).unwrap();
 /// assert_eq!(tree.root(), NodeId(0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ComponentMap {
     /// `pointer[v]` is the port at `v` through which `v` points at a
     /// neighbour, or `None` if `v` stores no pointer.
@@ -157,10 +156,7 @@ impl ComponentMap {
     ///
     /// Returns [`GraphError::NotASpanningTree`] if no valid root exists.
     pub fn designated_root(&self, g: &WeightedGraph) -> Result<NodeId> {
-        let pointerless: Vec<NodeId> = g
-            .nodes()
-            .filter(|&v| self.pointer[v.0].is_none())
-            .collect();
+        let pointerless: Vec<NodeId> = g.nodes().filter(|&v| self.pointer[v.0].is_none()).collect();
         match pointerless.len() {
             1 => Ok(pointerless[0]),
             0 => {
@@ -190,7 +186,8 @@ mod tests {
     fn path_graph(n: usize) -> WeightedGraph {
         let mut g = WeightedGraph::with_nodes(n);
         for i in 0..n - 1 {
-            g.add_edge(NodeId(i), NodeId(i + 1), (i + 1) as u64).unwrap();
+            g.add_edge(NodeId(i), NodeId(i + 1), (i + 1) as u64)
+                .unwrap();
         }
         g
     }

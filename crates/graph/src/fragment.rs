@@ -15,13 +15,12 @@
 use crate::graph::{EdgeId, NodeId, WeightedGraph};
 use crate::tree::RootedTree;
 use crate::weight::CompositeWeight;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// The identity of a fragment: the identity of its root node together with
 /// its level, exactly as in §3.4/§6 (`ID(F) = ID(r(F)) ∘ lev(F)`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FragmentId {
     /// Identity of the fragment's root node.
     pub root_id: u64,
@@ -36,7 +35,7 @@ impl fmt::Display for FragmentId {
 }
 
 /// A fragment: a connected subtree of the candidate tree, at a given level.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fragment {
     /// The nodes of the fragment.
     pub nodes: BTreeSet<NodeId>,
@@ -141,7 +140,7 @@ impl Fragment {
 ///
 /// Fragments are stored in a flat vector; `parent`/`children` encode the
 /// hierarchy-tree induced by containment.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Hierarchy {
     fragments: Vec<Fragment>,
     parent: Vec<Option<usize>>,
@@ -263,7 +262,11 @@ impl Hierarchy {
     /// 5. no two distinct fragments share both a node and a level.
     ///
     /// Returns a human-readable description of the first violation found.
-    pub fn validate(&self, g: &WeightedGraph, tree: &RootedTree) -> std::result::Result<(), String> {
+    pub fn validate(
+        &self,
+        g: &WeightedGraph,
+        tree: &RootedTree,
+    ) -> std::result::Result<(), String> {
         let n = g.node_count();
         let all: BTreeSet<NodeId> = g.nodes().collect();
         if !self.fragments.iter().any(|f| f.nodes == all) {
@@ -285,9 +288,7 @@ impl Hierarchy {
                 let b = &self.fragments[j].nodes;
                 let inter = a.intersection(b).count();
                 if inter > 0 && !(a.is_subset(b) || b.is_subset(a)) {
-                    return Err(format!(
-                        "fragments {i} and {j} overlap without containment"
-                    ));
+                    return Err(format!("fragments {i} and {j} overlap without containment"));
                 }
             }
         }
@@ -305,9 +306,7 @@ impl Hierarchy {
                 return Err(format!("fragment {i} is not a connected subtree"));
             }
             for (j, f2) in self.fragments.iter().enumerate() {
-                if i < j
-                    && f.level == f2.level
-                    && f.nodes.intersection(&f2.nodes).next().is_some()
+                if i < j && f.level == f2.level && f.nodes.intersection(&f2.nodes).next().is_some()
                 {
                     return Err(format!(
                         "fragments {i} and {j} share a node at the same level {}",
@@ -579,7 +578,10 @@ mod tests {
 
     #[test]
     fn fragment_id_display() {
-        let id = FragmentId { root_id: 9, level: 3 };
+        let id = FragmentId {
+            root_id: 9,
+            level: 3,
+        };
         assert_eq!(id.to_string(), "F(root=9, lev=3)");
     }
 }

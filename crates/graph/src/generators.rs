@@ -8,9 +8,7 @@
 //! grids and caterpillars as structured topologies.
 
 use crate::graph::{NodeId, WeightedGraph};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use smst_rng::{Rng, SeedableRng, SliceRandom, StdRng};
 
 /// A path `0 − 1 − ⋯ − (n−1)` with pseudo-random distinct weights.
 ///
@@ -91,7 +89,10 @@ pub fn star_graph(n: usize, seed: u64) -> WeightedGraph {
 ///
 /// Panics if `rows == 0` or `cols == 0`.
 pub fn grid_graph(rows: usize, cols: usize, seed: u64) -> WeightedGraph {
-    assert!(rows > 0 && cols > 0, "grid_graph requires positive dimensions");
+    assert!(
+        rows > 0 && cols > 0,
+        "grid_graph requires positive dimensions"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rows * cols;
     let mut g = WeightedGraph::with_nodes(n);
@@ -179,8 +180,11 @@ pub fn random_connected_graph(n: usize, m: usize, seed: u64) -> WeightedGraph {
         if g.edge_between(NodeId(u), NodeId(v)).is_some() {
             continue;
         }
-        let w = weights.pop().unwrap_or_else(|| rng.gen_range(1..1_000_000) * 2 + 1);
-        g.add_edge(NodeId(u), NodeId(v), w).expect("checked for duplicates");
+        let w = weights
+            .pop()
+            .unwrap_or_else(|| rng.gen_range(1u64..1_000_000) * 2 + 1);
+        g.add_edge(NodeId(u), NodeId(v), w)
+            .expect("checked for duplicates");
     }
     g
 }
@@ -199,7 +203,49 @@ pub fn random_graph_scrambled_ids(n: usize, m: usize, seed: u64) -> WeightedGrap
         g.add_node_with_id(id);
     }
     for e in base.edges() {
-        g.add_edge(e.u, e.v, e.weight).expect("copying unique edges");
+        g.add_edge(e.u, e.v, e.weight)
+            .expect("copying unique edges");
+    }
+    g
+}
+
+/// A circulant "expander": every node `v` is joined to `v ± o (mod n)` for
+/// each offset `o` in a set containing `1` plus `degree/2 − 1` random
+/// distinct offsets in `2..=n/2`. Random circulant graphs of constant degree
+/// have strong expansion and `O(log n)` diameter w.h.p., giving the
+/// execution engine a low-diameter, regular workload family that stresses
+/// cross-shard traffic (every shard boundary is crossed by long chords).
+///
+/// The resulting degree is `2 × offsets` (one less for the antipodal offset
+/// on even `n`). Weights are distinct. The graph is connected because
+/// offset `1` is always included.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `degree < 2`.
+pub fn expander_graph(n: usize, degree: usize, seed: u64) -> WeightedGraph {
+    assert!(n >= 3, "expander_graph requires at least three nodes");
+    assert!(degree >= 2, "expander_graph requires degree >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wanted = (degree / 2).max(1);
+    let mut candidates: Vec<usize> = (2..=n / 2).collect();
+    candidates.shuffle(&mut rng);
+    let mut offsets = vec![1usize];
+    offsets.extend(candidates.into_iter().take(wanted.saturating_sub(1)));
+
+    let edge_count: usize = offsets
+        .iter()
+        .map(|&o| if 2 * o == n { n / 2 } else { n })
+        .sum();
+    let mut weights = distinct_weights(edge_count, &mut rng);
+    let mut g = WeightedGraph::with_nodes(n);
+    for &o in &offsets {
+        // the antipodal offset on even n yields each chord twice
+        let span = if 2 * o == n { n / 2 } else { n };
+        for v in 0..span {
+            g.add_edge(NodeId(v), NodeId((v + o) % n), weights.pop().unwrap())
+                .expect("circulant chords are unique");
+        }
     }
     g
 }
@@ -286,6 +332,29 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), 15);
         assert!(g.is_connected());
+    }
+
+    #[test]
+    fn expander_is_connected_regular_and_low_diameter() {
+        let g = expander_graph(200, 6, 3);
+        assert_eq!(g.node_count(), 200);
+        assert!(g.is_connected());
+        assert!(g.has_distinct_weights());
+        assert!(g.max_degree() <= 6);
+        assert!(g.degree(NodeId(17)) >= 4, "circulants are near-regular");
+        // 200 nodes, degree 6: an expander's diameter is far below n / 4
+        assert!(g.diameter().unwrap() < 50);
+        let g2 = expander_graph(200, 6, 3);
+        assert_eq!(g.edges(), g2.edges(), "deterministic per seed");
+    }
+
+    #[test]
+    fn expander_handles_even_antipodal_offset() {
+        // n = 6, degree 4: offset 3 (= n/2) may be drawn; every edge unique
+        for seed in 0..10 {
+            let g = expander_graph(6, 4, seed);
+            assert!(g.is_connected());
+        }
     }
 
     #[test]

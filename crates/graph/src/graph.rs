@@ -11,7 +11,6 @@
 use crate::error::GraphError;
 use crate::weight::{CompositeWeight, Weight};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -19,15 +18,15 @@ use std::fmt;
 ///
 /// Distinct from the node's *identity* ([`WeightedGraph::id`]), which is the
 /// `O(log n)`-bit value the distributed algorithms actually compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 /// A dense edge index (`0..m`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub usize);
 
 /// A port number, unique among the ports of a single node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Port(pub usize);
 
 impl fmt::Display for NodeId {
@@ -76,7 +75,7 @@ impl Port {
 }
 
 /// An undirected weighted edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// One endpoint.
     pub u: NodeId,
@@ -98,7 +97,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "node {x} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -129,7 +131,7 @@ impl Edge {
 /// assert_eq!(g.degree(b), 2);
 /// assert!(g.is_connected());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WeightedGraph {
     ids: Vec<u64>,
     edges: Vec<Edge>,
@@ -380,7 +382,12 @@ impl WeightedGraph {
         let mut diam = 0;
         for v in self.nodes() {
             let d = self.bfs_distances(v);
-            diam = diam.max(d.into_iter().filter(|&x| x != usize::MAX).max().unwrap_or(0));
+            diam = diam.max(
+                d.into_iter()
+                    .filter(|&x| x != usize::MAX)
+                    .max()
+                    .unwrap_or(0),
+            );
         }
         Ok(diam)
     }

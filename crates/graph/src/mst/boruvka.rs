@@ -31,7 +31,7 @@ pub fn boruvka(g: &WeightedGraph) -> MstResult {
             }
             let w = g.composite_weight(eid, false);
             for c in [cu, cv] {
-                if best[c].map_or(true, |(bw, _)| w < bw) {
+                if best[c].is_none_or(|(bw, _)| w < bw) {
                     best[c] = Some((w, eid));
                 }
             }
@@ -71,7 +71,7 @@ pub fn boruvka_phase_count(g: &WeightedGraph) -> usize {
             }
             let w = g.composite_weight(eid, false);
             for c in [cu, cv] {
-                if best[c].map_or(true, |(bw, _)| w < bw) {
+                if best[c].is_none_or(|(bw, _)| w < bw) {
                     best[c] = Some((w, eid));
                 }
             }
@@ -116,8 +116,10 @@ mod tests {
         for n in [2usize, 4, 16, 64, 128] {
             let g = random_connected_graph(n, 3 * n, 7);
             let phases = boruvka_phase_count(&g);
-            assert!(phases <= (n as f64).log2().ceil() as usize + 1,
-                "n={n}: {phases} phases exceeds log bound");
+            assert!(
+                phases <= (n as f64).log2().ceil() as usize + 1,
+                "n={n}: {phases} phases exceeds log bound"
+            );
             assert!(phases >= 1);
         }
     }

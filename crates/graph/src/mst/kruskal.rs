@@ -46,7 +46,10 @@ mod tests {
         let g = path_graph(6, 9);
         let mst = kruskal(&g);
         assert_eq!(mst.edges().len(), 5);
-        assert_eq!(mst.total_weight(), g.total_weight(mst.edges().iter().copied()));
+        assert_eq!(
+            mst.total_weight(),
+            g.total_weight(mst.edges().iter().copied())
+        );
     }
 
     #[test]
@@ -96,7 +99,10 @@ mod tests {
             if mask.count_ones() as usize != n - 1 {
                 continue;
             }
-            let subset: Vec<EdgeId> = (0..m).filter(|i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
+            let subset: Vec<EdgeId> = (0..m)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| edges[i])
+                .collect();
             if crate::tree::RootedTree::from_edges(&g, &subset, NodeId(0)).is_ok() {
                 best = best.min(g.total_weight(subset.iter().copied()));
             }

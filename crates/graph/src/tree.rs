@@ -9,7 +9,6 @@
 use crate::error::GraphError;
 use crate::graph::{EdgeId, NodeId, WeightedGraph};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A rooted spanning tree over the nodes of a [`WeightedGraph`].
@@ -29,7 +28,7 @@ use std::collections::VecDeque;
 /// assert_eq!(t.depth(NodeId(3)), 2);
 /// assert_eq!(t.subtree_size(NodeId(1)), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RootedTree {
     root: NodeId,
     /// parent[v] = None for the root.
@@ -153,7 +152,7 @@ impl RootedTree {
 
     /// Returns `true` if `e` is one of the tree's edges.
     pub fn contains_edge(&self, e: EdgeId) -> bool {
-        self.parent_edge.iter().any(|&pe| pe == Some(e))
+        self.parent_edge.contains(&Some(e))
     }
 
     /// `true` if `ancestor` lies on the path from `v` to the root

@@ -9,12 +9,11 @@
 
 use crate::scheme::{Instance, LabelView, MarkError, OneRoundScheme};
 use crate::sp::{SpLabel, SpanningTreeScheme};
-use serde::{Deserialize, Serialize};
 use smst_graph::weight::bits_for;
 use smst_graph::NodeId;
 
 /// The Example EDIAM label: SP fields plus the claimed height bound.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiameterLabel {
     /// The underlying spanning-tree proof.
     pub sp: SpLabel,
@@ -24,16 +23,10 @@ pub struct DiameterLabel {
 
 /// The Example EDIAM scheme, parameterized by how much slack the marker adds
 /// above the true height.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DiameterBoundScheme {
     /// Extra slack the marker adds to the true height when producing labels.
     pub slack: u64,
-}
-
-impl Default for DiameterBoundScheme {
-    fn default() -> Self {
-        DiameterBoundScheme { slack: 0 }
-    }
 }
 
 impl DiameterBoundScheme {

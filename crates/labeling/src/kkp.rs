@@ -19,14 +19,13 @@
 
 use crate::scheme::{Instance, LabelView, MarkError, OneRoundScheme};
 use crate::sp::{SpLabel, SpanningTreeScheme};
-use serde::{Deserialize, Serialize};
 use smst_graph::weight::{bits_for, CompositeWeight};
 use smst_graph::{EdgeId, NodeId, RootedTree, WeightedGraph};
 use std::collections::HashSet;
 
 /// Whether a node is the endpoint of its level-`j` fragment's candidate edge,
 /// and if so through which tree edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EndpointMark {
     /// The node is not an endpoint of the candidate edge at this level.
     NotEndpoint,
@@ -37,7 +36,7 @@ pub enum EndpointMark {
 }
 
 /// The per-level piece of information stored in a [`KkpLabel`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KkpLevel {
     /// Identity of the root of the node's fragment at this level.
     pub fragment_root_id: u64,
@@ -53,7 +52,7 @@ pub struct KkpLevel {
 }
 
 /// The full `O(log² n)`-bit label.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KkpLabel {
     /// The embedded Example SP proof.
     pub sp: SpLabel,
@@ -101,7 +100,7 @@ fn fragment_history(g: &WeightedGraph, tree: &RootedTree) -> FragmentHistory {
                 continue;
             }
             for c in [cu, cv] {
-                if best[c].map_or(true, |b| weight(eid) < weight(b)) {
+                if best[c].is_none_or(|b| weight(eid) < weight(b)) {
                     best[c] = Some(eid);
                 }
             }
@@ -179,8 +178,7 @@ impl OneRoundScheme for KkpMstScheme {
             }
             for v in g.nodes() {
                 let rep = part[v.index()];
-                frag_root_id[j][v.index()] =
-                    g.id(best[rep].expect("every fragment has a root"));
+                frag_root_id[j][v.index()] = g.id(best[rep].expect("every fragment has a root"));
             }
         }
 
@@ -192,8 +190,7 @@ impl OneRoundScheme for KkpMstScheme {
             for v in g.nodes() {
                 let rep = part[v.index()];
                 if let Some(e) = history.min_out[j][rep] {
-                    min_out_w[j][v.index()] =
-                        Some(g.composite_weight(e, tree_edges.contains(&e)));
+                    min_out_w[j][v.index()] = Some(g.composite_weight(e, tree_edges.contains(&e)));
                     let edge = g.edge(e);
                     // the endpoint inside the fragment
                     let inside = if part[edge.u.index()] == rep {
@@ -360,9 +357,10 @@ impl OneRoundScheme for KkpMstScheme {
                     }
                 }
                 EndpointMark::Down(child_id) => {
-                    let child = view.neighbors.iter().enumerate().find(|(_, l)| {
-                        l.sp.own_id == child_id && l.sp.parent_id == Some(g.id(v))
-                    });
+                    let child =
+                        view.neighbors.iter().enumerate().find(|(_, l)| {
+                            l.sp.own_id == child_id && l.sp.parent_id == Some(g.id(v))
+                        });
                     let Some((port, c)) = child else {
                         return false;
                     };
@@ -410,8 +408,7 @@ impl OneRoundScheme for KkpMstScheme {
                 Some(j_star) => {
                     let below = j_star - 1;
                     let own_claims = own.levels[below].endpoint == EndpointMark::Up;
-                    let parent_claims =
-                        p.levels[below].endpoint == EndpointMark::Down(g.id(v));
+                    let parent_claims = p.levels[below].endpoint == EndpointMark::Down(g.id(v));
                     if !own_claims && !parent_claims {
                         return false;
                     }
@@ -439,10 +436,10 @@ impl OneRoundScheme for KkpMstScheme {
 mod tests {
     use super::*;
     use crate::scheme::{max_label_bits, verify_all};
+    use proptest::prelude::*;
     use smst_graph::generators::{random_connected_graph, ring_graph};
     use smst_graph::mst::kruskal;
     use smst_graph::ComponentMap;
-    use proptest::prelude::*;
 
     fn mst_instance(n: usize, m: usize, seed: u64) -> Instance {
         let g = random_connected_graph(n, m, seed);

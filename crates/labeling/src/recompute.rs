@@ -10,12 +10,11 @@
 //! Table 1 harness reports.
 
 use crate::scheme::Instance;
-use serde::{Deserialize, Serialize};
 use smst_graph::mst::kruskal;
 use smst_graph::weight::bits_for;
 
 /// The cost model charged to one label-free verification pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecomputeCost {
     /// Rounds charged to one full verification-from-scratch pass.
     pub rounds: u64,

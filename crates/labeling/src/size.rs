@@ -9,12 +9,11 @@
 
 use crate::scheme::{Instance, LabelView, MarkError, OneRoundScheme};
 use crate::sp::{SpLabel, SpanningTreeScheme};
-use serde::{Deserialize, Serialize};
 use smst_graph::weight::bits_for;
 use smst_graph::NodeId;
 
 /// The Example NumK label: SP fields plus the size claim and subtree count.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SizeLabel {
     /// The underlying spanning-tree proof.
     pub sp: SpLabel,
@@ -69,11 +68,7 @@ impl OneRoundScheme for SizeScheme {
             return false;
         }
         // all neighbours agree on the claimed size
-        if view
-            .neighbors
-            .iter()
-            .any(|l| l.n_claim != view.own.n_claim)
-        {
+        if view.neighbors.iter().any(|l| l.n_claim != view.own.n_claim) {
             return false;
         }
         // subtree count = 1 + sum over children (neighbours claiming this

@@ -14,12 +14,11 @@
 //! time.
 
 use crate::scheme::{Instance, LabelView, MarkError, OneRoundScheme};
-use serde::{Deserialize, Serialize};
 use smst_graph::weight::bits_for;
 use smst_graph::NodeId;
 
 /// The Example SP label.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpLabel {
     /// Claimed identity of the root of the spanning tree.
     pub root_id: u64,
@@ -100,9 +99,7 @@ impl OneRoundScheme for SpanningTreeScheme {
                     return false;
                 }
                 let parent = view.at(port);
-                own.dist == parent.dist + 1
-                    && own.parent_id == Some(parent.own_id)
-                    && own.dist > 0
+                own.dist == parent.dist + 1 && own.parent_id == Some(parent.own_id) && own.dist > 0
             }
         }
     }
@@ -122,10 +119,10 @@ impl OneRoundScheme for SpanningTreeScheme {
 mod tests {
     use super::*;
     use crate::scheme::{max_label_bits, verify_all};
+    use proptest::prelude::*;
     use smst_graph::generators::{random_connected_graph, star_graph};
     use smst_graph::mst::kruskal;
     use smst_graph::{ComponentMap, Port};
-    use proptest::prelude::*;
 
     fn mst_instance(n: usize, m: usize, seed: u64) -> Instance {
         let g = random_connected_graph(n, m, seed);

@@ -1,0 +1,344 @@
+//! # smst-rng
+//!
+//! Small, dependency-free, deterministic pseudo-random number generators for
+//! the workspace. Every simulation in this repository must be bit-for-bit
+//! reproducible from a `u64` seed — across machines, thread counts and
+//! releases — so we pin the generator algorithms here instead of relying on
+//! an external crate whose stream may change between versions:
+//!
+//! * [`SplitMix64`] — the Vigna/Steele splittable generator; 64 bits of
+//!   state, one multiply-xorshift per output. Used for seed expansion and
+//!   wherever a tiny, fast stream is enough (daemon schedules, shard seeds).
+//! * [`Pcg64`] — PCG-XSL-RR 128/64 (O'Neill); 128 bits of state, the
+//!   workspace's general-purpose generator ([`StdRng`] is an alias).
+//!
+//! The sampling surface mirrors the parts of the `rand` crate the workspace
+//! uses ([`Rng::gen_range`], [`Rng::gen_bool`], [`SliceRandom::shuffle`],
+//! [`SeedableRng::seed_from_u64`]) so algorithm code reads identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The workspace's default generator ([`Pcg64`]).
+pub type StdRng = Pcg64;
+
+/// A generator constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministically expanded to
+    /// the full state size).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The minimal generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// SplitMix64: 64-bit state, full period 2⁶⁴, passes BigCrush.
+///
+/// The standard seed-expansion generator (Vigna's `splitmix64.c`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator with the given state.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG-XSL-RR 128/64: 128-bit LCG state, xorshift-low + random rotate output.
+///
+/// The workspace's general-purpose generator; seeded from a `u64` via
+/// [`SplitMix64`] expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    increment: u128,
+}
+
+const PCG_MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+impl Pcg64 {
+    /// Creates the generator from full 128-bit state and stream parameters.
+    pub fn new(state: u128, stream: u128) -> Self {
+        let mut rng = Pcg64 {
+            state: 0,
+            increment: (stream << 1) | 1,
+        };
+        rng.state = rng.increment.wrapping_add(state);
+        rng.next_u64();
+        rng
+    }
+}
+
+impl SeedableRng for Pcg64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let lo = sm.next_u64() as u128;
+        let hi = sm.next_u64() as u128;
+        let s_lo = sm.next_u64() as u128;
+        let s_hi = sm.next_u64() as u128;
+        Pcg64::new((hi << 64) | lo, (s_hi << 64) | s_lo)
+    }
+}
+
+impl RngCore for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(PCG_MULTIPLIER)
+            .wrapping_add(self.increment);
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        let rot = (self.state >> 122) as u32;
+        xored.rotate_right(rot)
+    }
+}
+
+/// A type that can be sampled uniformly from the full `u64` stream
+/// (the subset of `rand`'s `Standard` distribution the workspace needs).
+pub trait Standard: Sized {
+    /// Draws one uniformly random value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that supports uniform sampling (`gen_range`'s argument).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiply-shift bounded sampling (Lemire); bias is < 2⁻⁶⁴ per draw, far
+/// below anything a simulation of this size can observe.
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    (((rng.next_u64() as u128) * (bound as u128)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + bounded(rng, width) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded(rng, width + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// A uniform value from a range, e.g. `rng.gen_range(0..n)`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random value of a [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits, the standard [0, 1) construction
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// In-place slice operations driven by a generator.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = bounded(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[bounded(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // first outputs of splitmix64 with seed 1234567
+        let mut rng = SplitMix64::new(1234567);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        let mut rng2 = SplitMix64::seed_from_u64(1234567);
+        let again: Vec<u64> = (0..3).map(|_| rng2.next_u64()).collect();
+        assert_eq!(first, again);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn pcg_is_deterministic_per_seed_and_streams_differ() {
+        let a: Vec<u64> = {
+            let mut r = Pcg64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Pcg64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Pcg64::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.gen_range(5..=5);
+            assert_eq!(y, 5);
+            let z: u8 = rng.gen_range(0..=255);
+            let _ = z;
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values should appear");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(3));
+        b.shuffle(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            a, sorted,
+            "a 50-element shuffle is virtually never identity"
+        );
+    }
+
+    #[test]
+    fn choose_returns_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = [10, 20, 30];
+        for _ in 0..20 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn standard_samples_all_widths() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _: u8 = rng.gen();
+        let _: u16 = rng.gen();
+        let _: u32 = rng.gen();
+        let _: u64 = rng.gen();
+        let _: usize = rng.gen();
+        let _: bool = rng.gen();
+    }
+}

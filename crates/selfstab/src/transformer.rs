@@ -114,10 +114,7 @@ impl SelfStabilizingMst {
         //    configuration (0 when it is already a correct MST, in which case
         //    no reconstruction is needed at all).
         let already_correct = instance.satisfies_mst();
-        let DetectionCost {
-            rounds: detection_rounds,
-            detected,
-        } = if already_correct {
+        let detection = if already_correct {
             DetectionCost {
                 rounds: 0,
                 detected: false,
@@ -126,32 +123,63 @@ impl SelfStabilizingMst {
             detection_cost(self.variant, &instance)
         };
 
+        self.complete_episode(graph, initial_components, already_correct, detection)
+    }
+
+    /// Completes a stabilization episode **given the detection phase's
+    /// outcome**: reset + reconstruction, memory and functional-correctness
+    /// accounting (steps 2–4 of [`Self::stabilize`]).
+    ///
+    /// Split out so alternative detection drivers — in particular the
+    /// parallel execution engine, which measures detection on its sharded
+    /// runner — share one implementation of everything after detection.
+    pub fn complete_episode(
+        &self,
+        graph: &WeightedGraph,
+        initial_components: &ComponentMap,
+        already_correct: bool,
+        detection: DetectionCost,
+    ) -> StabilizationOutcome {
+        let DetectionCost {
+            rounds: detection_rounds,
+            detected,
+        } = detection;
+
         // 2. reset + reconstruction (skipped if nothing was detected and the
-        //    configuration is already correct).
+        //    configuration is already correct). The construction run also
+        //    provides the memory accounting of step 3 (SYNC_MST is
+        //    deterministic, so re-running it for the skipped branch gives
+        //    the same footprint).
         let n = graph.node_count() as u64;
-        let (reset_rounds, construction_rounds, components) = if already_correct && !detected {
-            (0, 0, initial_components.clone())
-        } else {
-            let outcome = SyncMst.run(graph);
-            let components = ComponentMap::from_rooted_tree(graph, &outcome.tree);
-            // the marker re-labels the fresh output so that verification can
-            // resume (for the label-free variant this is a no-op)
-            let marker_rounds = match self.variant {
-                Variant::Recompute => 0,
-                _ => {
-                    let fresh = Instance::new(graph.clone(), components.clone());
-                    Marker
-                        .label(&fresh)
-                        .map(|(_, report)| report.marker_rounds)
-                        .unwrap_or(0)
-                }
+        let (reset_rounds, construction_rounds, components, construction_bits) =
+            if already_correct && !detected {
+                let bits = SyncMst.run(graph).memory_bits_per_node;
+                (0, 0, initial_components.clone(), bits)
+            } else {
+                let outcome = SyncMst.run(graph);
+                let components = ComponentMap::from_rooted_tree(graph, &outcome.tree);
+                // the marker re-labels the fresh output so that verification
+                // can resume (for the label-free variant this is a no-op)
+                let marker_rounds = match self.variant {
+                    Variant::Recompute => 0,
+                    _ => {
+                        let fresh = Instance::new(graph.clone(), components.clone());
+                        Marker
+                            .label(&fresh)
+                            .map(|(_, report)| report.marker_rounds)
+                            .unwrap_or(0)
+                    }
+                };
+                (
+                    n,
+                    outcome.rounds + marker_rounds,
+                    components,
+                    outcome.memory_bits_per_node,
+                )
             };
-            (n, outcome.rounds + marker_rounds, components)
-        };
 
         // 3. memory: the maximum of the construction's and the verifier's
         //    per-node footprint.
-        let construction_bits = SyncMst.run(graph).memory_bits_per_node;
         let verification_bits = verification_memory_bits(self.variant, graph);
         let memory_bits_per_node = construction_bits.max(verification_bits);
 
@@ -216,8 +244,7 @@ impl SelfStabilizingMst {
 /// An adversarial component configuration: every node points at a pseudo-
 /// random port (or stores no pointer).
 pub fn garbage_components(graph: &WeightedGraph, seed: u64) -> ComponentMap {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use smst_rng::{Rng, SeedableRng, StdRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let mut components = ComponentMap::empty(graph.node_count());
     for v in graph.nodes() {

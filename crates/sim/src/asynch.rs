@@ -11,10 +11,8 @@
 
 use crate::network::Network;
 use crate::program::NodeProgram;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use smst_graph::NodeId;
+use smst_rng::{Rng, SeedableRng, SliceRandom, StdRng};
 
 /// The activation policy of the asynchronous scheduler.
 #[derive(Debug, Clone)]
@@ -48,7 +46,13 @@ pub enum Daemon {
 
 impl Daemon {
     /// The activation sequence of one time unit for a network of `n` nodes.
-    fn schedule(&self, n: usize, unit_index: usize) -> Vec<NodeId> {
+    ///
+    /// Public because the sharded execution engine replays exactly this
+    /// sequence (in batches): a single source of truth keeps its
+    /// "batch width 1 equals the central daemon" contract immune to future
+    /// schedule changes. The sequence is a pure function of
+    /// `(self, n, unit_index)`.
+    pub fn schedule(&self, n: usize, unit_index: usize) -> Vec<NodeId> {
         match self {
             Daemon::RoundRobin => (0..n).map(NodeId).collect(),
             Daemon::Random { seed, extra_factor } => {

@@ -10,10 +10,8 @@
 
 use crate::network::Network;
 use crate::program::NodeProgram;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use smst_graph::NodeId;
+use smst_rng::{SeedableRng, SliceRandom, StdRng};
 
 /// A set of nodes hit by a transient fault.
 #[derive(Debug, Clone, PartialEq, Eq)]

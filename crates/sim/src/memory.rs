@@ -6,10 +6,8 @@
 //! [`crate::program::NodeProgram::state_bits`]; [`MemoryUsage`] aggregates the
 //! per-node values into the statistics the experiments report.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregated per-node memory sizes (in bits).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryUsage {
     per_node: Vec<u64>,
 }

@@ -11,11 +11,10 @@
 //!   construction algorithms, the time from an arbitrary configuration until
 //!   the output is correct and stays correct.
 
-use serde::{Deserialize, Serialize};
 use smst_graph::{NodeId, WeightedGraph};
 
 /// Summary of one execution (either scheduler).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutionStats {
     /// Synchronous rounds or normalized asynchronous time units executed.
     pub time: usize,
@@ -25,7 +24,7 @@ pub struct ExecutionStats {
 }
 
 /// The outcome of a fault-detection experiment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectionReport {
     /// Whether any node raised an alarm within the allotted time.
     pub detected: bool,

@@ -90,6 +90,22 @@ impl<P: NodeProgram> Network<P> {
         self.states[v.index()] = state;
     }
 
+    /// Swaps the whole register vector with `other` (the double-buffer hand-
+    /// over used by [`crate::sync::SyncRunner`]: the freshly computed round
+    /// becomes current and the previous round becomes the scratch buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` does not hold one state per node.
+    pub fn swap_states(&mut self, other: &mut Vec<P::State>) {
+        assert_eq!(
+            other.len(),
+            self.states.len(),
+            "one state per node is required"
+        );
+        std::mem::swap(&mut self.states, other);
+    }
+
     /// Performs one atomic activation of node `v`: reads the neighbours'
     /// registers and rewrites `v`'s register. Returns `true` if the register
     /// changed (assuming `PartialEq` is not required, change detection is by

@@ -127,7 +127,10 @@ mod tests {
         assert_eq!(centre.ports().count(), 3);
         let leaf = NodeContext::for_node(&g, NodeId(2));
         assert_eq!(leaf.degree, 1);
-        assert_eq!(leaf.weight_at(Port(0)), g.weight(g.incident_edges(NodeId(2))[0]));
+        assert_eq!(
+            leaf.weight_at(Port(0)),
+            g.weight(g.incident_edges(NodeId(2))[0])
+        );
     }
 
     #[test]

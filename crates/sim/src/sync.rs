@@ -14,15 +14,21 @@ use smst_graph::NodeId;
 pub struct SyncRunner<'p, P: NodeProgram> {
     program: &'p P,
     network: Network<P>,
+    /// Double buffer for the next round's registers, allocated once and
+    /// swapped with the network's register vector every round (keeps the
+    /// hot path free of per-round `Vec` allocations).
+    scratch: Vec<P::State>,
     rounds: usize,
 }
 
 impl<'p, P: NodeProgram> SyncRunner<'p, P> {
     /// Creates a runner over an existing network.
     pub fn new(program: &'p P, network: Network<P>) -> Self {
+        let scratch = network.states().to_vec();
         SyncRunner {
             program,
             network,
+            scratch,
             rounds: 0,
         }
     }
@@ -55,13 +61,10 @@ impl<'p, P: NodeProgram> SyncRunner<'p, P> {
     /// Executes exactly one synchronous round.
     pub fn step_round(&mut self) {
         let n = self.network.node_count();
-        let mut next: Vec<P::State> = Vec::with_capacity(n);
-        for v in 0..n {
-            next.push(self.network.next_state(self.program, NodeId(v)));
+        for (v, slot) in self.scratch.iter_mut().enumerate().take(n) {
+            *slot = self.network.next_state(self.program, NodeId(v));
         }
-        for (v, state) in next.into_iter().enumerate() {
-            self.network.set_state(NodeId(v), state);
-        }
+        self.network.swap_states(&mut self.scratch);
         self.rounds += 1;
     }
 
@@ -118,9 +121,9 @@ where
     /// first unchanged round.
     pub fn run_to_fixpoint(&mut self, max_rounds: usize) -> Option<usize> {
         for executed in 1..=max_rounds {
-            let before = self.network.states().to_vec();
             self.step_round();
-            if before == self.network.states() {
+            // after the buffer swap, `scratch` holds the previous round
+            if self.scratch.as_slice() == self.network.states() {
                 return Some(executed);
             }
         }

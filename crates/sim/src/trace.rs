@@ -138,6 +138,14 @@ mod tests {
         assert!(s.contains("v1"));
         assert!(s.contains("detected fault"));
         assert!(s.contains("reset"));
-        assert_eq!(TraceEvent { time: 1, node: None, message: "m".into() }.to_string(), "[t=    1] m");
+        assert_eq!(
+            TraceEvent {
+                time: 1,
+                node: None,
+                message: "m".into()
+            }
+            .to_string(),
+            "[t=    1] m"
+        );
     }
 }

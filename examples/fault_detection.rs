@@ -15,10 +15,16 @@ use smst_sim::FaultPlan;
 fn main() {
     let n = 32;
     let graph = random_connected_graph(n, 3 * n, 7);
-    let tree = kruskal(&graph).rooted_at(&graph, NodeId(0)).expect("connected");
+    let tree = kruskal(&graph)
+        .rooted_at(&graph, NodeId(0))
+        .expect("connected");
     let instance = Instance::from_tree(graph, &tree);
 
-    for (f, kind) in [(1usize, FaultKind::SpDistance), (2, FaultKind::StoredPieceWeight), (4, FaultKind::RootsString)] {
+    for (f, kind) in [
+        (1usize, FaultKind::SpDistance),
+        (2, FaultKind::StoredPieceWeight),
+        (4, FaultKind::RootsString),
+    ] {
         let plan = FaultPlan::random(n, f, 1000 + f as u64);
         let outcome = run_sync_fault_experiment(&instance, &plan, kind, 5);
         println!(

@@ -2,7 +2,7 @@
 //! fault detection → self-stabilization, exercised end to end.
 
 use smst_core::faults::FaultKind;
-use smst_core::scheme::{run_sync_fault_experiment, rounds_until_rejection, MstVerificationScheme};
+use smst_core::scheme::{rounds_until_rejection, run_sync_fault_experiment, MstVerificationScheme};
 use smst_core::SyncMst;
 use smst_graph::generators::{caterpillar_graph, grid_graph, random_connected_graph, ring_graph};
 use smst_graph::mst::{is_mst, kruskal};
@@ -12,7 +12,9 @@ use smst_selfstab::{SelfStabilizingMst, Variant};
 use smst_sim::{FaultPlan, SyncRunner};
 
 fn instance_from(graph: smst_graph::WeightedGraph) -> Instance {
-    let tree = kruskal(&graph).rooted_at(&graph, NodeId(0)).expect("connected");
+    let tree = kruskal(&graph)
+        .rooted_at(&graph, NodeId(0))
+        .expect("connected");
     Instance::from_tree(graph, &tree)
 }
 
@@ -44,7 +46,11 @@ fn construction_marking_and_verification_agree_across_topologies() {
 #[test]
 fn injected_faults_are_detected_within_the_polylog_budget() {
     let inst = instance_from(random_connected_graph(24, 70, 9));
-    for kind in [FaultKind::SpDistance, FaultKind::StoredPieceWeight, FaultKind::EndpString] {
+    for kind in [
+        FaultKind::SpDistance,
+        FaultKind::StoredPieceWeight,
+        FaultKind::EndpString,
+    ] {
         let plan = FaultPlan::random(24, 1, 77);
         let outcome = run_sync_fault_experiment(&inst, &plan, kind, 8);
         assert!(outcome.report.detected, "{kind:?} was not detected");
@@ -92,7 +98,10 @@ fn self_stabilization_reaches_the_mst_from_arbitrary_configurations() {
     let graph = random_connected_graph(32, 90, 13);
     for variant in Variant::all() {
         let outcome = SelfStabilizingMst::new(variant).stabilize_from_garbage(&graph, 3);
-        assert!(outcome.output_correct, "{variant:?} did not stabilize to the MST");
+        assert!(
+            outcome.output_correct,
+            "{variant:?} did not stabilize to the MST"
+        );
         // the stabilized components are exactly the unique MST
         let inst = Instance::new(graph.clone(), outcome.components.clone());
         let mut edges = inst.candidate_tree().unwrap().edges();
