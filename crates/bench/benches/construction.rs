@@ -1,17 +1,19 @@
 //! Bench: SYNC_MST construction and marker (reproduces the O(n)
-//! construction-time claim — Theorem 4.4 / Corollary 6.11).
-use smst_bench::harness::{bench, header};
+//! construction-time claim — Theorem 4.4 / Corollary 6.11). Results land
+//! in `BENCH_construction.json`.
+use smst_bench::harness::BenchGroup;
 use smst_core::{Marker, SyncMst};
 use smst_graph::generators::random_connected_graph;
 
 fn main() {
-    header("construction");
+    let mut group = BenchGroup::new("construction");
     for n in [32usize, 64, 128] {
         let g = random_connected_graph(n, 3 * n, 1);
-        bench(&format!("sync_mst/{n}"), 10, || SyncMst.run(&g).rounds);
+        group.bench(&format!("sync_mst/{n}"), 10, || SyncMst.run(&g).rounds);
         let inst = smst_bench::mst_instance(n, 3 * n, 1);
-        bench(&format!("marker/{n}"), 10, || {
+        group.bench(&format!("marker/{n}"), 10, || {
             Marker.label(&inst).unwrap().1.total_rounds()
         });
     }
+    group.finish();
 }

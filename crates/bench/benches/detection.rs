@@ -1,6 +1,7 @@
 //! Bench: one synchronous round of the paper's verifier and a full
-//! single-fault detection episode (the F-DET experiment).
-use smst_bench::harness::{bench, header};
+//! single-fault detection episode (the F-DET experiment). Results land in
+//! `BENCH_detection.json`.
+use smst_bench::harness::BenchGroup;
 use smst_core::faults::FaultKind;
 use smst_core::scheme::run_sync_fault_experiment;
 use smst_core::MstVerificationScheme;
@@ -8,7 +9,7 @@ use smst_graph::NodeId;
 use smst_sim::{FaultPlan, SyncRunner};
 
 fn main() {
-    header("detection");
+    let mut group = BenchGroup::new("detection");
     for n in [16usize, 32] {
         let inst = smst_bench::mst_instance(n, 3 * n, 2);
         let scheme = MstVerificationScheme::new();
@@ -16,8 +17,8 @@ fn main() {
         let verifier = scheme.verifier(&inst, labels);
         let net = verifier.network();
         let mut runner = SyncRunner::new(&verifier, net);
-        bench(&format!("verifier_round/{n}"), 10, || runner.step_round());
-        bench(&format!("single_fault_episode/{n}"), 10, || {
+        group.bench(&format!("verifier_round/{n}"), 10, || runner.step_round());
+        group.bench(&format!("single_fault_episode/{n}"), 10, || {
             run_sync_fault_experiment(
                 &inst,
                 &FaultPlan::single(NodeId(n / 2)),
@@ -28,4 +29,5 @@ fn main() {
             .detection_time
         });
     }
+    group.finish();
 }

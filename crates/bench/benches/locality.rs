@@ -1,11 +1,13 @@
-//! Bench: detection-distance measurement with f faults (F-LOC).
-use smst_bench::harness::{bench, header};
+//! Bench: detection-distance measurement with f faults (F-LOC). Results
+//! land in `BENCH_locality.json`.
+use smst_bench::harness::BenchGroup;
 
 fn main() {
-    header("locality");
+    let mut group = BenchGroup::new("locality");
     for f in [1usize, 4] {
-        bench(&format!("faults/{f}"), 10, || {
+        group.bench(&format!("faults/{f}"), 10, || {
             smst_bench::locality_sweep(32, &[f], 17)[0].max_detection_distance
         });
     }
+    group.finish();
 }

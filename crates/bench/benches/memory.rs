@@ -1,20 +1,22 @@
 //! Bench: computing the memory footprints of the paper's scheme and the
-//! O(log² n) baseline (the F-MEM experiment).
-use smst_bench::harness::{bench, header};
+//! O(log² n) baseline (the F-MEM experiment). Results land in
+//! `BENCH_memory.json`.
+use smst_bench::harness::BenchGroup;
 use smst_labeling::kkp::KkpMstScheme;
 use smst_labeling::scheme::max_label_bits;
 use smst_labeling::OneRoundScheme;
 
 fn main() {
-    header("memory");
+    let mut group = BenchGroup::new("memory");
     for n in [64usize, 256] {
         let inst = smst_bench::mst_instance(n, 3 * n, 3);
-        bench(&format!("paper_scheme/{n}"), 10, || {
+        group.bench(&format!("paper_scheme/{n}"), 10, || {
             smst_bench::memory_sweep(&[inst.node_count()], 3)[0].paper_bits
         });
-        bench(&format!("kkp_labels/{n}"), 10, || {
+        group.bench(&format!("kkp_labels/{n}"), 10, || {
             let labels = KkpMstScheme.mark(&inst).unwrap();
             max_label_bits(&KkpMstScheme, &inst, &labels)
         });
     }
+    group.finish();
 }

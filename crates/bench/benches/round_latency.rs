@@ -1,0 +1,81 @@
+//! Bench: per-round latency at small graph sizes — the regime the
+//! persistent worker pool exists for.
+//!
+//! At sub-millisecond rounds, PR 1's per-round `thread::scope` spawn cost
+//! dominated and the parallel runner lost to the sequential one. This bench
+//! times **single rounds** (not throughput over many rounds):
+//!
+//! * `seq` — the sequential [`SyncRunner`] reference;
+//! * `pool/threads=1` — the pool-backed [`ParallelSyncRunner`] single-shard
+//!   path; the acceptance gauge is **within 5% of `seq`** (spawn overhead
+//!   eliminated);
+//! * `pool/threads=2|4` — the epoch-dispatch path (parked workers; on a
+//!   single-core host this measures pure dispatch overhead, a few µs);
+//! * `expander/...` — the same rounds on a low-diameter expander, with and
+//!   without the RCM layout pass (cross-shard neighbour traffic is worst
+//!   here, which is where the layout is supposed to help).
+//!
+//! Results land in `BENCH_round_latency.json`; `SMST_BENCH_SMOKE=1`
+//! shrinks the sizes for CI.
+
+use smst_bench::harness::{smoke_mode, BenchGroup};
+use smst_engine::programs::MinIdFlood;
+use smst_engine::{LayoutPolicy, ParallelSyncRunner};
+use smst_graph::generators::{expander_graph, random_connected_graph};
+use smst_graph::WeightedGraph;
+use smst_sim::{Network, SyncRunner};
+
+fn round_case(group: &mut BenchGroup, label: &str, g: &WeightedGraph, iters: u32) {
+    let program = MinIdFlood::new(0);
+    let mut seq = SyncRunner::new(&program, Network::new(&program, g.clone()));
+    let base = group.bench(&format!("{label}/seq"), iters, || {
+        seq.step_round();
+        seq.rounds()
+    });
+    let mut one = ParallelSyncRunner::new(&program, g.clone(), 1);
+    let pool1 = group.bench(&format!("{label}/pool/threads=1"), iters, || {
+        one.step_round();
+        one.rounds()
+    });
+    println!(
+        "    -> threads=1 vs sequential (acceptance: <= 1.05): {:.3}",
+        pool1.median_ns as f64 / base.median_ns as f64
+    );
+    for threads in [2usize, 4] {
+        let mut par = ParallelSyncRunner::new(&program, g.clone(), threads);
+        group.bench(&format!("{label}/pool/threads={threads}"), iters, || {
+            par.step_round();
+            par.rounds()
+        });
+    }
+}
+
+fn layout_case(group: &mut BenchGroup, n: usize, degree: usize, iters: u32) {
+    let g = expander_graph(n, degree, 5);
+    let program = MinIdFlood::new(0);
+    for (tag, layout) in [
+        ("identity", LayoutPolicy::Identity),
+        ("rcm", LayoutPolicy::Rcm),
+    ] {
+        let mut runner = ParallelSyncRunner::with_layout(&program, g.clone(), 4, layout);
+        group.bench(&format!("expander/{n}/threads=4/{tag}"), iters, || {
+            runner.step_round();
+            runner.rounds()
+        });
+    }
+}
+
+fn main() {
+    let mut group = BenchGroup::new("round_latency");
+    let (sizes, expander_n, iters) = if smoke_mode() {
+        (vec![500usize], 1_000usize, 30u32)
+    } else {
+        (vec![1_000usize, 10_000], 100_000usize, 200u32)
+    };
+    for n in sizes {
+        let g = random_connected_graph(n, 2 * n, 42);
+        round_case(&mut group, &format!("random/{n}"), &g, iters);
+    }
+    layout_case(&mut group, expander_n, 8, iters.min(50));
+    group.finish();
+}

@@ -1,16 +1,18 @@
-//! Bench: one stabilization episode per Table-1 variant.
-use smst_bench::harness::{bench, header};
+//! Bench: one stabilization episode per Table-1 variant. Results land in
+//! `BENCH_table1.json`.
+use smst_bench::harness::BenchGroup;
 use smst_graph::generators::random_connected_graph;
 use smst_selfstab::{SelfStabilizingMst, Variant};
 
 fn main() {
-    header("table1");
+    let mut group = BenchGroup::new("table1");
     let g = random_connected_graph(48, 144, 4);
     for variant in Variant::all() {
-        bench(&format!("stabilize/{}", variant.name()), 10, || {
+        group.bench(&format!("stabilize/{}", variant.name()), 10, || {
             SelfStabilizingMst::new(variant)
                 .stabilize_from_garbage(&g, 9)
                 .total_rounds()
         });
     }
+    group.finish();
 }

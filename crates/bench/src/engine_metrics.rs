@@ -1,0 +1,211 @@
+//! Engine-native metric sweeps: the paper's detection-distance and memory
+//! figures driven through [`ScenarioSpec`] instead of the sequential
+//! [`Network`](smst_sim::Network) interop.
+//!
+//! The sequential sweeps in [`crate`] top out around 10³ nodes — every
+//! round is a single-threaded sweep. These variants describe the same
+//! experiments declaratively (graph family × fault burst × stop condition)
+//! and execute them on the sharded runners, so the figures regenerate at
+//! 100k+ nodes on a multi-core host and inherit the engine's determinism
+//! contract (every point is a pure function of `(n, seed)`; thread count
+//! and layout never change the numbers — pinned by the test below).
+
+use smst_core::faults::{corrupt, FaultKind};
+use smst_core::{CoreVerifier, MstVerificationScheme};
+use smst_engine::{GraphFamily, LayoutPolicy, ScenarioSpec, StopCondition};
+use smst_graph::mst::kruskal;
+use smst_graph::{NodeId, WeightedGraph};
+use smst_labeling::Instance;
+use smst_sim::DetectionReport;
+
+/// The graph family the engine sweeps run on: the random connected family
+/// with the throughput-relevant density `m = 3n` (the same family and seed
+/// scheme as the sequential sweeps, so small sizes are directly
+/// comparable).
+fn sweep_family(n: usize) -> GraphFamily {
+    GraphFamily::RandomConnected { n, m: 3 * n }
+}
+
+/// Builds the paper's verifier for the scenario's graph: MST via Kruskal,
+/// marker labels, verifier over the labelled instance.
+fn verifier_for(graph: &WeightedGraph) -> CoreVerifier {
+    let tree = kruskal(graph)
+        .rooted_at(graph, NodeId(0))
+        .expect("scenario graphs are connected");
+    let instance = Instance::from_tree(graph.clone(), &tree);
+    let scheme = MstVerificationScheme::new();
+    let (labels, _) = scheme
+        .mark(&instance)
+        .expect("a Kruskal tree is a correct MST instance");
+    scheme.verifier(&instance, labels)
+}
+
+/// One point of the engine-native detection figure.
+#[derive(Debug, Clone)]
+pub struct EngineDetectionPoint {
+    /// Number of nodes.
+    pub n: usize,
+    /// Maximum degree of the graph.
+    pub max_degree: usize,
+    /// Steps from fault injection to the first alarm (`None`: not detected
+    /// within the budget).
+    pub detection_steps: Option<usize>,
+    /// Hop distance from the fault to the closest alarming node.
+    pub detection_distance: usize,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+}
+
+/// The engine-native detection sweep: warm the verifier up on a correct,
+/// marker-labelled instance, hit one random register with a stored-piece
+/// fault (a [`FaultBurst`](smst_engine::FaultBurst) at the warm-up
+/// boundary), and measure synchronous detection time and distance — all
+/// through one declarative [`ScenarioSpec`] per size.
+pub fn engine_detection_sweep(
+    sizes: &[usize],
+    seed: u64,
+    threads: usize,
+    layout: LayoutPolicy,
+) -> Vec<EngineDetectionPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let warmup = MstVerificationScheme::sync_budget(n);
+            let budget = warmup + 4 * MstVerificationScheme::sync_budget(n) + 1;
+            let spec = ScenarioSpec::new(sweep_family(n))
+                .seed(seed)
+                .threads(threads)
+                .layout(layout)
+                .fault_burst(warmup, 1, seed)
+                .until(StopCondition::FirstAlarm);
+            let mut i = 0u64;
+            let (outcome, _verifier) = spec.run_with(
+                verifier_for,
+                |_v, state| {
+                    corrupt(state, FaultKind::StoredPieceWeight, seed.wrapping_add(i));
+                    i += 1;
+                },
+                budget,
+            );
+            let report = match outcome.report.first_alarm {
+                Some(t) => DetectionReport::from_alarms(
+                    outcome.network.graph(),
+                    t,
+                    outcome.report.alarm_nodes.clone(),
+                    &outcome.report.injected_nodes,
+                ),
+                None => DetectionReport::not_detected(),
+            };
+            EngineDetectionPoint {
+                n,
+                max_degree: outcome.network.graph().max_degree(),
+                detection_steps: report.detection_time,
+                detection_distance: report.max_detection_distance,
+                threads,
+            }
+        })
+        .collect()
+}
+
+/// One point of the engine-native memory figure.
+#[derive(Debug, Clone)]
+pub struct EngineMemoryPoint {
+    /// Number of nodes.
+    pub n: usize,
+    /// Steps executed before measuring (0 = the freshly marked
+    /// configuration, matching the sequential figure).
+    pub steps: usize,
+    /// Maximum register bits of the paper's scheme (label + verifier
+    /// state).
+    pub max_bits: u64,
+    /// Mean register bits across the network.
+    pub mean_bits: f64,
+    /// `max_bits / log₂ n` — bounded for the paper's scheme.
+    pub words: f64,
+}
+
+/// The engine-native memory sweep: run the verifier fault-free for `steps`
+/// synchronous steps on the engine and measure its per-node register bits.
+/// With `steps == 0` this reproduces the sequential memory figure's
+/// freshly-marked measurement; with a warm-up budget it measures the
+/// registers the verifier actually carries in steady state (trains,
+/// comparison machinery included).
+pub fn engine_memory_sweep(
+    sizes: &[usize],
+    seed: u64,
+    threads: usize,
+    steps: usize,
+) -> Vec<EngineMemoryPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let spec = ScenarioSpec::new(sweep_family(n))
+                .seed(seed)
+                .threads(threads)
+                .until(StopCondition::Steps);
+            let (outcome, verifier) = spec.run_with(verifier_for, |_v, _s| {}, steps);
+            assert!(
+                outcome.report.alarm_nodes.is_empty(),
+                "a correct instance must not raise alarms"
+            );
+            let bits = outcome.network.memory_bits(&verifier);
+            let max_bits = bits.iter().copied().max().unwrap_or(0);
+            let mean_bits = if bits.is_empty() {
+                0.0
+            } else {
+                bits.iter().copied().sum::<u64>() as f64 / bits.len() as f64
+            };
+            EngineMemoryPoint {
+                n,
+                steps,
+                max_bits,
+                mean_bits,
+                words: max_bits as f64 / (n.max(2) as f64).log2(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_core::scheme::run_sync_fault_experiment;
+    use smst_sim::FaultPlan;
+
+    #[test]
+    fn engine_detection_sweep_equals_the_sequential_experiment() {
+        // same graph (family + seed), same fault plan, same per-fault
+        // corruption seeds: the engine-native point must equal the
+        // sequential driver's numbers exactly
+        let (n, seed) = (16usize, 3u64);
+        let point = engine_detection_sweep(&[n], seed, 2, LayoutPolicy::Rcm)
+            .pop()
+            .unwrap();
+        let inst = crate::mst_instance(n, 3 * n, seed);
+        let plan = FaultPlan::random(n, 1, seed);
+        let seq = run_sync_fault_experiment(&inst, &plan, FaultKind::StoredPieceWeight, seed);
+        assert_eq!(point.detection_steps, seq.report.detection_time);
+        assert_eq!(point.detection_distance, seq.report.max_detection_distance);
+        assert_eq!(point.max_degree, inst.graph.max_degree());
+    }
+
+    #[test]
+    fn engine_detection_sweep_is_thread_and_layout_invariant() {
+        let (n, seed) = (16usize, 5u64);
+        let a = engine_detection_sweep(&[n], seed, 1, LayoutPolicy::Identity);
+        let b = engine_detection_sweep(&[n], seed, 4, LayoutPolicy::Rcm);
+        assert_eq!(a[0].detection_steps, b[0].detection_steps);
+        assert_eq!(a[0].detection_distance, b[0].detection_distance);
+    }
+
+    #[test]
+    fn engine_memory_sweep_matches_the_sequential_figure() {
+        // steps == 0 measures the freshly marked configuration — exactly
+        // what the sequential figure reports; bits must agree on the same
+        // (n, seed)
+        let seq = crate::memory_sweep(&[32], 3);
+        let engine = engine_memory_sweep(&[32], 3, 2, 0);
+        assert_eq!(engine[0].max_bits, seq[0].paper_bits);
+        assert!(engine[0].words <= seq[0].paper_words + 1e-9);
+    }
+}

@@ -1,13 +1,23 @@
-//! A minimal wall-clock timing harness.
+//! A minimal wall-clock timing harness with machine-readable output.
 //!
 //! The offline build environment cannot fetch Criterion, so the `benches/`
 //! targets use `harness = false` and this module instead: warm-up, a fixed
-//! number of timed iterations, and min / mean / max reporting. The numbers
-//! are indicative, not statistically rigorous — for the repository's
-//! purposes (ordering variants, spotting regressions of 2× and up, and the
-//! sequential-vs-sharded speedup comparison) that is enough.
+//! number of timed iterations, and min / median / mean / max reporting. The
+//! numbers are indicative, not statistically rigorous — for the
+//! repository's purposes (ordering variants, spotting regressions of 2×
+//! and up, and the sequential-vs-sharded speedup comparison) that is
+//! enough.
+//!
+//! To track the perf trajectory **across PRs**, group benches through
+//! [`BenchGroup`]: on [`BenchGroup::finish`] every case's per-config
+//! median/min/mean/max (in ns) is written to `BENCH_<group>.json` (in
+//! `$SMST_BENCH_DIR`, default the working directory), which CI uploads as
+//! an artifact. Benches honour `$SMST_BENCH_SMOKE` to shrink their sizes
+//! for single-core smoke runs — see [`smoke_mode`].
 
 use std::hint::black_box;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Timing summary of one benchmark case.
@@ -19,6 +29,8 @@ pub struct BenchResult {
     pub iters: u32,
     /// Fastest iteration, nanoseconds.
     pub min_ns: u128,
+    /// Median iteration, nanoseconds.
+    pub median_ns: u128,
     /// Mean iteration, nanoseconds.
     pub mean_ns: f64,
     /// Slowest iteration, nanoseconds.
@@ -30,6 +42,23 @@ impl BenchResult {
     pub fn mean_secs(&self) -> f64 {
         self.mean_ns / 1e9
     }
+
+    /// Median iteration time in seconds.
+    pub fn median_secs(&self) -> f64 {
+        self.median_ns as f64 / 1e9
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"iters\":{},\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{:.1},\"max_ns\":{}}}",
+            json_string(&self.name),
+            self.iters,
+            self.min_ns,
+            self.median_ns,
+            self.mean_ns,
+            self.max_ns
+        )
+    }
 }
 
 /// Times `f` for `iters` iterations (after one untimed warm-up call),
@@ -37,28 +66,28 @@ impl BenchResult {
 pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult {
     assert!(iters > 0, "at least one iteration is required");
     black_box(f());
-    let mut min_ns = u128::MAX;
-    let mut max_ns = 0u128;
-    let mut total_ns = 0u128;
+    let mut samples: Vec<u128> = Vec::with_capacity(iters as usize);
     for _ in 0..iters {
         let start = Instant::now();
         black_box(f());
-        let ns = start.elapsed().as_nanos();
-        min_ns = min_ns.min(ns);
-        max_ns = max_ns.max(ns);
-        total_ns += ns;
+        samples.push(start.elapsed().as_nanos());
     }
+    let total_ns: u128 = samples.iter().sum();
+    let mut sorted = samples.clone();
+    sorted.sort_unstable();
     let result = BenchResult {
         name: name.to_string(),
         iters,
-        min_ns,
+        min_ns: sorted[0],
+        median_ns: sorted[sorted.len() / 2],
         mean_ns: total_ns as f64 / f64::from(iters),
-        max_ns,
+        max_ns: *sorted.last().unwrap(),
     };
     println!(
-        "{:<44} {:>10} {:>10} {:>10}   ({} iters)",
+        "{:<44} {:>10} {:>10} {:>10} {:>10}   ({} iters)",
         result.name,
         format_ns(result.min_ns as f64),
+        format_ns(result.median_ns as f64),
         format_ns(result.mean_ns),
         format_ns(result.max_ns as f64),
         result.iters,
@@ -69,7 +98,103 @@ pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult
 /// Prints the header matching [`bench`]'s output columns.
 pub fn header(group: &str) {
     println!("\n== {group} ==");
-    println!("{:<44} {:>10} {:>10} {:>10}", "case", "min", "mean", "max");
+    println!(
+        "{:<44} {:>10} {:>10} {:>10} {:>10}",
+        "case", "min", "median", "mean", "max"
+    );
+}
+
+/// A named collection of bench cases that serializes itself to
+/// `BENCH_<group>.json` so the perf trajectory is tracked across PRs.
+#[derive(Debug)]
+pub struct BenchGroup {
+    group: String,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    /// Starts a group (prints the column header).
+    pub fn new(group: &str) -> Self {
+        header(group);
+        BenchGroup {
+            group: group.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one case through [`bench`] and records its result.
+    pub fn bench<R>(&mut self, case: &str, iters: u32, f: impl FnMut() -> R) -> BenchResult {
+        let result = bench(&format!("{}/{case}", self.group), iters, f);
+        self.results.push(result.clone());
+        result
+    }
+
+    /// The recorded results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes the group as a JSON object.
+    pub fn to_json(&self) -> String {
+        let results: Vec<String> = self.results.iter().map(BenchResult::to_json).collect();
+        format!(
+            "{{\"group\":{},\"results\":[{}]}}\n",
+            json_string(&self.group),
+            results.join(",")
+        )
+    }
+
+    /// Writes `BENCH_<group>.json` into [`bench_dir`] and returns its path.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let path = bench_dir().join(format!("BENCH_{}.json", self.group));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes the JSON artifact, printing where it went (panics on I/O
+    /// errors — a bench run that silently loses its results is worse than
+    /// one that fails).
+    pub fn finish(self) -> PathBuf {
+        let path = self.write_json().expect("writing the bench JSON artifact");
+        println!("  results -> {}", path.display());
+        path
+    }
+}
+
+/// Where `BENCH_*.json` artifacts are written: `$SMST_BENCH_DIR` when set,
+/// otherwise the current directory.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("SMST_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(".").to_path_buf())
+}
+
+/// `true` when `$SMST_BENCH_SMOKE` is set (to anything but `0`): benches
+/// shrink to smoke-test sizes so CI can exercise them and upload the JSON
+/// artifacts without a multi-minute run.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("SMST_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Minimal JSON string escaping (bench case names are plain ASCII, but a
+/// stray quote must not corrupt the artifact).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn format_ns(ns: f64) -> String {
@@ -98,9 +223,12 @@ mod tests {
             acc
         });
         assert_eq!(r.iters, 5);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.max_ns);
         assert!(r.min_ns <= r.mean_ns as u128 + 1);
         assert!(r.mean_ns <= r.max_ns as f64 + 1.0);
         assert!(r.mean_secs() > 0.0);
+        assert!(r.median_secs() > 0.0);
     }
 
     #[test]
@@ -109,5 +237,45 @@ mod tests {
         assert!(format_ns(5e4).ends_with("µs"));
         assert!(format_ns(5e7).ends_with("ms"));
         assert!(format_ns(5e9).ends_with('s'));
+    }
+
+    #[test]
+    fn group_serializes_valid_json() {
+        let mut group = BenchGroup::new("unit_test_group");
+        group.bench("case_a", 2, || 1 + 1);
+        group.bench("case_b", 3, || 2 * 2);
+        let json = group.to_json();
+        assert!(json.starts_with("{\"group\":\"unit_test_group\""));
+        assert_eq!(json.matches("\"name\":").count(), 2);
+        assert_eq!(json.matches("\"median_ns\":").count(), 2);
+        // handwritten serializer: brackets and braces must balance
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
+    }
+
+    #[test]
+    fn group_writes_the_artifact_file() {
+        let dir = std::env::temp_dir().join("smst_bench_harness_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("SMST_BENCH_DIR", &dir);
+        let mut group = BenchGroup::new("artifact_roundtrip");
+        group.bench("spin", 1, || 7u64);
+        let path = group.finish();
+        std::env::remove_var("SMST_BENCH_DIR");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"group\":\"artifact_roundtrip\""));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("BENCH_"));
+        std::fs::remove_file(path).ok();
     }
 }

@@ -6,6 +6,7 @@
 //! targets time the underlying primitives with the in-repo [`harness`]
 //! (Criterion is unavailable in the offline build environment).
 
+pub mod engine_metrics;
 pub mod harness;
 
 use smst_core::faults::FaultKind;

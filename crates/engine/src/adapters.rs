@@ -13,6 +13,7 @@
 //! detection times, alarming nodes, memory) **equals** the sequential
 //! harness's output; the adapter tests pin that equality.
 
+use crate::layout::LayoutPolicy;
 use crate::parallel_sync::ParallelSyncRunner;
 use crate::sharded_async::ShardedAsyncRunner;
 use smst_core::faults::{corrupt, FaultKind};
@@ -51,6 +52,27 @@ pub fn run_parallel_sync_fault_experiment(
     seed: u64,
     threads: usize,
 ) -> FaultExperimentOutcome {
+    run_parallel_sync_fault_experiment_with_layout(
+        instance,
+        plan,
+        kind,
+        seed,
+        threads,
+        LayoutPolicy::Identity,
+    )
+}
+
+/// [`run_parallel_sync_fault_experiment`] with an explicit [`LayoutPolicy`]
+/// (RCM renumbering before sharding; the outcome is layout-invariant, only
+/// wall-clock changes).
+pub fn run_parallel_sync_fault_experiment_with_layout(
+    instance: &Instance,
+    plan: &FaultPlan,
+    kind: FaultKind,
+    seed: u64,
+    threads: usize,
+    layout: LayoutPolicy,
+) -> FaultExperimentOutcome {
     let scheme = MstVerificationScheme::new();
     let (labels, _) = scheme
         .mark(instance)
@@ -59,7 +81,8 @@ pub fn run_parallel_sync_fault_experiment(
     let n = instance.node_count();
     let budget = MstVerificationScheme::sync_budget(n);
 
-    let mut runner = ParallelSyncRunner::new(&verifier, instance.graph.clone(), threads);
+    let mut runner =
+        ParallelSyncRunner::with_layout(&verifier, instance.graph.clone(), threads, layout);
     runner.run_rounds(budget);
     let warmup_rounds = runner.rounds();
     assert!(
@@ -238,12 +261,24 @@ mod tests {
         let inst = mst_instance(16, 40, 3);
         let plan = FaultPlan::single(NodeId(7));
         let seq = run_sync_fault_experiment(&inst, &plan, FaultKind::SpDistance, 1);
-        let par = run_parallel_sync_fault_experiment(&inst, &plan, FaultKind::SpDistance, 1, 4);
-        assert_eq!(par.warmup_rounds, seq.warmup_rounds);
-        assert_eq!(par.report.detected, seq.report.detected);
-        assert_eq!(par.report.detection_time, seq.report.detection_time);
-        assert_eq!(par.report.alarm_nodes, seq.report.alarm_nodes);
-        assert_eq!(par.memory.max_bits(), seq.memory.max_bits());
+        for layout in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
+            let par = run_parallel_sync_fault_experiment_with_layout(
+                &inst,
+                &plan,
+                FaultKind::SpDistance,
+                1,
+                4,
+                layout,
+            );
+            assert_eq!(par.warmup_rounds, seq.warmup_rounds, "{layout:?}");
+            assert_eq!(par.report.detected, seq.report.detected, "{layout:?}");
+            assert_eq!(
+                par.report.detection_time, seq.report.detection_time,
+                "{layout:?}"
+            );
+            assert_eq!(par.report.alarm_nodes, seq.report.alarm_nodes, "{layout:?}");
+            assert_eq!(par.memory.max_bits(), seq.memory.max_bits(), "{layout:?}");
+        }
     }
 
     #[test]

@@ -11,9 +11,18 @@
 //!
 //! * [`topology::CsrTopology`] — a flattened, port-ordered, cache-friendly
 //!   neighbour index built once per run;
+//! * [`layout::Layout`] + [`layout::LayoutPolicy`] — an optional RCM
+//!   renumbering pass that packs neighbours into nearby indices (shard-local
+//!   state arenas), carried with its inverse so every public API keeps
+//!   speaking original node ids;
 //! * [`shard::Shard`] + [`shard::partition_balanced`] — contiguous node
 //!   ranges with equalized per-round work (adjacency entries, not node
-//!   counts), one per worker thread;
+//!   counts), one per worker;
+//! * [`pool::WorkerPool`] + [`pool::PoolHandle`] — a persistent, shared pool
+//!   of parked worker threads: rounds and batches are dispatched by bumping
+//!   an epoch (single-digit µs), and multi-round chunks run behind a
+//!   lightweight round barrier without returning to the dispatcher — no
+//!   per-round thread spawns anywhere;
 //! * [`ParallelSyncRunner`] — double-buffered lock-step rounds; each round
 //!   is an embarrassingly parallel map over shards, **bit-for-bit equal**
 //!   to [`smst_sim::SyncRunner`] at every thread count;
@@ -22,7 +31,7 @@
 //!   batches, reproducible at any thread count, and exactly equal to the
 //!   central daemon at batch width 1;
 //! * [`ScenarioSpec`] — one declarative API over graph family × fault
-//!   bursts × daemon × thread count;
+//!   bursts × daemon × thread count × layout;
 //! * [`adapters`] — the paper's verifier and the self-stabilizing
 //!   transformer running unchanged on the engine, with sequential-equality
 //!   guarantees pinned by tests;
@@ -32,24 +41,34 @@
 //! # Determinism contract
 //!
 //! Every run is a pure function of `(program, scenario/graph seed, daemon
-//! seed, batch width)`. Thread count **never** changes results — it is
-//! purely a wall-clock knob — because rounds and batches read only
-//! pre-step registers (double buffering) and all scheduling randomness
-//! comes from counter-seeded [`smst_rng`] generators, never from thread
-//! interleaving.
+//! seed, batch width)`. Thread count and layout **never** change results —
+//! they are purely wall-clock knobs — because rounds and batches read only
+//! pre-step registers (double buffering), the layout pass preserves every
+//! node's port order exactly, and all scheduling randomness comes from
+//! counter-seeded [`smst_rng`] generators, never from thread interleaving.
+//!
+//! # Safety
+//!
+//! The crate is `#![deny(unsafe_code)]`; the only `unsafe` lives in
+//! [`pool`]'s lifetime-erasure core, whose dispatch protocol provides the
+//! same structural guarantee as `std::thread::scope` (see the module docs).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod layout;
 pub mod parallel_sync;
+pub mod pool;
 pub mod programs;
 pub mod scenario;
 pub mod shard;
 pub mod sharded_async;
 pub mod topology;
 
+pub use layout::{Layout, LayoutPolicy};
 pub use parallel_sync::ParallelSyncRunner;
+pub use pool::{PoolHandle, WorkerPool};
 pub use scenario::{
     FaultBurst, GraphFamily, ScenarioOutcome, ScenarioReport, ScenarioSpec, Schedule, StopCondition,
 };

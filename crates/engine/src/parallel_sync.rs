@@ -3,36 +3,55 @@
 //! [`ParallelSyncRunner`] executes the same lock-step rounds as
 //! [`smst_sim::SyncRunner`], but over shards: the register vector is
 //! **double-buffered**, every round is a pure function of the previous
-//! round's registers, and each worker thread computes the next registers of
-//! one contiguous [`Shard`](crate::shard::Shard) into its disjoint slice of
-//! the scratch buffer. The buffers are swapped at the end of the round —
-//! no locks, no atomics, no `unsafe`.
+//! round's registers, and each worker computes the next registers of one
+//! contiguous [`Shard`](crate::shard::Shard) into its disjoint slice of the
+//! scratch buffer — a shard-local state arena. Workers come from a
+//! persistent [`WorkerPool`](crate::pool::WorkerPool): rounds are
+//! dispatched by bumping an epoch on parked threads (no per-round thread
+//! spawns), and [`run_rounds`](ParallelSyncRunner::run_rounds) hands the
+//! pool a whole chunk of rounds at once, so workers synchronize on a
+//! lightweight round barrier between rounds instead of returning to the
+//! dispatcher.
+//!
+//! An optional [`LayoutPolicy`] renumbers nodes (RCM) before sharding so
+//! that neighbour reads stay inside the shard's arena; see
+//! [`crate::layout`]. All public APIs speak original node ids regardless.
 //!
 //! # Determinism
 //!
 //! A synchronous round is deterministic by construction ([`NodeProgram`]
 //! implementations are required to be deterministic functions of the read
-//! registers), and sharding only changes *who computes* a register, never
-//! *what it reads*. Final states are therefore **bit-for-bit identical** to
-//! the sequential [`SyncRunner`](smst_sim::SyncRunner) at every thread
-//! count; `tests/` pins this with a per-round differential test.
+//! registers), sharding only changes *who computes* a register, never *what
+//! it reads*, and the layout pass preserves each node's port order exactly.
+//! Final states are therefore **bit-for-bit identical** to the sequential
+//! [`SyncRunner`](smst_sim::SyncRunner) at every thread count, with the
+//! layout pass on or off; `tests/` pins this with per-round differential
+//! and property tests.
 
+use crate::layout::{Layout, LayoutPolicy};
+use crate::pool::PoolHandle;
 use crate::shard::{partition_balanced, Shard};
 use crate::topology::CsrTopology;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_sim::{FaultPlan, Network, NodeContext, NodeProgram, Verdict};
 
 /// Runs a [`NodeProgram`] in lock-step synchronous rounds, one shard per
-/// worker thread.
+/// pool worker.
 #[derive(Debug)]
 pub struct ParallelSyncRunner<'p, P: NodeProgram> {
     program: &'p P,
     graph: WeightedGraph,
+    /// CSR in internal (layout) order.
     topo: CsrTopology,
+    layout: Layout,
+    /// Contexts and registers in internal (layout) order.
     contexts: Vec<NodeContext>,
     states: Vec<P::State>,
     scratch: Vec<P::State>,
     shards: Vec<Shard>,
+    /// Shard boundaries as pool-dispatch bounds (`len == shards.len() + 1`).
+    bounds: Vec<usize>,
+    pool: PoolHandle,
     threads: usize,
     rounds: usize,
 }
@@ -43,18 +62,28 @@ where
     P::State: Send + Sync,
 {
     /// Creates a runner over `graph` with every register initialized by
-    /// `program.init`, using `threads` worker threads.
+    /// `program.init`, using `threads` worker threads and no layout pass.
     pub fn new(program: &'p P, graph: WeightedGraph, threads: usize) -> Self {
-        let contexts: Vec<NodeContext> = graph
+        Self::with_layout(program, graph, threads, LayoutPolicy::Identity)
+    }
+
+    /// [`ParallelSyncRunner::new`] with an explicit [`LayoutPolicy`].
+    pub fn with_layout(
+        program: &'p P,
+        graph: WeightedGraph,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> Self {
+        let states: Vec<P::State> = graph
             .nodes()
-            .map(|v| NodeContext::for_node(&graph, v))
+            .map(|v| program.init(&NodeContext::for_node(&graph, v)))
             .collect();
-        let states: Vec<P::State> = contexts.iter().map(|ctx| program.init(ctx)).collect();
-        Self::from_parts(program, graph, contexts, states, threads)
+        Self::from_parts(program, graph, states, threads, policy)
     }
 
     /// Creates a runner with explicitly provided initial registers
-    /// (arbitrary / adversarial initialization).
+    /// (arbitrary / adversarial initialization), indexed by original node
+    /// id.
     ///
     /// # Panics
     ///
@@ -65,16 +94,24 @@ where
         states: Vec<P::State>,
         threads: usize,
     ) -> Self {
+        Self::with_states_and_layout(program, graph, states, threads, LayoutPolicy::Identity)
+    }
+
+    /// [`ParallelSyncRunner::with_states`] with an explicit
+    /// [`LayoutPolicy`].
+    pub fn with_states_and_layout(
+        program: &'p P,
+        graph: WeightedGraph,
+        states: Vec<P::State>,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> Self {
         assert_eq!(
             states.len(),
             graph.node_count(),
             "one initial state per node is required"
         );
-        let contexts: Vec<NodeContext> = graph
-            .nodes()
-            .map(|v| NodeContext::for_node(&graph, v))
-            .collect();
-        Self::from_parts(program, graph, contexts, states, threads)
+        Self::from_parts(program, graph, states, threads, policy)
     }
 
     /// Adopts the graph and current registers of a sequential [`Network`],
@@ -91,22 +128,34 @@ where
     fn from_parts(
         program: &'p P,
         graph: WeightedGraph,
-        contexts: Vec<NodeContext>,
         states: Vec<P::State>,
         threads: usize,
+        policy: LayoutPolicy,
     ) -> Self {
-        let topo = CsrTopology::build(&graph);
+        let base_topo = CsrTopology::build(&graph);
+        let layout = policy.build(&base_topo);
+        let topo = layout.apply(&base_topo);
+        let contexts: Vec<NodeContext> = (0..graph.node_count())
+            .map(|internal| NodeContext::for_node(&graph, NodeId(layout.original(internal))))
+            .collect();
+        let states = layout.permute(states);
         let threads = threads.max(1);
         let shards = partition_balanced(&topo, threads);
+        let mut bounds: Vec<usize> = shards.iter().map(|s| s.start).collect();
+        bounds.push(shards.last().map_or(0, |s| s.end));
         let scratch = states.clone();
+        let pool = PoolHandle::for_threads(threads);
         ParallelSyncRunner {
             program,
             graph,
             topo,
+            layout,
             contexts,
             states,
             scratch,
             shards,
+            bounds,
+            pool,
             threads,
             rounds: 0,
         }
@@ -122,9 +171,27 @@ where
         self.threads
     }
 
-    /// The shard layout (one entry per worker).
+    /// The shard layout (one entry per worker), in internal node indices.
     pub fn shards(&self) -> &[Shard] {
         &self.shards
+    }
+
+    /// The node layout (identity unless built with
+    /// [`LayoutPolicy::Rcm`]).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The pool handle the runner dispatches rounds on.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
+    }
+
+    /// The CSR topology the rounds sweep, in internal (post-layout) node
+    /// order — e.g. for inspecting what the layout pass did
+    /// ([`layout::mean_bandwidth`](crate::layout::mean_bandwidth)).
+    pub fn topology(&self) -> &CsrTopology {
+        &self.topo
     }
 
     /// The graph being executed.
@@ -137,24 +204,40 @@ where
         self.program
     }
 
-    /// All registers, indexed by dense node id.
+    /// All registers in the engine's **internal storage order** — original
+    /// node-id order exactly when [`layout`](Self::layout)
+    /// `.is_identity()`. Use [`states_snapshot`](Self::states_snapshot) for
+    /// an order-independent view.
     pub fn states(&self) -> &[P::State] {
         &self.states
     }
 
-    /// The register of one node.
+    /// The registers in original node-id order (clones; layout-independent).
+    pub fn states_snapshot(&self) -> Vec<P::State> {
+        (0..self.states.len())
+            .map(|v| self.states[self.layout.internal(v)].clone())
+            .collect()
+    }
+
+    /// One shard's slice of the register arena (internal order).
+    pub fn shard_states(&self, shard: usize) -> &[P::State] {
+        let s = self.shards[shard];
+        &self.states[s.start..s.end]
+    }
+
+    /// The register of one node (original id).
     pub fn state(&self, v: NodeId) -> &P::State {
-        &self.states[v.index()]
+        &self.states[self.layout.internal(v.index())]
     }
 
-    /// Mutable access to one register (fault injection).
+    /// Mutable access to one register (fault injection; original id).
     pub fn state_mut(&mut self, v: NodeId) -> &mut P::State {
-        &mut self.states[v.index()]
+        &mut self.states[self.layout.internal(v.index())]
     }
 
-    /// The static context of a node.
+    /// The static context of a node (original id).
     pub fn context(&self, v: NodeId) -> &NodeContext {
-        &self.contexts[v.index()]
+        &self.contexts[self.layout.internal(v.index())]
     }
 
     /// Applies a [`FaultPlan`] by passing every planned node's register to
@@ -164,63 +247,68 @@ where
         F: FnMut(NodeId, &mut P::State),
     {
         for &v in plan.nodes() {
-            mutate(v, &mut self.states[v.index()]);
+            mutate(v, &mut self.states[self.layout.internal(v.index())]);
         }
     }
 
     /// Consumes the runner, returning a sequential [`Network`] holding the
-    /// final registers (interop with the rest of the workspace).
+    /// final registers in original node-id order (interop with the rest of
+    /// the workspace).
     pub fn into_network(self) -> Network<P> {
-        Network::with_states(self.graph, self.states)
+        let states = self.layout.unpermute(self.states);
+        Network::with_states(self.graph, states)
     }
 
     /// Executes exactly one synchronous round.
     pub fn step_round(&mut self) {
+        self.run_rounds(1);
+    }
+
+    /// Executes `count` rounds in a single chunked pool dispatch: the
+    /// parked workers run all `count` rounds back to back, synchronizing on
+    /// a round barrier, and only then return to the caller.
+    pub fn run_rounds(&mut self, count: usize) {
+        if count == 0 {
+            return;
+        }
         let program = self.program;
         let topo = &self.topo;
         let contexts = &self.contexts;
-        let states = &self.states;
-        if self.shards.len() == 1 {
-            // no thread launch on the single-shard path
-            compute_shard(
-                program,
-                topo,
-                contexts,
-                states,
-                self.shards[0],
-                &mut self.scratch,
-            );
-        } else {
-            // hand each worker its disjoint slice of the scratch buffer
-            let mut slices: Vec<(Shard, &mut [P::State])> = Vec::with_capacity(self.shards.len());
-            let mut rest: &mut [P::State] = &mut self.scratch;
-            for &shard in &self.shards {
-                let (chunk, tail) = rest.split_at_mut(shard.len());
-                slices.push((shard, chunk));
-                rest = tail;
+        let shards = &self.shards;
+        if shards.len() == 1 {
+            // single-shard path: no dispatch, no synchronization at all
+            let shard = shards[0];
+            for _ in 0..count {
+                compute_shard(
+                    program,
+                    topo,
+                    contexts,
+                    &self.states,
+                    shard,
+                    &mut self.scratch,
+                );
+                std::mem::swap(&mut self.states, &mut self.scratch);
             }
-            std::thread::scope(|scope| {
-                for (shard, out) in slices {
-                    scope.spawn(move || {
-                        compute_shard(program, topo, contexts, states, shard, out);
-                    });
-                }
-            });
+        } else {
+            self.pool.pool().run_rounds_double_buffered(
+                &self.bounds,
+                count,
+                &mut self.states,
+                &mut self.scratch,
+                |part, _round, prev, out| {
+                    compute_shard(program, topo, contexts, prev, shards[part], out);
+                },
+            );
         }
-        std::mem::swap(&mut self.states, &mut self.scratch);
-        self.rounds += 1;
-    }
-
-    /// Executes `count` rounds.
-    pub fn run_rounds(&mut self, count: usize) {
-        for _ in 0..count {
-            self.step_round();
-        }
+        self.rounds += count;
     }
 
     /// Runs until `stop` returns `true` (checked after each round) or until
     /// `max_rounds` additional rounds have elapsed. Returns the number of
     /// rounds executed by this call if the condition was met.
+    ///
+    /// `stop` observes the registers in internal storage order (original
+    /// order under the identity layout).
     pub fn run_until<F>(&mut self, max_rounds: usize, mut stop: F) -> Option<usize>
     where
         F: FnMut(&[P::State]) -> bool,
@@ -237,23 +325,25 @@ where
         None
     }
 
-    /// The verdicts of all nodes under the current configuration.
+    /// The verdicts of all nodes under the current configuration, in
+    /// original node-id order.
     pub fn verdicts(&self) -> Vec<Verdict> {
-        self.contexts
-            .iter()
-            .zip(&self.states)
-            .map(|(ctx, s)| self.program.verdict(ctx, s))
+        (0..self.states.len())
+            .map(|v| {
+                let i = self.layout.internal(v);
+                self.program.verdict(&self.contexts[i], &self.states[i])
+            })
             .collect()
     }
 
-    /// The nodes currently raising an alarm.
+    /// The nodes currently raising an alarm (original ids, ascending).
     pub fn alarming_nodes(&self) -> Vec<NodeId> {
-        self.contexts
-            .iter()
-            .zip(&self.states)
-            .enumerate()
-            .filter(|(_, (ctx, s))| self.program.verdict(ctx, s) == Verdict::Reject)
-            .map(|(v, _)| NodeId(v))
+        (0..self.states.len())
+            .map(NodeId)
+            .filter(|v| {
+                let i = self.layout.internal(v.index());
+                self.program.verdict(&self.contexts[i], &self.states[i]) == Verdict::Reject
+            })
             .collect()
     }
 
@@ -324,7 +414,7 @@ where
 }
 
 /// Computes the next registers of one shard into `out`
-/// (`out[i]` ↔ node `shard.start + i`).
+/// (`out[i]` ↔ internal node `shard.start + i`).
 fn compute_shard<P: NodeProgram>(
     program: &P,
     topo: &CsrTopology,
@@ -345,7 +435,7 @@ fn compute_shard<P: NodeProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smst_graph::generators::{path_graph, random_connected_graph};
+    use smst_graph::generators::{expander_graph, path_graph, random_connected_graph};
     use smst_sim::SyncRunner;
 
     /// Propagates the minimum identity (same toy program as the sim tests).
@@ -372,17 +462,34 @@ mod tests {
     fn matches_sequential_runner_every_round() {
         let g = random_connected_graph(60, 150, 11);
         for threads in [1, 2, 4, 7] {
-            let mut par = ParallelSyncRunner::new(&MinId, g.clone(), threads);
-            let mut seq = SyncRunner::new(&MinId, Network::new(&MinId, g.clone()));
-            for round in 0..12 {
-                assert_eq!(
-                    par.states(),
-                    seq.network().states(),
-                    "round {round}, {threads} threads"
-                );
-                par.step_round();
-                seq.step_round();
+            for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
+                let mut par = ParallelSyncRunner::with_layout(&MinId, g.clone(), threads, policy);
+                let mut seq = SyncRunner::new(&MinId, Network::new(&MinId, g.clone()));
+                for round in 0..12 {
+                    assert_eq!(
+                        par.states_snapshot(),
+                        seq.network().states(),
+                        "round {round}, {threads} threads, {policy:?}"
+                    );
+                    par.step_round();
+                    seq.step_round();
+                }
             }
+        }
+    }
+
+    #[test]
+    fn chunked_run_rounds_equals_stepped_rounds() {
+        let g = expander_graph(64, 6, 3);
+        for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
+            let mut chunked = ParallelSyncRunner::with_layout(&MinId, g.clone(), 4, policy);
+            let mut stepped = ParallelSyncRunner::with_layout(&MinId, g.clone(), 4, policy);
+            chunked.run_rounds(7);
+            for _ in 0..7 {
+                stepped.step_round();
+            }
+            assert_eq!(chunked.states(), stepped.states(), "{policy:?}");
+            assert_eq!(chunked.rounds(), 7);
         }
     }
 
@@ -406,9 +513,9 @@ mod tests {
     }
 
     #[test]
-    fn fault_injection_and_healing() {
+    fn fault_injection_and_healing_with_layout() {
         let g = random_connected_graph(30, 80, 2);
-        let mut runner = ParallelSyncRunner::new(&MinId, g, 4);
+        let mut runner = ParallelSyncRunner::with_layout(&MinId, g, 4, LayoutPolicy::Rcm);
         runner.run_to_fixpoint(100).unwrap();
         let plan = FaultPlan::random(30, 5, 9);
         runner.apply_faults(&plan, |_v, s| *s = u64::MAX);
@@ -429,11 +536,44 @@ mod tests {
     }
 
     #[test]
+    fn layout_round_trips_through_network_interop() {
+        let g = random_connected_graph(25, 60, 8);
+        let mut net = Network::new(&MinId, g);
+        net.set_state(NodeId(17), 1234);
+        let runner = ParallelSyncRunner::with_states_and_layout(
+            &MinId,
+            net.graph().clone(),
+            net.states().to_vec(),
+            3,
+            LayoutPolicy::Rcm,
+        );
+        assert_eq!(runner.state(NodeId(17)), &1234);
+        let back = runner.into_network();
+        assert_eq!(back.states(), net.states());
+    }
+
+    #[test]
     fn run_until_counts_and_times_out() {
         let g = path_graph(6, 0);
         let mut runner = ParallelSyncRunner::new(&MinId, g, 2);
         assert_eq!(runner.run_until(2, |_| false), None);
         assert_eq!(runner.rounds(), 2);
         assert_eq!(runner.run_until(10, |_| true), Some(0));
+    }
+
+    #[test]
+    fn runners_share_the_registered_pool() {
+        // 33 threads: no other test requests a pool this large, so the
+        // registry must hand the second runner the first runner's pool
+        // (a smaller request may legitimately land in a concurrently
+        // registered pool, which would make the assertion racy)
+        let g = path_graph(8, 0);
+        let a = ParallelSyncRunner::new(&MinId, g.clone(), 33);
+        let b = ParallelSyncRunner::new(&MinId, g, 33);
+        assert!(
+            a.pool().shares_pool_with(b.pool()),
+            "equal-sized runners must reuse the registered pool"
+        );
+        assert!(a.pool().pool().threads() >= 33);
     }
 }

@@ -1,0 +1,691 @@
+//! A persistent worker pool: parked threads, epoch dispatch, round barrier.
+//!
+//! PR 1's runners paid `std::thread::scope` spawn/join cost (tens of µs) on
+//! **every** round or batch; at the sub-millisecond rounds the paper's
+//! O(1)-round verification lives in, that overhead dominated and the engine
+//! lost to the sequential runner. [`WorkerPool`] replaces the per-round
+//! spawn with long-lived workers parked on a condvar: a dispatch is one
+//! epoch bump plus a wake-up (single-digit µs), and
+//! [`run_rounds_double_buffered`](WorkerPool::run_rounds_double_buffered)
+//! amortizes even that over a whole chunk of rounds, synchronizing the
+//! workers between rounds with a lightweight generation barrier instead of
+//! returning to the dispatcher.
+//!
+//! Pools are **shared and long-lived**: [`PoolHandle::for_threads`] hands
+//! out the smallest registered pool with enough threads (creating one only
+//! when none fits), so every runner in the process reuses the same parked
+//! workers. A pool dies when the last handle drops; the workers are joined
+//! on drop.
+//!
+//! # Safety
+//!
+//! This module is the **only** place in the crate where `unsafe` appears
+//! (the crate is `#![deny(unsafe_code)]`, relaxed from `forbid` by exactly
+//! this module). Two uses, both with the same structural justification:
+//!
+//! 1. **Lifetime erasure of the dispatched job.** Workers are `'static`
+//!    threads, but jobs borrow the caller's stack (program, topology,
+//!    registers). [`WorkerPool::dispatch`] erases the borrow into a raw
+//!    pointer and *does not return until every participating worker has
+//!    acknowledged completion of the epoch* — the exact guarantee
+//!    `std::thread::scope` provides structurally. Workers without a part
+//!    never dereference the pointer (they only skip the epoch), so no
+//!    worker can call through it after `dispatch` returns.
+//! 2. **Disjoint double-buffer slices.** In
+//!    [`run_rounds_double_buffered`](WorkerPool::run_rounds_double_buffered)
+//!    each part writes `next[bounds[part]..bounds[part + 1]]` — disjoint
+//!    ranges — while all parts read only the other buffer; a poisoning
+//!    round barrier separates consecutive rounds, so no read of round `r`'s
+//!    input can race a write of round `r + 1`.
+//!
+//! Worker panics are caught, propagated to the dispatcher (first panic
+//! wins), and poison the round barrier so sibling workers unwind instead of
+//! deadlocking; the pool itself survives and stays reusable.
+
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::thread::JoinHandle;
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Lifetime-erased pointer to the job of the current epoch.
+///
+/// Only ever dereferenced between the epoch bump and the completion
+/// acknowledgement — the window during which [`WorkerPool::dispatch`] keeps
+/// the real borrow alive on the caller's stack.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared calls are fine) and its lifetime is
+// guarded by the dispatch protocol described in the module docs.
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Bumped once per dispatch; workers detect work by comparing epochs.
+    epoch: u64,
+    /// The job of the current epoch (`None` between dispatches).
+    job: Option<JobPtr>,
+    /// How many parts the current job is split into (caller is part 0).
+    parts: usize,
+    /// Workers that have not yet acknowledged the current epoch.
+    outstanding: usize,
+    /// First worker panic of the current epoch, if any.
+    panic: Option<PanicPayload>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for an epoch bump.
+    work: Condvar,
+    /// The dispatcher parks here waiting for `outstanding == 0`.
+    done: Condvar,
+}
+
+/// A fixed-size pool of parked worker threads executing one job at a time,
+/// split into per-thread parts.
+///
+/// `threads` counts the **total** parallelism of a dispatch: the caller
+/// participates as part 0, so a pool of `t` threads spawns `t - 1` workers.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    /// Serializes dispatches from different runner threads onto the same
+    /// pool (the job slot is single-occupancy by design).
+    dispatch_lock: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` total parallelism (`threads - 1`
+    /// parked workers; a 1-thread pool spawns nothing and runs every
+    /// dispatch inline).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                parts: 0,
+                outstanding: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads.saturating_sub(1))
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("smst-engine-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawning an engine worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            threads,
+            dispatch_lock: Mutex::new(()),
+            handles,
+        }
+    }
+
+    /// Total parallelism of a dispatch (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(part)` for every `part in 0..parts`, the caller executing
+    /// part 0 and the parked workers parts `1..parts`. Blocks until every
+    /// part has finished; workers beyond `parts` (of an oversized shared
+    /// pool) are neither woken into work nor waited on.
+    ///
+    /// With `parts == 1` (or a 1-thread pool) the job runs inline with zero
+    /// synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` exceeds [`threads`](Self::threads), and re-raises
+    /// the first panic raised inside `job` (after all parts finished).
+    pub fn dispatch(&self, parts: usize, job: &(dyn Fn(usize) + Sync)) {
+        assert!(
+            parts <= self.threads,
+            "dispatch of {parts} parts on a {}-thread pool",
+            self.threads
+        );
+        if parts <= 1 || self.threads == 1 {
+            for part in 0..parts {
+                job(part);
+            }
+            return;
+        }
+        let serial = self.dispatch_lock.lock().unwrap();
+        // SAFETY: lifetime erasure; `job` stays borrowed on this stack frame
+        // until the completion wait below observes `outstanding == 0`;
+        // participating workers only call through the pointer before
+        // acknowledging, and non-participants never dereference it.
+        let erased = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = Some(erased);
+            st.parts = parts;
+            // only workers that own a part (1..parts) acknowledge; workers
+            // of an oversized shared pool wake, update their epoch and go
+            // straight back to sleep without being waited on
+            st.outstanding = parts - 1;
+            st.panic = None;
+            st.epoch += 1;
+        }
+        self.shared.work.notify_all();
+        // the dispatching thread works instead of sleeping
+        let caller_panic = catch_unwind(AssertUnwindSafe(|| job(0))).err();
+        let worker_panic = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.outstanding > 0 {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        drop(serial);
+        // prefer the originating panic over the secondary barrier-poison
+        // panics it released in the siblings — losing the real payload
+        // would make pool-path failures undiagnosable
+        let payloads = [caller_panic, worker_panic];
+        let mut payloads: Vec<PanicPayload> = payloads.into_iter().flatten().collect();
+        if let Some(original) = payloads.iter().position(|p| !is_poison_panic(p)) {
+            resume_unwind(payloads.swap_remove(original));
+        }
+        if let Some(payload) = payloads.pop() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// [`dispatch`](Self::dispatch), collecting each part's return value.
+    pub fn dispatch_map<T, F>(&self, parts: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let slots: Vec<Mutex<Option<T>>> = (0..parts).map(|_| Mutex::new(None)).collect();
+        self.dispatch(parts, &|part| {
+            let value = job(part);
+            *slots[part].lock().unwrap() = Some(value);
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every part stores exactly one value")
+            })
+            .collect()
+    }
+
+    /// Chunked multi-round double-buffered execution: runs `rounds` rounds
+    /// in **one** dispatch, each round computing
+    /// `step(part, round, prev, next_slice)` for every part, where `prev` is
+    /// the full previous-round buffer and `next_slice` is the part's
+    /// disjoint slice `bounds[part]..bounds[part + 1]` of the next-round
+    /// buffer. Buffer roles alternate internally; a round barrier separates
+    /// consecutive rounds, so workers never return to the dispatcher
+    /// mid-chunk.
+    ///
+    /// On return `front` holds the final round's registers and `back` the
+    /// previous round's (the same postcondition as `rounds` sequential
+    /// compute-and-swap steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not a monotone cover `0..front.len()` with at
+    /// most [`threads`](Self::threads) parts, or if the buffers differ in
+    /// length; propagates `step` panics.
+    pub fn run_rounds_double_buffered<T, F>(
+        &self,
+        bounds: &[usize],
+        rounds: usize,
+        front: &mut Vec<T>,
+        back: &mut Vec<T>,
+        step: F,
+    ) where
+        T: Send + Sync,
+        F: Fn(usize, usize, &[T], &mut [T]) + Sync,
+    {
+        let n = front.len();
+        assert_eq!(back.len(), n, "double buffers must have equal length");
+        let parts = bounds.len().checked_sub(1).expect("at least one part");
+        assert!(parts >= 1, "at least one part");
+        assert_eq!(bounds[0], 0, "bounds must start at 0");
+        assert_eq!(bounds[parts], n, "bounds must cover the buffer");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must be monotone"
+        );
+        if rounds == 0 {
+            return;
+        }
+        if parts == 1 || self.threads == 1 {
+            for round in 0..rounds {
+                let (prev, next) = if round % 2 == 0 {
+                    (&*front, &mut *back)
+                } else {
+                    (&*back, &mut *front)
+                };
+                for part in 0..parts {
+                    // one part borrowed at a time: the per-iteration
+                    // re-borrow is what guarantees disjointness here
+                    let slice = &mut next[bounds[part]..bounds[part + 1]];
+                    step(part, round, prev, slice);
+                }
+            }
+        } else {
+            let barrier = RoundBarrier::new(parts);
+            let front_ptr = BufPtr(front.as_mut_ptr());
+            let back_ptr = BufPtr(back.as_mut_ptr());
+            self.dispatch(parts, &|part| {
+                let work = || {
+                    for round in 0..rounds {
+                        let (prev_ptr, next_ptr) = if round % 2 == 0 {
+                            (front_ptr.get(), back_ptr.get())
+                        } else {
+                            (back_ptr.get(), front_ptr.get())
+                        };
+                        // SAFETY: within a round every part reads only
+                        // `prev` and writes only its disjoint `next` range;
+                        // the poisoning barrier orders round r's writes
+                        // before round r + 1's reads, and `dispatch` keeps
+                        // both buffers borrowed until all parts finish.
+                        let prev: &[T] =
+                            unsafe { std::slice::from_raw_parts(prev_ptr as *const T, n) };
+                        let (lo, hi) = (bounds[part], bounds[part + 1]);
+                        let next: &mut [T] =
+                            unsafe { std::slice::from_raw_parts_mut(next_ptr.add(lo), hi - lo) };
+                        step(part, round, prev, next);
+                        if round + 1 < rounds {
+                            barrier.wait();
+                        }
+                    }
+                };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(work)) {
+                    // free the siblings parked on the barrier, then let the
+                    // dispatch-level panic protocol take over
+                    barrier.poison();
+                    resume_unwind(payload);
+                }
+            });
+        }
+        if rounds % 2 == 1 {
+            std::mem::swap(front, back);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Raw buffer base pointer, shareable across the pool's workers.
+#[derive(Clone, Copy)]
+struct BufPtr<T>(*mut T);
+
+impl<T> BufPtr<T> {
+    /// Method (not field) access, so edition-2021 closures capture the
+    /// `Sync` wrapper rather than the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the pointer is only used under the disjointness + barrier
+// protocol documented on `run_rounds_double_buffered`.
+unsafe impl<T: Send + Sync> Send for BufPtr<T> {}
+unsafe impl<T: Send + Sync> Sync for BufPtr<T> {}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, parts) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break (st.job, st.parts);
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // worker `w` owns part `w + 1`; workers of an oversized shared
+        // pool are not counted in `outstanding` and only record the epoch.
+        // A cleared job slot means this worker woke after its (skipped)
+        // epoch completed — participants always observe their job, because
+        // the dispatcher cannot clear it before they acknowledge.
+        let my_part = worker + 1;
+        let Some(job) = job else {
+            continue;
+        };
+        if my_part >= parts {
+            continue;
+        }
+        let panic = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the dispatcher keeps the job borrow alive until this
+            // worker acknowledges below.
+            let job = unsafe { &*job.0 };
+            job(my_part);
+        }))
+        .err();
+        let mut st = shared.state.lock().unwrap();
+        if let Some(payload) = panic {
+            // keep the first *original* payload: poison-released siblings
+            // all panic with the sentinel and must not mask the cause
+            match &st.panic {
+                Some(existing) if !is_poison_panic(existing) => {}
+                _ => st.panic = Some(payload),
+            }
+        }
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// The payload of the secondary panics a poisoned barrier raises in the
+/// released siblings; [`WorkerPool::dispatch`] recognizes it so the
+/// originating panic is the one re-raised to the caller.
+const POISON_PANIC: &str = "engine round barrier poisoned by a sibling worker panic";
+
+/// `true` if a caught payload is the barrier's poison sentinel (as opposed
+/// to an original panic from inside a job). The barrier panics via
+/// `panic_any(POISON_PANIC)`, so the payload is a `&str`; the `String` arm
+/// is belt-and-braces against a future reformulation through `panic!`.
+fn is_poison_panic(payload: &PanicPayload) -> bool {
+    payload
+        .downcast_ref::<&str>()
+        .is_some_and(|s| *s == POISON_PANIC)
+        || payload
+            .downcast_ref::<String>()
+            .is_some_and(|s| s == POISON_PANIC)
+}
+
+/// A reusable generation barrier with poisoning (a sibling's panic releases
+/// everyone instead of deadlocking the round).
+struct RoundBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    parts: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl RoundBarrier {
+    fn new(parts: usize) -> Self {
+        RoundBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            parts,
+        }
+    }
+
+    /// Blocks until all parts arrive (or the barrier is poisoned, in which
+    /// case this panics so the caller unwinds out of its round loop).
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        if st.poisoned {
+            drop(st);
+            panic_any(POISON_PANIC);
+        }
+        let generation = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.parts {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        while st.generation == generation && !st.poisoned {
+            st = self.cv.wait(st).unwrap();
+        }
+        let poisoned = st.poisoned;
+        drop(st);
+        if poisoned {
+            panic_any(POISON_PANIC);
+        }
+    }
+
+    fn poison(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A shared, cloneable handle to a [`WorkerPool`].
+///
+/// Handles returned by [`PoolHandle::for_threads`] share pools through a
+/// process-wide registry, so all runners reuse the same parked workers
+/// instead of each spawning their own.
+#[derive(Clone, Debug)]
+pub struct PoolHandle(Arc<WorkerPool>);
+
+impl PoolHandle {
+    /// The smallest registered pool with at least `threads` total threads,
+    /// or a freshly created (and registered) one when none fits. The pool
+    /// outlives the handle only while other handles (or runners) keep it
+    /// alive.
+    pub fn for_threads(threads: usize) -> PoolHandle {
+        let threads = threads.max(1);
+        let registry = REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+        let mut pools = registry.lock().unwrap();
+        pools.retain(|weak| weak.strong_count() > 0);
+        if let Some(pool) = pools
+            .iter()
+            .filter_map(Weak::upgrade)
+            .filter(|pool| pool.threads() >= threads)
+            .min_by_key(|pool| pool.threads())
+        {
+            return PoolHandle(pool);
+        }
+        let pool = Arc::new(WorkerPool::new(threads));
+        pools.push(Arc::downgrade(&pool));
+        PoolHandle(pool)
+    }
+
+    /// A dedicated, unregistered pool (tests and benchmarks that must not
+    /// share workers).
+    pub fn dedicated(threads: usize) -> PoolHandle {
+        PoolHandle(Arc::new(WorkerPool::new(threads)))
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.0
+    }
+
+    /// `true` if both handles share one pool.
+    pub fn shares_pool_with(&self, other: &PoolHandle) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<Weak<WorkerPool>>>> = OnceLock::new();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn dispatch_runs_every_part_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for parts in 1..=4 {
+            let hits: Vec<AtomicUsize> = (0..parts).map(|_| AtomicUsize::new(0)).collect();
+            pool.dispatch(parts, &|p| {
+                hits[p].fetch_add(1, Ordering::SeqCst);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::SeqCst), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_map_collects_in_part_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.dispatch_map(3, |p| p * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn pool_survives_many_dispatches() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.dispatch(3, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1500);
+    }
+
+    #[test]
+    fn multi_round_double_buffer_matches_sequential_reference() {
+        // each round: x[i] <- x[i] + max of the full previous buffer
+        let n = 97;
+        let rounds = 9;
+        let reference = {
+            let mut cur: Vec<u64> = (0..n as u64).collect();
+            for _ in 0..rounds {
+                let m = *cur.iter().max().unwrap();
+                cur = cur.iter().map(|&x| x + m).collect();
+            }
+            cur
+        };
+        for parts in [1usize, 2, 3, 4] {
+            let pool = WorkerPool::new(4);
+            let bounds: Vec<usize> = (0..=parts).map(|k| n * k / parts).collect();
+            let mut front: Vec<u64> = (0..n as u64).collect();
+            let mut back = front.clone();
+            pool.run_rounds_double_buffered(&bounds, rounds, &mut front, &mut back, {
+                |part: usize, _round: usize, prev: &[u64], next: &mut [u64]| {
+                    let m = *prev.iter().max().unwrap();
+                    let lo = bounds[part];
+                    for (i, slot) in next.iter_mut().enumerate() {
+                        *slot = prev[lo + i] + m;
+                    }
+                }
+            });
+            assert_eq!(front, reference, "{parts} parts diverged");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(2, &|p| {
+                if p == 1 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the worker panic must reach the caller");
+        // the pool is still usable afterwards
+        let counter = AtomicUsize::new(0);
+        pool.dispatch(2, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn multi_round_panic_does_not_deadlock() {
+        let pool = WorkerPool::new(3);
+        let n = 30;
+        let bounds = vec![0, 10, 20, 30];
+        let mut front = vec![0u64; n];
+        let mut back = vec![0u64; n];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_rounds_double_buffered(&bounds, 5, &mut front, &mut back, {
+                |part: usize, round: usize, _prev: &[u64], _next: &mut [u64]| {
+                    if part == 1 && round == 2 {
+                        panic!("mid-chunk boom");
+                    }
+                }
+            });
+        }));
+        // the ORIGINAL payload must surface, not the secondary
+        // barrier-poison panics it released in the sibling workers
+        let payload = result.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("mid-chunk boom"),
+            "poison sentinel masked the original panic: {message:?}"
+        );
+        // still dispatchable
+        pool.dispatch(3, &|_| {});
+    }
+
+    #[test]
+    fn handles_share_registered_pools() {
+        let a = PoolHandle::for_threads(5);
+        let b = PoolHandle::for_threads(5);
+        let c = PoolHandle::for_threads(3); // fits inside the 5-thread pool
+        assert!(a.shares_pool_with(&b));
+        assert!(a.shares_pool_with(&c));
+        assert!(a.pool().threads() >= 5);
+        let d = PoolHandle::dedicated(2);
+        assert!(!d.shares_pool_with(&a));
+    }
+
+    #[test]
+    fn one_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.dispatch(1, &|p| {
+            assert_eq!(p, 0);
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

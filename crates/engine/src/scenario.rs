@@ -7,6 +7,7 @@
 //! and tests can describe diverse runs declaratively and reproducibly (the
 //! whole scenario derives from explicit seeds).
 
+use crate::layout::LayoutPolicy;
 use crate::parallel_sync::ParallelSyncRunner;
 use crate::sharded_async::ShardedAsyncRunner;
 use smst_graph::generators::{
@@ -145,6 +146,9 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Node renumbering applied before sharding (wall-clock only; results
+    /// are layout-invariant).
+    pub layout: LayoutPolicy,
     /// Synchronous or asynchronous execution.
     pub schedule: Schedule,
     /// Fault bursts, in firing order.
@@ -160,6 +164,7 @@ impl ScenarioSpec {
             family,
             seed: 0,
             threads: 1,
+            layout: LayoutPolicy::Identity,
             schedule: Schedule::Sync,
             faults: Vec::new(),
             until: StopCondition::Steps,
@@ -175,6 +180,12 @@ impl ScenarioSpec {
     /// Sets the worker-thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the layout policy (RCM renumbering before sharding).
+    pub fn layout(mut self, layout: LayoutPolicy) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -216,7 +227,45 @@ impl ScenarioSpec {
     /// Panics if a [`FaultBurst`] is scheduled at or after `max_steps` —
     /// such a burst could never fire, and silently dropping it would make a
     /// misconfigured fault scenario look like a passing fault-free one.
-    pub fn run<P, F>(&self, program: &P, mut corrupt: F, max_steps: usize) -> ScenarioOutcome<P>
+    pub fn run<P, F>(&self, program: &P, corrupt: F, max_steps: usize) -> ScenarioOutcome<P>
+    where
+        P: NodeProgram + Sync,
+        P::State: Send + Sync,
+        F: FnMut(NodeId, &mut P::State),
+    {
+        self.run_on(program, self.build_graph(), corrupt, max_steps)
+    }
+
+    /// Like [`ScenarioSpec::run`], but the program is **built from the
+    /// scenario's graph** (needed whenever the program embeds per-instance
+    /// data, e.g. the paper's verifier carrying proof labels). Returns the
+    /// outcome together with the built program, so callers can evaluate
+    /// per-node quantities (verdicts, memory bits) on the final network.
+    pub fn run_with<P, B, F>(
+        &self,
+        build: B,
+        corrupt: F,
+        max_steps: usize,
+    ) -> (ScenarioOutcome<P>, P)
+    where
+        P: NodeProgram + Sync,
+        P::State: Send + Sync,
+        B: FnOnce(&WeightedGraph) -> P,
+        F: FnMut(NodeId, &mut P::State),
+    {
+        let graph = self.build_graph();
+        let program = build(&graph);
+        let outcome = self.run_on(&program, graph, corrupt, max_steps);
+        (outcome, program)
+    }
+
+    fn run_on<P, F>(
+        &self,
+        program: &P,
+        graph: WeightedGraph,
+        mut corrupt: F,
+        max_steps: usize,
+    ) -> ScenarioOutcome<P>
     where
         P: NodeProgram + Sync,
         P::State: Send + Sync,
@@ -228,12 +277,12 @@ impl ScenarioSpec {
                 burst.at
             );
         }
-        let graph = self.build_graph();
         let n = graph.node_count();
         // alarms and recovery are measured from the first burst; in a
         // fault-free scenario they are measured from the start of the run
         let measure_from = self.faults.iter().map(|b| b.at).min().unwrap_or(0);
         let mut injected = 0usize;
+        let mut injected_nodes: Vec<NodeId> = Vec::new();
         let mut first_alarm = None;
         let mut recovered = None;
         let mut steps_run = 0usize;
@@ -247,6 +296,7 @@ impl ScenarioSpec {
                             corrupt(v, $runner.state_mut(v));
                         }
                         injected += plan.len();
+                        injected_nodes.extend_from_slice(plan.nodes());
                     }
                     $runner.$step();
                     steps_run = step + 1;
@@ -276,18 +326,26 @@ impl ScenarioSpec {
                     }
                 }
                 let all_accept = $runner.all_accept();
-                (($runner).into_network(), all_accept)
+                let alarm_nodes = $runner.alarming_nodes();
+                (($runner).into_network(), all_accept, alarm_nodes)
             }};
         }
 
-        let (network, all_accept) = match &self.schedule {
+        let (network, all_accept, alarm_nodes) = match &self.schedule {
             Schedule::Sync => {
-                let mut runner = ParallelSyncRunner::new(program, graph, self.threads);
+                let mut runner =
+                    ParallelSyncRunner::with_layout(program, graph, self.threads, self.layout);
                 drive!(runner, step_round)
             }
             Schedule::Async { daemon, batch } => {
-                let mut runner =
-                    ShardedAsyncRunner::new(program, graph, daemon.clone(), *batch, self.threads);
+                let mut runner = ShardedAsyncRunner::with_layout(
+                    program,
+                    graph,
+                    daemon.clone(),
+                    *batch,
+                    self.threads,
+                    self.layout,
+                );
                 drive!(runner, step_time_unit)
             }
         };
@@ -300,6 +358,8 @@ impl ScenarioSpec {
                 first_alarm,
                 recovered,
                 all_accept,
+                alarm_nodes,
+                injected_nodes,
             },
             network,
         }
@@ -324,6 +384,13 @@ pub struct ScenarioReport {
     pub recovered: Option<usize>,
     /// Whether every node accepted at the end of the run.
     pub all_accept: bool,
+    /// The nodes raising an alarm at the end of the run (original ids,
+    /// ascending) — the raw material for detection-distance metrics.
+    pub alarm_nodes: Vec<NodeId>,
+    /// Every register the bursts actually corrupted, in injection order —
+    /// the authoritative fault set for distance metrics (no caller-side
+    /// replay of the burst plans needed).
+    pub injected_nodes: Vec<NodeId>,
 }
 
 /// Final registers plus the run report.
@@ -416,6 +483,44 @@ mod tests {
         assert!(outcome.report.all_accept);
         assert_eq!(outcome.report.injected_faults, 0);
         assert!(outcome.report.steps_run <= 200);
+    }
+
+    #[test]
+    fn layout_does_not_change_outcomes() {
+        let base = ScenarioSpec::new(GraphFamily::Expander { n: 80, degree: 4 })
+            .seed(9)
+            .threads(3)
+            .fault_burst(2, 8, 5)
+            .until(StopCondition::AllAccept);
+        let plain = base
+            .clone()
+            .run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 300);
+        let laid_out =
+            base.layout(LayoutPolicy::Rcm)
+                .run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 300);
+        assert_eq!(plain.network.states(), laid_out.network.states());
+        assert_eq!(plain.report.steps_run, laid_out.report.steps_run);
+        assert_eq!(
+            plain.report.injected_faults,
+            laid_out.report.injected_faults
+        );
+        assert_eq!(plain.report.recovered, laid_out.report.recovered);
+    }
+
+    #[test]
+    fn run_with_builds_the_program_from_the_scenario_graph() {
+        let spec = ScenarioSpec::new(GraphFamily::Ring { n: 10 }).until(StopCondition::AllAccept);
+        let (outcome, program) = spec.run_with(
+            |g| {
+                assert_eq!(g.node_count(), 10);
+                MinIdFlood::new(0)
+            },
+            |_v, s| *s = 1,
+            100,
+        );
+        assert_eq!(program.leader(), 0);
+        assert!(outcome.report.all_accept);
+        assert!(outcome.report.alarm_nodes.is_empty());
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! activation sequence (identical to the sequential daemon's), executed in
 //! consecutive *batches* of `batch` activations. All activations of a batch
 //! read the registers as they were at the start of the batch — they are
-//! simultaneous — and a batch is computed in parallel across worker threads.
+//! simultaneous — and a batch is computed in parallel on the persistent
+//! [`WorkerPool`](crate::pool::WorkerPool) (an epoch bump on parked
+//! threads, not a per-batch thread spawn).
 //!
 //! # Determinism
 //!
@@ -14,16 +16,20 @@
 //! is re-seeded per unit from the daemon's seed, never from wall-clock or
 //! thread identity — and batch results are pure functions of the pre-batch
 //! registers. Runs are therefore **bit-for-bit reproducible at any thread
-//! count**; only the `batch` parameter (part of the schedule's semantics,
-//! not of its execution) changes outcomes. With `batch == 1` the runner
-//! reproduces the sequential [`AsyncRunner`](smst_sim::AsyncRunner)
-//! activation-for-activation, which `tests/` pins differentially.
+//! count** and under any [`LayoutPolicy`]; only the `batch` parameter (part
+//! of the schedule's semantics, not of its execution) changes outcomes.
+//! With `batch == 1` the runner reproduces the sequential
+//! [`AsyncRunner`](smst_sim::AsyncRunner) activation-for-activation, which
+//! `tests/` pins differentially.
 
+use crate::layout::{Layout, LayoutPolicy};
+use crate::pool::PoolHandle;
 use crate::topology::CsrTopology;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_sim::{Daemon, FaultPlan, Network, NodeContext, NodeProgram, Verdict};
 
-/// One time unit's activation sequence, as dense `u32` indices.
+/// One time unit's activation sequence, as dense `u32` indices (original
+/// node ids).
 ///
 /// Delegates to [`Daemon::schedule`] — the single source of truth shared
 /// with the sequential runner — so `batch == 1` replays it by construction.
@@ -41,11 +47,15 @@ fn schedule(daemon: &Daemon, n: usize, unit_index: usize) -> Vec<u32> {
 pub struct ShardedAsyncRunner<'p, P: NodeProgram> {
     program: &'p P,
     graph: WeightedGraph,
+    /// CSR in internal (layout) order.
     topo: CsrTopology,
+    layout: Layout,
+    /// Contexts and registers in internal (layout) order.
     contexts: Vec<NodeContext>,
     states: Vec<P::State>,
     daemon: Daemon,
     batch: usize,
+    pool: PoolHandle,
     threads: usize,
     time_units: usize,
     activations: usize,
@@ -67,21 +77,45 @@ where
         batch: usize,
         threads: usize,
     ) -> Self {
-        let contexts: Vec<NodeContext> = graph
-            .nodes()
-            .map(|v| NodeContext::for_node(&graph, v))
+        Self::with_layout(
+            program,
+            graph,
+            daemon,
+            batch,
+            threads,
+            LayoutPolicy::Identity,
+        )
+    }
+
+    /// [`ShardedAsyncRunner::new`] with an explicit [`LayoutPolicy`].
+    pub fn with_layout(
+        program: &'p P,
+        graph: WeightedGraph,
+        daemon: Daemon,
+        batch: usize,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> Self {
+        let base_topo = CsrTopology::build(&graph);
+        let layout = policy.build(&base_topo);
+        let topo = layout.apply(&base_topo);
+        let contexts: Vec<NodeContext> = (0..graph.node_count())
+            .map(|internal| NodeContext::for_node(&graph, NodeId(layout.original(internal))))
             .collect();
         let states: Vec<P::State> = contexts.iter().map(|ctx| program.init(ctx)).collect();
-        let topo = CsrTopology::build(&graph);
+        let threads = threads.max(1);
+        let pool = PoolHandle::for_threads(threads);
         ShardedAsyncRunner {
             program,
             graph,
             topo,
+            layout,
             contexts,
             states,
             daemon,
             batch: batch.max(1),
-            threads: threads.max(1),
+            pool,
+            threads,
             time_units: 0,
             activations: 0,
         }
@@ -102,39 +136,60 @@ where
         self.batch
     }
 
+    /// The node layout (identity unless built with
+    /// [`LayoutPolicy::Rcm`]).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The pool handle the runner dispatches batches on.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
+    }
+
     /// The graph being executed.
     pub fn graph(&self) -> &WeightedGraph {
         &self.graph
     }
 
-    /// All registers, indexed by dense node id.
+    /// All registers in the engine's **internal storage order** — original
+    /// node-id order exactly when [`layout`](Self::layout)
+    /// `.is_identity()`. Use [`states_snapshot`](Self::states_snapshot) for
+    /// an order-independent view.
     pub fn states(&self) -> &[P::State] {
         &self.states
     }
 
-    /// The register of one node.
+    /// The registers in original node-id order (clones; layout-independent).
+    pub fn states_snapshot(&self) -> Vec<P::State> {
+        (0..self.states.len())
+            .map(|v| self.states[self.layout.internal(v)].clone())
+            .collect()
+    }
+
+    /// The register of one node (original id).
     pub fn state(&self, v: NodeId) -> &P::State {
-        &self.states[v.index()]
+        &self.states[self.layout.internal(v.index())]
     }
 
-    /// Mutable access to one register (fault injection).
+    /// Mutable access to one register (fault injection; original id).
     pub fn state_mut(&mut self, v: NodeId) -> &mut P::State {
-        &mut self.states[v.index()]
+        &mut self.states[self.layout.internal(v.index())]
     }
 
-    /// The static context of a node.
+    /// The static context of a node (original id).
     pub fn context(&self, v: NodeId) -> &NodeContext {
-        &self.contexts[v.index()]
+        &self.contexts[self.layout.internal(v.index())]
     }
 
-    /// The nodes currently raising an alarm.
+    /// The nodes currently raising an alarm (original ids, ascending).
     pub fn alarming_nodes(&self) -> Vec<NodeId> {
-        self.contexts
-            .iter()
-            .zip(&self.states)
-            .enumerate()
-            .filter(|(_, (ctx, s))| self.program.verdict(ctx, s) == Verdict::Reject)
-            .map(|(v, _)| NodeId(v))
+        (0..self.states.len())
+            .map(NodeId)
+            .filter(|v| {
+                let i = self.layout.internal(v.index());
+                self.program.verdict(&self.contexts[i], &self.states[i]) == Verdict::Reject
+            })
             .collect()
     }
 
@@ -144,51 +199,64 @@ where
         F: FnMut(NodeId, &mut P::State),
     {
         for &v in plan.nodes() {
-            mutate(v, &mut self.states[v.index()]);
+            mutate(v, &mut self.states[self.layout.internal(v.index())]);
         }
     }
 
     /// Consumes the runner, returning a sequential [`Network`] holding the
-    /// final registers.
+    /// final registers in original node-id order.
     pub fn into_network(self) -> Network<P> {
-        Network::with_states(self.graph, self.states)
+        let states = self.layout.unpermute(self.states);
+        Network::with_states(self.graph, states)
     }
 
-    /// Executes one batch of simultaneous activations.
+    /// Executes one batch of simultaneous activations (`chunk` holds
+    /// original node ids).
     fn activate_batch(&mut self, chunk: &[u32]) {
         // all reads are pre-batch: the next states are fully computed before
         // any register is written, so results do not depend on the worker
-        // split (which is why the spawn threshold cannot change outcomes,
+        // split (the spawn threshold and the layout cannot change outcomes,
         // only wall-clock)
-        let computed: Vec<P::State> = if self.threads == 1 || chunk.len() < PARALLEL_BATCH_MIN {
+        let layout = &self.layout;
+        // under the identity layout the daemon's chunk already holds
+        // internal indices: borrow it instead of allocating per batch
+        let translated: Vec<u32>;
+        let internal: &[u32] = if layout.is_identity() {
+            chunk
+        } else {
+            translated = chunk
+                .iter()
+                .map(|&v| layout.internal(v as usize) as u32)
+                .collect();
+            &translated
+        };
+        // one worker piece per MIN_BATCH_SPAWN activations, capped by the
+        // thread count; pieces == 1 stays inline on the caller
+        let pieces = self.threads.min(internal.len() / MIN_BATCH_SPAWN).max(1);
+        let computed: Vec<P::State> = if pieces == 1 {
             compute_nodes(
                 self.program,
                 &self.topo,
                 &self.contexts,
                 &self.states,
-                chunk,
+                internal,
             )
         } else {
-            let pieces = self.threads.min(chunk.len());
             let (program, topo) = (self.program, &self.topo);
             let (contexts, states) = (&self.contexts, &self.states);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..pieces)
-                    .map(|k| {
-                        let lo = chunk.len() * k / pieces;
-                        let hi = chunk.len() * (k + 1) / pieces;
-                        let piece = &chunk[lo..hi];
-                        scope.spawn(move || compute_nodes(program, topo, contexts, states, piece))
-                    })
-                    .collect();
-                let mut all = Vec::with_capacity(chunk.len());
-                for handle in handles {
-                    all.extend(handle.join().expect("engine worker panicked"));
-                }
-                all
-            })
+            let nodes = internal;
+            let parts = self.pool.pool().dispatch_map(pieces, |k| {
+                let lo = nodes.len() * k / pieces;
+                let hi = nodes.len() * (k + 1) / pieces;
+                compute_nodes(program, topo, contexts, states, &nodes[lo..hi])
+            });
+            let mut all = Vec::with_capacity(nodes.len());
+            for part in parts {
+                all.extend(part);
+            }
+            all
         };
-        for (&v, value) in chunk.iter().zip(computed) {
+        for (&v, value) in internal.iter().zip(computed) {
             self.states[v as usize] = value;
         }
         self.activations += chunk.len();
@@ -213,6 +281,9 @@ where
 
     /// Runs until `stop` holds (checked after every time unit) or until
     /// `max_units` additional units have elapsed.
+    ///
+    /// `stop` observes the registers in internal storage order (original
+    /// order under the identity layout).
     pub fn run_until<F>(&mut self, max_units: usize, mut stop: F) -> Option<usize>
     where
         F: FnMut(&[P::State]) -> bool,
@@ -275,14 +346,17 @@ where
     }
 }
 
-/// Smallest batch worth spawning worker threads for: below this, the
-/// per-batch thread-launch cost (tens of µs) exceeds the step work and the
-/// inline sweep is faster. Thread splits never affect results, so this is
-/// purely a wall-clock knob.
-const PARALLEL_BATCH_MIN: usize = 1024;
+/// Smallest number of batch activations **per worker piece** worth a pool
+/// dispatch. PR 1 spawned scoped threads per batch, so its threshold had to
+/// cover tens of µs of spawn cost (1024 activations) and everything below
+/// it silently ran sequential with different thread accounting; a pool
+/// dispatch is an epoch bump on parked workers (single-digit µs), so small
+/// batches now reuse the pool as soon as each piece has this much work.
+/// Thread splits never affect results — this is purely a wall-clock knob.
+pub(crate) const MIN_BATCH_SPAWN: usize = 16;
 
-/// Computes the next registers of the given nodes from the current
-/// (pre-batch) registers.
+/// Computes the next registers of the given nodes (internal indices) from
+/// the current (pre-batch) registers.
 fn compute_nodes<P: NodeProgram>(
     program: &P,
     topo: &CsrTopology,
@@ -341,30 +415,40 @@ mod tests {
                 pivot_repeats: 4,
             },
         ] {
-            let mut seq = AsyncRunner::new(&MinId, Network::new(&MinId, g.clone()), daemon.clone());
-            let mut par = ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), 1, 4);
-            for unit in 0..6 {
-                assert_eq!(
-                    par.states(),
-                    seq.network().states(),
-                    "{daemon:?}, unit {unit}"
+            for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
+                let mut seq =
+                    AsyncRunner::new(&MinId, Network::new(&MinId, g.clone()), daemon.clone());
+                let mut par = ShardedAsyncRunner::with_layout(
+                    &MinId,
+                    g.clone(),
+                    daemon.clone(),
+                    1,
+                    4,
+                    policy,
                 );
-                seq.step_time_unit();
-                par.step_time_unit();
+                for unit in 0..6 {
+                    assert_eq!(
+                        par.states_snapshot(),
+                        seq.network().states(),
+                        "{daemon:?}, unit {unit}, {policy:?}"
+                    );
+                    seq.step_time_unit();
+                    par.step_time_unit();
+                }
+                assert_eq!(par.activations(), seq.activations(), "{daemon:?}");
             }
-            assert_eq!(par.activations(), seq.activations(), "{daemon:?}");
         }
     }
 
     #[test]
     fn parallel_batch_path_is_identical_across_thread_counts() {
-        // batch >= PARALLEL_BATCH_MIN so the scoped-thread split actually
-        // executes; with the RoundRobin daemon and batch = n, one time unit
-        // is one synchronous round, which the sequential SyncRunner pins
+        // batch large enough that the pool split actually executes; with
+        // the RoundRobin daemon and batch = n, one time unit is one
+        // synchronous round, which the sequential SyncRunner pins
         let n = 3000;
         let g = random_connected_graph(n, 8000, 12);
-        let batch = n; // > PARALLEL_BATCH_MIN
-        assert!(batch >= super::PARALLEL_BATCH_MIN);
+        let batch = n;
+        assert!(batch >= 4 * super::MIN_BATCH_SPAWN);
         let mut sync = smst_sim::SyncRunner::new(&MinId, Network::new(&MinId, g.clone()));
         let mut single = ShardedAsyncRunner::new(&MinId, g.clone(), Daemon::RoundRobin, batch, 1);
         let mut multi = ShardedAsyncRunner::new(&MinId, g.clone(), Daemon::RoundRobin, batch, 4);
@@ -382,6 +466,38 @@ mod tests {
                 sync.network().states(),
                 "full-batch round-robin diverged from a synchronous round at unit {unit}"
             );
+        }
+    }
+
+    #[test]
+    fn small_batches_reuse_the_pool_without_changing_results() {
+        // batch sizes straddling the per-piece dispatch threshold: every
+        // configuration must agree with the 1-thread reference
+        let g = random_connected_graph(120, 300, 8);
+        let daemon = Daemon::Random {
+            seed: 13,
+            extra_factor: 1,
+        };
+        for batch in [
+            super::MIN_BATCH_SPAWN / 2,
+            super::MIN_BATCH_SPAWN,
+            2 * super::MIN_BATCH_SPAWN,
+            4 * super::MIN_BATCH_SPAWN,
+        ] {
+            let mut reference =
+                ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), batch, 1);
+            reference.run_time_units(4);
+            for threads in [2, 3, 8] {
+                let mut runner =
+                    ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), batch, threads);
+                runner.run_time_units(4);
+                assert_eq!(
+                    runner.states(),
+                    reference.states(),
+                    "batch {batch}, threads {threads} changed the outcome"
+                );
+                assert_eq!(runner.activations(), reference.activations());
+            }
         }
     }
 

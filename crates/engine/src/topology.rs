@@ -45,6 +45,27 @@ impl CsrTopology {
         CsrTopology { offsets, neighbors }
     }
 
+    /// Assembles a topology from raw CSR arrays (used by the layout pass to
+    /// build a renumbered copy without round-tripping through a graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not a monotone cover of `neighbors`.
+    pub(crate) fn from_raw(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain a leading 0");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            neighbors.len(),
+            "offsets must cover the neighbour array"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        CsrTopology { offsets, neighbors }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.offsets.len() - 1

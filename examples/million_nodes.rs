@@ -3,15 +3,20 @@
 //! Builds a ~10⁶-node random connected graph, floods the minimum identity
 //! with [`MinIdFlood`] on the [`ParallelSyncRunner`] until every node
 //! accepts, injects a burst of transient faults, and measures the healing
-//! wave — printing per-round throughput along the way. A final spot check
-//! re-runs a prefix on one thread and asserts bit-for-bit equality, the
-//! engine's determinism contract.
+//! wave — printing per-round throughput along the way. The run uses the
+//! engine's persistent worker pool (rounds are dispatched to parked
+//! workers, no per-round thread spawns) and the RCM layout pass
+//! (neighbour-renumbered CSR + shard-local state arenas); a final spot
+//! check re-runs a prefix on one thread **without** the layout and asserts
+//! bit-for-bit equality — the engine's determinism contract covers both
+//! knobs.
 //!
 //! Run with: `cargo run --release --example million_nodes`
 //! (release mode matters: this is a throughput demonstration).
 
+use smst_engine::layout::mean_bandwidth;
 use smst_engine::programs::MinIdFlood;
-use smst_engine::{default_threads, ParallelSyncRunner};
+use smst_engine::{default_threads, CsrTopology, LayoutPolicy, ParallelSyncRunner};
 use smst_graph::generators::random_connected_graph;
 use smst_sim::FaultPlan;
 use std::time::Instant;
@@ -30,14 +35,23 @@ fn main() {
         t0.elapsed()
     );
 
+    // pre-layout bandwidth for the comparison below (the runner builds its
+    // own renumbered CSR; no second RCM pass is run for the stat)
+    let before = mean_bandwidth(&CsrTopology::build(&graph));
+
     let program = MinIdFlood::new(0);
     let t0 = Instant::now();
-    let mut runner = ParallelSyncRunner::new(&program, graph, threads);
+    let mut runner = ParallelSyncRunner::with_layout(&program, graph, threads, LayoutPolicy::Rcm);
     println!(
-        "  sharded runner ready ({} shards, {} threads) in {:.1?}",
+        "  pool-backed runner ready ({} shards, {} threads, RCM layout) in {:.1?}",
         runner.shards().len(),
         threads,
         t0.elapsed()
+    );
+    let after = mean_bandwidth(runner.topology());
+    println!(
+        "  RCM layout: mean neighbour index distance {before:.0} -> {after:.0} ({:.1}x)",
+        before / after.max(1.0),
     );
 
     // phase 1: flood to global acceptance
@@ -66,22 +80,24 @@ fn main() {
         t0.elapsed()
     );
 
-    // determinism spot check: a genuinely multi-threaded run reaches the
-    // same configuration as a 1-thread run (forced to ≥ 4 threads so the
-    // check stays meaningful on single-core hosts)
+    // determinism spot check: a genuinely multi-threaded, RCM-renumbered
+    // run reaches the same configuration as a 1-thread run without the
+    // layout pass (forced to ≥ 4 threads so the check stays meaningful on
+    // single-core hosts)
     let small_n = 50_000;
     let check_threads = threads.max(4);
     let g = random_connected_graph(small_n, 2 * small_n, 11);
-    let mut a = ParallelSyncRunner::new(&program, g.clone(), check_threads);
+    let mut a =
+        ParallelSyncRunner::with_layout(&program, g.clone(), check_threads, LayoutPolicy::Rcm);
     let mut b = ParallelSyncRunner::new(&program, g, 1);
     a.run_rounds(10);
     b.run_rounds(10);
     assert_eq!(
-        a.states(),
+        a.states_snapshot().as_slice(),
         b.states(),
-        "thread count must not change results"
+        "thread count / layout must not change results"
     );
     println!(
-        "determinism check passed: {check_threads}-thread run == 1-thread run (n = {small_n})"
+        "determinism check passed: {check_threads}-thread RCM run == 1-thread run (n = {small_n})"
     );
 }
