@@ -1,0 +1,163 @@
+//! `CAMPAIGN_<name>.json` artifacts — the campaign analogue of the bench
+//! harness's `BENCH_<group>.json`.
+//!
+//! Serialized with the same hand-rolled writer discipline (and the same
+//! [`json_string`] escaping) as [`smst_bench::harness`], written into the
+//! same [`bench_dir`] (`$SMST_BENCH_DIR`, default the working directory),
+//! so CI uploads campaign finds alongside the bench trajectory with one
+//! artifact rule.
+
+use crate::campaign::{CampaignReport, TrialRecord};
+use crate::shrink::ShrinkResult;
+use smst_bench::harness::{bench_dir, json_string};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+fn option_json(value: Option<usize>) -> String {
+    match value {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn record_json(record: &TrialRecord, budget: usize) -> String {
+    format!(
+        "{{\"id\":{},\"daemon\":{},\"nodes\":{},\"score\":{},\"missed\":{},\
+         \"baseline_score\":{},\"baseline_missed\":{},\"regret\":{},\
+         \"detection\":{},\"recovered\":{},\"injected\":{}}}",
+        json_string(&record.id),
+        json_string(&record.daemon),
+        record.outcome.node_count,
+        record.outcome.score.value(budget),
+        record.outcome.score.is_missed(),
+        record.baseline.score.value(budget),
+        record.baseline.score.is_missed(),
+        record.regret,
+        option_json(record.outcome.detection),
+        option_json(record.outcome.recovered),
+        record.outcome.injected_faults,
+    )
+}
+
+/// Serializes a campaign report (and, optionally, the shrunk best find) as
+/// one JSON object.
+pub fn campaign_json(
+    report: &CampaignReport,
+    budget: usize,
+    shrunk: Option<&ShrinkResult>,
+) -> String {
+    let records: Vec<String> = report
+        .records
+        .iter()
+        .map(|r| record_json(r, budget))
+        .collect();
+    let best = report
+        .best()
+        .map(|r| record_json(r, budget))
+        .unwrap_or_else(|| "null".to_string());
+    let shrunk_json = match shrunk {
+        Some(result) => format!(
+            "{{\"id\":{},\"accepted\":{},\"evaluated\":{},\"nodes\":{},\
+             \"score\":{},\"missed\":{}}}",
+            json_string(&result.spec.id()),
+            result.accepted,
+            result.evaluated,
+            result.outcome.node_count,
+            result.outcome.score.value(budget),
+            result.outcome.score.is_missed(),
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"campaign\":{},\"random_trials\":{},\"guided_trials\":{},\
+         \"best\":{best},\"shrunk\":{shrunk_json},\"records\":[{}]}}\n",
+        json_string(&report.name),
+        report.random_trials,
+        report.guided_trials,
+        records.join(",")
+    )
+}
+
+/// Writes `CAMPAIGN_<name>.json` into [`bench_dir`] and returns its path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — a campaign that silently loses its finds is
+/// worse than one that fails.
+pub fn write_campaign_artifact(
+    report: &CampaignReport,
+    budget: usize,
+    shrunk: Option<&ShrinkResult>,
+) -> PathBuf {
+    write_campaign_artifact_in(&bench_dir(), report, budget, shrunk)
+}
+
+/// [`write_campaign_artifact`] into an explicit directory.
+pub fn write_campaign_artifact_in(
+    dir: &Path,
+    report: &CampaignReport,
+    budget: usize,
+    shrunk: Option<&ShrinkResult>,
+) -> PathBuf {
+    let path = dir.join(format!("CAMPAIGN_{}.json", report.name));
+    let mut file = std::fs::File::create(&path).expect("creating the campaign JSON artifact");
+    file.write_all(campaign_json(report, budget, shrunk).as_bytes())
+        .expect("writing the campaign JSON artifact");
+    println!("  campaign results -> {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignSpec};
+    use crate::shrink::shrink;
+    use crate::trial::Workload;
+    use smst_engine::GraphFamily;
+
+    #[test]
+    fn campaign_json_is_balanced_and_complete() {
+        let mut spec = CampaignSpec::new("artifact_unit", Workload::Monitor);
+        spec.families = vec![GraphFamily::Path { n: 16 }];
+        spec.random_trials = 4;
+        spec.guided_rounds = 0;
+        spec.budget = 64;
+        let report = run_campaign(&spec);
+        let best = report.best().expect("trials ran").spec.clone();
+        let shrunk = shrink(&best, |_s| true);
+        let json = campaign_json(&report, spec.budget, Some(&shrunk));
+        assert!(json.starts_with("{\"campaign\":\"artifact_unit\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // every record appears once, plus the duplicated best-record object
+        assert_eq!(
+            json.matches("\"regret\":").count(),
+            report.records.len() + 1,
+            "every record serialized"
+        );
+        assert!(json.contains("\"shrunk\":{\"id\":"));
+    }
+
+    #[test]
+    fn artifact_file_round_trips() {
+        // an explicit directory, not the SMST_BENCH_DIR override: tests
+        // must not mutate process-global env under the parallel harness
+        let dir = std::env::temp_dir().join("smst_adversary_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = CampaignSpec::new("artifact_roundtrip", Workload::Monitor);
+        spec.families = vec![GraphFamily::Path { n: 12 }];
+        spec.random_trials = 2;
+        spec.guided_rounds = 0;
+        spec.budget = 48;
+        let report = run_campaign(&spec);
+        let path = write_campaign_artifact_in(&dir, &report, spec.budget, None);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"campaign\":\"artifact_roundtrip\""));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("CAMPAIGN_"));
+        std::fs::remove_file(path).ok();
+    }
+}

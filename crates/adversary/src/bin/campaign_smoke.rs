@@ -1,0 +1,64 @@
+//! A tiny seeded campaign for CI: exercises the whole pipeline (search →
+//! baseline regret → shrink → replay) in seconds and writes
+//! `CAMPAIGN_smoke.json` for the artifact upload. `SMST_BENCH_SMOKE=1`
+//! shrinks the trial count further (the default sizes are already small).
+
+use smst_adversary::{
+    beats_round_robin_memo, run_campaign, run_trial, shrink_trial, write_campaign_artifact,
+    CampaignSpec, TrialSpec, Workload,
+};
+use smst_bench::harness::smoke_mode;
+
+fn main() {
+    let mut spec = CampaignSpec::new("smoke", Workload::Monitor);
+    spec.seed = 7;
+    spec.threads = smst_engine::default_threads();
+    if smoke_mode() {
+        spec.random_trials = 12;
+        spec.guided_rounds = 1;
+    }
+    println!(
+        "campaign `{}`: {} random trials + {} guided rounds over {} daemons × {} families",
+        spec.name,
+        spec.random_trials,
+        spec.guided_rounds,
+        spec.daemons.len(),
+        spec.families.len()
+    );
+    let report = run_campaign(&spec);
+    let best = report.best().expect("the campaign ran trials").clone();
+    println!(
+        "best find: regret {:+} ({} vs round-robin {}) — {}",
+        best.regret,
+        best.outcome.score.value(spec.budget),
+        best.baseline.score.value(spec.budget),
+        best.id
+    );
+
+    // regret > 0 alone is not enough: a Missed best score out-ranks every
+    // measured one but fails the shrinker's beats_round_robin precondition
+    let shrunk = if best.regret > 0 && !best.outcome.score.is_missed() {
+        let result = shrink_trial(&best.spec, beats_round_robin_memo());
+        println!(
+            "shrunk to {} nodes / budget {} after {} accepted moves ({} evaluated): {}",
+            result.spec.family.node_count(),
+            result.spec.budget,
+            result.accepted,
+            result.evaluated,
+            result.spec.id()
+        );
+        // the shrunk id must replay identically — fail the smoke job loudly
+        // if determinism ever regresses
+        let replayed = TrialSpec::from_id(&result.spec.id()).expect("ids parse");
+        assert_eq!(
+            run_trial(&replayed),
+            run_trial(&result.spec),
+            "shrunk trial did not replay identically"
+        );
+        Some(result)
+    } else {
+        println!("no adversarial daemon beat round-robin in this tiny space");
+        None
+    };
+    write_campaign_artifact(&report, spec.budget, shrunk.as_ref());
+}

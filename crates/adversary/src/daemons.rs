@@ -1,0 +1,385 @@
+//! Adversarial **batch** daemons: fairness-preserving schedules the central
+//! [`Daemon`](smst_sim::Daemon) enum cannot express.
+//!
+//! The central daemon activates one node at a time; chunking its sequence
+//! ([`ChunkedDaemon`](smst_sim::ChunkedDaemon)) can only form batches out
+//! of *positions* in that sequence. The daemons here pick their batches by
+//! *identity* — interior vs. boundary nodes of a sharding, whole shards,
+//! the endpoints of a graph cut — which is exactly the extra freedom the
+//! distributed-daemon model grants the adversary (cf. the KMW lower-bound
+//! construction: an adversarially scheduled neighbourhood). All of them
+//! keep the fairness contract (every node activated at least once per time
+//! unit) and are pure functions of `(n, unit_index)`, so campaigns stay
+//! replayable.
+//!
+//! The common mechanism: information crosses an edge at least one hop per
+//! time unit no matter what the daemon does, but a *benign* schedule (index
+//! order) can push a value across an entire index-increasing path in one
+//! unit. These daemons arrange their batches so that information flowing
+//! towards a protected region (another shard, the far side of a cut) makes
+//! **exactly one hop per unit**, pinning executions to the worst case the
+//! fairness bound allows.
+
+use smst_graph::{NodeId, WeightedGraph};
+use smst_sim::{ActivationBatch, BatchDaemon};
+
+/// Splits `0..n` into `shards` near-equal contiguous ranges (the same
+/// shape the engine's sharder uses), returning the range of each shard.
+fn contiguous_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, n.max(1));
+    (0..shards)
+        .map(|s| (n * s / shards, n * (s + 1) / shards))
+        .collect()
+}
+
+/// The shard index of node `v` under [`contiguous_ranges`].
+fn shard_of(ranges: &[(usize, usize)], v: usize) -> usize {
+    ranges
+        .iter()
+        .position(|&(lo, hi)| v >= lo && v < hi)
+        .expect("ranges cover 0..n")
+}
+
+/// `unit_batches` in terms of `for_each_batch` — the adversarial daemons
+/// keep a single source of schedule truth (the borrowing visitor) and
+/// materialize owned batches only for inspection.
+fn collect_batches(daemon: &dyn BatchDaemon, n: usize, unit_index: usize) -> Vec<ActivationBatch> {
+    let mut batches = Vec::new();
+    daemon.for_each_batch(n, unit_index, &mut |batch| batches.push(batch.to_vec()));
+    batches
+}
+
+/// Boundary-stalling daemon: interiors churn, boundaries trickle.
+///
+/// Nodes are split into `shards` contiguous ranges; a node is *boundary*
+/// if any graph neighbour lives in another range. Each time unit activates
+/// every shard's interior as one simultaneous batch, `repeats + 1` times
+/// over, and only then the whole boundary as a single simultaneous batch.
+/// Interiors therefore mix intra-shard state all unit long while reading
+/// only the *previous* unit's boundary registers — cross-shard information
+/// advances one boundary hop per unit, however fast the interiors run.
+#[derive(Debug, Clone)]
+pub struct StallDaemon {
+    n: usize,
+    repeats: usize,
+    shards: usize,
+    interiors: Vec<ActivationBatch>,
+    boundary: ActivationBatch,
+}
+
+impl StallDaemon {
+    /// Builds the daemon for `graph` with `shards` contiguous shards and
+    /// `repeats` extra interior sweeps per time unit.
+    pub fn new(graph: &WeightedGraph, shards: usize, repeats: usize) -> Self {
+        let n = graph.node_count();
+        let ranges = contiguous_ranges(n, shards);
+        let mut interiors: Vec<ActivationBatch> = vec![Vec::new(); ranges.len()];
+        let mut boundary: ActivationBatch = Vec::new();
+        for v in 0..n {
+            let s = shard_of(&ranges, v);
+            let crosses = graph
+                .neighbors(NodeId(v))
+                .any(|u| shard_of(&ranges, u.index()) != s);
+            if crosses {
+                boundary.push(NodeId(v));
+            } else {
+                interiors[s].push(NodeId(v));
+            }
+        }
+        interiors.retain(|batch| !batch.is_empty());
+        StallDaemon {
+            n,
+            repeats,
+            shards: ranges.len(),
+            interiors,
+            boundary,
+        }
+    }
+}
+
+impl BatchDaemon for StallDaemon {
+    fn unit_batches(&self, n: usize, unit_index: usize) -> Vec<ActivationBatch> {
+        collect_batches(self, n, unit_index)
+    }
+
+    fn for_each_batch(&self, n: usize, _unit_index: usize, visit: &mut dyn FnMut(&[NodeId])) {
+        assert_eq!(
+            n, self.n,
+            "StallDaemon was built for {} nodes, scheduled for {n}",
+            self.n
+        );
+        for _ in 0..=self.repeats {
+            for interior in &self.interiors {
+                visit(interior);
+            }
+        }
+        if !self.boundary.is_empty() {
+            visit(&self.boundary);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchDaemon> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!("stall(shards={},repeats={})", self.shards, self.repeats)
+    }
+}
+
+/// Shard-starving daemon: one shard per unit runs exactly once, first.
+///
+/// Nodes are split into `shards` contiguous ranges; in time unit `u` the
+/// shard `u % shards` is *starved*: all of its nodes fire simultaneously at
+/// the very start of the unit (reading only previous-unit registers) and
+/// never again, while every other shard is swept `repeats + 1` more times.
+/// The starved shard exports its state but imports nothing new for a whole
+/// unit, and the starvation rotates — a moving bottleneck no central
+/// schedule chunking can reproduce, because the batch membership follows
+/// shard identity, not sequence position.
+#[derive(Debug, Clone)]
+pub struct StarveDaemon {
+    n: usize,
+    repeats: usize,
+    shard_nodes: Vec<ActivationBatch>,
+}
+
+impl StarveDaemon {
+    /// Builds the daemon with `shards` contiguous shards and `repeats`
+    /// extra sweeps of the non-starved shards per time unit.
+    ///
+    /// Only the node count of `graph` matters (the shards are contiguous
+    /// index ranges); the graph parameter keeps the constructor signature
+    /// uniform across the adversarial daemons.
+    pub fn new(graph: &WeightedGraph, shards: usize, repeats: usize) -> Self {
+        let n = graph.node_count();
+        let shard_nodes = contiguous_ranges(n, shards)
+            .into_iter()
+            .map(|(lo, hi)| (lo..hi).map(NodeId).collect())
+            .collect();
+        StarveDaemon {
+            n,
+            repeats,
+            shard_nodes,
+        }
+    }
+}
+
+impl BatchDaemon for StarveDaemon {
+    fn unit_batches(&self, n: usize, unit_index: usize) -> Vec<ActivationBatch> {
+        collect_batches(self, n, unit_index)
+    }
+
+    fn for_each_batch(&self, n: usize, unit_index: usize, visit: &mut dyn FnMut(&[NodeId])) {
+        assert_eq!(
+            n, self.n,
+            "StarveDaemon was built for {} nodes, scheduled for {n}",
+            self.n
+        );
+        let starved = unit_index % self.shard_nodes.len().max(1);
+        if !self.shard_nodes[starved].is_empty() {
+            visit(&self.shard_nodes[starved]);
+        }
+        for _ in 0..=self.repeats {
+            for (s, nodes) in self.shard_nodes.iter().enumerate() {
+                if s != starved && !nodes.is_empty() {
+                    visit(nodes);
+                }
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchDaemon> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "starve(shards={},repeats={})",
+            self.shard_nodes.len(),
+            self.repeats
+        )
+    }
+}
+
+/// Cut-focused daemon: one side of a graph cut is shielded behind its cut
+/// endpoints.
+///
+/// The node set is bisected by BFS order from a seeded source into a near
+/// half `A` and a far half `B`; the *cut endpoints* are the `B`-nodes with
+/// a neighbour in `A`. Each unit activates the cut endpoints exactly once,
+/// first (they read only previous-unit `A` registers), then sweeps the rest
+/// of `B` `repeats + 1` times, then `A` `repeats + 1` times. Information
+/// from `A` enters `B` through a single stale snapshot per unit — the far
+/// side is effectively one round behind however many activations it gets.
+#[derive(Debug, Clone)]
+pub struct CutFocusDaemon {
+    n: usize,
+    repeats: usize,
+    source: usize,
+    cut_endpoints: ActivationBatch,
+    far_interior: ActivationBatch,
+    near: ActivationBatch,
+}
+
+impl CutFocusDaemon {
+    /// Builds the daemon for `graph`, bisecting by BFS order from node
+    /// `source_seed % n`, with `repeats` extra sweeps per side per unit.
+    pub fn new(graph: &WeightedGraph, source_seed: u64, repeats: usize) -> Self {
+        let n = graph.node_count();
+        let source = if n == 0 {
+            0
+        } else {
+            (source_seed % n as u64) as usize
+        };
+        let dist = graph.bfs_distances(NodeId(source));
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| (dist[v], v));
+        let near_count = n.div_ceil(2);
+        let mut in_near = vec![false; n];
+        for &v in order.iter().take(near_count) {
+            in_near[v] = true;
+        }
+        let near: ActivationBatch = (0..n).filter(|&v| in_near[v]).map(NodeId).collect();
+        let mut cut_endpoints: ActivationBatch = Vec::new();
+        let mut far_interior: ActivationBatch = Vec::new();
+        for v in 0..n {
+            if in_near[v] {
+                continue;
+            }
+            if graph.neighbors(NodeId(v)).any(|u| in_near[u.index()]) {
+                cut_endpoints.push(NodeId(v));
+            } else {
+                far_interior.push(NodeId(v));
+            }
+        }
+        CutFocusDaemon {
+            n,
+            repeats,
+            source,
+            cut_endpoints,
+            far_interior,
+            near,
+        }
+    }
+}
+
+impl BatchDaemon for CutFocusDaemon {
+    fn unit_batches(&self, n: usize, unit_index: usize) -> Vec<ActivationBatch> {
+        collect_batches(self, n, unit_index)
+    }
+
+    fn for_each_batch(&self, n: usize, _unit_index: usize, visit: &mut dyn FnMut(&[NodeId])) {
+        assert_eq!(
+            n, self.n,
+            "CutFocusDaemon was built for {} nodes, scheduled for {n}",
+            self.n
+        );
+        if !self.cut_endpoints.is_empty() {
+            visit(&self.cut_endpoints);
+        }
+        for _ in 0..=self.repeats {
+            if !self.far_interior.is_empty() {
+                visit(&self.far_interior);
+            }
+        }
+        for _ in 0..=self.repeats {
+            if !self.near.is_empty() {
+                visit(&self.near);
+            }
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchDaemon> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!("cut(source={},repeats={})", self.source, self.repeats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_graph::generators::{path_graph, random_connected_graph};
+
+    fn covers_all(batches: &[ActivationBatch], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for batch in batches {
+            for v in batch {
+                seen[v.index()] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    #[test]
+    fn stall_daemon_is_fair_and_deterministic() {
+        let g = random_connected_graph(30, 70, 3);
+        let daemon = StallDaemon::new(&g, 4, 2);
+        for unit in 0..4 {
+            let batches = daemon.unit_batches(30, unit);
+            assert!(covers_all(&batches, 30), "unit {unit}");
+            assert_eq!(batches, daemon.unit_batches(30, unit));
+        }
+        assert_eq!(daemon.describe(), "stall(shards=4,repeats=2)");
+    }
+
+    #[test]
+    fn starve_daemon_rotates_the_starved_shard() {
+        let g = path_graph(12, 0);
+        let daemon = StarveDaemon::new(&g, 3, 1);
+        for unit in 0..6 {
+            let batches = daemon.unit_batches(12, unit);
+            assert!(covers_all(&batches, 12));
+            // the starved shard (unit % 3) appears exactly once
+            let starved_lo = 12 * (unit % 3) / 3;
+            let count = batches
+                .iter()
+                .filter(|b| b.contains(&NodeId(starved_lo)))
+                .count();
+            assert_eq!(count, 1, "starved shard must fire exactly once");
+        }
+    }
+
+    #[test]
+    fn cut_daemon_partitions_into_near_cut_and_far() {
+        let g = random_connected_graph(25, 60, 5);
+        let daemon = CutFocusDaemon::new(&g, 7, 1);
+        let batches = daemon.unit_batches(25, 0);
+        assert!(covers_all(&batches, 25));
+        // cut endpoints fire exactly once per unit
+        let first = &batches[0];
+        for later in &batches[1..] {
+            for v in first {
+                assert!(!later.contains(v), "cut endpoint {v:?} fired twice");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "was built for")]
+    fn node_count_mismatch_is_loud() {
+        let g = path_graph(8, 0);
+        let daemon = StallDaemon::new(&g, 2, 0);
+        let _ = daemon.unit_batches(9, 0);
+    }
+
+    #[test]
+    fn tiny_graphs_are_handled() {
+        for n in [1usize, 2, 3] {
+            let g = path_graph(n, 0);
+            for daemon in [
+                Box::new(StallDaemon::new(&g, 4, 1)) as Box<dyn BatchDaemon>,
+                Box::new(StarveDaemon::new(&g, 4, 1)),
+                Box::new(CutFocusDaemon::new(&g, 3, 1)),
+            ] {
+                assert!(
+                    covers_all(&daemon.unit_batches(n, 0), n),
+                    "{daemon:?} n={n}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Counterexample shrinking: delta-debugging a failing trial down to a
+//! minimal, replayable reproduction.
+//!
+//! Given a [`TrialSpec`] and an *interestingness* predicate (e.g. "still
+//! detects strictly later than round-robin"), [`shrink`] greedily applies
+//! shrinking moves — fewer faults, a smaller graph, a shorter schedule
+//! prefix (budget), earlier injection, tamer daemon parameters — re-running
+//! the trial after each candidate move and keeping the first one that stays
+//! interesting. The result is **1-minimal**: no single move preserves the
+//! predicate, and its [`TrialSpec::id`] replays the counterexample in one
+//! line.
+
+use crate::trial::{DaemonSpec, TrialSpec};
+use smst_engine::GraphFamily;
+
+/// Smaller versions of a family (halved sizes, floored at a handful of
+/// nodes so every workload stays well-defined).
+fn smaller_families(family: &GraphFamily) -> Vec<GraphFamily> {
+    let half = |n: usize| n / 2;
+    let mut out = Vec::new();
+    match *family {
+        GraphFamily::Path { n } => out.push(GraphFamily::Path { n: half(n) }),
+        GraphFamily::Ring { n } => out.push(GraphFamily::Ring { n: half(n) }),
+        GraphFamily::Grid { rows, cols } => {
+            out.push(GraphFamily::Grid {
+                rows: half(rows).max(1),
+                cols,
+            });
+            out.push(GraphFamily::Grid {
+                rows,
+                cols: half(cols).max(1),
+            });
+        }
+        GraphFamily::Star { n } => out.push(GraphFamily::Star { n: half(n) }),
+        GraphFamily::Caterpillar { spine, legs } => {
+            out.push(GraphFamily::Caterpillar {
+                spine: half(spine).max(1),
+                legs,
+            });
+            if legs > 0 {
+                out.push(GraphFamily::Caterpillar {
+                    spine,
+                    legs: half(legs),
+                });
+            }
+        }
+        GraphFamily::RandomConnected { n, m } => out.push(GraphFamily::RandomConnected {
+            n: half(n),
+            m: half(m),
+        }),
+        GraphFamily::Expander { n, degree } => {
+            out.push(GraphFamily::Expander { n: half(n), degree })
+        }
+        GraphFamily::Complete { n } => out.push(GraphFamily::Complete { n: half(n) }),
+    }
+    out.retain(|f| f.node_count() >= 4 && f != family);
+    out
+}
+
+/// Tamer versions of a daemon (halved repeats / shards / batch — a
+/// counterexample that survives with weaker adversarial pressure is a
+/// stronger finding).
+fn tamer_daemons(daemon: &DaemonSpec) -> Vec<DaemonSpec> {
+    let mut out = Vec::new();
+    match *daemon {
+        DaemonSpec::RoundRobin { batch } => {
+            if batch > 1 {
+                out.push(DaemonSpec::RoundRobin { batch: batch / 2 });
+            }
+        }
+        DaemonSpec::Random {
+            seed,
+            extra_factor,
+            batch,
+        } => {
+            if extra_factor > 0 {
+                out.push(DaemonSpec::Random {
+                    seed,
+                    extra_factor: extra_factor / 2,
+                    batch,
+                });
+            }
+            if batch > 1 {
+                out.push(DaemonSpec::Random {
+                    seed,
+                    extra_factor,
+                    batch: batch / 2,
+                });
+            }
+        }
+        DaemonSpec::Pivot {
+            pivot,
+            repeats,
+            batch,
+        } => {
+            if repeats > 0 {
+                out.push(DaemonSpec::Pivot {
+                    pivot,
+                    repeats: repeats / 2,
+                    batch,
+                });
+            }
+        }
+        DaemonSpec::BoundaryStall { shards, repeats } => {
+            if repeats > 0 {
+                out.push(DaemonSpec::BoundaryStall {
+                    shards,
+                    repeats: repeats / 2,
+                });
+            }
+            if shards > 2 {
+                out.push(DaemonSpec::BoundaryStall {
+                    shards: shards / 2,
+                    repeats,
+                });
+            }
+        }
+        DaemonSpec::ShardStarve { shards, repeats } => {
+            if repeats > 0 {
+                out.push(DaemonSpec::ShardStarve {
+                    shards,
+                    repeats: repeats / 2,
+                });
+            }
+            if shards > 2 {
+                out.push(DaemonSpec::ShardStarve {
+                    shards: shards / 2,
+                    repeats,
+                });
+            }
+        }
+        DaemonSpec::CutFocus {
+            source_seed,
+            repeats,
+        } => {
+            if repeats > 0 {
+                out.push(DaemonSpec::CutFocus {
+                    source_seed,
+                    repeats: repeats / 2,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The candidate single-move shrinks of a spec, most aggressive first.
+fn candidates(spec: &TrialSpec) -> Vec<TrialSpec> {
+    let mut out = Vec::new();
+    // fewer faults
+    if spec.fault_count > 1 {
+        for count in [1, spec.fault_count / 2] {
+            if count < spec.fault_count {
+                out.push(TrialSpec {
+                    fault_count: count,
+                    ..spec.clone()
+                });
+            }
+        }
+    }
+    // smaller graph
+    for family in smaller_families(&spec.family) {
+        out.push(TrialSpec {
+            family,
+            ..spec.clone()
+        });
+    }
+    // shorter schedule prefix
+    let floor = spec.inject_at + 1;
+    for budget in [spec.budget / 2, (spec.budget * 3) / 4, spec.budget - 1] {
+        if budget >= floor && budget < spec.budget {
+            out.push(TrialSpec {
+                budget,
+                ..spec.clone()
+            });
+        }
+    }
+    // earlier injection
+    if spec.inject_at > 0 {
+        out.push(TrialSpec {
+            inject_at: spec.inject_at / 2,
+            ..spec.clone()
+        });
+    }
+    // tamer daemon
+    for daemon in tamer_daemons(&spec.daemon) {
+        out.push(TrialSpec {
+            daemon,
+            ..spec.clone()
+        });
+    }
+    out.dedup_by_key(|s| s.id());
+    out
+}
+
+/// What [`shrink`] produced.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The 1-minimal spec (equal to the input when nothing shrank).
+    pub spec: TrialSpec,
+    /// The minimal spec's outcome (so consumers need not re-run it).
+    pub outcome: crate::trial::TrialOutcome,
+    /// Shrinking moves accepted.
+    pub accepted: usize,
+    /// Candidate trials evaluated (accepted + rejected).
+    pub evaluated: usize,
+}
+
+/// Greedily minimizes `spec` while `interesting` holds.
+///
+/// The predicate is re-evaluated by *running* every candidate, so it can
+/// compare against baselines, inspect outcomes, or assert arbitrary
+/// properties. Deterministic: same spec + same predicate ⇒ same minimum.
+///
+/// # Panics
+///
+/// Panics if the input spec itself is not interesting — shrinking a
+/// non-counterexample silently would hide a broken search.
+pub fn shrink<F>(spec: &TrialSpec, mut interesting: F) -> ShrinkResult
+where
+    F: FnMut(&TrialSpec) -> bool,
+{
+    assert!(
+        interesting(spec),
+        "refusing to shrink a trial that is not a counterexample: {}",
+        spec.id()
+    );
+    let mut current = spec.clone();
+    let mut accepted = 0usize;
+    let mut evaluated = 0usize;
+    // bounded: every accepted move strictly reduces (count, nodes, budget,
+    // inject_at, daemon params), so the loop terminates; the cap is a
+    // safety net against a pathological predicate
+    for _ in 0..10_000 {
+        let mut advanced = false;
+        for candidate in candidates(&current) {
+            evaluated += 1;
+            if interesting(&candidate) {
+                current = candidate;
+                accepted += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    let outcome = crate::trial::run_trial(&current);
+    ShrinkResult {
+        spec: current,
+        outcome,
+        accepted,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::{beats_round_robin, run_trial, Workload};
+    use smst_core::faults::FaultKind;
+
+    fn wide_spec() -> TrialSpec {
+        TrialSpec {
+            workload: Workload::Monitor,
+            family: GraphFamily::Path { n: 48 },
+            graph_seed: 3,
+            daemon: DaemonSpec::BoundaryStall {
+                shards: 4,
+                repeats: 3,
+            },
+            fault_kind: FaultKind::SpDistance,
+            fault_count: 4,
+            // seed 14: all four faults land far from the monitor, so the
+            // stalled schedule is 7 units vs round-robin's 1
+            fault_seed: 14,
+            inject_at: 4,
+            budget: 300,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_one_minimal_and_replays() {
+        let spec = wide_spec();
+        let result = shrink(&spec, beats_round_robin);
+        assert!(result.accepted > 0, "a wide spec must shrink somewhere");
+        assert!(result.spec.family.node_count() <= spec.family.node_count());
+        assert!(result.spec.budget <= spec.budget);
+        assert!(result.spec.fault_count <= spec.fault_count);
+        // 1-minimality: no single move stays interesting
+        for candidate in candidates(&result.spec) {
+            assert!(
+                !beats_round_robin(&candidate),
+                "shrunk spec has a smaller interesting neighbour: {}",
+                candidate.id()
+            );
+        }
+        // the shrunk id replays identically, and the stored outcome is it
+        let replayed = TrialSpec::from_id(&result.spec.id()).unwrap();
+        assert_eq!(run_trial(&replayed), result.outcome);
+        assert!(beats_round_robin(&replayed));
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to shrink")]
+    fn rejects_non_counterexamples() {
+        let _ = shrink(&wide_spec(), |_s| false);
+    }
+
+    #[test]
+    fn smaller_families_respect_the_floor() {
+        assert!(smaller_families(&GraphFamily::Path { n: 4 }).is_empty());
+        let smaller = smaller_families(&GraphFamily::Grid { rows: 4, cols: 4 });
+        assert!(smaller.iter().all(|f| f.node_count() >= 4));
+        assert!(!smaller.is_empty());
+    }
+}

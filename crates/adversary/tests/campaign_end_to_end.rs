@@ -1,0 +1,133 @@
+//! The acceptance demo: a seeded campaign finds an adversarial **batch**
+//! daemon + fault plan whose detection is strictly later than
+//! `Daemon::RoundRobin` on the same graph and faults, and the shrinker
+//! reduces the find to a 1-minimal trial that replays identically from its
+//! `TrialId`.
+
+use smst_adversary::{
+    beats_round_robin, beats_round_robin_memo, run_campaign, run_trial, shrink_trial, CampaignSpec,
+    TrialSpec, Workload,
+};
+use smst_engine::GraphFamily;
+
+fn demo_campaign() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("e2e_demo", Workload::Monitor);
+    spec.families = vec![
+        GraphFamily::Path { n: 32 },
+        GraphFamily::Caterpillar { spine: 10, legs: 2 },
+    ];
+    spec.graph_seeds = vec![1, 2];
+    spec.random_trials = 20;
+    spec.guided_rounds = 2;
+    spec.keep_top = 3;
+    spec.budget = 160;
+    spec.seed = 7;
+    spec.threads = 2;
+    spec
+}
+
+#[test]
+fn campaign_finds_and_shrinks_an_adversarial_counterexample() {
+    let report = run_campaign(&demo_campaign());
+
+    // 1. the campaign found an adversarial *batch* daemon (one the central
+    //    Daemon enum cannot express) with strictly later detection than
+    //    round-robin on the same graph + fault plan
+    let find = report
+        .records
+        .iter()
+        .find(|r| {
+            r.spec.daemon.is_adversarial_batch() && r.regret > 0 && !r.outcome.score.is_missed()
+        })
+        .expect("the campaign must find an adversarial batch counterexample");
+    assert!(
+        find.outcome.score > find.baseline.score,
+        "detection must be strictly later than round-robin"
+    );
+    // the baseline really is the same trial under round-robin
+    let baseline_spec = find.spec.round_robin_baseline();
+    assert_eq!(baseline_spec.family, find.spec.family);
+    assert_eq!(baseline_spec.fault_seed, find.spec.fault_seed);
+    assert_eq!(run_trial(&baseline_spec), find.baseline);
+
+    // 2. the shrinker minimizes the find while it stays a counterexample
+    //    (beats_round_robin: a *measured* strictly-later detection —
+    //    shrinking the budget below the detection time would degenerate
+    //    into a missed alarm)
+    let shrunk = shrink_trial(&find.spec, beats_round_robin_memo());
+    assert!(
+        shrunk.accepted > 0,
+        "a campaign-scale find must have shrinking slack"
+    );
+    assert!(shrunk.spec.budget <= find.spec.budget);
+    assert!(shrunk.spec.family.node_count() <= find.spec.family.node_count());
+    assert!(
+        beats_round_robin(&shrunk.spec),
+        "shrinking must preserve the bug"
+    );
+
+    // 3. the shrunk trial replays identically from its one-line TrialId
+    let id = shrunk.spec.id();
+    let replayed_spec = TrialSpec::from_id(&id).expect("ids always parse");
+    assert_eq!(replayed_spec, shrunk.spec);
+    let a = run_trial(&replayed_spec);
+    let b = run_trial(&shrunk.spec);
+    assert_eq!(a, b, "replay from TrialId `{id}` diverged");
+    assert!(a.detection.is_some(), "the counterexample still detects");
+}
+
+#[test]
+fn campaign_reports_are_stable_across_thread_counts() {
+    let sequential = {
+        let mut spec = demo_campaign();
+        spec.random_trials = 8;
+        spec.guided_rounds = 1;
+        spec.threads = 1;
+        run_campaign(&spec)
+    };
+    let parallel = {
+        let mut spec = demo_campaign();
+        spec.random_trials = 8;
+        spec.guided_rounds = 1;
+        spec.threads = 4;
+        run_campaign(&spec)
+    };
+    assert_eq!(sequential.records.len(), parallel.records.len());
+    for (a, b) in sequential.records.iter().zip(&parallel.records) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.regret, b.regret);
+    }
+}
+
+#[test]
+fn verifier_workload_detects_on_the_engine() {
+    // one small trial of the real workload: the paper's verifier under an
+    // adversarial batch daemon, warm-up included — pinned detecting
+    use smst_adversary::DaemonSpec;
+    use smst_core::faults::FaultKind;
+    use smst_core::MstVerificationScheme;
+    let n = 8usize;
+    let warmup = MstVerificationScheme::sync_budget(n);
+    let spec = TrialSpec {
+        workload: Workload::Verifier,
+        family: GraphFamily::RandomConnected { n, m: 3 * n },
+        graph_seed: 3,
+        daemon: DaemonSpec::BoundaryStall {
+            shards: 2,
+            repeats: 0,
+        },
+        fault_kind: FaultKind::SpDistance,
+        fault_count: 1,
+        fault_seed: 3,
+        inject_at: warmup,
+        budget: warmup + 4 * warmup + 1,
+    };
+    let outcome = run_trial(&spec);
+    assert!(
+        outcome.detection.is_some(),
+        "the verifier must detect an SP-distance fault under a stalling daemon"
+    );
+    // replay identity holds for the heavyweight workload too
+    assert_eq!(run_trial(&TrialSpec::from_id(&spec.id()).unwrap()), outcome);
+}

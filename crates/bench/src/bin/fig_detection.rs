@@ -1,21 +1,41 @@
 //! Regenerates the detection-time figure (Theorem 8.5): rounds from a fault
-//! to the first alarm, as a function of n.
+//! to the first alarm, as a function of n — engine-native, so the sweep
+//! parallelizes across the worker pool and scales to 100k+ nodes.
+//!
+//! Sizes are small by default; set `SMST_FIG_N=<n>` to extend the sweep
+//! (doubling sizes up to `n`) on a multi-core host.
+
+use smst_bench::engine_metrics::{engine_detection_sweep, fig_sizes};
+use smst_engine::LayoutPolicy;
+
 fn main() {
-    let sizes = [16usize, 24, 32, 48, 64];
-    println!("Detection time of the paper's verifier (synchronous, single stored-piece fault)");
+    let sizes = fig_sizes(&[16, 24, 32, 48, 64]);
+    let threads = smst_engine::default_threads();
     println!(
-        "{:>6} {:>6} {:>18} {:>20} {:>14}",
-        "n", "Δ", "detection rounds", "rounds / log^3 n", "distance"
+        "Detection time of the paper's verifier (engine-native, single stored-piece fault, {threads} threads)"
     );
-    for p in smst_bench::detection_sweep(&sizes, 7) {
+    println!(
+        "{:>8} {:>6} {:>18} {:>20} {:>14}",
+        "n", "Δ", "detection steps", "steps / log^3 n", "distance"
+    );
+    for p in engine_detection_sweep(&sizes, 7, threads, LayoutPolicy::Rcm) {
         let l = (p.n as f64).log2();
+        let steps = p
+            .detection_steps
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "missed".to_string());
+        let normalized = p
+            .detection_steps
+            .map(|t| format!("{:.2}", t as f64 / (l * l * l)))
+            .unwrap_or_else(|| "—".to_string());
+        let distance = if p.detection_steps.is_some() {
+            p.detection_distance.to_string()
+        } else {
+            "—".to_string()
+        };
         println!(
-            "{:>6} {:>6} {:>18} {:>20.2} {:>14}",
-            p.n,
-            p.max_degree,
-            p.detection_rounds,
-            p.detection_rounds as f64 / (l * l * l),
-            p.detection_distance
+            "{:>8} {:>6} {:>18} {:>20} {:>14}",
+            p.n, p.max_degree, steps, normalized, distance
         );
     }
 }

@@ -1,13 +1,23 @@
-//! Regenerates the detection-locality figure: detection distance O(f log n).
+//! Regenerates the detection-locality figure: detection distance O(f log n)
+//! — engine-native, so the sweep parallelizes across the worker pool and
+//! scales to 100k+ nodes.
+//!
+//! The node count is small by default; set `SMST_FIG_N=<n>` to run the
+//! sweep at `n` nodes on a multi-core host.
+
+use smst_bench::engine_metrics::{engine_locality_sweep, fig_size_override};
+use smst_engine::LayoutPolicy;
+
 fn main() {
-    let n = 64usize;
+    let n = fig_size_override().unwrap_or(64);
     let faults = [1usize, 2, 4, 8, 16];
-    println!("Detection distance with f faults (n = {n})");
+    let threads = smst_engine::default_threads();
+    println!("Detection distance with f faults (engine-native, n = {n}, {threads} threads)");
     println!(
         "{:>6} {:>24} {:>18}",
         "f", "max detection distance", "f · log2 n"
     );
-    for p in smst_bench::locality_sweep(n, &faults, 21) {
+    for p in engine_locality_sweep(n, &faults, 21, threads, LayoutPolicy::Rcm) {
         println!(
             "{:>6} {:>24} {:>18.1}",
             p.faults,

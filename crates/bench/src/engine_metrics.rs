@@ -11,12 +11,41 @@
 //! and layout never change the numbers — pinned by the test below).
 
 use smst_core::faults::{corrupt, FaultKind};
-use smst_core::{CoreVerifier, MstVerificationScheme};
-use smst_engine::{GraphFamily, LayoutPolicy, ScenarioSpec, StopCondition};
+use smst_core::{CoreVerifier, Marker, MstVerificationScheme};
+use smst_engine::{GraphFamily, LayoutPolicy, PoolHandle, ScenarioSpec, StopCondition};
 use smst_graph::mst::kruskal;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_labeling::Instance;
 use smst_sim::DetectionReport;
+
+/// The figure bins' env-gated size escape hatch: `$SMST_FIG_N` (a node
+/// count) extends the engine-native figures beyond their small defaults —
+/// the sweeps double from 128 up to the requested size, so a multi-core
+/// host regenerates the figures at 100k+ nodes while CI and the default
+/// invocation stay fast.
+pub fn fig_size_override() -> Option<usize> {
+    std::env::var("SMST_FIG_N").ok()?.parse().ok()
+}
+
+/// The sizes a figure bin should sweep: its small defaults, extended by
+/// doubling up to [`fig_size_override`] when `$SMST_FIG_N` is set.
+pub fn fig_sizes(defaults: &[usize]) -> Vec<usize> {
+    let mut sizes: Vec<usize> = defaults.to_vec();
+    if let Some(target) = fig_size_override() {
+        let mut n = 128usize;
+        while n < target {
+            if !sizes.contains(&n) {
+                sizes.push(n);
+            }
+            n *= 2;
+        }
+        if !sizes.contains(&target) {
+            sizes.push(target);
+        }
+    }
+    sizes.sort_unstable();
+    sizes
+}
 
 /// The graph family the engine sweeps run on: the random connected family
 /// with the throughput-relevant density `m = 3n` (the same family and seed
@@ -27,8 +56,9 @@ fn sweep_family(n: usize) -> GraphFamily {
 }
 
 /// Builds the paper's verifier for the scenario's graph: MST via Kruskal,
-/// marker labels, verifier over the labelled instance.
-fn verifier_for(graph: &WeightedGraph) -> CoreVerifier {
+/// marker labels, verifier over the labelled instance. Public because the
+/// adversary campaign engine builds the same workload for its trials.
+pub fn mst_verifier_for(graph: &WeightedGraph) -> CoreVerifier {
     let tree = kruskal(graph)
         .rooted_at(graph, NodeId(0))
         .expect("scenario graphs are connected");
@@ -80,7 +110,7 @@ pub fn engine_detection_sweep(
                 .until(StopCondition::FirstAlarm);
             let mut i = 0u64;
             let (outcome, _verifier) = spec.run_with(
-                verifier_for,
+                mst_verifier_for,
                 |_v, state| {
                     corrupt(state, FaultKind::StoredPieceWeight, seed.wrapping_add(i));
                     i += 1;
@@ -105,6 +135,116 @@ pub fn engine_detection_sweep(
             }
         })
         .collect()
+}
+
+/// One point of the engine-native detection-locality figure.
+#[derive(Debug, Clone)]
+pub struct EngineLocalityPoint {
+    /// Number of injected faults `f`.
+    pub faults: usize,
+    /// Number of nodes.
+    pub n: usize,
+    /// Maximum hop distance from a fault to the closest alarming node.
+    pub max_detection_distance: usize,
+    /// Steps from injection to the first alarm (`None`: not detected).
+    pub detection_steps: Option<usize>,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+}
+
+/// The engine-native detection-locality sweep (`O(f log n)` detection
+/// distance): inject `f` SP-distance faults at the warm-up boundary and
+/// measure the maximum distance from a fault to the closest alarming node
+/// — the sequential [`locality_sweep`](crate::locality_sweep) driven
+/// through [`ScenarioSpec`] (same family, graph seed, plan seed `seed + f`
+/// and corruption seeds, so shared sizes are pinned equal).
+pub fn engine_locality_sweep(
+    n: usize,
+    fault_counts: &[usize],
+    seed: u64,
+    threads: usize,
+    layout: LayoutPolicy,
+) -> Vec<EngineLocalityPoint> {
+    fault_counts
+        .iter()
+        .map(|&f| {
+            let warmup = MstVerificationScheme::sync_budget(n);
+            let budget = warmup + 4 * MstVerificationScheme::sync_budget(n) + 1;
+            let spec = ScenarioSpec::new(sweep_family(n))
+                .seed(seed)
+                .threads(threads)
+                .layout(layout)
+                .fault_burst(warmup, f.min(n), seed + f as u64)
+                .until(StopCondition::FirstAlarm);
+            let mut i = 0u64;
+            let (outcome, _verifier) = spec.run_with(
+                mst_verifier_for,
+                |_v, state| {
+                    corrupt(state, FaultKind::SpDistance, seed.wrapping_add(i));
+                    i += 1;
+                },
+                budget,
+            );
+            let report = match outcome.report.first_alarm {
+                Some(t) => DetectionReport::from_alarms(
+                    outcome.network.graph(),
+                    t,
+                    outcome.report.alarm_nodes.clone(),
+                    &outcome.report.injected_nodes,
+                ),
+                None => DetectionReport::not_detected(),
+            };
+            EngineLocalityPoint {
+                faults: f,
+                n,
+                max_detection_distance: report.max_detection_distance,
+                detection_steps: report.detection_time,
+                threads,
+            }
+        })
+        .collect()
+}
+
+/// One point of the engine-native construction figure.
+#[derive(Debug, Clone)]
+pub struct EngineConstructionPoint {
+    /// Number of nodes.
+    pub n: usize,
+    /// SYNC_MST rounds (Theorem 4.4: `O(n)`).
+    pub sync_mst_rounds: u64,
+    /// Marker rounds (label assignment, `O(n)`).
+    pub marker_rounds: u64,
+    /// `total / n` — roughly constant when the construction is linear.
+    pub rounds_per_node: f64,
+}
+
+/// The engine-native construction sweep: SYNC_MST + marker rounds per
+/// size, instances built through the [`GraphFamily`] scheme the scenario
+/// engine uses (same family and seed as the sequential
+/// [`construction_sweep`](crate::construction_sweep), so shared sizes are
+/// pinned equal) and the sizes fanned out across the persistent worker
+/// pool — the construction itself is the centralized reference algorithm,
+/// so the pool parallelism is across instances, not rounds.
+pub fn engine_construction_sweep(
+    sizes: &[usize],
+    seed: u64,
+    threads: usize,
+) -> Vec<EngineConstructionPoint> {
+    let measure = |n: usize| {
+        let graph = ScenarioSpec::new(sweep_family(n)).seed(seed).build_graph();
+        let tree = kruskal(&graph)
+            .rooted_at(&graph, NodeId(0))
+            .expect("scenario graphs are connected");
+        let instance = Instance::from_tree(graph, &tree);
+        let (_, report) = Marker.label(&instance).expect("correct instance");
+        EngineConstructionPoint {
+            n,
+            sync_mst_rounds: report.construction_rounds,
+            marker_rounds: report.marker_rounds,
+            rounds_per_node: report.total_rounds() as f64 / n as f64,
+        }
+    };
+    PoolHandle::for_threads(threads.max(1)).map_indexed(sizes, |_i, &n| measure(n))
 }
 
 /// One point of the engine-native memory figure.
@@ -143,7 +283,7 @@ pub fn engine_memory_sweep(
                 .seed(seed)
                 .threads(threads)
                 .until(StopCondition::Steps);
-            let (outcome, verifier) = spec.run_with(verifier_for, |_v, _s| {}, steps);
+            let (outcome, verifier) = spec.run_with(mst_verifier_for, |_v, _s| {}, steps);
             assert!(
                 outcome.report.alarm_nodes.is_empty(),
                 "a correct instance must not raise alarms"
@@ -196,6 +336,55 @@ mod tests {
         let b = engine_detection_sweep(&[n], seed, 4, LayoutPolicy::Rcm);
         assert_eq!(a[0].detection_steps, b[0].detection_steps);
         assert_eq!(a[0].detection_distance, b[0].detection_distance);
+    }
+
+    #[test]
+    fn engine_locality_sweep_equals_the_sequential_driver() {
+        // same graph (family + seed), same plan seed (seed + f), same
+        // corruption seeds: the engine-native locality point must equal
+        // the sequential driver's distance exactly, for every shared f
+        let (n, seed) = (16usize, 7u64);
+        for f in [1usize, 3] {
+            let point = engine_locality_sweep(n, &[f], seed, 2, LayoutPolicy::Rcm)
+                .pop()
+                .unwrap();
+            let seq = crate::locality_sweep(n, &[f], seed).pop().unwrap();
+            assert_eq!(point.max_detection_distance, seq.max_detection_distance);
+            assert_eq!(point.faults, seq.faults);
+        }
+    }
+
+    #[test]
+    fn engine_locality_sweep_is_thread_and_layout_invariant() {
+        let (n, seed) = (16usize, 9u64);
+        let a = engine_locality_sweep(n, &[2], seed, 1, LayoutPolicy::Identity);
+        let b = engine_locality_sweep(n, &[2], seed, 4, LayoutPolicy::Rcm);
+        assert_eq!(a[0].max_detection_distance, b[0].max_detection_distance);
+        assert_eq!(a[0].detection_steps, b[0].detection_steps);
+    }
+
+    #[test]
+    fn engine_construction_sweep_equals_the_sequential_driver() {
+        let sizes = [24usize, 40];
+        let seq = crate::construction_sweep(&sizes, 4);
+        for threads in [1usize, 3] {
+            let engine = engine_construction_sweep(&sizes, 4, threads);
+            assert_eq!(engine.len(), seq.len());
+            for (e, s) in engine.iter().zip(&seq) {
+                assert_eq!(e.n, s.n, "threads {threads}");
+                assert_eq!(e.sync_mst_rounds, s.sync_mst_rounds, "threads {threads}");
+                assert_eq!(e.marker_rounds, s.marker_rounds, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig_sizes_honours_defaults_without_the_env_gate() {
+        // the env var is absent in the test environment; the defaults pass
+        // through unchanged (sorted)
+        if std::env::var_os("SMST_FIG_N").is_none() {
+            assert_eq!(fig_sizes(&[16, 24, 32]), vec![16, 24, 32]);
+        }
     }
 
     #[test]

@@ -178,8 +178,10 @@ pub fn smoke_mode() -> bool {
 }
 
 /// Minimal JSON string escaping (bench case names are plain ASCII, but a
-/// stray quote must not corrupt the artifact).
-fn json_string(s: &str) -> String {
+/// stray quote must not corrupt the artifact). Public so sibling artifact
+/// writers (the adversary campaign engine's `CAMPAIGN_*.json`) share one
+/// escaping rule with the bench JSONs.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -24,7 +24,9 @@ use smst_graph::{ComponentMap, NodeId, WeightedGraph};
 use smst_labeling::Instance;
 use smst_selfstab::baselines::DetectionCost;
 use smst_selfstab::{SelfStabilizingMst, StabilizationOutcome, Variant};
-use smst_sim::{Daemon, DetectionReport, FaultPlan, MemoryUsage, NodeProgram};
+use smst_sim::{
+    BatchDaemon, ChunkedDaemon, Daemon, DetectionReport, FaultPlan, MemoryUsage, NodeProgram,
+};
 
 /// Per-node register sizes of a parallel run, as reported by the program.
 fn memory_bits(runner: &ParallelSyncRunner<'_, CoreVerifier>) -> Vec<u64> {
@@ -112,8 +114,8 @@ pub fn run_parallel_sync_fault_experiment_with_layout(
 
 /// Sharded-daemon mirror of
 /// [`smst_core::scheme::run_async_fault_experiment`]: the same experiment
-/// under an asynchronous daemon executed in parallel batches of `batch`
-/// simultaneous activations.
+/// under a central asynchronous daemon executed in parallel batches of
+/// `batch` simultaneous activations.
 pub fn run_sharded_async_fault_experiment(
     instance: &Instance,
     plan: &FaultPlan,
@@ -121,6 +123,27 @@ pub fn run_sharded_async_fault_experiment(
     daemon: Daemon,
     seed: u64,
     batch: usize,
+    threads: usize,
+) -> FaultExperimentOutcome {
+    run_batch_daemon_fault_experiment(
+        instance,
+        plan,
+        kind,
+        Box::new(ChunkedDaemon::new(daemon, batch)),
+        seed,
+        threads,
+    )
+}
+
+/// The fully general asynchronous fault experiment: the paper's verifier
+/// under **any** [`BatchDaemon`] (chunked central daemons and the
+/// adversarial batch daemons of `smst-adversary` alike).
+pub fn run_batch_daemon_fault_experiment(
+    instance: &Instance,
+    plan: &FaultPlan,
+    kind: FaultKind,
+    daemon: Box<dyn BatchDaemon>,
+    seed: u64,
     threads: usize,
 ) -> FaultExperimentOutcome {
     let scheme = MstVerificationScheme::new();
@@ -131,8 +154,13 @@ pub fn run_sharded_async_fault_experiment(
     let n = instance.node_count();
     let budget = MstVerificationScheme::async_budget(n, instance.graph.max_degree());
 
-    let mut runner =
-        ShardedAsyncRunner::new(&verifier, instance.graph.clone(), daemon, batch, threads);
+    let mut runner = ShardedAsyncRunner::with_batch_daemon(
+        &verifier,
+        instance.graph.clone(),
+        daemon,
+        threads,
+        LayoutPolicy::Identity,
+    );
     runner.run_time_units(budget);
     let warmup_rounds = runner.time_units();
     assert!(

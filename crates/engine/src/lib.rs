@@ -27,9 +27,10 @@
 //!   is an embarrassingly parallel map over shards, **bit-for-bit equal**
 //!   to [`smst_sim::SyncRunner`] at every thread count;
 //! * [`ShardedAsyncRunner`] — the distributed-daemon generalization of
-//!   [`smst_sim::AsyncRunner`]: seeded-RNG schedules executed in parallel
-//!   batches, reproducible at any thread count, and exactly equal to the
-//!   central daemon at batch width 1;
+//!   [`smst_sim::AsyncRunner`]: any [`smst_sim::BatchDaemon`]'s batches of
+//!   simultaneous activations executed in parallel, reproducible at any
+//!   thread count, and exactly equal to the central daemon at batch
+//!   width 1 (adversarial batch daemons live in `smst-adversary`);
 //! * [`ScenarioSpec`] — one declarative API over graph family × fault
 //!   bursts × daemon × thread count × layout;
 //! * [`adapters`] — the paper's verifier and the self-stabilizing

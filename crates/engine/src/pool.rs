@@ -541,6 +541,44 @@ impl PoolHandle {
     pub fn shares_pool_with(&self, other: &PoolHandle) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
     }
+
+    /// Maps `f` over `items` on the pool, preserving input order: the
+    /// items are strided across at most [`WorkerPool::threads`] parts
+    /// (each part processing `items[part], items[part + pieces], …`), and
+    /// the results are reassembled in item order. With one item, one
+    /// thread, or an empty slice the map runs inline on the caller.
+    ///
+    /// This is the fan-out shape every "run many independent jobs on the
+    /// pool" caller needs (campaign trials, per-size sweeps) — one shared
+    /// implementation instead of re-deriving the stride/sort scaffolding
+    /// at each call site.
+    pub fn map_indexed<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let pieces = self.pool().threads().min(items.len());
+        if pieces <= 1 {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+        let mut tagged: Vec<(usize, T)> = self
+            .pool()
+            .dispatch_map(pieces, |part| {
+                items
+                    .iter()
+                    .enumerate()
+                    .skip(part)
+                    .step_by(pieces)
+                    .map(|(i, x)| (i, f(i, x)))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        tagged.sort_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, value)| value).collect()
+    }
 }
 
 static REGISTRY: OnceLock<Mutex<Vec<Weak<WorkerPool>>>> = OnceLock::new();
@@ -549,6 +587,24 @@ static REGISTRY: OnceLock<Mutex<Vec<Weak<WorkerPool>>>> = OnceLock::new();
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_indexed_preserves_order_at_any_width() {
+        let items: Vec<usize> = (0..23).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let handle = PoolHandle::dedicated(threads);
+            let out = handle.map_indexed(&items, |i, &x| {
+                assert_eq!(i, x, "index matches the item's position");
+                x * x
+            });
+            assert_eq!(out, expected, "threads {threads}");
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(PoolHandle::dedicated(2)
+            .map_indexed(&empty, |_i, &x: &usize| x)
+            .is_empty());
+    }
 
     #[test]
     fn dispatch_runs_every_part_exactly_once() {

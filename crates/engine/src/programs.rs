@@ -69,6 +69,77 @@ impl NodeProgram for MinIdFlood {
     }
 }
 
+/// Maximum-identity flood with a single **monitor** node that raises the
+/// alarm.
+///
+/// Every register holds the largest identity the node has heard of; the
+/// network converges to `ceiling` (the true global maximum). A corrupted
+/// register carrying a bogus identity above `ceiling` spreads through the
+/// flood, but only the node whose identity is `monitor` ever *rejects* —
+/// when the bogus value reaches it. Detection time is therefore exactly the
+/// daemon-dependent propagation time from the fault to the monitor, which
+/// makes this the canonical cheap workload for adversarial-schedule
+/// campaigns (`smst-adversary`): a schedule that stalls information flow
+/// towards the monitor provably delays detection.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorFlood {
+    monitor: u64,
+    ceiling: u64,
+}
+
+impl MonitorFlood {
+    /// A flood whose alarm is raised by the node with identity `monitor`
+    /// once it hears an identity above `ceiling` (the graph's true maximum
+    /// identity — with the workspace generators, `n − 1`).
+    pub fn new(monitor: u64, ceiling: u64) -> Self {
+        MonitorFlood { monitor, ceiling }
+    }
+
+    /// The monitor's identity.
+    pub fn monitor(&self) -> u64 {
+        self.monitor
+    }
+
+    /// The largest legitimate identity.
+    pub fn ceiling(&self) -> u64 {
+        self.ceiling
+    }
+
+    /// A register value no legitimate identity can reach — the canonical
+    /// corruption for this workload.
+    pub const BOGUS: u64 = 1 << 40;
+}
+
+impl NodeProgram for MonitorFlood {
+    type State = u64;
+
+    fn init(&self, ctx: &NodeContext) -> u64 {
+        ctx.id
+    }
+
+    fn step(&self, _ctx: &NodeContext, own: &u64, neighbors: &[&u64]) -> u64 {
+        neighbors.iter().fold(*own, |acc, &&x| acc.max(x))
+    }
+
+    fn verdict(&self, ctx: &NodeContext, state: &u64) -> Verdict {
+        if ctx.id == self.monitor && *state > self.ceiling {
+            Verdict::Reject
+        } else if *state == self.ceiling {
+            Verdict::Accept
+        } else {
+            Verdict::Working
+        }
+    }
+
+    fn state_bits(&self, _ctx: &NodeContext, _state: &u64) -> u64 {
+        64
+    }
+
+    fn name(&self) -> &str {
+        "monitor-flood"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +169,24 @@ mod tests {
         let mut runner = ParallelSyncRunner::new(&program, g, 2);
         runner.run_until_all_accept(50).unwrap();
         assert!(runner.states().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn monitor_flood_detects_at_the_monitor_only() {
+        let n = 16usize;
+        let g = smst_graph::generators::path_graph(n, 1);
+        let program = MonitorFlood::new(n as u64 - 1, n as u64 - 1);
+        let mut runner = ParallelSyncRunner::new(&program, g, 2);
+        runner.run_until_all_accept(50).unwrap();
+        // corrupt the far end: the bogus value must travel the whole path
+        // before the monitor (node n − 1) rejects
+        *runner.state_mut(smst_graph::NodeId(0)) = MonitorFlood::BOGUS;
+        let t = runner.run_until_alarm(50).expect("monitor must detect");
+        assert_eq!(t, n - 1, "synchronous detection = hop distance");
+        assert_eq!(
+            runner.alarming_nodes(),
+            vec![smst_graph::NodeId(n - 1)],
+            "only the monitor rejects"
+        );
     }
 }

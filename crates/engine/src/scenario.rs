@@ -15,7 +15,7 @@ use smst_graph::generators::{
     random_connected_graph, ring_graph, star_graph,
 };
 use smst_graph::{NodeId, WeightedGraph};
-use smst_sim::{Daemon, FaultPlan, Network, NodeProgram};
+use smst_sim::{BatchDaemon, ChunkedDaemon, Daemon, FaultPlan, Network, NodeProgram};
 
 /// The topology families a scenario can run on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,12 +117,12 @@ pub struct FaultBurst {
 pub enum Schedule {
     /// Lock-step synchronous rounds ([`ParallelSyncRunner`]).
     Sync,
-    /// Daemon-driven batches ([`ShardedAsyncRunner`]).
+    /// Daemon-driven batches ([`ShardedAsyncRunner`]) under any
+    /// [`BatchDaemon`] — chunked central daemons and fully distributed
+    /// (adversarial) batch daemons alike.
     Async {
         /// The activation daemon.
-        daemon: Daemon,
-        /// Simultaneous activations per batch.
-        batch: usize,
+        daemon: Box<dyn BatchDaemon>,
     },
 }
 
@@ -189,12 +189,16 @@ impl ScenarioSpec {
         self
     }
 
-    /// Switches to an asynchronous schedule.
-    pub fn asynchronous(mut self, daemon: Daemon, batch: usize) -> Self {
-        self.schedule = Schedule::Async {
-            daemon,
-            batch: batch.max(1),
-        };
+    /// Switches to an asynchronous schedule: a central [`Daemon`] executed
+    /// in uniform chunks of `batch` simultaneous activations.
+    pub fn asynchronous(self, daemon: Daemon, batch: usize) -> Self {
+        self.batch_daemon(Box::new(ChunkedDaemon::new(daemon, batch)))
+    }
+
+    /// Switches to an asynchronous schedule under **any** [`BatchDaemon`]
+    /// (e.g. the adversarial batch daemons of `smst-adversary`).
+    pub fn batch_daemon(mut self, daemon: Box<dyn BatchDaemon>) -> Self {
+        self.schedule = Schedule::Async { daemon };
         self
     }
 
@@ -337,12 +341,11 @@ impl ScenarioSpec {
                     ParallelSyncRunner::with_layout(program, graph, self.threads, self.layout);
                 drive!(runner, step_round)
             }
-            Schedule::Async { daemon, batch } => {
-                let mut runner = ShardedAsyncRunner::with_layout(
+            Schedule::Async { daemon } => {
+                let mut runner = ShardedAsyncRunner::with_batch_daemon(
                     program,
                     graph,
                     daemon.clone(),
-                    *batch,
                     self.threads,
                     self.layout,
                 );

@@ -1,24 +1,27 @@
 //! The sharded asynchronous executor: daemon-driven batches of activations.
 //!
 //! The sequential [`AsyncRunner`](smst_sim::AsyncRunner) activates one node
-//! at a time. [`ShardedAsyncRunner`] generalizes the central daemon to the
-//! standard **distributed daemon**: each time unit is a seeded-RNG-derived
-//! activation sequence (identical to the sequential daemon's), executed in
-//! consecutive *batches* of `batch` activations. All activations of a batch
-//! read the registers as they were at the start of the batch — they are
-//! simultaneous — and a batch is computed in parallel on the persistent
+//! at a time. [`ShardedAsyncRunner`] executes the standard **distributed
+//! daemon**: any [`BatchDaemon`] — each time unit is a sequence of batches
+//! of simultaneous activations. All activations of a batch read the
+//! registers as they were at the start of the batch, and a batch is
+//! computed in parallel on the persistent
 //! [`WorkerPool`](crate::pool::WorkerPool) (an epoch bump on parked
-//! threads, not a per-batch thread spawn).
+//! threads, not a per-batch thread spawn). The [`ShardedAsyncRunner::new`]
+//! convenience wraps a central [`Daemon`] into a [`ChunkedDaemon`] (uniform
+//! chunks of `batch` activations), which was the engine's only schedule
+//! shape before the trait; adversarial batch daemons live in
+//! `smst-adversary`.
 //!
 //! # Determinism
 //!
-//! The schedule is a pure function of `(daemon, n, unit_index)` — the RNG
+//! The schedule is a pure function of `(daemon, n, unit_index)` — any RNG
 //! is re-seeded per unit from the daemon's seed, never from wall-clock or
 //! thread identity — and batch results are pure functions of the pre-batch
 //! registers. Runs are therefore **bit-for-bit reproducible at any thread
-//! count** and under any [`LayoutPolicy`]; only the `batch` parameter (part
+//! count** and under any [`LayoutPolicy`]; only the daemon's batching (part
 //! of the schedule's semantics, not of its execution) changes outcomes.
-//! With `batch == 1` the runner reproduces the sequential
+//! With batch width 1 the runner reproduces the sequential
 //! [`AsyncRunner`](smst_sim::AsyncRunner) activation-for-activation, which
 //! `tests/` pins differentially.
 
@@ -26,20 +29,9 @@ use crate::layout::{Layout, LayoutPolicy};
 use crate::pool::PoolHandle;
 use crate::topology::CsrTopology;
 use smst_graph::{NodeId, WeightedGraph};
-use smst_sim::{Daemon, FaultPlan, Network, NodeContext, NodeProgram, Verdict};
-
-/// One time unit's activation sequence, as dense `u32` indices (original
-/// node ids).
-///
-/// Delegates to [`Daemon::schedule`] — the single source of truth shared
-/// with the sequential runner — so `batch == 1` replays it by construction.
-fn schedule(daemon: &Daemon, n: usize, unit_index: usize) -> Vec<u32> {
-    daemon
-        .schedule(n, unit_index)
-        .into_iter()
-        .map(|v| v.index() as u32)
-        .collect()
-}
+use smst_sim::{
+    BatchDaemon, ChunkedDaemon, Daemon, FaultPlan, Network, NodeContext, NodeProgram, Verdict,
+};
 
 /// Runs a [`NodeProgram`] under an asynchronous daemon, executing each time
 /// unit's schedule in parallel batches.
@@ -53,8 +45,11 @@ pub struct ShardedAsyncRunner<'p, P: NodeProgram> {
     /// Contexts and registers in internal (layout) order.
     contexts: Vec<NodeContext>,
     states: Vec<P::State>,
-    daemon: Daemon,
-    batch: usize,
+    /// `None` only transiently inside `step_time_unit` (the daemon is
+    /// taken out so its borrowed batches can drive `&mut self`) — and
+    /// permanently after a mid-unit panic, where any further use fails
+    /// loudly instead of silently running a placeholder schedule.
+    daemon: Option<Box<dyn BatchDaemon>>,
     pool: PoolHandle,
     threads: usize,
     time_units: usize,
@@ -66,10 +61,9 @@ where
     P: NodeProgram + Sync,
     P::State: Send + Sync,
 {
-    /// Creates a runner with program-initialized registers.
-    ///
-    /// `batch` is the number of simultaneous activations per step (`1`
-    /// replays the central daemon); `threads` only affects wall-clock.
+    /// Creates a runner with program-initialized registers under a central
+    /// [`Daemon`] chunked into `batch` simultaneous activations per step
+    /// (`1` replays the central daemon); `threads` only affects wall-clock.
     pub fn new(
         program: &'p P,
         graph: WeightedGraph,
@@ -96,6 +90,26 @@ where
         threads: usize,
         policy: LayoutPolicy,
     ) -> Self {
+        Self::with_batch_daemon(
+            program,
+            graph,
+            Box::new(ChunkedDaemon::new(daemon, batch)),
+            threads,
+            policy,
+        )
+    }
+
+    /// Creates a runner under **any** [`BatchDaemon`] — the fully general
+    /// distributed daemon: every time unit executes the daemon's batches in
+    /// order, each batch's activations simultaneous (pre-batch register
+    /// reads), in parallel on the worker pool.
+    pub fn with_batch_daemon(
+        program: &'p P,
+        graph: WeightedGraph,
+        daemon: Box<dyn BatchDaemon>,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> Self {
         let base_topo = CsrTopology::build(&graph);
         let layout = policy.build(&base_topo);
         let topo = layout.apply(&base_topo);
@@ -112,8 +126,7 @@ where
             layout,
             contexts,
             states,
-            daemon,
-            batch: batch.max(1),
+            daemon: Some(daemon),
             pool,
             threads,
             time_units: 0,
@@ -131,9 +144,11 @@ where
         self.activations
     }
 
-    /// The batch size (simultaneous activations per step).
-    pub fn batch(&self) -> usize {
-        self.batch
+    /// The daemon driving the schedule.
+    pub fn daemon(&self) -> &dyn BatchDaemon {
+        self.daemon
+            .as_deref()
+            .expect("runner daemon missing: a prior time unit panicked mid-schedule")
     }
 
     /// The node layout (identity unless built with
@@ -264,11 +279,32 @@ where
 
     /// Executes one normalized time unit (every node activated at least
     /// once, in daemon-chosen batches).
+    ///
+    /// # Panics
+    ///
+    /// Propagates program / daemon panics; after one, the runner refuses
+    /// further steps (its daemon slot stays empty) rather than silently
+    /// continuing under a different schedule.
     pub fn step_time_unit(&mut self) {
-        let order = schedule(&self.daemon, self.topo.node_count(), self.time_units);
-        for chunk in order.chunks(self.batch) {
-            self.activate_batch(chunk);
-        }
+        // take the daemon out so its borrowed batches can drive &mut self;
+        // for_each_batch lends slices (no per-batch Vec materialization —
+        // ChunkedDaemon chunks one flat schedule, the adversarial daemons
+        // lend their precomputed node sets)
+        let daemon = self
+            .daemon
+            .take()
+            .expect("runner daemon missing: a prior time unit panicked mid-schedule");
+        let n = self.topo.node_count();
+        let mut chunk: Vec<u32> = Vec::new();
+        daemon.for_each_batch(n, self.time_units, &mut |batch| {
+            if batch.is_empty() {
+                return;
+            }
+            chunk.clear();
+            chunk.extend(batch.iter().map(|v| v.index() as u32));
+            self.activate_batch(&chunk);
+        });
+        self.daemon = Some(daemon);
         self.time_units += 1;
     }
 
@@ -520,6 +556,32 @@ mod tests {
             );
             assert_eq!(runner.activations(), reference.activations());
         }
+    }
+
+    #[test]
+    fn boxed_central_daemon_equals_batch_width_one() {
+        // a central Daemon used directly as a BatchDaemon (singleton
+        // batches) must agree with the chunked convenience at batch = 1
+        let g = random_connected_graph(20, 50, 6);
+        let daemon = Daemon::Random {
+            seed: 8,
+            extra_factor: 1,
+        };
+        let mut chunked = ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), 1, 2);
+        let mut boxed = ShardedAsyncRunner::with_batch_daemon(
+            &MinId,
+            g,
+            Box::new(daemon),
+            2,
+            LayoutPolicy::Identity,
+        );
+        for _ in 0..5 {
+            chunked.step_time_unit();
+            boxed.step_time_unit();
+            assert_eq!(chunked.states(), boxed.states());
+        }
+        assert_eq!(chunked.activations(), boxed.activations());
+        assert!(boxed.daemon().describe().starts_with("random"));
     }
 
     #[test]

@@ -14,6 +14,149 @@ use crate::program::NodeProgram;
 use smst_graph::NodeId;
 use smst_rng::{Rng, SeedableRng, SliceRandom, StdRng};
 
+/// One simultaneous batch of activations (original node ids). Every
+/// activation of a batch reads the registers as they were at the start of
+/// the batch, so the batch is order-independent by construction.
+pub type ActivationBatch = Vec<NodeId>;
+
+/// The **distributed daemon** generalization of [`Daemon`]: one time unit
+/// is a sequence of *batches* of simultaneous activations instead of a
+/// sequence of single activations.
+///
+/// The central daemon (one node at a time) is the batch-width-1 special
+/// case; genuinely distributed daemons can activate arbitrary node *sets*
+/// simultaneously, which the central enum cannot express — the
+/// distributed-daemon literature (and the KMW-style lower-bound
+/// constructions) draw their worst cases from exactly this extra freedom.
+///
+/// # Contract
+///
+/// * **Fairness** — the union of one unit's batches covers every node at
+///   least once (the standard round-normalization of a strongly fair
+///   daemon); executors count normalized time units under this assumption.
+/// * **Determinism** — `unit_batches` is a pure function of
+///   `(self, n, unit_index)`: any randomness must come from seeds stored in
+///   the daemon, never from wall-clock or thread identity.
+///
+/// Both properties are pinned for every in-workspace implementation by the
+/// `smst-adversary` property tests.
+pub trait BatchDaemon: std::fmt::Debug + Send + Sync {
+    /// The batched activation sequence of one time unit for `n` nodes.
+    fn unit_batches(&self, n: usize, unit_index: usize) -> Vec<ActivationBatch>;
+
+    /// Visits one unit's batches in order **without materializing owned
+    /// vectors** — the executor hot path. Must be equivalent to iterating
+    /// [`unit_batches`](Self::unit_batches) (pinned by the `smst-adversary`
+    /// property tests); implementations holding flat or precomputed
+    /// schedules override it to lend slices instead of cloning per unit.
+    fn for_each_batch(&self, n: usize, unit_index: usize, visit: &mut dyn FnMut(&[NodeId])) {
+        for batch in self.unit_batches(n, unit_index) {
+            visit(&batch);
+        }
+    }
+
+    /// Clones the daemon behind the object-safe interface (lets
+    /// scenario specs holding `Box<dyn BatchDaemon>` stay `Clone`).
+    fn clone_box(&self) -> Box<dyn BatchDaemon>;
+
+    /// A short, stable descriptor for artifacts and labels.
+    fn describe(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+impl Clone for Box<dyn BatchDaemon> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The central daemon *is* a batch daemon: every activation is its own
+/// singleton batch.
+impl BatchDaemon for Daemon {
+    fn unit_batches(&self, n: usize, unit_index: usize) -> Vec<ActivationBatch> {
+        self.schedule(n, unit_index)
+            .into_iter()
+            .map(|v| vec![v])
+            .collect()
+    }
+
+    fn for_each_batch(&self, n: usize, unit_index: usize, visit: &mut dyn FnMut(&[NodeId])) {
+        for v in self.schedule(n, unit_index) {
+            visit(std::slice::from_ref(&v));
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchDaemon> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Daemon::RoundRobin => "round-robin".to_string(),
+            Daemon::Random { seed, extra_factor } => {
+                format!("random(seed={seed},extra={extra_factor})")
+            }
+            Daemon::Adversarial {
+                pivot,
+                pivot_repeats,
+            } => format!("pivot(pivot={pivot},repeats={pivot_repeats})"),
+        }
+    }
+}
+
+/// A central [`Daemon`] schedule executed in uniform chunks of `batch`
+/// simultaneous activations — exactly the semantics the sharded engine ran
+/// before the [`BatchDaemon`] generalization. `batch == 1` replays the
+/// central daemon activation-for-activation.
+#[derive(Debug, Clone)]
+pub struct ChunkedDaemon {
+    /// The central daemon providing the activation sequence.
+    pub daemon: Daemon,
+    /// Simultaneous activations per batch (clamped to at least 1).
+    pub batch: usize,
+}
+
+impl ChunkedDaemon {
+    /// Chunks `daemon`'s schedule into batches of `batch` activations.
+    pub fn new(daemon: Daemon, batch: usize) -> Self {
+        ChunkedDaemon {
+            daemon,
+            batch: batch.max(1),
+        }
+    }
+}
+
+impl BatchDaemon for ChunkedDaemon {
+    fn unit_batches(&self, n: usize, unit_index: usize) -> Vec<ActivationBatch> {
+        self.daemon
+            .schedule(n, unit_index)
+            .chunks(self.batch.max(1))
+            .map(<[NodeId]>::to_vec)
+            .collect()
+    }
+
+    fn for_each_batch(&self, n: usize, unit_index: usize, visit: &mut dyn FnMut(&[NodeId])) {
+        // one flat schedule Vec per unit, chunked by slice — no per-batch
+        // allocation (this was the engine's pre-trait execution shape)
+        for chunk in self
+            .daemon
+            .schedule(n, unit_index)
+            .chunks(self.batch.max(1))
+        {
+            visit(chunk);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn BatchDaemon> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!("{}@batch={}", self.daemon.describe(), self.batch)
+    }
+}
+
 /// The activation policy of the asynchronous scheduler.
 #[derive(Debug, Clone)]
 pub enum Daemon {
@@ -278,6 +421,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn central_daemon_as_batch_daemon_is_singleton_batches() {
+        for daemon in [
+            Daemon::RoundRobin,
+            Daemon::Random {
+                seed: 11,
+                extra_factor: 1,
+            },
+            Daemon::Adversarial {
+                pivot: 1,
+                pivot_repeats: 2,
+            },
+        ] {
+            for unit in 0..3 {
+                let flat: Vec<NodeId> = daemon
+                    .unit_batches(9, unit)
+                    .into_iter()
+                    .flat_map(|b| {
+                        assert_eq!(b.len(), 1, "central daemon batches are singletons");
+                        b
+                    })
+                    .collect();
+                assert_eq!(flat, daemon.schedule(9, unit), "{daemon:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_daemon_flattens_to_the_central_schedule() {
+        let daemon = Daemon::Random {
+            seed: 4,
+            extra_factor: 2,
+        };
+        for batch in [1usize, 3, 7, 100] {
+            let chunked = ChunkedDaemon::new(daemon.clone(), batch);
+            for unit in 0..3 {
+                let batches = chunked.unit_batches(10, unit);
+                assert!(batches.iter().all(|b| b.len() <= batch));
+                let flat: Vec<NodeId> = batches.into_iter().flatten().collect();
+                assert_eq!(flat, daemon.schedule(10, unit), "batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_batch_daemons_clone_and_describe() {
+        let boxed: Box<dyn BatchDaemon> = Box::new(ChunkedDaemon::new(Daemon::RoundRobin, 4));
+        let cloned = boxed.clone();
+        assert_eq!(boxed.unit_batches(6, 0), cloned.unit_batches(6, 0));
+        assert_eq!(cloned.describe(), "round-robin@batch=4");
+        assert_eq!(Daemon::RoundRobin.describe(), "round-robin");
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`sync::SyncRunner`] — the synchronous round executor;
 //! * [`asynch::AsyncRunner`] and [`asynch::Daemon`] — asynchronous execution
 //!   under round-robin, random, or adversarial daemons;
+//! * [`asynch::BatchDaemon`] — the distributed-daemon generalization
+//!   (batches of simultaneous activations; the central [`asynch::Daemon`]
+//!   is its batch-width-1 special case via [`asynch::ChunkedDaemon`]);
 //! * [`faults`] — transient-fault injection;
 //! * [`memory`] — per-node memory-size accounting in bits;
 //! * [`metrics`] — detection time / detection distance / stabilization
@@ -41,7 +44,7 @@ pub mod program;
 pub mod sync;
 pub mod trace;
 
-pub use asynch::{AsyncRunner, Daemon};
+pub use asynch::{ActivationBatch, AsyncRunner, BatchDaemon, ChunkedDaemon, Daemon};
 pub use faults::FaultPlan;
 pub use memory::MemoryUsage;
 pub use metrics::{DetectionReport, ExecutionStats};
