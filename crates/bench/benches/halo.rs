@@ -1,0 +1,94 @@
+//! Bench: the halo-exchange execution mode on the expander scenario.
+//!
+//! On low-diameter expanders (the KMW lower-bound topologies) almost every
+//! neighbour read crosses a shard boundary, so this is where halo mode has
+//! the most traffic to make explicit. The bench compares chunked rounds of
+//! the direct path against the halo path (with and without the RCM
+//! layout, with and without pinned workers) and records the **halo
+//! geometry** in the artifact's `meta` object:
+//!
+//! * `halo/<layout>/entries` — total halo slots over all shards (the
+//!   registers crossing shard boundaries in each exchange step);
+//! * `halo/<layout>/max_shard` — the largest single shard's halo;
+//! * `halo/<layout>/bytes_per_round` — exchanged bytes per round for the
+//!   `u64` registers of the bench program.
+//!
+//! RCM exists to shrink the boundary, so `halo/rcm/entries` should come
+//! out well below `halo/identity/entries` (the engine's property tests pin
+//! the strict inequality; here it is measured and reported). Results land
+//! in `BENCH_halo.json`; `SMST_BENCH_SMOKE=1` shrinks the sizes for CI.
+
+use smst_bench::harness::{smoke_mode, BenchGroup};
+use smst_engine::programs::MinIdFlood;
+use smst_engine::{LayoutPolicy, ParallelSyncRunner, PinPolicy};
+use smst_graph::generators::expander_graph;
+use smst_graph::WeightedGraph;
+
+const ROUNDS_PER_ITER: usize = 8;
+
+fn halo_case(
+    group: &mut BenchGroup,
+    g: &WeightedGraph,
+    threads: usize,
+    layout: LayoutPolicy,
+    tag: &str,
+    iters: u32,
+) {
+    let program = MinIdFlood::new(0);
+    let mut direct = ParallelSyncRunner::with_layout(&program, g.clone(), threads, layout);
+    group.bench(&format!("{tag}/direct"), iters, || {
+        direct.run_rounds(ROUNDS_PER_ITER);
+        direct.rounds()
+    });
+    let mut halo =
+        ParallelSyncRunner::with_layout(&program, g.clone(), threads, layout).halo_exchange(true);
+    group.bench(&format!("{tag}/halo"), iters, || {
+        halo.run_rounds(ROUNDS_PER_ITER);
+        halo.rounds()
+    });
+    let mut pinned = ParallelSyncRunner::with_layout(&program, g.clone(), threads, layout)
+        .halo_exchange(true)
+        .pinning(PinPolicy::Cores);
+    group.bench(&format!("{tag}/halo+pin"), iters, || {
+        pinned.run_rounds(ROUNDS_PER_ITER);
+        pinned.rounds()
+    });
+}
+
+fn main() {
+    let mut group = BenchGroup::new("halo");
+    let (n, degree, threads, iters) = if smoke_mode() {
+        (2_000usize, 8usize, 4usize, 10u32)
+    } else {
+        (100_000, 8, 4, 40)
+    };
+    let g = expander_graph(n, degree, 5);
+    let program = MinIdFlood::new(0);
+    for (label, layout) in [
+        ("identity", LayoutPolicy::Identity),
+        ("rcm", LayoutPolicy::Rcm),
+    ] {
+        halo_case(
+            &mut group,
+            &g,
+            threads,
+            layout,
+            &format!("expander/{n}/threads={threads}/{label}"),
+            iters,
+        );
+        let probe = ParallelSyncRunner::with_layout(&program, g.clone(), threads, layout)
+            .halo_exchange(true);
+        let plan = probe.halo_plan().expect("halo mode on");
+        let max_shard = (0..plan.shard_count())
+            .map(|s| plan.halo_size(s))
+            .max()
+            .unwrap_or(0);
+        group.record_meta(&format!("halo/{label}/entries"), plan.total_halo() as f64);
+        group.record_meta(&format!("halo/{label}/max_shard"), max_shard as f64);
+        group.record_meta(
+            &format!("halo/{label}/bytes_per_round"),
+            plan.exchanged_bytes_per_round(std::mem::size_of::<u64>()) as f64,
+        );
+    }
+    group.finish();
+}

@@ -79,7 +79,7 @@ pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult
         name: name.to_string(),
         iters,
         min_ns: sorted[0],
-        median_ns: sorted[sorted.len() / 2],
+        median_ns: median_of(&sorted),
         mean_ns: total_ns as f64 / f64::from(iters),
         max_ns: *sorted.last().unwrap(),
     };
@@ -93,6 +93,20 @@ pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchResult
         result.iters,
     );
     result
+}
+
+/// The median of an ascending sample slice: the middle sample for odd
+/// lengths, the midpoint of the two middle samples for even lengths.
+/// Taking `sorted[len / 2]` alone — the upper middle — biased every even-
+/// iteration-count trajectory number upward.
+fn median_of(sorted: &[u128]) -> u128 {
+    debug_assert!(!sorted.is_empty());
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    } else {
+        sorted[mid]
+    }
 }
 
 /// Prints the header matching [`bench`]'s output columns.
@@ -110,6 +124,9 @@ pub fn header(group: &str) {
 pub struct BenchGroup {
     group: String,
     results: Vec<BenchResult>,
+    /// Non-timing numbers worth tracking alongside the timings (halo
+    /// sizes, exchanged bytes, …), serialized under `"meta"`.
+    meta: Vec<(String, f64)>,
 }
 
 impl BenchGroup {
@@ -119,6 +136,7 @@ impl BenchGroup {
         BenchGroup {
             group: group.to_string(),
             results: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -129,6 +147,13 @@ impl BenchGroup {
         result
     }
 
+    /// Records a non-timing metric in the artifact's `"meta"` object (and
+    /// prints it, so console runs show it too).
+    pub fn record_meta(&mut self, key: &str, value: f64) {
+        println!("  meta {key} = {value}");
+        self.meta.push((key.to_string(), value));
+    }
+
     /// The recorded results so far.
     pub fn results(&self) -> &[BenchResult] {
         &self.results
@@ -137,19 +162,36 @@ impl BenchGroup {
     /// Serializes the group as a JSON object.
     pub fn to_json(&self) -> String {
         let results: Vec<String> = self.results.iter().map(BenchResult::to_json).collect();
+        let meta: Vec<String> = self
+            .meta
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_string(k)))
+            .collect();
         format!(
-            "{{\"group\":{},\"results\":[{}]}}\n",
+            "{{\"group\":{},\"meta\":{{{}}},\"results\":[{}]}}\n",
             json_string(&self.group),
+            meta.join(","),
             results.join(",")
         )
     }
 
-    /// Writes `BENCH_<group>.json` into [`bench_dir`] and returns its path.
-    pub fn write_json(&self) -> std::io::Result<PathBuf> {
-        let path = bench_dir().join(format!("BENCH_{}.json", self.group));
+    /// Writes `BENCH_<group>.json` into `dir` and returns its path.
+    ///
+    /// This is the injectable core of [`write_json`](Self::write_json):
+    /// tests pass a directory instead of mutating the process-global
+    /// `SMST_BENCH_DIR` (env mutation in a multithreaded test harness is a
+    /// flake, and UB-adjacent in newer rustc).
+    pub fn write_json_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.group));
         let mut file = std::fs::File::create(&path)?;
         file.write_all(self.to_json().as_bytes())?;
         Ok(path)
+    }
+
+    /// Writes `BENCH_<group>.json` into [`bench_dir`] (the binary-level
+    /// `$SMST_BENCH_DIR` default) and returns its path.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        self.write_json_to(&bench_dir())
     }
 
     /// Writes the JSON artifact, printing where it went (panics on I/O
@@ -246,13 +288,28 @@ mod tests {
         let mut group = BenchGroup::new("unit_test_group");
         group.bench("case_a", 2, || 1 + 1);
         group.bench("case_b", 3, || 2 * 2);
+        group.record_meta("halo_entries", 42.0);
         let json = group.to_json();
         assert!(json.starts_with("{\"group\":\"unit_test_group\""));
         assert_eq!(json.matches("\"name\":").count(), 2);
         assert_eq!(json.matches("\"median_ns\":").count(), 2);
+        assert!(json.contains("\"meta\":{\"halo_entries\":42}"));
         // handwritten serializer: brackets and braces must balance
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn median_averages_the_two_middle_samples_on_even_counts() {
+        // regression: `sorted[len / 2]` alone is the *upper* middle, which
+        // biased every even-iteration-count median upward
+        assert_eq!(median_of(&[10]), 10);
+        assert_eq!(median_of(&[10, 20]), 15);
+        assert_eq!(median_of(&[10, 20, 30]), 20);
+        assert_eq!(median_of(&[10, 20, 30, 100]), 25);
+        assert_eq!(median_of(&[1, 2, 3, 4, 5, 6]), 3, "(3 + 4) / 2 rounds down");
+        // an outlier-heavy tail must not drag an even-count median up
+        assert_eq!(median_of(&[1, 1, 1_000_000, 1_000_000_000]), 500_000);
     }
 
     #[test]
@@ -264,13 +321,15 @@ mod tests {
 
     #[test]
     fn group_writes_the_artifact_file() {
+        // regression: this used to `set_var("SMST_BENCH_DIR")` — process-
+        // global env mutation races the other test threads reading
+        // `bench_dir()`; the injectable `write_json_to` needs no env at all
         let dir = std::env::temp_dir().join("smst_bench_harness_test");
         std::fs::create_dir_all(&dir).unwrap();
-        std::env::set_var("SMST_BENCH_DIR", &dir);
         let mut group = BenchGroup::new("artifact_roundtrip");
         group.bench("spin", 1, || 7u64);
-        let path = group.finish();
-        std::env::remove_var("SMST_BENCH_DIR");
+        let path = group.write_json_to(&dir).unwrap();
+        assert_eq!(path.parent().unwrap(), dir.as_path());
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"group\":\"artifact_roundtrip\""));
         assert!(path

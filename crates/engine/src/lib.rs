@@ -18,11 +18,18 @@
 //! * [`shard::Shard`] + [`shard::partition_balanced`] — contiguous node
 //!   ranges with equalized per-round work (adjacency entries, not node
 //!   counts), one per worker;
+//! * [`shard::HaloPlan`] — the per-shard boundary analysis behind the
+//!   **halo-exchange execution mode**: each worker computes on a
+//!   shard-local arena of interior registers plus halo copies of its
+//!   external neighbours, and rounds end with an explicit, measurable pull
+//!   exchange instead of incidental cross-shard cache misses;
 //! * [`pool::WorkerPool`] + [`pool::PoolHandle`] — a persistent, shared pool
 //!   of parked worker threads: rounds and batches are dispatched by bumping
 //!   an epoch (single-digit µs), and multi-round chunks run behind a
 //!   lightweight round barrier without returning to the dispatcher — no
-//!   per-round thread spawns anywhere;
+//!   per-round thread spawns anywhere; [`pool::PinPolicy`] optionally pins
+//!   each worker to a core (raw `sched_setaffinity` on Linux, no-op
+//!   elsewhere) so shard arenas keep their cache and NUMA placement;
 //! * [`ParallelSyncRunner`] — double-buffered lock-step rounds; each round
 //!   is an embarrassingly parallel map over shards, **bit-for-bit equal**
 //!   to [`smst_sim::SyncRunner`] at every thread count;
@@ -69,11 +76,11 @@ pub mod topology;
 
 pub use layout::{Layout, LayoutPolicy};
 pub use parallel_sync::ParallelSyncRunner;
-pub use pool::{PoolHandle, WorkerPool};
+pub use pool::{PinPolicy, PoolHandle, WorkerPool};
 pub use scenario::{
     FaultBurst, GraphFamily, ScenarioOutcome, ScenarioReport, ScenarioSpec, Schedule, StopCondition,
 };
-pub use shard::{partition_balanced, Shard};
+pub use shard::{partition_balanced, HaloPlan, Shard};
 pub use sharded_async::ShardedAsyncRunner;
 pub use topology::CsrTopology;
 

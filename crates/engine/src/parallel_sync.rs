@@ -29,11 +29,21 @@
 //! and property tests.
 
 use crate::layout::{Layout, LayoutPolicy};
-use crate::pool::PoolHandle;
-use crate::shard::{partition_balanced, Shard};
+use crate::pool::{PinPolicy, PoolHandle};
+use crate::shard::{partition_balanced, HaloPlan, Shard};
 use crate::topology::CsrTopology;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_sim::{FaultPlan, Network, NodeContext, NodeProgram, Verdict};
+
+/// The halo-exchange machinery of a runner: the boundary analysis plus the
+/// double-buffered shard-local arenas (kept across calls so repeated
+/// `run_rounds` reuse the allocations).
+#[derive(Debug)]
+struct HaloState<S> {
+    plan: HaloPlan,
+    front: Vec<S>,
+    back: Vec<S>,
+}
 
 /// Runs a [`NodeProgram`] in lock-step synchronous rounds, one shard per
 /// pool worker.
@@ -51,7 +61,10 @@ pub struct ParallelSyncRunner<'p, P: NodeProgram> {
     shards: Vec<Shard>,
     /// Shard boundaries as pool-dispatch bounds (`len == shards.len() + 1`).
     bounds: Vec<usize>,
+    /// `Some` when the runner executes rounds in halo-exchange mode.
+    halo: Option<HaloState<P::State>>,
     pool: PoolHandle,
+    pin: PinPolicy,
     threads: usize,
     rounds: usize,
 }
@@ -155,10 +168,58 @@ where
             scratch,
             shards,
             bounds,
+            halo: None,
             pool,
+            pin: PinPolicy::None,
             threads,
             rounds: 0,
         }
+    }
+
+    /// Switches the halo-exchange execution mode on or off (off by
+    /// default). In halo mode every worker computes on a **shard-local
+    /// arena** of interior registers plus halo copies of its external
+    /// neighbours, and rounds end with an explicit pull exchange that
+    /// refreshes the halos — cross-shard traffic becomes one measurable
+    /// step per round instead of incidental cache misses. Results are
+    /// bit-for-bit identical to the direct mode (and to the sequential
+    /// [`SyncRunner`](smst_sim::SyncRunner)): the halo copies are refreshed
+    /// exactly at round boundaries, matching double-buffer semantics.
+    pub fn halo_exchange(mut self, enabled: bool) -> Self {
+        if enabled {
+            if self.halo.is_none() {
+                self.halo = Some(HaloState {
+                    plan: HaloPlan::build(&self.topo, &self.shards),
+                    front: Vec::new(),
+                    back: Vec::new(),
+                });
+            }
+        } else {
+            self.halo = None;
+        }
+        self
+    }
+
+    /// Sets the worker [`PinPolicy`], re-acquiring a pool whose workers
+    /// were spawned under it (pinning is a property of the spawned
+    /// threads). Purely a wall-clock knob — results never change.
+    pub fn pinning(mut self, pin: PinPolicy) -> Self {
+        if pin != self.pin {
+            self.pin = pin;
+            self.pool = PoolHandle::for_threads_with(self.threads, pin);
+        }
+        self
+    }
+
+    /// The halo plan when halo-exchange mode is enabled (per-shard halo
+    /// sizes, exchange volume).
+    pub fn halo_plan(&self) -> Option<&HaloPlan> {
+        self.halo.as_ref().map(|h| &h.plan)
+    }
+
+    /// The worker pin policy the runner dispatches under.
+    pub fn pin_policy(&self) -> PinPolicy {
+        self.pin
     }
 
     /// The number of rounds executed so far.
@@ -271,6 +332,17 @@ where
         if count == 0 {
             return;
         }
+        if self.shards.is_empty() {
+            // the empty graph: no registers, every round is a no-op (the
+            // pool must not be dispatched with zero parts)
+            self.rounds += count;
+            return;
+        }
+        if self.halo.is_some() && self.shards.len() > 1 {
+            self.run_rounds_halo(count);
+            self.rounds += count;
+            return;
+        }
         let program = self.program;
         let topo = &self.topo;
         let contexts = &self.contexts;
@@ -301,6 +373,43 @@ where
             );
         }
         self.rounds += count;
+    }
+
+    /// The halo-mode round loop: gather the registers into the shard-local
+    /// arenas (interiors + fresh halo copies), run `count` rounds on the
+    /// pool's phased halo primitive, scatter the interiors back.
+    ///
+    /// `scratch` is refreshed with the previous round's registers on the
+    /// way out, so [`run_to_fixpoint`](Self::run_to_fixpoint)'s
+    /// states-vs-scratch comparison keeps working in halo mode.
+    fn run_rounds_halo(&mut self, count: usize) {
+        let mut halo = self.halo.take().expect("halo mode checked by caller");
+        {
+            let plan = &halo.plan;
+            plan.gather_into(&self.states, &mut halo.front);
+            // `back` only needs matching length: round 0 overwrites every
+            // slot (interiors in compute, halos in exchange) before any
+            // read, so after the first call its stale contents are free
+            if halo.back.len() != halo.front.len() {
+                halo.back = halo.front.clone();
+            }
+            let regions = plan.regions();
+            let program = self.program;
+            let contexts = &self.contexts;
+            self.pool.pool().run_rounds_halo(
+                &regions,
+                plan.exchange(),
+                count,
+                &mut halo.front,
+                &mut halo.back,
+                |part, _round, prev, out| {
+                    compute_shard_halo(program, plan, part, contexts, prev, out);
+                },
+            );
+            plan.scatter_interiors(&halo.front, &mut self.states);
+            plan.scatter_interiors(&halo.back, &mut self.scratch);
+        }
+        self.halo = Some(halo);
     }
 
     /// Runs until `stop` returns `true` (checked after each round) or until
@@ -432,6 +541,34 @@ fn compute_shard<P: NodeProgram>(
     }
 }
 
+/// Halo-mode twin of [`compute_shard`]: computes the next interior
+/// registers of one shard into `out`, reading **only the arena** `prev`
+/// through the shard's arena-coordinate CSR (`out[i]` ↔ interior node
+/// `shard.start + i` ↔ arena slot `arena_offset + i`).
+fn compute_shard_halo<P: NodeProgram>(
+    program: &P,
+    plan: &HaloPlan,
+    part: usize,
+    contexts: &[NodeContext],
+    prev: &[P::State],
+    out: &mut [P::State],
+) {
+    let shard = plan.shard(part);
+    let base = plan.arena_offset(part);
+    let (offsets, neighbors) = plan.local_csr(part);
+    debug_assert_eq!(out.len(), shard.len());
+    let mut neighbor_buf: Vec<&P::State> = Vec::with_capacity(16);
+    for (i, slot) in out.iter_mut().enumerate() {
+        neighbor_buf.clear();
+        neighbor_buf.extend(
+            neighbors[offsets[i]..offsets[i + 1]]
+                .iter()
+                .map(|&a| &prev[a as usize]),
+        );
+        *slot = program.step(&contexts[shard.start + i], &prev[base + i], &neighbor_buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +696,94 @@ mod tests {
         assert_eq!(runner.run_until(2, |_| false), None);
         assert_eq!(runner.rounds(), 2);
         assert_eq!(runner.run_until(10, |_| true), Some(0));
+    }
+
+    #[test]
+    fn halo_mode_matches_direct_mode_every_round() {
+        let g = random_connected_graph(80, 220, 19);
+        for threads in [1, 2, 4, 7] {
+            for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
+                let mut halo = ParallelSyncRunner::with_layout(&MinId, g.clone(), threads, policy)
+                    .halo_exchange(true);
+                let mut direct =
+                    ParallelSyncRunner::with_layout(&MinId, g.clone(), threads, policy);
+                for round in 0..10 {
+                    assert_eq!(
+                        halo.states_snapshot(),
+                        direct.states_snapshot(),
+                        "round {round}, {threads} threads, {policy:?}"
+                    );
+                    halo.step_round();
+                    direct.step_round();
+                }
+                assert_eq!(halo.rounds(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_mode_survives_faults_and_fixpoints() {
+        // fixpoint detection relies on the scratch refresh of the halo
+        // path; faults mutate `states` between chunked halo runs
+        let g = random_connected_graph(40, 100, 3);
+        let mut halo = ParallelSyncRunner::with_layout(&MinId, g.clone(), 4, LayoutPolicy::Rcm)
+            .halo_exchange(true);
+        let mut direct = ParallelSyncRunner::with_layout(&MinId, g, 4, LayoutPolicy::Rcm);
+        assert_eq!(
+            halo.run_to_fixpoint(100).unwrap(),
+            direct.run_to_fixpoint(100).unwrap()
+        );
+        let plan = FaultPlan::random(40, 6, 21);
+        halo.apply_faults(&plan, |_v, s| *s = u64::MAX);
+        direct.apply_faults(&plan, |_v, s| *s = u64::MAX);
+        halo.run_rounds(5);
+        direct.run_rounds(5);
+        assert_eq!(halo.states_snapshot(), direct.states_snapshot());
+    }
+
+    #[test]
+    fn halo_plan_is_exposed_and_sized_sanely() {
+        let g = expander_graph(200, 6, 4);
+        let runner = ParallelSyncRunner::new(&MinId, g.clone(), 4).halo_exchange(true);
+        let plan = runner.halo_plan().expect("halo mode on");
+        assert_eq!(plan.shard_count(), runner.shards().len());
+        assert!(plan.total_halo() > 0, "an expander has cross-shard edges");
+        // toggling off drops the plan
+        let runner = runner.halo_exchange(false);
+        assert!(runner.halo_plan().is_none());
+        // single-threaded halo mode degenerates gracefully (no external
+        // neighbours at all)
+        let one = ParallelSyncRunner::new(&MinId, g, 1).halo_exchange(true);
+        assert_eq!(one.halo_plan().unwrap().total_halo(), 0);
+    }
+
+    #[test]
+    fn empty_graph_runs_without_panicking() {
+        // regression: partition_balanced now returns no shards for n == 0,
+        // and the dispatch path must tolerate that
+        let g = smst_graph::WeightedGraph::new();
+        for halo in [false, true] {
+            let mut runner = ParallelSyncRunner::new(&MinId, g.clone(), 4).halo_exchange(halo);
+            runner.run_rounds(3);
+            assert_eq!(runner.rounds(), 3);
+            assert!(runner.states().is_empty());
+            assert!(runner.all_accept(), "vacuously true on no nodes");
+            assert!(runner.alarming_nodes().is_empty());
+        }
+    }
+
+    #[test]
+    fn pinned_runner_matches_unpinned() {
+        let g = random_connected_graph(50, 130, 9);
+        let mut pinned = ParallelSyncRunner::new(&MinId, g.clone(), 4)
+            .pinning(crate::pool::PinPolicy::Cores)
+            .halo_exchange(true);
+        let mut plain = ParallelSyncRunner::new(&MinId, g, 4);
+        assert_eq!(pinned.pin_policy(), crate::pool::PinPolicy::Cores);
+        assert!(!pinned.pool().shares_pool_with(plain.pool()));
+        pinned.run_rounds(8);
+        plain.run_rounds(8);
+        assert_eq!(pinned.states_snapshot(), plain.states_snapshot());
     }
 
     #[test]

@@ -32,9 +32,13 @@
 //!    never dereference the pointer (they only skip the epoch), so no
 //!    worker can call through it after `dispatch` returns.
 //! 2. **Disjoint double-buffer slices.** In
+//!    [`run_rounds_halo`](WorkerPool::run_rounds_halo) (which also backs
 //!    [`run_rounds_double_buffered`](WorkerPool::run_rounds_double_buffered)
-//!    each part writes `next[bounds[part]..bounds[part + 1]]` — disjoint
-//!    ranges — while all parts read only the other buffer; a poisoning
+//!    as its exchange-free special case) each part writes only its disjoint
+//!    region of `next` while all parts read only the other buffer; the
+//!    optional exchange phase copies within `next` from single-owner
+//!    interior slots to single-writer halo slots, barrier-separated from
+//!    both the compute writes before it and the reads after it. A poisoning
 //!    round barrier separates consecutive rounds, so no read of round `r`'s
 //!    input can race a write of round `r + 1`.
 //!
@@ -49,6 +53,142 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Whether (and how) the pool pins its worker threads to cores.
+///
+/// Pinning is **best-effort and purely a wall-clock knob** — results are
+/// bit-for-bit identical either way (the engine's determinism contract
+/// never depends on which core runs a part). On Linux (x86_64 / aarch64)
+/// it issues a raw `sched_setaffinity` syscall per worker; on every other
+/// platform it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PinPolicy {
+    /// Leave thread placement to the OS scheduler (the default).
+    #[default]
+    None,
+    /// Pin worker `w` to core `(w + 1) % cores` for the pool's lifetime
+    /// and, for the duration of each dispatch, the dispatching thread
+    /// (part 0) to core 0 — so every shard's worker (and its shard-local
+    /// arena) stays put instead of migrating across sockets between
+    /// rounds. The caller's own affinity mask is saved and restored around
+    /// the dispatch.
+    Cores,
+}
+
+/// A 1024-bit CPU affinity mask, like glibc's `cpu_set_t`.
+type CpuMask = [u64; 16];
+
+/// `sched_setaffinity(2)` / `sched_getaffinity(2)` on the calling thread
+/// (pid 0), as a raw syscall so the offline workspace needs no libc crate.
+/// Returns the raw kernel result: 0 (set) or a positive byte count (get)
+/// on success, a negative errno otherwise.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn affinity_syscall(nr: i64, mask: *mut u64) -> i64 {
+    let ret: i64;
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: sched_set/getaffinity touch only the `CpuMask` behind `mask`
+    // (read for set, write for get); rcx/r11 are clobbered by `syscall` as
+    // declared.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") 0i64,
+            in("rsi") std::mem::size_of::<CpuMask>(),
+            in("rdx") mask,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: as above; aarch64 `svc 0` clobbers nothing beyond x0.
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") 0i64 => ret,
+            in("x1") std::mem::size_of::<CpuMask>(),
+            in("x2") mask,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+const NR_SCHED_SETAFFINITY: i64 = if cfg!(target_arch = "x86_64") {
+    203
+} else {
+    122
+};
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+const NR_SCHED_GETAFFINITY: i64 = if cfg!(target_arch = "x86_64") {
+    204
+} else {
+    123
+};
+
+/// The calling thread's current affinity mask, if the platform can report
+/// one — saved by [`WorkerPool::dispatch`] so a pinned dispatch can restore
+/// the caller's placement on the way out.
+fn current_thread_affinity() -> Option<CpuMask> {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        let mut mask: CpuMask = [0; 16];
+        (affinity_syscall(NR_SCHED_GETAFFINITY, mask.as_mut_ptr()) > 0).then_some(mask)
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    None
+}
+
+/// Best-effort: applies a saved affinity mask to the calling thread.
+fn set_thread_affinity(mask: &CpuMask) -> bool {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        affinity_syscall(NR_SCHED_SETAFFINITY, mask.as_ptr().cast_mut()) == 0
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    {
+        let _ = mask;
+        false
+    }
+}
+
+/// Best-effort: pins the calling thread to one core. Returns `true` when
+/// the affinity call succeeded, `false` where unsupported or refused —
+/// callers must not rely on placement either way.
+fn pin_current_thread_to_core(core: usize) -> bool {
+    // cores beyond the mask are an honest failure, not a silent wrap onto
+    // an unrelated core
+    let mut mask: CpuMask = [0; 16];
+    let Some(word) = mask.get_mut(core / 64) else {
+        return false;
+    };
+    *word = 1u64 << (core % 64);
+    set_thread_affinity(&mask)
+}
 
 /// Lifetime-erased pointer to the job of the current epoch.
 ///
@@ -92,6 +232,7 @@ struct Shared {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     threads: usize,
+    pin: PinPolicy,
     /// Serializes dispatches from different runner threads onto the same
     /// pool (the job slot is single-occupancy by design).
     dispatch_lock: Mutex<()>,
@@ -102,6 +243,7 @@ impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("threads", &self.threads)
+            .field("pin", &self.pin)
             .finish()
     }
 }
@@ -109,8 +251,16 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// Creates a pool with `threads` total parallelism (`threads - 1`
     /// parked workers; a 1-thread pool spawns nothing and runs every
-    /// dispatch inline).
+    /// dispatch inline), with no core pinning.
     pub fn new(threads: usize) -> Self {
+        Self::with_policy(threads, PinPolicy::None)
+    }
+
+    /// [`WorkerPool::new`] with an explicit [`PinPolicy`]: under
+    /// [`PinPolicy::Cores`] every spawned worker pins itself (best-effort)
+    /// before parking, so each shard's worker keeps its cache and NUMA
+    /// placement for the pool's whole lifetime.
+    pub fn with_policy(threads: usize, pin: PinPolicy) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState {
@@ -124,18 +274,25 @@ impl WorkerPool {
             work: Condvar::new(),
             done: Condvar::new(),
         });
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let handles = (0..threads.saturating_sub(1))
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("smst-engine-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
+                    .spawn(move || {
+                        if pin == PinPolicy::Cores {
+                            pin_current_thread_to_core((w + 1) % cores);
+                        }
+                        worker_loop(&shared, w)
+                    })
                     .expect("spawning an engine worker thread")
             })
             .collect();
         WorkerPool {
             shared,
             threads,
+            pin,
             dispatch_lock: Mutex::new(()),
             handles,
         }
@@ -144,6 +301,11 @@ impl WorkerPool {
     /// Total parallelism of a dispatch (workers + the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The pin policy the pool's workers were spawned under.
+    pub fn pin_policy(&self) -> PinPolicy {
+        self.pin
     }
 
     /// Runs `job(part)` for every `part in 0..parts`, the caller executing
@@ -170,6 +332,19 @@ impl WorkerPool {
             }
             return;
         }
+        // part 0 runs on this thread: give it the same placement stability
+        // the workers get for the duration of the dispatch, or shard 0's
+        // arena would be the one shard still migrating across sockets. The
+        // caller's own mask is restored on the way out — a pinned dispatch
+        // must not permanently narrow the affinity of whatever thread
+        // (test harness, benchmark driver) happened to call it.
+        let saved_affinity = if self.pin == PinPolicy::Cores {
+            let saved = current_thread_affinity();
+            pin_current_thread_to_core(0);
+            saved
+        } else {
+            None
+        };
         let serial = self.dispatch_lock.lock().unwrap();
         // SAFETY: lifetime erasure; `job` stays borrowed on this stack frame
         // until the completion wait below observes `outstanding == 0`;
@@ -204,6 +379,10 @@ impl WorkerPool {
             st.panic.take()
         };
         drop(serial);
+        // restore the caller's placement before any unwinding below
+        if let Some(mask) = saved_affinity {
+            set_thread_affinity(&mask);
+        }
         // prefer the originating panic over the secondary barrier-poison
         // panics it released in the siblings — losing the real payload
         // would make pool-path failures undiagnosable
@@ -264,19 +443,115 @@ impl WorkerPool {
         back: &mut Vec<T>,
         step: F,
     ) where
-        T: Send + Sync,
+        T: Send + Sync + Clone,
+        F: Fn(usize, usize, &[T], &mut [T]) + Sync,
+    {
+        // the gap-free, exchange-free special case of the halo primitive —
+        // one shared implementation of the unsafe round machinery (with no
+        // exchange pairs anywhere, the exchange phase and its barrier
+        // vanish, leaving exactly one barrier between rounds)
+        let parts = bounds.len().checked_sub(1).expect("at least one part");
+        assert!(parts >= 1, "at least one part");
+        assert_eq!(bounds[0], 0, "bounds must start at 0");
+        assert_eq!(bounds[parts], front.len(), "bounds must cover the buffer");
+        let regions: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        let exchange = vec![Vec::new(); parts];
+        self.run_rounds_halo(&regions, &exchange, rounds, front, back, step);
+    }
+
+    /// Halo-exchange variant of
+    /// [`run_rounds_double_buffered`](Self::run_rounds_double_buffered):
+    /// the buffers are **shard-local arenas** (disjoint per-part regions of
+    /// interior slots followed by halo-copy slots), and every round splits
+    /// into two barrier-separated phases:
+    ///
+    /// 1. **compute** — each part runs
+    ///    `step(part, round, prev, next_interior)`, where `prev` is the full
+    ///    previous arena and `next_interior` is the part's interior range
+    ///    `regions[part]` of the next arena (parts read only `prev`, so the
+    ///    halo copies gathered at round `r − 1` are what round `r` observes —
+    ///    exactly double-buffer semantics);
+    /// 2. **exchange** — after a round barrier, each part refreshes its halo
+    ///    slots by pulling `next[dst] = next[src]` for its `exchange[part]`
+    ///    pairs; a second barrier orders the pulls before the next round's
+    ///    reads.
+    ///
+    /// On return `front` holds the final round's arena and `back` the
+    /// previous round's, like the non-halo primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `regions` are in-bounds, ascending and pairwise
+    /// disjoint, with at most [`threads`](Self::threads) parts; and unless
+    /// the exchange plan honours its contract — every destination outside
+    /// all interior regions and written by exactly one part, every source
+    /// inside an interior region (what
+    /// [`HaloPlan::build`](crate::shard::HaloPlan::build) guarantees by
+    /// construction; verified here in all build modes because the pairs
+    /// feed raw-pointer copies). Propagates `step` panics.
+    pub fn run_rounds_halo<T, F>(
+        &self,
+        regions: &[(usize, usize)],
+        exchange: &[Vec<(u32, u32)>],
+        rounds: usize,
+        front: &mut Vec<T>,
+        back: &mut Vec<T>,
+        step: F,
+    ) where
+        T: Send + Sync + Clone,
         F: Fn(usize, usize, &[T], &mut [T]) + Sync,
     {
         let n = front.len();
         assert_eq!(back.len(), n, "double buffers must have equal length");
-        let parts = bounds.len().checked_sub(1).expect("at least one part");
+        let parts = regions.len();
         assert!(parts >= 1, "at least one part");
-        assert_eq!(bounds[0], 0, "bounds must start at 0");
-        assert_eq!(bounds[parts], n, "bounds must cover the buffer");
+        assert_eq!(exchange.len(), parts, "one exchange list per part");
         assert!(
-            bounds.windows(2).all(|w| w[0] <= w[1]),
-            "bounds must be monotone"
+            regions.iter().all(|&(lo, hi)| lo <= hi && hi <= n),
+            "regions must be in-bounds"
         );
+        assert!(
+            regions.windows(2).all(|w| w[0].1 <= w[1].0),
+            "regions must be ascending and disjoint"
+        );
+        // with no exchange pairs anywhere the exchange phase (and its
+        // barrier) vanishes — this is how the non-halo wrapper keeps its
+        // original one-barrier-per-round protocol and skips the plan
+        // validation it has nothing to validate with
+        let has_exchange = exchange.iter().any(|pairs| !pairs.is_empty());
+        if has_exchange {
+            // O(arena + pairs) plan validation, release mode included: the
+            // exchange pairs feed unchecked raw-pointer copies on the
+            // parallel path, so a malformed plan from this *safe* public
+            // API must panic here, never scribble out of bounds. (Plans
+            // from HaloPlan::build are sound by construction; the halo
+            // runner already pays O(arena) per call to gather, so this is
+            // a bounded constant factor, not a new asymptotic cost.)
+            // interior[i]: is arena slot i inside some part's write region?
+            // dst_seen[i]: has some part already claimed slot i as a dst?
+            let mut interior = vec![false; n];
+            for &(lo, hi) in regions {
+                interior[lo..hi].iter_mut().for_each(|b| *b = true);
+            }
+            let mut dst_seen = vec![false; n];
+            for pairs in exchange {
+                for &(src, dst) in pairs {
+                    let (src, dst) = (src as usize, dst as usize);
+                    assert!(
+                        src < n && interior[src],
+                        "exchange source {src} must be an interior slot"
+                    );
+                    assert!(
+                        dst < n && !interior[dst],
+                        "exchange destination {dst} must be a halo slot"
+                    );
+                    assert!(
+                        !std::mem::replace(&mut dst_seen[dst], true),
+                        "halo slot {dst} pulled by two parts"
+                    );
+                }
+            }
+        }
         if rounds == 0 {
             return;
         }
@@ -287,14 +562,22 @@ impl WorkerPool {
                 } else {
                     (&*back, &mut *front)
                 };
-                for part in 0..parts {
-                    // one part borrowed at a time: the per-iteration
-                    // re-borrow is what guarantees disjointness here
-                    let slice = &mut next[bounds[part]..bounds[part + 1]];
+                for (part, &(lo, hi)) in regions.iter().enumerate() {
+                    let slice = &mut next[lo..hi];
                     step(part, round, prev, slice);
+                }
+                for pairs in exchange {
+                    for &(src, dst) in pairs {
+                        next[dst as usize] = next[src as usize].clone();
+                    }
                 }
             }
         } else {
+            assert!(
+                parts <= self.threads,
+                "halo run of {parts} parts on a {}-thread pool",
+                self.threads
+            );
             let barrier = RoundBarrier::new(parts);
             let front_ptr = BufPtr(front.as_mut_ptr());
             let back_ptr = BufPtr(back.as_mut_ptr());
@@ -306,25 +589,39 @@ impl WorkerPool {
                         } else {
                             (back_ptr.get(), front_ptr.get())
                         };
-                        // SAFETY: within a round every part reads only
-                        // `prev` and writes only its disjoint `next` range;
-                        // the poisoning barrier orders round r's writes
-                        // before round r + 1's reads, and `dispatch` keeps
-                        // both buffers borrowed until all parts finish.
+                        // SAFETY: compute phase — every part reads only
+                        // `prev` and writes only its disjoint interior
+                        // region of `next` (asserted above); the barrier
+                        // separates this round's writes from the exchange
+                        // reads, and `dispatch` keeps both buffers borrowed
+                        // until all parts finish.
                         let prev: &[T] =
                             unsafe { std::slice::from_raw_parts(prev_ptr as *const T, n) };
-                        let (lo, hi) = (bounds[part], bounds[part + 1]);
+                        let (lo, hi) = regions[part];
                         let next: &mut [T] =
                             unsafe { std::slice::from_raw_parts_mut(next_ptr.add(lo), hi - lo) };
                         step(part, round, prev, next);
+                        if has_exchange {
+                            barrier.wait();
+                            // SAFETY: exchange phase — sources are interior
+                            // slots (all compute writes are barrier-ordered
+                            // before this, and nothing writes interiors
+                            // now), destinations are this part's own halo
+                            // slots, in-bounds and disjoint across parts
+                            // (validated above in every build mode).
+                            for &(src, dst) in &exchange[part] {
+                                unsafe {
+                                    let value = (*(next_ptr.add(src as usize) as *const T)).clone();
+                                    *next_ptr.add(dst as usize) = value;
+                                }
+                            }
+                        }
                         if round + 1 < rounds {
                             barrier.wait();
                         }
                     }
                 };
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(work)) {
-                    // free the siblings parked on the barrier, then let the
-                    // dispatch-level panic protocol take over
                     barrier.poison();
                     resume_unwind(payload);
                 }
@@ -504,11 +801,19 @@ impl RoundBarrier {
 pub struct PoolHandle(Arc<WorkerPool>);
 
 impl PoolHandle {
-    /// The smallest registered pool with at least `threads` total threads,
-    /// or a freshly created (and registered) one when none fits. The pool
-    /// outlives the handle only while other handles (or runners) keep it
-    /// alive.
+    /// The smallest registered unpinned pool with at least `threads` total
+    /// threads, or a freshly created (and registered) one when none fits.
+    /// The pool outlives the handle only while other handles (or runners)
+    /// keep it alive.
     pub fn for_threads(threads: usize) -> PoolHandle {
+        Self::for_threads_with(threads, PinPolicy::None)
+    }
+
+    /// [`PoolHandle::for_threads`] with an explicit [`PinPolicy`]. Pools
+    /// are shared only between requests with the **same** policy — a pinned
+    /// and an unpinned runner never trade workers, because pinning is a
+    /// property of the already-spawned threads.
+    pub fn for_threads_with(threads: usize, pin: PinPolicy) -> PoolHandle {
         let threads = threads.max(1);
         let registry = REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
         let mut pools = registry.lock().unwrap();
@@ -516,12 +821,12 @@ impl PoolHandle {
         if let Some(pool) = pools
             .iter()
             .filter_map(Weak::upgrade)
-            .filter(|pool| pool.threads() >= threads)
+            .filter(|pool| pool.threads() >= threads && pool.pin_policy() == pin)
             .min_by_key(|pool| pool.threads())
         {
             return PoolHandle(pool);
         }
-        let pool = Arc::new(WorkerPool::new(threads));
+        let pool = Arc::new(WorkerPool::with_policy(threads, pin));
         pools.push(Arc::downgrade(&pool));
         PoolHandle(pool)
     }
@@ -530,6 +835,11 @@ impl PoolHandle {
     /// share workers).
     pub fn dedicated(threads: usize) -> PoolHandle {
         PoolHandle(Arc::new(WorkerPool::new(threads)))
+    }
+
+    /// [`PoolHandle::dedicated`] with an explicit [`PinPolicy`].
+    pub fn dedicated_with(threads: usize, pin: PinPolicy) -> PoolHandle {
+        PoolHandle(Arc::new(WorkerPool::with_policy(threads, pin)))
     }
 
     /// The underlying pool.
@@ -732,6 +1042,149 @@ mod tests {
         assert!(a.pool().threads() >= 5);
         let d = PoolHandle::dedicated(2);
         assert!(!d.shares_pool_with(&a));
+    }
+
+    /// Reference arena shape for the halo tests: two parts, each with a
+    /// 4-slot interior and a 1-slot halo mirroring the other part's first
+    /// interior slot.
+    #[allow(clippy::type_complexity)]
+    fn tiny_halo_setup() -> (Vec<(usize, usize)>, Vec<Vec<(u32, u32)>>) {
+        let regions = vec![(0usize, 4usize), (5, 9)];
+        let exchange = vec![vec![(5u32, 4u32)], vec![(0, 9)]];
+        (regions, exchange)
+    }
+
+    #[test]
+    fn halo_rounds_match_the_sequential_reference_at_any_width() {
+        // each round: interior slot i of a part becomes (own + mirrored
+        // other-part value); halo slots refresh after every round
+        let (regions, exchange) = tiny_halo_setup();
+        let init: Vec<u64> = (1..=10).collect();
+        let reference = |rounds: usize| {
+            let mut cur = init.clone();
+            for _ in 0..rounds {
+                let mut next = cur.clone();
+                for &(lo, hi) in &regions {
+                    for i in lo..hi {
+                        // every interior adds its part's halo slot value
+                        let halo = if lo == 0 { cur[4] } else { cur[9] };
+                        next[i] = cur[i] + halo;
+                    }
+                }
+                next[4] = next[5];
+                next[9] = next[0];
+                cur = next;
+            }
+            cur
+        };
+        for rounds in [1usize, 2, 5] {
+            let expected = reference(rounds);
+            for threads in [1usize, 2, 4] {
+                let pool = WorkerPool::new(threads);
+                let mut front = init.clone();
+                let mut back = init.clone();
+                pool.run_rounds_halo(&regions, &exchange, rounds, &mut front, &mut back, {
+                    let regions = &regions;
+                    move |part, _round, prev: &[u64], next: &mut [u64]| {
+                        let (lo, _hi) = regions[part];
+                        let halo = if part == 0 { prev[4] } else { prev[9] };
+                        for (i, slot) in next.iter_mut().enumerate() {
+                            *slot = prev[lo + i] + halo;
+                        }
+                    }
+                });
+                assert_eq!(front, expected, "rounds {rounds}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_rounds_reject_overlapping_destinations() {
+        let (regions, mut exchange) = tiny_halo_setup();
+        exchange[0].push((1, 9)); // slot 9 already pulled by part 1
+        let pool = WorkerPool::new(2);
+        let mut front = vec![0u64; 10];
+        let mut back = vec![0u64; 10];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_rounds_halo(
+                &regions,
+                &exchange,
+                1,
+                &mut front,
+                &mut back,
+                |_, _, _, _| {},
+            );
+        }));
+        assert!(result.is_err(), "duplicate halo destinations must panic");
+    }
+
+    #[test]
+    fn halo_rounds_panic_does_not_deadlock() {
+        let (regions, exchange) = tiny_halo_setup();
+        let pool = WorkerPool::new(2);
+        let mut front = vec![0u64; 10];
+        let mut back = vec![0u64; 10];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_rounds_halo(
+                &regions,
+                &exchange,
+                4,
+                &mut front,
+                &mut back,
+                |part, round, _prev: &[u64], _next: &mut [u64]| {
+                    if part == 1 && round == 2 {
+                        panic!("halo boom");
+                    }
+                },
+            );
+        }));
+        let payload = result.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("halo boom"),
+            "poison sentinel masked the original panic: {message:?}"
+        );
+        pool.dispatch(2, &|_| {});
+    }
+
+    #[test]
+    fn pinned_pools_do_not_share_with_unpinned_ones() {
+        // 29 threads: unique to this test, so registry matches are exact
+        let plain = PoolHandle::for_threads(29);
+        let pinned = PoolHandle::for_threads_with(29, PinPolicy::Cores);
+        let pinned_again = PoolHandle::for_threads_with(29, PinPolicy::Cores);
+        assert!(!plain.shares_pool_with(&pinned));
+        assert!(pinned.shares_pool_with(&pinned_again));
+        assert_eq!(pinned.pool().pin_policy(), PinPolicy::Cores);
+        assert_eq!(plain.pool().pin_policy(), PinPolicy::None);
+    }
+
+    #[test]
+    fn pinned_pool_dispatches_like_an_unpinned_one() {
+        // pinning is best-effort and purely wall-clock: every part still
+        // runs exactly once
+        let pool = WorkerPool::with_policy(4, PinPolicy::Cores);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.dispatch(4, &|p| {
+                hits[p].fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 50);
+        }
+    }
+
+    #[test]
+    fn affinity_call_is_best_effort() {
+        // must never panic, whatever the platform answers
+        let _ = pin_current_thread_to_core(0);
+        let _ = pin_current_thread_to_core(10_000);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::layout::LayoutPolicy;
 use crate::parallel_sync::ParallelSyncRunner;
+use crate::pool::PinPolicy;
 use crate::sharded_async::ShardedAsyncRunner;
 use smst_graph::generators::{
     caterpillar_graph, complete_graph, expander_graph, grid_graph, path_graph,
@@ -149,6 +150,13 @@ pub struct ScenarioSpec {
     /// Node renumbering applied before sharding (wall-clock only; results
     /// are layout-invariant).
     pub layout: LayoutPolicy,
+    /// Worker core pinning (wall-clock only; results are
+    /// placement-invariant).
+    pub pin: PinPolicy,
+    /// Halo-exchange execution mode for synchronous schedules (wall-clock
+    /// only; results are bit-for-bit identical either way). Ignored by
+    /// asynchronous schedules, whose batches are not shard-aligned.
+    pub halo: bool,
     /// Synchronous or asynchronous execution.
     pub schedule: Schedule,
     /// Fault bursts, in firing order.
@@ -165,6 +173,8 @@ impl ScenarioSpec {
             seed: 0,
             threads: 1,
             layout: LayoutPolicy::Identity,
+            pin: PinPolicy::None,
+            halo: false,
             schedule: Schedule::Sync,
             faults: Vec::new(),
             until: StopCondition::Steps,
@@ -186,6 +196,19 @@ impl ScenarioSpec {
     /// Sets the layout policy (RCM renumbering before sharding).
     pub fn layout(mut self, layout: LayoutPolicy) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Sets the worker pin policy (best-effort core affinity).
+    pub fn pin(mut self, pin: PinPolicy) -> Self {
+        self.pin = pin;
+        self
+    }
+
+    /// Switches the halo-exchange execution mode on or off for synchronous
+    /// schedules (asynchronous schedules ignore it).
+    pub fn halo_exchange(mut self, halo: bool) -> Self {
+        self.halo = halo;
         self
     }
 
@@ -338,7 +361,9 @@ impl ScenarioSpec {
         let (network, all_accept, alarm_nodes) = match &self.schedule {
             Schedule::Sync => {
                 let mut runner =
-                    ParallelSyncRunner::with_layout(program, graph, self.threads, self.layout);
+                    ParallelSyncRunner::with_layout(program, graph, self.threads, self.layout)
+                        .halo_exchange(self.halo)
+                        .pinning(self.pin);
                 drive!(runner, step_round)
             }
             Schedule::Async { daemon } => {
@@ -348,7 +373,8 @@ impl ScenarioSpec {
                     daemon.clone(),
                     self.threads,
                     self.layout,
-                );
+                )
+                .pinning(self.pin);
                 drive!(runner, step_time_unit)
             }
         };
@@ -508,6 +534,27 @@ mod tests {
             laid_out.report.injected_faults
         );
         assert_eq!(plain.report.recovered, laid_out.report.recovered);
+    }
+
+    #[test]
+    fn halo_and_pinning_do_not_change_outcomes() {
+        let base = ScenarioSpec::new(GraphFamily::Expander { n: 70, degree: 4 })
+            .seed(11)
+            .threads(3)
+            .fault_burst(3, 6, 2)
+            .until(StopCondition::AllAccept);
+        let plain = base
+            .clone()
+            .run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 300);
+        let tuned = base
+            .layout(LayoutPolicy::Rcm)
+            .halo_exchange(true)
+            .pin(PinPolicy::Cores)
+            .run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 300);
+        assert_eq!(plain.network.states(), tuned.network.states());
+        assert_eq!(plain.report.steps_run, tuned.report.steps_run);
+        assert_eq!(plain.report.recovered, tuned.report.recovered);
+        assert_eq!(plain.report.alarm_nodes, tuned.report.alarm_nodes);
     }
 
     #[test]

@@ -41,12 +41,14 @@ impl Shard {
 /// even as contiguity allows.
 ///
 /// Returns fewer than `count` shards when the graph is too small to fill
-/// them. Always returns at least one shard when the graph is non-empty.
+/// them: at least one shard when the graph is non-empty, and **no shards at
+/// all on the empty graph** (every returned shard is non-empty, an
+/// invariant the runners' dispatch paths rely on).
 pub fn partition_balanced(topo: &CsrTopology, count: usize) -> Vec<Shard> {
     let n = topo.node_count();
     let count = count.max(1);
     if n == 0 {
-        return vec![Shard { start: 0, end: 0 }];
+        return Vec::new();
     }
     let total = topo.total_work();
     let mut shards = Vec::with_capacity(count);
@@ -55,8 +57,10 @@ pub fn partition_balanced(topo: &CsrTopology, count: usize) -> Vec<Shard> {
         if start >= n {
             break;
         }
-        // ideal cumulative work at the end of shard k
-        let target = total * (k + 1) / count;
+        // ideal cumulative work at the end of shard k, in u128 so the
+        // multiply cannot overflow on huge-work graphs (the quotient is
+        // at most `total`, so the cast back is lossless)
+        let target = (total as u128 * (k as u128 + 1) / count as u128) as usize;
         let mut end = if k + 1 == count { n } else { start + 1 };
         while end < n && topo.work_prefix(end) < target {
             end += 1;
@@ -68,6 +72,220 @@ pub fn partition_balanced(topo: &CsrTopology, count: usize) -> Vec<Shard> {
         last.end = n;
     }
     shards
+}
+
+/// The halo analysis of a shard partition: which neighbour indices of each
+/// shard fall **outside** its slice, and everything needed to execute
+/// rounds on shard-local arenas of `interior registers + halo copies`.
+///
+/// The arena is one flat buffer, the per-shard regions concatenated:
+/// region `s` is `arena_offsets[s] .. arena_offsets[s + 1]`, its first
+/// `shards[s].len()` slots holding the shard's interior registers (in node
+/// order) and the remaining slots holding copies of the shard's halo — the
+/// external neighbours, ascending. A per-shard CSR remapped into **arena
+/// coordinates** lets a round read nothing but the arena; after each round
+/// every shard refreshes its halo slots by *pulling* the just-written
+/// interior values from the owning shards' regions ([`HaloPlan::exchange`]),
+/// which is the engine's only cross-shard traffic.
+#[derive(Debug, Clone)]
+pub struct HaloPlan {
+    shards: Vec<Shard>,
+    /// `arena_offsets[s]..arena_offsets[s + 1]` is shard `s`'s region.
+    arena_offsets: Vec<usize>,
+    /// Per shard: the external (internal-order) node indices it reads,
+    /// ascending — halo slot `h` of shard `s` mirrors node `halos[s][h]`.
+    halos: Vec<Vec<u32>>,
+    /// Per shard: CSR offsets over the interior (`len == interior + 1`).
+    csr_offsets: Vec<Vec<usize>>,
+    /// Per shard: neighbour indices in arena coordinates, port order.
+    csr_neighbors: Vec<Vec<u32>>,
+    /// Per shard: `(src, dst)` arena-coordinate copies that refresh the
+    /// shard's halo slots from the owners' interiors (the pull exchange).
+    exchange: Vec<Vec<(u32, u32)>>,
+}
+
+impl HaloPlan {
+    /// Builds the halo plan of a partition over `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards are not a contiguous cover of the topology's
+    /// node range, or if the arena would exceed `u32::MAX` slots (arena
+    /// coordinates are packed into 32 bits like the CSR's).
+    pub fn build(topo: &CsrTopology, shards: &[Shard]) -> Self {
+        let n = topo.node_count();
+        assert_eq!(
+            shards.first().map_or(0, |s| s.start),
+            0,
+            "shards must start at node 0"
+        );
+        assert_eq!(
+            shards.last().map_or(0, |s| s.end),
+            n,
+            "shards must cover the node range"
+        );
+        assert!(
+            shards.windows(2).all(|w| w[0].end == w[1].start),
+            "shards must be contiguous"
+        );
+        // owner[v]: which shard's interior holds node v
+        let mut owner = vec![0u32; n];
+        for (s, sh) in shards.iter().enumerate() {
+            for v in sh.nodes() {
+                owner[v] = s as u32;
+            }
+        }
+        let mut halos: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
+        for sh in shards {
+            let mut ext: Vec<u32> = sh
+                .nodes()
+                .flat_map(|v| topo.neighbors_of(v).iter().copied())
+                .filter(|&u| (u as usize) < sh.start || (u as usize) >= sh.end)
+                .collect();
+            ext.sort_unstable();
+            ext.dedup();
+            halos.push(ext);
+        }
+        let mut arena_offsets = Vec::with_capacity(shards.len() + 1);
+        arena_offsets.push(0usize);
+        for (sh, halo) in shards.iter().zip(&halos) {
+            arena_offsets.push(arena_offsets.last().unwrap() + sh.len() + halo.len());
+        }
+        assert!(
+            u32::try_from(*arena_offsets.last().unwrap()).is_ok(),
+            "halo arena exceeds 2^32 - 1 slots"
+        );
+        let mut csr_offsets = Vec::with_capacity(shards.len());
+        let mut csr_neighbors = Vec::with_capacity(shards.len());
+        let mut exchange = Vec::with_capacity(shards.len());
+        for (s, sh) in shards.iter().enumerate() {
+            let base = arena_offsets[s];
+            let halo_base = base + sh.len();
+            let mut offsets = Vec::with_capacity(sh.len() + 1);
+            let mut neighbors = Vec::new();
+            offsets.push(0usize);
+            for v in sh.nodes() {
+                neighbors.extend(topo.neighbors_of(v).iter().map(|&u| {
+                    let ui = u as usize;
+                    if ui >= sh.start && ui < sh.end {
+                        (base + (ui - sh.start)) as u32
+                    } else {
+                        let slot = halos[s].binary_search(&u).expect("halo holds u");
+                        (halo_base + slot) as u32
+                    }
+                }));
+                offsets.push(neighbors.len());
+            }
+            csr_offsets.push(offsets);
+            csr_neighbors.push(neighbors);
+            exchange.push(
+                halos[s]
+                    .iter()
+                    .enumerate()
+                    .map(|(h, &u)| {
+                        let o = owner[u as usize] as usize;
+                        let src = arena_offsets[o] + (u as usize - shards[o].start);
+                        (src as u32, (halo_base + h) as u32)
+                    })
+                    .collect(),
+            );
+        }
+        HaloPlan {
+            shards: shards.to_vec(),
+            arena_offsets,
+            halos,
+            csr_offsets,
+            csr_neighbors,
+            exchange,
+        }
+    }
+
+    /// Number of shards (== worker parts).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard behind region `s`.
+    pub fn shard(&self, s: usize) -> Shard {
+        self.shards[s]
+    }
+
+    /// Total arena slots (interiors + halo copies).
+    pub fn arena_len(&self) -> usize {
+        *self.arena_offsets.last().unwrap_or(&0)
+    }
+
+    /// Where shard `s`'s region starts in the arena.
+    pub fn arena_offset(&self, s: usize) -> usize {
+        self.arena_offsets[s]
+    }
+
+    /// Number of halo slots of shard `s` — how many external registers the
+    /// shard reads (and must re-pull every round).
+    pub fn halo_size(&self, s: usize) -> usize {
+        self.halos[s].len()
+    }
+
+    /// The external node indices shard `s` mirrors, ascending.
+    pub fn halo_nodes(&self, s: usize) -> &[u32] {
+        &self.halos[s]
+    }
+
+    /// Total halo slots over all shards — the number of registers crossing
+    /// shard boundaries in each exchange step.
+    pub fn total_halo(&self) -> usize {
+        self.halos.iter().map(Vec::len).sum()
+    }
+
+    /// Bytes copied per exchange step for a register of `state_size` bytes.
+    pub fn exchanged_bytes_per_round(&self, state_size: usize) -> usize {
+        self.total_halo() * state_size
+    }
+
+    /// Shard `s`'s CSR in arena coordinates: `(offsets, neighbors)` with
+    /// `neighbors[offsets[i]..offsets[i + 1]]` the arena indices of interior
+    /// node `i`'s neighbours, in port order.
+    pub fn local_csr(&self, s: usize) -> (&[usize], &[u32]) {
+        (&self.csr_offsets[s], &self.csr_neighbors[s])
+    }
+
+    /// The interior write range of every shard, in arena coordinates (the
+    /// `regions` argument of
+    /// [`WorkerPool::run_rounds_halo`](crate::pool::WorkerPool::run_rounds_halo)).
+    pub fn regions(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, sh)| (self.arena_offsets[s], self.arena_offsets[s] + sh.len()))
+            .collect()
+    }
+
+    /// The per-shard pull-exchange copies, in arena coordinates.
+    pub fn exchange(&self) -> &[Vec<(u32, u32)>] {
+        &self.exchange
+    }
+
+    /// Fills `arena` from a node-indexed register vector: each region's
+    /// interior slots from the shard's slice, its halo slots from the
+    /// mirrored nodes.
+    pub fn gather_into<T: Clone>(&self, states: &[T], arena: &mut Vec<T>) {
+        arena.clear();
+        arena.reserve(self.arena_len());
+        for (sh, halo) in self.shards.iter().zip(&self.halos) {
+            arena.extend(states[sh.start..sh.end].iter().cloned());
+            arena.extend(halo.iter().map(|&u| states[u as usize].clone()));
+        }
+    }
+
+    /// Copies every region's interior slots back into the node-indexed
+    /// register vector (halo copies are discarded — they duplicate another
+    /// region's interior).
+    pub fn scatter_interiors<T: Clone>(&self, arena: &[T], states: &mut [T]) {
+        for (s, sh) in self.shards.iter().enumerate() {
+            let base = self.arena_offsets[s];
+            states[sh.start..sh.end].clone_from_slice(&arena[base..base + sh.len()]);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +348,90 @@ mod tests {
         let shards = partition_balanced(&topo, 64);
         assert_eq!(shards.iter().map(Shard::len).sum::<usize>(), 3);
         assert!(shards.len() <= 3);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_shards() {
+        // regression: this used to return `vec![Shard { 0, 0 }]`, violating
+        // the all-shards-non-empty invariant the other tests pin
+        let topo = CsrTopology::build(&smst_graph::WeightedGraph::new());
+        for count in [1, 4, 100] {
+            assert!(partition_balanced(&topo, count).is_empty(), "{count}");
+        }
+    }
+
+    #[test]
+    fn halo_plan_mirrors_exactly_the_cross_shard_reads() {
+        let g = random_connected_graph(300, 900, 17);
+        let topo = CsrTopology::build(&g);
+        let shards = partition_balanced(&topo, 6);
+        let plan = HaloPlan::build(&topo, &shards);
+        assert_eq!(plan.shard_count(), shards.len());
+        assert_eq!(
+            plan.arena_len(),
+            300 + plan.total_halo(),
+            "arena = interiors + halo copies"
+        );
+        for (s, sh) in shards.iter().enumerate() {
+            // the halo is precisely the set of external neighbours
+            let mut expected: Vec<u32> = sh
+                .nodes()
+                .flat_map(|v| topo.neighbors_of(v).iter().copied())
+                .filter(|&u| (u as usize) < sh.start || (u as usize) >= sh.end)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(plan.halo_nodes(s), expected.as_slice(), "shard {s}");
+            assert_eq!(plan.halo_size(s), expected.len());
+            // every exchange copy pulls the mirrored node's interior slot
+            for (&(src, dst), &u) in plan.exchange()[s].iter().zip(plan.halo_nodes(s)) {
+                let o = shards
+                    .iter()
+                    .position(|t| t.nodes().contains(&(u as usize)))
+                    .unwrap();
+                assert_eq!(
+                    src as usize,
+                    plan.arena_offset(o) + (u as usize - shards[o].start)
+                );
+                assert!(dst as usize >= plan.arena_offset(s) + sh.len());
+                assert!((dst as usize) < plan.arena_offset(s) + sh.len() + plan.halo_size(s));
+            }
+        }
+        assert_eq!(plan.exchanged_bytes_per_round(8), 8 * plan.total_halo());
+    }
+
+    #[test]
+    fn halo_local_csr_resolves_to_the_same_registers() {
+        // reading `arena[local_csr]` out of a gathered arena must observe
+        // exactly the registers `states[global_csr]` would
+        let g = random_connected_graph(120, 360, 23);
+        let topo = CsrTopology::build(&g);
+        let shards = partition_balanced(&topo, 5);
+        let plan = HaloPlan::build(&topo, &shards);
+        let states: Vec<u64> = (0..120u64).map(|x| x * 31 + 7).collect();
+        let mut arena = Vec::new();
+        plan.gather_into(&states, &mut arena);
+        assert_eq!(arena.len(), plan.arena_len());
+        for (s, sh) in shards.iter().enumerate() {
+            let (offsets, neighbors) = plan.local_csr(s);
+            assert_eq!(offsets.len(), sh.len() + 1);
+            for (i, v) in sh.nodes().enumerate() {
+                assert_eq!(arena[plan.arena_offset(s) + i], states[v], "interior");
+                let via_arena: Vec<u64> = neighbors[offsets[i]..offsets[i + 1]]
+                    .iter()
+                    .map(|&a| arena[a as usize])
+                    .collect();
+                let via_states: Vec<u64> = topo
+                    .neighbors_of(v)
+                    .iter()
+                    .map(|&u| states[u as usize])
+                    .collect();
+                assert_eq!(via_arena, via_states, "node {v} port order");
+            }
+        }
+        // scatter restores the interiors (and only reads them)
+        let mut restored = vec![0u64; 120];
+        plan.scatter_interiors(&arena, &mut restored);
+        assert_eq!(restored, states);
     }
 }

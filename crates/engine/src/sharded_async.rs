@@ -26,7 +26,7 @@
 //! `tests/` pins differentially.
 
 use crate::layout::{Layout, LayoutPolicy};
-use crate::pool::PoolHandle;
+use crate::pool::{PinPolicy, PoolHandle};
 use crate::topology::CsrTopology;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_sim::{
@@ -51,6 +51,7 @@ pub struct ShardedAsyncRunner<'p, P: NodeProgram> {
     /// loudly instead of silently running a placeholder schedule.
     daemon: Option<Box<dyn BatchDaemon>>,
     pool: PoolHandle,
+    pin: PinPolicy,
     threads: usize,
     time_units: usize,
     activations: usize,
@@ -128,10 +129,27 @@ where
             states,
             daemon: Some(daemon),
             pool,
+            pin: PinPolicy::None,
             threads,
             time_units: 0,
             activations: 0,
         }
+    }
+
+    /// Sets the worker [`PinPolicy`], re-acquiring a pool whose workers
+    /// were spawned under it. Purely a wall-clock knob — batch outcomes are
+    /// thread- and placement-invariant by the determinism contract.
+    pub fn pinning(mut self, pin: PinPolicy) -> Self {
+        if pin != self.pin {
+            self.pin = pin;
+            self.pool = PoolHandle::for_threads_with(self.threads, pin);
+        }
+        self
+    }
+
+    /// The worker pin policy the runner dispatches under.
+    pub fn pin_policy(&self) -> PinPolicy {
+        self.pin
     }
 
     /// Normalized asynchronous time units elapsed so far.
