@@ -2,7 +2,7 @@
 //!
 //! A [`TrialSpec`] names everything that determines an execution — the
 //! workload, the graph family and seed, the daemon, the fault plan and the
-//! step budget — and serializes to a one-line [`TrialId`] string that
+//! step budget — and serializes to a one-line `TrialId` string that
 //! [`TrialSpec::from_id`] parses back. Running the same spec twice yields
 //! the same [`TrialOutcome`] bit for bit (the engine's determinism
 //! contract), so any worst case a campaign finds is a one-line
@@ -12,12 +12,12 @@ use crate::daemons::{CutFocusDaemon, StallDaemon, StarveDaemon};
 use smst_bench::engine_metrics::mst_verifier_for;
 use smst_core::faults::{corrupt, FaultKind};
 use smst_engine::programs::{MinIdFlood, MonitorFlood};
-use smst_engine::{GraphFamily, ScenarioSpec, StopCondition};
+use smst_engine::{EngineConfig, GraphFamily, ScenarioSpec, StopCondition};
 use smst_graph::WeightedGraph;
 use smst_sim::{BatchDaemon, ChunkedDaemon, Daemon};
 
 /// A replayable daemon descriptor: every daemon a campaign can schedule,
-/// with its parameters, in a form that encodes into a [`TrialId`].
+/// with its parameters, in a form that encodes into a `TrialId`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DaemonSpec {
     /// Central round-robin, chunked into `batch` simultaneous activations.
@@ -464,10 +464,13 @@ pub fn run_trial(spec: &TrialSpec) -> TrialOutcome {
     // clamp so every spec the search or the shrinker produces is runnable
     let budget = spec.budget.max(spec.inject_at + 1);
     let fault_count = spec.fault_count.clamp(1, n.max(1));
+    // trials are single-threaded by design (the campaign fans the *trial
+    // list* out across the pool); the whole execution envelope is one
+    // validated EngineConfig
+    let engine = EngineConfig::new().threads(1).batch_daemon(daemon);
     let scenario = ScenarioSpec::new(spec.family.clone())
+        .engine(engine)
         .seed(spec.graph_seed)
-        .threads(1)
-        .batch_daemon(daemon)
         .fault_burst(spec.inject_at, fault_count, spec.fault_seed);
     match spec.workload {
         Workload::Monitor => {

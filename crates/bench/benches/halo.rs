@@ -4,14 +4,18 @@
 //! neighbour read crosses a shard boundary, so this is where halo mode has
 //! the most traffic to make explicit. The bench compares chunked rounds of
 //! the direct path against the halo path (with and without the RCM
-//! layout, with and without pinned workers) and records the **halo
-//! geometry** in the artifact's `meta` object:
+//! layout, with and without pinned workers) — every runner is built from
+//! an [`EngineConfig`] envelope — and records the **halo geometry** in the
+//! artifact's `meta` object:
 //!
 //! * `halo/<layout>/entries` — total halo slots over all shards (the
 //!   registers crossing shard boundaries in each exchange step);
 //! * `halo/<layout>/max_shard` — the largest single shard's halo;
 //! * `halo/<layout>/bytes_per_round` — exchanged bytes per round for the
-//!   `u64` registers of the bench program.
+//!   `u64` registers of the bench program, as reported **per round by a
+//!   [`RecordingObserver`]** (the one-engine-API measurement hook), plus
+//!   `halo/<layout>/observed_dispatch_ns` — the observer's mean dispatch
+//!   latency over the observed rounds (wall-clock, indicative).
 //!
 //! RCM exists to shrink the boundary, so `halo/rcm/entries` should come
 //! out well below `halo/identity/entries` (the engine's property tests pin
@@ -20,35 +24,39 @@
 
 use smst_bench::harness::{smoke_mode, BenchGroup};
 use smst_engine::programs::MinIdFlood;
-use smst_engine::{LayoutPolicy, ParallelSyncRunner, PinPolicy};
+use smst_engine::{EngineConfig, LayoutPolicy, ParallelSyncRunner, PinPolicy};
 use smst_graph::generators::expander_graph;
 use smst_graph::WeightedGraph;
+use smst_sim::RecordingObserver;
 
 const ROUNDS_PER_ITER: usize = 8;
 
 fn halo_case(
     group: &mut BenchGroup,
     g: &WeightedGraph,
-    threads: usize,
-    layout: LayoutPolicy,
+    engine: &EngineConfig,
     tag: &str,
     iters: u32,
 ) {
     let program = MinIdFlood::new(0);
-    let mut direct = ParallelSyncRunner::with_layout(&program, g.clone(), threads, layout);
+    let mut direct = ParallelSyncRunner::from_config(&program, g.clone(), engine)
+        .expect("a sync envelope is valid");
     group.bench(&format!("{tag}/direct"), iters, || {
         direct.run_rounds(ROUNDS_PER_ITER);
         direct.rounds()
     });
-    let mut halo =
-        ParallelSyncRunner::with_layout(&program, g.clone(), threads, layout).halo_exchange(true);
+    let mut halo = ParallelSyncRunner::from_config(&program, g.clone(), &engine.clone().halo(true))
+        .expect("a sync halo envelope is valid");
     group.bench(&format!("{tag}/halo"), iters, || {
         halo.run_rounds(ROUNDS_PER_ITER);
         halo.rounds()
     });
-    let mut pinned = ParallelSyncRunner::with_layout(&program, g.clone(), threads, layout)
-        .halo_exchange(true)
-        .pinning(PinPolicy::Cores);
+    let mut pinned = ParallelSyncRunner::from_config(
+        &program,
+        g.clone(),
+        &engine.clone().halo(true).pin(PinPolicy::Cores),
+    )
+    .expect("a pinned halo envelope is valid");
     group.bench(&format!("{tag}/halo+pin"), iters, || {
         pinned.run_rounds(ROUNDS_PER_ITER);
         pinned.rounds()
@@ -68,26 +76,50 @@ fn main() {
         ("identity", LayoutPolicy::Identity),
         ("rcm", LayoutPolicy::Rcm),
     ] {
+        let engine = EngineConfig::new().threads(threads).layout(layout);
         halo_case(
             &mut group,
             &g,
-            threads,
-            layout,
+            &engine,
             &format!("expander/{n}/threads={threads}/{label}"),
             iters,
         );
-        let probe = ParallelSyncRunner::with_layout(&program, g.clone(), threads, layout)
-            .halo_exchange(true);
+        // geometry probe: the static plan sizes from the concrete runner,
+        // plus the per-round exchanged bytes as the RoundObserver reports
+        // them — one typed runner serves both reads
+        let mut probe = ParallelSyncRunner::from_config(
+            &program,
+            g.clone(),
+            &EngineConfig::new()
+                .threads(threads)
+                .layout(layout)
+                .halo(true),
+        )
+        .expect("a sync halo envelope is valid");
+        let recording = RecordingObserver::new();
+        probe.set_observer(Box::new(recording.clone()));
+        probe.run_rounds(4);
+        let stats = recording.stats();
+        assert_eq!(stats.len(), 4, "one callback per observed round");
         let plan = probe.halo_plan().expect("halo mode on");
         let max_shard = (0..plan.shard_count())
             .map(|s| plan.halo_size(s))
             .max()
             .unwrap_or(0);
+        assert_eq!(
+            stats[0].halo_bytes,
+            plan.exchanged_bytes_per_round(std::mem::size_of::<u64>()) as u64,
+            "observer-reported bytes must equal the plan's geometry"
+        );
         group.record_meta(&format!("halo/{label}/entries"), plan.total_halo() as f64);
         group.record_meta(&format!("halo/{label}/max_shard"), max_shard as f64);
         group.record_meta(
             &format!("halo/{label}/bytes_per_round"),
-            plan.exchanged_bytes_per_round(std::mem::size_of::<u64>()) as f64,
+            stats[0].halo_bytes as f64,
+        );
+        group.record_meta(
+            &format!("halo/{label}/observed_dispatch_ns"),
+            recording.mean_dispatch_ns(),
         );
     }
     group.finish();

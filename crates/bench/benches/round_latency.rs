@@ -20,7 +20,7 @@
 
 use smst_bench::harness::{smoke_mode, BenchGroup};
 use smst_engine::programs::MinIdFlood;
-use smst_engine::{LayoutPolicy, ParallelSyncRunner};
+use smst_engine::{EngineConfig, LayoutPolicy, ParallelSyncRunner};
 use smst_graph::generators::{expander_graph, random_connected_graph};
 use smst_graph::WeightedGraph;
 use smst_sim::{Network, SyncRunner};
@@ -57,7 +57,12 @@ fn layout_case(group: &mut BenchGroup, n: usize, degree: usize, iters: u32) {
         ("identity", LayoutPolicy::Identity),
         ("rcm", LayoutPolicy::Rcm),
     ] {
-        let mut runner = ParallelSyncRunner::with_layout(&program, g.clone(), 4, layout);
+        let mut runner = ParallelSyncRunner::from_config(
+            &program,
+            g.clone(),
+            &EngineConfig::new().threads(4).layout(layout),
+        )
+        .expect("a sync envelope is valid");
         group.bench(&format!("expander/{n}/threads=4/{tag}"), iters, || {
             runner.step_round();
             runner.rounds()

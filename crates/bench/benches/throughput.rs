@@ -19,7 +19,7 @@
 use smst_bench::harness::{smoke_mode, BenchGroup};
 use smst_core::MstVerificationScheme;
 use smst_engine::programs::MinIdFlood;
-use smst_engine::{LayoutPolicy, ParallelSyncRunner};
+use smst_engine::{EngineConfig, LayoutPolicy, ParallelSyncRunner};
 use smst_graph::generators::random_connected_graph;
 use smst_graph::mst::kruskal;
 use smst_graph::NodeId;
@@ -76,8 +76,12 @@ fn verifier_case(group: &mut BenchGroup, n: usize, rounds: usize, iters: u32) {
                 LayoutPolicy::Identity => "",
                 LayoutPolicy::Rcm => "/rcm",
             };
-            let mut par_runner =
-                ParallelSyncRunner::with_layout(&verifier, inst.graph.clone(), threads, layout);
+            let mut par_runner = ParallelSyncRunner::from_config(
+                &verifier,
+                inst.graph.clone(),
+                &EngineConfig::new().threads(threads).layout(layout),
+            )
+            .expect("a sync envelope is valid");
             let par = group.bench(
                 &format!("verifier/{n}/threads={threads}{tag}"),
                 iters,
@@ -97,8 +101,12 @@ fn verifier_case(group: &mut BenchGroup, n: usize, rounds: usize, iters: u32) {
     // correctness spot check: parallel equals sequential bit-for-bit, with
     // the layout pass on
     let mut a = SyncRunner::new(&verifier, verifier.network());
-    let mut b =
-        ParallelSyncRunner::with_layout(&verifier, inst.graph.clone(), 4, LayoutPolicy::Rcm);
+    let mut b = ParallelSyncRunner::from_config(
+        &verifier,
+        inst.graph.clone(),
+        &EngineConfig::new().threads(4).layout(LayoutPolicy::Rcm),
+    )
+    .expect("a sync envelope is valid");
     a.run_rounds(5);
     b.run_rounds(5);
     assert!(

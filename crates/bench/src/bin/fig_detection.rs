@@ -6,19 +6,22 @@
 //! (doubling sizes up to `n`) on a multi-core host.
 
 use smst_bench::engine_metrics::{engine_detection_sweep, fig_sizes};
-use smst_engine::LayoutPolicy;
+use smst_engine::{EngineConfig, LayoutPolicy};
 
 fn main() {
     let sizes = fig_sizes(&[16, 24, 32, 48, 64]);
-    let threads = smst_engine::default_threads();
+    let engine = EngineConfig::new()
+        .threads(smst_engine::default_threads())
+        .layout(LayoutPolicy::Rcm);
     println!(
-        "Detection time of the paper's verifier (engine-native, single stored-piece fault, {threads} threads)"
+        "Detection time of the paper's verifier (engine-native, single stored-piece fault, {})",
+        engine.describe()
     );
     println!(
         "{:>8} {:>6} {:>18} {:>20} {:>14}",
         "n", "Δ", "detection steps", "steps / log^3 n", "distance"
     );
-    for p in engine_detection_sweep(&sizes, 7, threads, LayoutPolicy::Rcm) {
+    for p in engine_detection_sweep(&sizes, 7, &engine) {
         let l = (p.n as f64).log2();
         let steps = p
             .detection_steps

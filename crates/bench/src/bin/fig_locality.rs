@@ -6,18 +6,23 @@
 //! sweep at `n` nodes on a multi-core host.
 
 use smst_bench::engine_metrics::{engine_locality_sweep, fig_size_override};
-use smst_engine::LayoutPolicy;
+use smst_engine::{EngineConfig, LayoutPolicy};
 
 fn main() {
     let n = fig_size_override().unwrap_or(64);
     let faults = [1usize, 2, 4, 8, 16];
-    let threads = smst_engine::default_threads();
-    println!("Detection distance with f faults (engine-native, n = {n}, {threads} threads)");
+    let engine = EngineConfig::new()
+        .threads(smst_engine::default_threads())
+        .layout(LayoutPolicy::Rcm);
+    println!(
+        "Detection distance with f faults (engine-native, n = {n}, {})",
+        engine.describe()
+    );
     println!(
         "{:>6} {:>24} {:>18}",
         "f", "max detection distance", "f · log2 n"
     );
-    for p in engine_locality_sweep(n, &faults, 21, threads, LayoutPolicy::Rcm) {
+    for p in engine_locality_sweep(n, &faults, 21, &engine) {
         println!(
             "{:>6} {:>24} {:>18.1}",
             p.faults,

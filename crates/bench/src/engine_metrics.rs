@@ -12,7 +12,7 @@
 
 use smst_core::faults::{corrupt, FaultKind};
 use smst_core::{CoreVerifier, Marker, MstVerificationScheme};
-use smst_engine::{GraphFamily, LayoutPolicy, PoolHandle, ScenarioSpec, StopCondition};
+use smst_engine::{EngineConfig, GraphFamily, PoolHandle, ScenarioSpec, StopCondition};
 use smst_graph::mst::kruskal;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_labeling::Instance;
@@ -90,22 +90,22 @@ pub struct EngineDetectionPoint {
 /// marker-labelled instance, hit one random register with a stored-piece
 /// fault (a [`FaultBurst`](smst_engine::FaultBurst) at the warm-up
 /// boundary), and measure synchronous detection time and distance — all
-/// through one declarative [`ScenarioSpec`] per size.
+/// through one declarative [`ScenarioSpec`] per size, executed on
+/// whatever path the [`EngineConfig`] envelope describes.
 pub fn engine_detection_sweep(
     sizes: &[usize],
     seed: u64,
-    threads: usize,
-    layout: LayoutPolicy,
+    engine: &EngineConfig,
 ) -> Vec<EngineDetectionPoint> {
+    let threads = engine.threads;
     sizes
         .iter()
         .map(|&n| {
             let warmup = MstVerificationScheme::sync_budget(n);
             let budget = warmup + 4 * MstVerificationScheme::sync_budget(n) + 1;
             let spec = ScenarioSpec::new(sweep_family(n))
+                .engine(engine.clone())
                 .seed(seed)
-                .threads(threads)
-                .layout(layout)
                 .fault_burst(warmup, 1, seed)
                 .until(StopCondition::FirstAlarm);
             let mut i = 0u64;
@@ -157,23 +157,23 @@ pub struct EngineLocalityPoint {
 /// measure the maximum distance from a fault to the closest alarming node
 /// — the sequential [`locality_sweep`](crate::locality_sweep) driven
 /// through [`ScenarioSpec`] (same family, graph seed, plan seed `seed + f`
-/// and corruption seeds, so shared sizes are pinned equal).
+/// and corruption seeds, so shared sizes are pinned equal), executed on
+/// whatever path the [`EngineConfig`] envelope describes.
 pub fn engine_locality_sweep(
     n: usize,
     fault_counts: &[usize],
     seed: u64,
-    threads: usize,
-    layout: LayoutPolicy,
+    engine: &EngineConfig,
 ) -> Vec<EngineLocalityPoint> {
+    let threads = engine.threads;
     fault_counts
         .iter()
         .map(|&f| {
             let warmup = MstVerificationScheme::sync_budget(n);
             let budget = warmup + 4 * MstVerificationScheme::sync_budget(n) + 1;
             let spec = ScenarioSpec::new(sweep_family(n))
+                .engine(engine.clone())
                 .seed(seed)
-                .threads(threads)
-                .layout(layout)
                 .fault_burst(warmup, f.min(n), seed + f as u64)
                 .until(StopCondition::FirstAlarm);
             let mut i = 0u64;
@@ -224,12 +224,14 @@ pub struct EngineConstructionPoint {
 /// [`construction_sweep`](crate::construction_sweep), so shared sizes are
 /// pinned equal) and the sizes fanned out across the persistent worker
 /// pool — the construction itself is the centralized reference algorithm,
-/// so the pool parallelism is across instances, not rounds.
+/// so the pool parallelism is across instances, not rounds (only the
+/// envelope's thread count is consulted).
 pub fn engine_construction_sweep(
     sizes: &[usize],
     seed: u64,
-    threads: usize,
+    engine: &EngineConfig,
 ) -> Vec<EngineConstructionPoint> {
+    let threads = engine.threads;
     let measure = |n: usize| {
         let graph = ScenarioSpec::new(sweep_family(n)).seed(seed).build_graph();
         let tree = kruskal(&graph)
@@ -273,15 +275,15 @@ pub struct EngineMemoryPoint {
 pub fn engine_memory_sweep(
     sizes: &[usize],
     seed: u64,
-    threads: usize,
+    engine: &EngineConfig,
     steps: usize,
 ) -> Vec<EngineMemoryPoint> {
     sizes
         .iter()
         .map(|&n| {
             let spec = ScenarioSpec::new(sweep_family(n))
+                .engine(engine.clone())
                 .seed(seed)
-                .threads(threads)
                 .until(StopCondition::Steps);
             let (outcome, verifier) = spec.run_with(mst_verifier_for, |_v, _s| {}, steps);
             assert!(
@@ -318,9 +320,10 @@ mod tests {
         // corruption seeds: the engine-native point must equal the
         // sequential driver's numbers exactly
         let (n, seed) = (16usize, 3u64);
-        let point = engine_detection_sweep(&[n], seed, 2, LayoutPolicy::Rcm)
-            .pop()
-            .unwrap();
+        let engine = EngineConfig::new()
+            .threads(2)
+            .layout(smst_engine::LayoutPolicy::Rcm);
+        let point = engine_detection_sweep(&[n], seed, &engine).pop().unwrap();
         let inst = crate::mst_instance(n, 3 * n, seed);
         let plan = FaultPlan::random(n, 1, seed);
         let seq = run_sync_fault_experiment(&inst, &plan, FaultKind::StoredPieceWeight, seed);
@@ -330,12 +333,22 @@ mod tests {
     }
 
     #[test]
-    fn engine_detection_sweep_is_thread_and_layout_invariant() {
+    fn engine_detection_sweep_is_envelope_invariant() {
         let (n, seed) = (16usize, 5u64);
-        let a = engine_detection_sweep(&[n], seed, 1, LayoutPolicy::Identity);
-        let b = engine_detection_sweep(&[n], seed, 4, LayoutPolicy::Rcm);
+        let a = engine_detection_sweep(&[n], seed, &EngineConfig::new());
+        let b = engine_detection_sweep(
+            &[n],
+            seed,
+            &EngineConfig::new()
+                .threads(4)
+                .layout(smst_engine::LayoutPolicy::Rcm)
+                .halo(true),
+        );
+        let c = engine_detection_sweep(&[n], seed, &EngineConfig::reference());
         assert_eq!(a[0].detection_steps, b[0].detection_steps);
         assert_eq!(a[0].detection_distance, b[0].detection_distance);
+        assert_eq!(a[0].detection_steps, c[0].detection_steps);
+        assert_eq!(a[0].detection_distance, c[0].detection_distance);
     }
 
     #[test]
@@ -344,10 +357,11 @@ mod tests {
         // corruption seeds: the engine-native locality point must equal
         // the sequential driver's distance exactly, for every shared f
         let (n, seed) = (16usize, 7u64);
+        let engine = EngineConfig::new()
+            .threads(2)
+            .layout(smst_engine::LayoutPolicy::Rcm);
         for f in [1usize, 3] {
-            let point = engine_locality_sweep(n, &[f], seed, 2, LayoutPolicy::Rcm)
-                .pop()
-                .unwrap();
+            let point = engine_locality_sweep(n, &[f], seed, &engine).pop().unwrap();
             let seq = crate::locality_sweep(n, &[f], seed).pop().unwrap();
             assert_eq!(point.max_detection_distance, seq.max_detection_distance);
             assert_eq!(point.faults, seq.faults);
@@ -355,10 +369,17 @@ mod tests {
     }
 
     #[test]
-    fn engine_locality_sweep_is_thread_and_layout_invariant() {
+    fn engine_locality_sweep_is_envelope_invariant() {
         let (n, seed) = (16usize, 9u64);
-        let a = engine_locality_sweep(n, &[2], seed, 1, LayoutPolicy::Identity);
-        let b = engine_locality_sweep(n, &[2], seed, 4, LayoutPolicy::Rcm);
+        let a = engine_locality_sweep(n, &[2], seed, &EngineConfig::new());
+        let b = engine_locality_sweep(
+            n,
+            &[2],
+            seed,
+            &EngineConfig::new()
+                .threads(4)
+                .layout(smst_engine::LayoutPolicy::Rcm),
+        );
         assert_eq!(a[0].max_detection_distance, b[0].max_detection_distance);
         assert_eq!(a[0].detection_steps, b[0].detection_steps);
     }
@@ -368,7 +389,8 @@ mod tests {
         let sizes = [24usize, 40];
         let seq = crate::construction_sweep(&sizes, 4);
         for threads in [1usize, 3] {
-            let engine = engine_construction_sweep(&sizes, 4, threads);
+            let engine =
+                engine_construction_sweep(&sizes, 4, &EngineConfig::new().threads(threads));
             assert_eq!(engine.len(), seq.len());
             for (e, s) in engine.iter().zip(&seq) {
                 assert_eq!(e.n, s.n, "threads {threads}");
@@ -393,7 +415,7 @@ mod tests {
         // what the sequential figure reports; bits must agree on the same
         // (n, seed)
         let seq = crate::memory_sweep(&[32], 3);
-        let engine = engine_memory_sweep(&[32], 3, 2, 0);
+        let engine = engine_memory_sweep(&[32], 3, &EngineConfig::new().threads(2), 0);
         assert_eq!(engine[0].max_bits, seq[0].paper_bits);
         assert!(engine[0].words <= seq[0].paper_words + 1e-9);
     }

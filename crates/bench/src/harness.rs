@@ -109,7 +109,7 @@ fn median_of(sorted: &[u128]) -> u128 {
     }
 }
 
-/// Prints the header matching [`bench`]'s output columns.
+/// Prints the header matching [`bench()`]'s output columns.
 pub fn header(group: &str) {
     println!("\n== {group} ==");
     println!(
@@ -140,7 +140,7 @@ impl BenchGroup {
         }
     }
 
-    /// Runs one case through [`bench`] and records its result.
+    /// Runs one case through [`bench()`] and records its result.
     pub fn bench<R>(&mut self, case: &str, iters: u32, f: impl FnMut() -> R) -> BenchResult {
         let result = bench(&format!("{}/{case}", self.group), iters, f);
         self.results.push(result.clone());

@@ -2,20 +2,26 @@
 //! the engine.
 //!
 //! [`smst_core::CoreVerifier`] already implements
-//! [`NodeProgram`](smst_sim::NodeProgram), so the engine runs it *unchanged*
+//! [`NodeProgram`], so the engine runs it *unchanged*
 //! — these drivers only mirror the sequential experiment harnesses of
-//! [`smst_core::scheme`] and [`smst_selfstab`] on top of
-//! [`ParallelSyncRunner`] / [`ShardedAsyncRunner`], producing the same
-//! outcome types so downstream tables and figures accept either engine.
+//! [`smst_core::scheme`] and [`smst_selfstab`] on top of whatever execution
+//! path an [`EngineConfig`] describes, producing the same outcome types so
+//! downstream tables and figures accept either engine.
 //!
-//! Because the parallel synchronous rounds are bit-for-bit identical to the
-//! sequential ones, every number these functions return (warm-up rounds,
-//! detection times, alarming nodes, memory) **equals** the sequential
-//! harness's output; the adapter tests pin that equality.
+//! Since the one-engine-API refactor there is a **single** fault-experiment
+//! driver, [`run_engine_fault_experiment`]: the synchronous and
+//! asynchronous variants differ only in the envelope's [`Mode`](crate::config::Mode) (and hence
+//! in the warm-up budget), not in code path. The old per-runner entry
+//! points remain as `#[deprecated]` shims for one release.
+//!
+//! Because the engine's rounds are bit-for-bit identical to the sequential
+//! ones, every number these functions return (warm-up rounds, detection
+//! times, alarming nodes, memory) **equals** the sequential harness's
+//! output; the adapter tests pin that equality.
 
+use crate::config::{ConfigError, EngineConfig};
 use crate::layout::LayoutPolicy;
-use crate::parallel_sync::ParallelSyncRunner;
-use crate::sharded_async::ShardedAsyncRunner;
+use crate::runner::{Runner, StopCondition};
 use smst_core::faults::{corrupt, FaultKind};
 use smst_core::scheme::FaultExperimentOutcome;
 use smst_core::{CoreLabel, CoreVerifier, Marker, MstVerificationScheme};
@@ -28,25 +34,78 @@ use smst_sim::{
     BatchDaemon, ChunkedDaemon, Daemon, DetectionReport, FaultPlan, MemoryUsage, NodeProgram,
 };
 
-/// Per-node register sizes of a parallel run, as reported by the program.
-fn memory_bits(runner: &ParallelSyncRunner<'_, CoreVerifier>) -> Vec<u64> {
-    (0..runner.graph().node_count())
-        .map(|v| {
-            runner
-                .program()
-                .state_bits(runner.context(NodeId(v)), runner.state(NodeId(v)))
-        })
+/// Per-node register sizes of a run, as reported by the program.
+fn memory_bits(runner: &dyn Runner<CoreVerifier>, verifier: &CoreVerifier, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|v| verifier.state_bits(&runner.context(NodeId(v)), runner.state(NodeId(v))))
         .collect()
 }
 
-/// Parallel mirror of [`smst_core::scheme::run_sync_fault_experiment`]:
-/// warm the verifier up on a correct, marker-labelled instance, inject the
-/// planned faults, and measure synchronous detection — over `threads`
-/// shards.
+/// **The** engine fault experiment: warm the paper's verifier up on a
+/// correct, marker-labelled instance, inject the planned faults, and
+/// measure detection — on whatever execution path `engine` describes
+/// (sequential reference, sharded synchronous with any layout/halo/pinning,
+/// or any batch daemon). The warm-up budget is the scheme's synchronous
+/// budget for synchronous envelopes and its asynchronous budget otherwise.
 ///
 /// # Panics
 ///
-/// Panics if the instance is not a correct MST instance.
+/// Panics if the instance is not a correct MST instance (the experiment's
+/// precondition); invalid envelopes return [`ConfigError`] instead.
+pub fn run_engine_fault_experiment(
+    instance: &Instance,
+    plan: &FaultPlan,
+    kind: FaultKind,
+    seed: u64,
+    engine: &EngineConfig,
+) -> Result<FaultExperimentOutcome, ConfigError> {
+    engine.validate()?;
+    let scheme = MstVerificationScheme::new();
+    let (labels, _) = scheme
+        .mark(instance)
+        .expect("fault experiments start from a correct instance");
+    let verifier = scheme.verifier(instance, labels);
+    let n = instance.node_count();
+    let budget = if engine.mode.is_async() {
+        MstVerificationScheme::async_budget(n, instance.graph.max_degree())
+    } else {
+        MstVerificationScheme::sync_budget(n)
+    };
+
+    let mut runner = engine.instantiate(&verifier, instance.graph.clone())?;
+    runner.run_until(StopCondition::Steps, budget);
+    let warmup_rounds = runner.steps();
+    assert!(
+        !runner.any_alarm(),
+        "a correct instance must not raise alarms during warm-up"
+    );
+    let memory = MemoryUsage::from_bits(memory_bits(runner.as_ref(), &verifier, n));
+
+    let mut i = 0u64;
+    runner.apply_faults(plan, &mut |_v, state| {
+        corrupt(state, kind, seed.wrapping_add(i));
+        i += 1;
+    });
+
+    let report = match runner.run_until(StopCondition::FirstAlarm, 4 * budget) {
+        Some(t) => {
+            DetectionReport::from_alarms(&instance.graph, t, runner.alarming_nodes(), plan.nodes())
+        }
+        None => DetectionReport::not_detected(),
+    };
+    Ok(FaultExperimentOutcome {
+        warmup_rounds,
+        report,
+        memory,
+    })
+}
+
+/// Parallel mirror of [`smst_core::scheme::run_sync_fault_experiment`]:
+/// the synchronous sharded experiment over `threads` shards.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_engine_fault_experiment` with an `EngineConfig` envelope"
+)]
 pub fn run_parallel_sync_fault_experiment(
     instance: &Instance,
     plan: &FaultPlan,
@@ -54,19 +113,22 @@ pub fn run_parallel_sync_fault_experiment(
     seed: u64,
     threads: usize,
 ) -> FaultExperimentOutcome {
-    run_parallel_sync_fault_experiment_with_layout(
+    run_engine_fault_experiment(
         instance,
         plan,
         kind,
         seed,
-        threads,
-        LayoutPolicy::Identity,
+        &EngineConfig::new().threads(threads.max(1)),
     )
+    .expect("a clamped sync envelope is always valid")
 }
 
-/// [`run_parallel_sync_fault_experiment`] with an explicit [`LayoutPolicy`]
-/// (RCM renumbering before sharding; the outcome is layout-invariant, only
-/// wall-clock changes).
+/// [`run_parallel_sync_fault_experiment`] with an explicit
+/// [`LayoutPolicy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_engine_fault_experiment` with an `EngineConfig` envelope"
+)]
 pub fn run_parallel_sync_fault_experiment_with_layout(
     instance: &Instance,
     plan: &FaultPlan,
@@ -75,47 +137,24 @@ pub fn run_parallel_sync_fault_experiment_with_layout(
     threads: usize,
     layout: LayoutPolicy,
 ) -> FaultExperimentOutcome {
-    let scheme = MstVerificationScheme::new();
-    let (labels, _) = scheme
-        .mark(instance)
-        .expect("fault experiments start from a correct instance");
-    let verifier = scheme.verifier(instance, labels);
-    let n = instance.node_count();
-    let budget = MstVerificationScheme::sync_budget(n);
-
-    let mut runner =
-        ParallelSyncRunner::with_layout(&verifier, instance.graph.clone(), threads, layout);
-    runner.run_rounds(budget);
-    let warmup_rounds = runner.rounds();
-    assert!(
-        runner.alarming_nodes().is_empty(),
-        "a correct instance must not raise alarms during warm-up"
-    );
-    let memory = MemoryUsage::from_bits(memory_bits(&runner));
-
-    let mut i = 0u64;
-    runner.apply_faults(plan, |_v, state| {
-        corrupt(state, kind, seed.wrapping_add(i));
-        i += 1;
-    });
-
-    let report = match runner.run_until_alarm(4 * budget) {
-        Some(t) => {
-            DetectionReport::from_alarms(&instance.graph, t, runner.alarming_nodes(), plan.nodes())
-        }
-        None => DetectionReport::not_detected(),
-    };
-    FaultExperimentOutcome {
-        warmup_rounds,
-        report,
-        memory,
-    }
+    run_engine_fault_experiment(
+        instance,
+        plan,
+        kind,
+        seed,
+        &EngineConfig::new().threads(threads.max(1)).layout(layout),
+    )
+    .expect("a clamped sync envelope is always valid")
 }
 
 /// Sharded-daemon mirror of
 /// [`smst_core::scheme::run_async_fault_experiment`]: the same experiment
 /// under a central asynchronous daemon executed in parallel batches of
 /// `batch` simultaneous activations.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_engine_fault_experiment` with an `EngineConfig::asynchronous` envelope"
+)]
 pub fn run_sharded_async_fault_experiment(
     instance: &Instance,
     plan: &FaultPlan,
@@ -125,19 +164,24 @@ pub fn run_sharded_async_fault_experiment(
     batch: usize,
     threads: usize,
 ) -> FaultExperimentOutcome {
-    run_batch_daemon_fault_experiment(
+    run_engine_fault_experiment(
         instance,
         plan,
         kind,
-        Box::new(ChunkedDaemon::new(daemon, batch)),
         seed,
-        threads,
+        &EngineConfig::new()
+            .threads(threads.max(1))
+            .batch_daemon(Box::new(ChunkedDaemon::new(daemon, batch))),
     )
+    .expect("a clamped async envelope is always valid")
 }
 
-/// The fully general asynchronous fault experiment: the paper's verifier
-/// under **any** [`BatchDaemon`] (chunked central daemons and the
-/// adversarial batch daemons of `smst-adversary` alike).
+/// The fully general asynchronous fault experiment under any
+/// [`BatchDaemon`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_engine_fault_experiment` with an `EngineConfig::batch_daemon` envelope"
+)]
 pub fn run_batch_daemon_fault_experiment(
     instance: &Instance,
     plan: &FaultPlan,
@@ -146,65 +190,50 @@ pub fn run_batch_daemon_fault_experiment(
     seed: u64,
     threads: usize,
 ) -> FaultExperimentOutcome {
-    let scheme = MstVerificationScheme::new();
-    let (labels, _) = scheme
-        .mark(instance)
-        .expect("fault experiments start from a correct instance");
-    let verifier = scheme.verifier(instance, labels);
-    let n = instance.node_count();
-    let budget = MstVerificationScheme::async_budget(n, instance.graph.max_degree());
-
-    let mut runner = ShardedAsyncRunner::with_batch_daemon(
-        &verifier,
-        instance.graph.clone(),
-        daemon,
-        threads,
-        LayoutPolicy::Identity,
-    );
-    runner.run_time_units(budget);
-    let warmup_rounds = runner.time_units();
-    assert!(
-        !runner.any_alarm(),
-        "a correct instance must not raise alarms during warm-up"
-    );
-    let memory = {
-        let bits: Vec<u64> = (0..n)
-            .map(|v| verifier.state_bits(runner.context(NodeId(v)), runner.state(NodeId(v))))
-            .collect();
-        MemoryUsage::from_bits(bits)
-    };
-
-    let mut i = 0u64;
-    runner.apply_faults(plan, |_v, state| {
-        corrupt(state, kind, seed.wrapping_add(i));
-        i += 1;
-    });
-
-    let report = match runner.run_until_alarm(4 * budget) {
-        Some(t) => {
-            DetectionReport::from_alarms(&instance.graph, t, runner.alarming_nodes(), plan.nodes())
-        }
-        None => DetectionReport::not_detected(),
-    };
-    FaultExperimentOutcome {
-        warmup_rounds,
-        report,
-        memory,
-    }
+    run_engine_fault_experiment(
+        instance,
+        plan,
+        kind,
+        seed,
+        &EngineConfig::new()
+            .threads(threads.max(1))
+            .batch_daemon(daemon),
+    )
+    .expect("a clamped async envelope is always valid")
 }
 
-/// Parallel mirror of [`smst_core::scheme::rounds_until_rejection`]: runs
+/// Engine mirror of [`smst_core::scheme::rounds_until_rejection`]: runs
 /// the verifier on a (non-MST) instance with the given labels until the
-/// first alarm.
+/// first alarm, on whatever execution path `engine` describes.
+pub fn rounds_until_rejection_engine(
+    instance: &Instance,
+    labels: Vec<CoreLabel>,
+    max_rounds: usize,
+    engine: &EngineConfig,
+) -> Result<Option<usize>, ConfigError> {
+    let verifier = MstVerificationScheme::new().verifier(instance, labels);
+    let mut runner = engine.instantiate(&verifier, instance.graph.clone())?;
+    Ok(runner.run_until(StopCondition::FirstAlarm, max_rounds))
+}
+
+/// [`rounds_until_rejection_engine`] over `threads` synchronous shards.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rounds_until_rejection_engine` with an `EngineConfig` envelope"
+)]
 pub fn rounds_until_rejection_parallel(
     instance: &Instance,
     labels: Vec<CoreLabel>,
     max_rounds: usize,
     threads: usize,
 ) -> Option<usize> {
-    let verifier = MstVerificationScheme::new().verifier(instance, labels);
-    let mut runner = ParallelSyncRunner::new(&verifier, instance.graph.clone(), threads);
-    runner.run_until_alarm(max_rounds)
+    rounds_until_rejection_engine(
+        instance,
+        labels,
+        max_rounds,
+        &EngineConfig::new().threads(threads.max(1)),
+    )
+    .expect("a clamped sync envelope is always valid")
 }
 
 /// Stale labels of the graph's correct MST (what an adversarially corrupted
@@ -227,17 +256,19 @@ pub fn stabilize_with_engine(
     variant: Variant,
     graph: &WeightedGraph,
     initial_components: &ComponentMap,
-    threads: usize,
-) -> StabilizationOutcome {
+    engine: &EngineConfig,
+) -> Result<StabilizationOutcome, ConfigError> {
+    engine.validate()?;
     let transformer = SelfStabilizingMst::new(variant);
     if variant != Variant::Paper {
-        return transformer.stabilize(graph, initial_components);
+        return Ok(transformer.stabilize(graph, initial_components));
     }
     let instance = Instance::new(graph.clone(), initial_components.clone());
     let already_correct = instance.satisfies_mst();
 
-    // 1. detection, on the parallel engine (mirrors the sequential
-    //    baseline's stale-labels protocol, executed by the sharded runner)
+    // 1. detection, on the engine (mirrors the sequential baseline's
+    //    stale-labels protocol, executed by whatever runner the envelope
+    //    describes)
     let detection = if already_correct {
         DetectionCost {
             rounds: 0,
@@ -246,18 +277,17 @@ pub fn stabilize_with_engine(
     } else {
         let budget = MstVerificationScheme::sync_budget(graph.node_count()) * 4;
         match stale_core_labels(graph) {
-            Some(labels) => {
-                match rounds_until_rejection_parallel(&instance, labels, budget, threads) {
-                    Some(rounds) => DetectionCost {
-                        rounds: rounds as u64,
-                        detected: true,
-                    },
-                    None => DetectionCost {
-                        rounds: budget as u64,
-                        detected: false,
-                    },
-                }
-            }
+            Some(labels) => match rounds_until_rejection_engine(&instance, labels, budget, engine)?
+            {
+                Some(rounds) => DetectionCost {
+                    rounds: rounds as u64,
+                    detected: true,
+                },
+                None => DetectionCost {
+                    rounds: budget as u64,
+                    detected: false,
+                },
+            },
             None => DetectionCost {
                 rounds: 1,
                 detected: true,
@@ -267,7 +297,7 @@ pub fn stabilize_with_engine(
 
     // 2.–4. reset, reconstruction, memory and correctness accounting: the
     // transformer's own episode completion, shared with the sequential path
-    transformer.complete_episode(graph, initial_components, already_correct, detection)
+    Ok(transformer.complete_episode(graph, initial_components, already_correct, detection))
 }
 
 #[cfg(test)]
@@ -285,28 +315,73 @@ mod tests {
     }
 
     #[test]
-    fn parallel_fault_experiment_equals_sequential() {
+    fn engine_fault_experiment_equals_sequential_on_every_path() {
         let inst = mst_instance(16, 40, 3);
         let plan = FaultPlan::single(NodeId(7));
         let seq = run_sync_fault_experiment(&inst, &plan, FaultKind::SpDistance, 1);
-        for layout in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
-            let par = run_parallel_sync_fault_experiment_with_layout(
-                &inst,
-                &plan,
-                FaultKind::SpDistance,
-                1,
-                4,
-                layout,
-            );
-            assert_eq!(par.warmup_rounds, seq.warmup_rounds, "{layout:?}");
-            assert_eq!(par.report.detected, seq.report.detected, "{layout:?}");
+        let envelopes = [
+            EngineConfig::reference(),
+            EngineConfig::new().threads(4),
+            EngineConfig::new().threads(4).layout(LayoutPolicy::Rcm),
+            EngineConfig::new()
+                .threads(4)
+                .layout(LayoutPolicy::Rcm)
+                .halo(true),
+        ];
+        for engine in envelopes {
+            let label = engine.describe();
+            let par = run_engine_fault_experiment(&inst, &plan, FaultKind::SpDistance, 1, &engine)
+                .expect("valid envelope");
+            assert_eq!(par.warmup_rounds, seq.warmup_rounds, "{label}");
+            assert_eq!(par.report.detected, seq.report.detected, "{label}");
             assert_eq!(
                 par.report.detection_time, seq.report.detection_time,
-                "{layout:?}"
+                "{label}"
             );
-            assert_eq!(par.report.alarm_nodes, seq.report.alarm_nodes, "{layout:?}");
-            assert_eq!(par.memory.max_bits(), seq.memory.max_bits(), "{layout:?}");
+            assert_eq!(par.report.alarm_nodes, seq.report.alarm_nodes, "{label}");
+            assert_eq!(par.memory.max_bits(), seq.memory.max_bits(), "{label}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)] // the shims must keep matching the new driver for one release
+    fn deprecated_shims_still_match() {
+        let inst = mst_instance(16, 40, 3);
+        let plan = FaultPlan::single(NodeId(7));
+        let new = run_engine_fault_experiment(
+            &inst,
+            &plan,
+            FaultKind::SpDistance,
+            1,
+            &EngineConfig::new().threads(4).layout(LayoutPolicy::Rcm),
+        )
+        .unwrap();
+        let old = run_parallel_sync_fault_experiment_with_layout(
+            &inst,
+            &plan,
+            FaultKind::SpDistance,
+            1,
+            4,
+            LayoutPolicy::Rcm,
+        );
+        assert_eq!(old.warmup_rounds, new.warmup_rounds);
+        assert_eq!(old.report.detection_time, new.report.detection_time);
+        assert_eq!(old.report.alarm_nodes, new.report.alarm_nodes);
+    }
+
+    #[test]
+    fn invalid_envelope_is_an_error_not_a_panic() {
+        let inst = mst_instance(12, 30, 2);
+        let plan = FaultPlan::single(NodeId(3));
+        let err = run_engine_fault_experiment(
+            &inst,
+            &plan,
+            FaultKind::SpDistance,
+            1,
+            &EngineConfig::new().threads(0),
+        )
+        .expect_err("zero threads must be rejected");
+        assert_eq!(err, ConfigError::ZeroThreads);
     }
 
     #[test]
@@ -314,7 +389,13 @@ mod tests {
         let g = random_connected_graph(18, 45, 5);
         let components = garbage_components(&g, 7);
         let seq = SelfStabilizingMst::new(Variant::Paper).stabilize(&g, &components);
-        let par = stabilize_with_engine(Variant::Paper, &g, &components, 3);
+        let par = stabilize_with_engine(
+            Variant::Paper,
+            &g,
+            &components,
+            &EngineConfig::new().threads(3),
+        )
+        .expect("valid envelope");
         assert!(par.output_correct);
         assert_eq!(par.detection_rounds, seq.detection_rounds);
         assert_eq!(par.construction_rounds, seq.construction_rounds);
@@ -325,26 +406,33 @@ mod tests {
     fn baseline_variants_fall_back_to_the_sequential_transformer() {
         let g = random_connected_graph(14, 35, 2);
         let components = garbage_components(&g, 4);
-        let outcome = stabilize_with_engine(Variant::Recompute, &g, &components, 2);
+        let outcome = stabilize_with_engine(
+            Variant::Recompute,
+            &g,
+            &components,
+            &EngineConfig::new().threads(2),
+        )
+        .expect("valid envelope");
         assert!(outcome.output_correct);
     }
 
     #[test]
-    fn async_adapter_detects_injected_faults() {
+    fn async_envelope_detects_injected_faults() {
         // path graph: Δ = 2 keeps the async warm-up budget small
         let g = smst_graph::generators::path_graph(8, 9);
         let tree = kruskal(&g).rooted_at(&g, NodeId(0)).unwrap();
         let inst = Instance::from_tree(g, &tree);
         let plan = FaultPlan::single(NodeId(5));
-        let outcome = run_sharded_async_fault_experiment(
+        let outcome = run_engine_fault_experiment(
             &inst,
             &plan,
             FaultKind::SpDistance,
-            Daemon::RoundRobin,
             2,
-            4,
-            2,
-        );
+            &EngineConfig::new()
+                .threads(2)
+                .asynchronous(Daemon::RoundRobin, 4),
+        )
+        .expect("valid envelope");
         assert!(outcome.report.detected);
     }
 }

@@ -1,0 +1,514 @@
+//! One engine configuration: the full execution envelope behind every
+//! runner, validated up front.
+//!
+//! [`EngineConfig`] captures everything that selects *how* a program is
+//! executed — [`Backend`] (sharded engine or sequential reference),
+//! [`Mode`] (synchronous rounds or daemon-driven asynchrony), worker
+//! threads, [`LayoutPolicy`], [`PinPolicy`], the halo-exchange flag and a
+//! seed — in one builder. [`EngineConfig::validate`] rejects inconsistent
+//! envelopes with a typed [`ConfigError`] (zero threads, halo outside the
+//! synchronous sharded mode, sharded-only knobs on the reference backend)
+//! **before** anything reaches the worker pool, and
+//! [`EngineConfig::instantiate`] builds the matching execution path as a
+//! `Box<dyn Runner<P>>` — all four runners behind one call.
+//!
+//! Before this module, every knob (threads, layout, pinning, halo, batch
+//! daemons) was re-threaded by hand through `ScenarioSpec`, the adapters,
+//! the bench sweeps and the adversary campaign; a new knob meant five call
+//! sites. Now those layers hold an `EngineConfig` and new knobs are added
+//! here once.
+//!
+//! ```
+//! use smst_engine::{EngineConfig, LayoutPolicy, StopCondition};
+//! use smst_engine::programs::MinIdFlood;
+//! use smst_graph::generators::ring_graph;
+//!
+//! let program = MinIdFlood::new(0);
+//! let config = EngineConfig::new().threads(4).layout(LayoutPolicy::Rcm);
+//! let mut runner = config
+//!     .instantiate(&program, ring_graph(64, 7))
+//!     .expect("a valid config");
+//! runner.run_until(StopCondition::AllAccept, 1_000).unwrap();
+//! assert!(runner.all_accept());
+//! ```
+
+use crate::layout::LayoutPolicy;
+use crate::parallel_sync::ParallelSyncRunner;
+use crate::pool::PinPolicy;
+use crate::runner::Runner;
+use crate::sharded_async::ShardedAsyncRunner;
+use smst_graph::WeightedGraph;
+use smst_sim::{AsyncRunner, BatchDaemon, ChunkedDaemon, Daemon, Network, NodeProgram, SyncRunner};
+
+/// Which implementation family executes the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The sequential reference runners of `smst-sim`
+    /// ([`SyncRunner`] / [`AsyncRunner`]): the semantic ground truth the
+    /// sharded engine is pinned against. Single-threaded by definition —
+    /// sharded-only knobs (threads > 1, layout, pinning, halo) are
+    /// rejected by [`EngineConfig::validate`].
+    Reference,
+    /// The sharded parallel engine
+    /// ([`ParallelSyncRunner`] / [`ShardedAsyncRunner`]): bit-for-bit
+    /// equal to the reference at any thread count.
+    Sharded,
+}
+
+/// The schedule a configuration runs under.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Lock-step synchronous rounds.
+    Sync,
+    /// Daemon-driven asynchrony.
+    Async(DaemonConfig),
+}
+
+impl Mode {
+    /// `true` for the asynchronous mode.
+    pub fn is_async(&self) -> bool {
+        matches!(self, Mode::Async(_))
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Mode::Sync => "sync".to_string(),
+            Mode::Async(daemon) => format!("async[{}]", daemon.describe()),
+        }
+    }
+}
+
+/// The daemon of an asynchronous configuration.
+#[derive(Debug, Clone)]
+pub enum DaemonConfig {
+    /// A central [`Daemon`] executed in uniform chunks of `batch`
+    /// simultaneous activations (`batch == 1` is the sequential reference
+    /// semantics).
+    Central {
+        /// The central daemon.
+        daemon: Daemon,
+        /// Simultaneous activations per batch.
+        batch: usize,
+    },
+    /// Any [`BatchDaemon`] — the fully general distributed daemon
+    /// (adversarial batch daemons included). Only the sharded backend can
+    /// execute it.
+    Batch(Box<dyn BatchDaemon>),
+}
+
+impl DaemonConfig {
+    /// Instantiates the boxed batch daemon this configuration describes.
+    pub fn build(&self) -> Box<dyn BatchDaemon> {
+        match self {
+            DaemonConfig::Central { daemon, batch } => {
+                Box::new(ChunkedDaemon::new(daemon.clone(), *batch))
+            }
+            DaemonConfig::Batch(daemon) => daemon.clone(),
+        }
+    }
+
+    /// A short descriptor for labels and artifacts.
+    pub fn describe(&self) -> String {
+        match self {
+            DaemonConfig::Central { daemon, batch } => {
+                format!("{}@batch={batch}", daemon.describe())
+            }
+            DaemonConfig::Batch(daemon) => daemon.describe(),
+        }
+    }
+}
+
+/// Why an [`EngineConfig`] cannot be instantiated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads == 0`: there is no zero-worker execution. (Previously a
+    /// silent clamp to 1 deep in the runner constructors.)
+    ZeroThreads,
+    /// The halo-exchange mode is defined only for synchronous schedules —
+    /// asynchronous batches are not shard-aligned.
+    HaloRequiresSync,
+    /// A sharded-only knob (named in the payload) was set on the
+    /// sequential [`Backend::Reference`].
+    ReferenceKnob(&'static str),
+    /// [`Backend::Reference`] executes only a central daemon at batch
+    /// width 1 (the [`AsyncRunner`] semantics).
+    ReferenceNeedsCentralDaemon,
+    /// A typed constructor was handed a config for a different execution
+    /// path (e.g. [`ParallelSyncRunner::from_config`] with an
+    /// asynchronous config).
+    WrongMode {
+        /// What the constructor executes.
+        expected: &'static str,
+        /// What the config describes.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => write!(f, "threads must be >= 1 (got 0)"),
+            ConfigError::HaloRequiresSync => {
+                write!(f, "halo exchange requires the synchronous sharded mode")
+            }
+            ConfigError::ReferenceKnob(knob) => write!(
+                f,
+                "the sequential reference backend does not support {knob}"
+            ),
+            ConfigError::ReferenceNeedsCentralDaemon => write!(
+                f,
+                "the sequential reference backend runs only a central daemon at batch width 1"
+            ),
+            ConfigError::WrongMode { expected, got } => {
+                write!(f, "this constructor executes {expected} configs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The full execution envelope of one run. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Implementation family (sharded engine or sequential reference).
+    pub backend: Backend,
+    /// Synchronous rounds or daemon-driven asynchrony.
+    pub mode: Mode,
+    /// Worker threads (validated ≥ 1; purely wall-clock).
+    pub threads: usize,
+    /// Node renumbering applied before sharding (wall-clock only; results
+    /// are layout-invariant).
+    pub layout: LayoutPolicy,
+    /// Worker core pinning (wall-clock only; results are
+    /// placement-invariant).
+    pub pin: PinPolicy,
+    /// Halo-exchange execution mode (synchronous sharded schedules only;
+    /// wall-clock only).
+    pub halo: bool,
+    /// The workload seed the envelope carries for reproducibility
+    /// bookkeeping: it names the run in [`describe`](Self::describe) /
+    /// artifact labels, and the [`ScenarioSpec`](crate::ScenarioSpec)
+    /// façade keeps its graph seed in sync with it. The runners themselves
+    /// never read it — execution randomness lives in the daemon seeds.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineConfig {
+    /// A synchronous, single-threaded sharded configuration with no layout
+    /// pass, no pinning and no halo exchange.
+    pub fn new() -> Self {
+        EngineConfig {
+            backend: Backend::Sharded,
+            mode: Mode::Sync,
+            threads: 1,
+            layout: LayoutPolicy::Identity,
+            pin: PinPolicy::None,
+            halo: false,
+            seed: 0,
+        }
+    }
+
+    /// [`EngineConfig::new`] on the sequential [`Backend::Reference`] —
+    /// the oracle configuration equivalence tests drive through the same
+    /// API as the engine under test.
+    pub fn reference() -> Self {
+        EngineConfig {
+            backend: Backend::Reference,
+            ..Self::new()
+        }
+    }
+
+    /// Sets the backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Switches to the synchronous mode.
+    pub fn sync(mut self) -> Self {
+        self.mode = Mode::Sync;
+        self
+    }
+
+    /// Switches to an asynchronous schedule: a central [`Daemon`] executed
+    /// in uniform chunks of `batch` simultaneous activations.
+    pub fn asynchronous(mut self, daemon: Daemon, batch: usize) -> Self {
+        self.mode = Mode::Async(DaemonConfig::Central { daemon, batch });
+        self
+    }
+
+    /// Switches to an asynchronous schedule under **any** [`BatchDaemon`]
+    /// (e.g. the adversarial batch daemons of `smst-adversary`).
+    pub fn batch_daemon(mut self, daemon: Box<dyn BatchDaemon>) -> Self {
+        self.mode = Mode::Async(DaemonConfig::Batch(daemon));
+        self
+    }
+
+    /// Sets the worker-thread count. `0` is **not** clamped — it fails
+    /// [`validate`](Self::validate) with [`ConfigError::ZeroThreads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the layout policy (RCM renumbering before sharding).
+    pub fn layout(mut self, layout: LayoutPolicy) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Sets the worker pin policy (best-effort core affinity).
+    pub fn pin(mut self, pin: PinPolicy) -> Self {
+        self.pin = pin;
+        self
+    }
+
+    /// Switches the halo-exchange execution mode on or off (synchronous
+    /// sharded schedules only — anything else fails
+    /// [`validate`](Self::validate)).
+    pub fn halo(mut self, halo: bool) -> Self {
+        self.halo = halo;
+        self
+    }
+
+    /// Sets the envelope seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the envelope for consistency. Every constructor consuming an
+    /// `EngineConfig` validates first, so invalid knob combinations
+    /// surface here as typed [`ConfigError`]s instead of panics (or silent
+    /// clamps) deep in dispatch.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.halo && self.mode.is_async() {
+            return Err(ConfigError::HaloRequiresSync);
+        }
+        if self.backend == Backend::Reference {
+            if self.threads > 1 {
+                return Err(ConfigError::ReferenceKnob("threads > 1"));
+            }
+            if self.layout != LayoutPolicy::Identity {
+                return Err(ConfigError::ReferenceKnob("a layout policy"));
+            }
+            if self.pin != PinPolicy::None {
+                return Err(ConfigError::ReferenceKnob("worker pinning"));
+            }
+            if self.halo {
+                return Err(ConfigError::ReferenceKnob("halo exchange"));
+            }
+            if let Mode::Async(daemon) = &self.mode {
+                match daemon {
+                    DaemonConfig::Central { batch: 1, .. } => {}
+                    _ => return Err(ConfigError::ReferenceNeedsCentralDaemon),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A short, stable descriptor of the envelope (for labels, bench meta
+    /// and artifacts), e.g. `sharded-sync(threads=4,layout=Rcm,halo)`.
+    pub fn describe(&self) -> String {
+        let backend = match self.backend {
+            Backend::Reference => "reference",
+            Backend::Sharded => "sharded",
+        };
+        let mut knobs = format!("threads={}", self.threads);
+        if self.layout != LayoutPolicy::Identity {
+            knobs.push_str(&format!(",layout={:?}", self.layout));
+        }
+        if self.pin != PinPolicy::None {
+            knobs.push_str(",pin");
+        }
+        if self.halo {
+            knobs.push_str(",halo");
+        }
+        if self.seed != 0 {
+            knobs.push_str(&format!(",seed={}", self.seed));
+        }
+        format!("{backend}-{}({knobs})", self.mode.describe())
+    }
+
+    /// Builds the execution path this envelope describes over `graph`,
+    /// with every register initialized by `program.init` — any of the four
+    /// runners, behind one object-safe [`Runner`].
+    ///
+    /// Fails with the [`ConfigError`] of [`validate`](Self::validate) on
+    /// an inconsistent envelope; never panics on configuration problems.
+    pub fn instantiate<'p, P>(
+        &self,
+        program: &'p P,
+        graph: WeightedGraph,
+    ) -> Result<Box<dyn Runner<P> + 'p>, ConfigError>
+    where
+        P: NodeProgram + Sync,
+        P::State: Send + Sync,
+    {
+        self.validate()?;
+        Ok(match (self.backend, &self.mode) {
+            (Backend::Sharded, Mode::Sync) => {
+                Box::new(ParallelSyncRunner::from_config(program, graph, self)?)
+            }
+            (Backend::Sharded, Mode::Async(_)) => {
+                Box::new(ShardedAsyncRunner::from_config(program, graph, self)?)
+            }
+            (Backend::Reference, Mode::Sync) => {
+                Box::new(SyncRunner::new(program, Network::new(program, graph)))
+            }
+            (Backend::Reference, Mode::Async(daemon)) => {
+                let DaemonConfig::Central { daemon, .. } = daemon else {
+                    unreachable!("validate rejects non-central reference daemons");
+                };
+                Box::new(AsyncRunner::new(
+                    program,
+                    Network::new(program, graph),
+                    daemon.clone(),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::MinIdFlood;
+    use crate::runner::StopCondition;
+    use smst_graph::generators::{expander_graph, path_graph};
+
+    #[test]
+    fn invalid_configs_are_typed_errors_not_panics() {
+        assert_eq!(
+            EngineConfig::new().threads(0).validate(),
+            Err(ConfigError::ZeroThreads)
+        );
+        assert_eq!(
+            EngineConfig::new()
+                .asynchronous(Daemon::RoundRobin, 4)
+                .halo(true)
+                .validate(),
+            Err(ConfigError::HaloRequiresSync)
+        );
+        assert_eq!(
+            EngineConfig::reference().threads(2).validate(),
+            Err(ConfigError::ReferenceKnob("threads > 1"))
+        );
+        assert_eq!(
+            EngineConfig::reference()
+                .layout(LayoutPolicy::Rcm)
+                .validate(),
+            Err(ConfigError::ReferenceKnob("a layout policy"))
+        );
+        assert_eq!(
+            EngineConfig::reference().halo(true).validate(),
+            Err(ConfigError::ReferenceKnob("halo exchange"))
+        );
+        assert_eq!(
+            EngineConfig::reference()
+                .asynchronous(Daemon::RoundRobin, 2)
+                .validate(),
+            Err(ConfigError::ReferenceNeedsCentralDaemon)
+        );
+        assert_eq!(
+            EngineConfig::reference()
+                .batch_daemon(Box::new(ChunkedDaemon::new(Daemon::RoundRobin, 1)))
+                .validate(),
+            Err(ConfigError::ReferenceNeedsCentralDaemon)
+        );
+        // errors surface through instantiate too, not as panics
+        let program = MinIdFlood::new(0);
+        let err = EngineConfig::new()
+            .threads(0)
+            .instantiate(&program, path_graph(4, 0))
+            .err()
+            .expect("zero threads must not instantiate");
+        assert_eq!(err, ConfigError::ZeroThreads);
+        assert!(err.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn valid_envelopes_validate() {
+        assert_eq!(EngineConfig::new().validate(), Ok(()));
+        assert_eq!(
+            EngineConfig::new()
+                .threads(8)
+                .layout(LayoutPolicy::Rcm)
+                .pin(PinPolicy::Cores)
+                .halo(true)
+                .validate(),
+            Ok(())
+        );
+        assert_eq!(EngineConfig::reference().validate(), Ok(()));
+        assert_eq!(
+            EngineConfig::reference()
+                .asynchronous(Daemon::RoundRobin, 1)
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn all_four_execution_paths_instantiate() {
+        let program = MinIdFlood::new(0);
+        let g = expander_graph(40, 4, 3);
+        let configs = [
+            ("reference-sync", EngineConfig::reference()),
+            (
+                "reference-async",
+                EngineConfig::reference().asynchronous(Daemon::RoundRobin, 1),
+            ),
+            ("parallel-sync", EngineConfig::new().threads(3).halo(true)),
+            (
+                "sharded-async",
+                EngineConfig::new()
+                    .threads(3)
+                    .asynchronous(Daemon::RoundRobin, 8),
+            ),
+        ];
+        let mut finals = Vec::new();
+        for (expected, config) in configs {
+            let mut runner = config
+                .instantiate(&program, g.clone())
+                .expect("valid config");
+            assert!(runner.report().engine.starts_with(expected), "{expected}");
+            runner
+                .run_until(StopCondition::AllAccept, 500)
+                .expect("the flood converges on every path");
+            finals.push(runner.into_network().states().to_vec());
+        }
+        // all four paths agree on the final configuration
+        for states in &finals[1..] {
+            assert_eq!(states, &finals[0]);
+        }
+    }
+
+    #[test]
+    fn describe_names_the_envelope() {
+        assert_eq!(
+            EngineConfig::new().threads(4).describe(),
+            "sharded-sync(threads=4)"
+        );
+        let described = EngineConfig::new()
+            .threads(2)
+            .layout(LayoutPolicy::Rcm)
+            .halo(true)
+            .describe();
+        assert!(described.contains("layout=Rcm") && described.contains("halo"));
+        assert!(EngineConfig::reference()
+            .asynchronous(Daemon::RoundRobin, 1)
+            .describe()
+            .starts_with("reference-async[round-robin@batch=1]"));
+    }
+}

@@ -38,8 +38,15 @@
 //!   simultaneous activations executed in parallel, reproducible at any
 //!   thread count, and exactly equal to the central daemon at batch
 //!   width 1 (adversarial batch daemons live in `smst-adversary`);
+//! * [`EngineConfig`] + [`runner::Runner`] — **the one engine API**: a
+//!   validated configuration of the full execution envelope (backend,
+//!   mode/daemon, threads, layout, pinning, halo) whose
+//!   [`instantiate`](EngineConfig::instantiate) returns any of the four
+//!   execution paths (the two sequential reference runners and the two
+//!   sharded runners) behind one object-safe `Box<dyn Runner<P>>`, with a
+//!   [`smst_sim::RoundObserver`] hook for per-round accounting;
 //! * [`ScenarioSpec`] — one declarative API over graph family × fault
-//!   bursts × daemon × thread count × layout;
+//!   bursts × [`EngineConfig`];
 //! * [`adapters`] — the paper's verifier and the self-stabilizing
 //!   transformer running unchanged on the engine, with sequential-equality
 //!   guarantees pinned by tests;
@@ -65,21 +72,23 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod config;
 pub mod layout;
 pub mod parallel_sync;
 pub mod pool;
 pub mod programs;
+pub mod runner;
 pub mod scenario;
 pub mod shard;
 pub mod sharded_async;
 pub mod topology;
 
+pub use config::{Backend, ConfigError, DaemonConfig, EngineConfig, Mode};
 pub use layout::{Layout, LayoutPolicy};
 pub use parallel_sync::ParallelSyncRunner;
 pub use pool::{PinPolicy, PoolHandle, WorkerPool};
-pub use scenario::{
-    FaultBurst, GraphFamily, ScenarioOutcome, ScenarioReport, ScenarioSpec, Schedule, StopCondition,
-};
+pub use runner::{RunReport, Runner, StopCondition};
+pub use scenario::{FaultBurst, GraphFamily, ScenarioOutcome, ScenarioReport, ScenarioSpec};
 pub use shard::{partition_balanced, HaloPlan, Shard};
 pub use sharded_async::ShardedAsyncRunner;
 pub use topology::CsrTopology;

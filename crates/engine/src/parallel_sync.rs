@@ -4,7 +4,7 @@
 //! [`smst_sim::SyncRunner`], but over shards: the register vector is
 //! **double-buffered**, every round is a pure function of the previous
 //! round's registers, and each worker computes the next registers of one
-//! contiguous [`Shard`](crate::shard::Shard) into its disjoint slice of the
+//! contiguous [`Shard`] into its disjoint slice of the
 //! scratch buffer — a shard-local state arena. Workers come from a
 //! persistent [`WorkerPool`](crate::pool::WorkerPool): rounds are
 //! dispatched by bumping an epoch on parked threads (no per-round thread
@@ -28,12 +28,14 @@
 //! layout pass on or off; `tests/` pins this with per-round differential
 //! and property tests.
 
+use crate::config::{Backend, ConfigError, EngineConfig};
 use crate::layout::{Layout, LayoutPolicy};
 use crate::pool::{PinPolicy, PoolHandle};
+use crate::runner::{RunReport, Runner, StopCondition};
 use crate::shard::{partition_balanced, HaloPlan, Shard};
 use crate::topology::CsrTopology;
 use smst_graph::{NodeId, WeightedGraph};
-use smst_sim::{FaultPlan, Network, NodeContext, NodeProgram, Verdict};
+use smst_sim::{FaultPlan, Network, NodeContext, NodeProgram, RoundObserver, RoundStats, Verdict};
 
 /// The halo-exchange machinery of a runner: the boundary analysis plus the
 /// double-buffered shard-local arenas (kept across calls so repeated
@@ -67,6 +69,9 @@ pub struct ParallelSyncRunner<'p, P: NodeProgram> {
     pin: PinPolicy,
     threads: usize,
     rounds: usize,
+    /// Per-round measurement hook; while attached, multi-round chunks run
+    /// round-granular so every boundary is observed.
+    observer: Option<Box<dyn RoundObserver>>,
 }
 
 impl<'p, P> ParallelSyncRunner<'p, P>
@@ -77,11 +82,49 @@ where
     /// Creates a runner over `graph` with every register initialized by
     /// `program.init`, using `threads` worker threads and no layout pass.
     pub fn new(program: &'p P, graph: WeightedGraph, threads: usize) -> Self {
-        Self::with_layout(program, graph, threads, LayoutPolicy::Identity)
+        Self::init_and_build(program, graph, threads, LayoutPolicy::Identity)
+    }
+
+    /// Builds the runner an [`EngineConfig`] describes (a synchronous
+    /// sharded envelope): threads, layout, halo mode and pinning all come
+    /// from the one validated config — the typed-constructor twin of
+    /// [`EngineConfig::instantiate`] for callers that need the concrete
+    /// runner (e.g. to inspect [`halo_plan`](Self::halo_plan) or
+    /// [`shards`](Self::shards)).
+    pub fn from_config(
+        program: &'p P,
+        graph: WeightedGraph,
+        config: &EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if config.backend != Backend::Sharded || config.mode.is_async() {
+            return Err(ConfigError::WrongMode {
+                expected: "sharded synchronous",
+                got: config.describe(),
+            });
+        }
+        Ok(
+            Self::init_and_build(program, graph, config.threads, config.layout)
+                .halo_exchange(config.halo)
+                .pinning(config.pin),
+        )
     }
 
     /// [`ParallelSyncRunner::new`] with an explicit [`LayoutPolicy`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build through `EngineConfig` (one validated envelope for threads/layout/halo/pin): `EngineConfig::instantiate` or `ParallelSyncRunner::from_config`"
+    )]
     pub fn with_layout(
+        program: &'p P,
+        graph: WeightedGraph,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> Self {
+        Self::init_and_build(program, graph, threads, policy)
+    }
+
+    fn init_and_build(
         program: &'p P,
         graph: WeightedGraph,
         threads: usize,
@@ -107,12 +150,26 @@ where
         states: Vec<P::State>,
         threads: usize,
     ) -> Self {
-        Self::with_states_and_layout(program, graph, states, threads, LayoutPolicy::Identity)
+        Self::states_and_build(program, graph, states, threads, LayoutPolicy::Identity)
     }
 
     /// [`ParallelSyncRunner::with_states`] with an explicit
     /// [`LayoutPolicy`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build through `EngineConfig` (one validated envelope for threads/layout/halo/pin); for explicit registers combine `ParallelSyncRunner::with_states` with `EngineConfig`-derived knobs"
+    )]
     pub fn with_states_and_layout(
+        program: &'p P,
+        graph: WeightedGraph,
+        states: Vec<P::State>,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> Self {
+        Self::states_and_build(program, graph, states, threads, policy)
+    }
+
+    fn states_and_build(
         program: &'p P,
         graph: WeightedGraph,
         states: Vec<P::State>,
@@ -173,7 +230,22 @@ where
             pin: PinPolicy::None,
             threads,
             rounds: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches a [`RoundObserver`] invoked after every round (replacing
+    /// any previous one). While observed, multi-round chunks run
+    /// round-granular (an epoch dispatch per round instead of one per
+    /// chunk) so every round boundary is measurable — results never
+    /// change, only wall-clock.
+    pub fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn RoundObserver>> {
+        self.observer.take()
     }
 
     /// Switches the halo-exchange execution mode on or off (off by
@@ -327,8 +399,44 @@ where
 
     /// Executes `count` rounds in a single chunked pool dispatch: the
     /// parked workers run all `count` rounds back to back, synchronizing on
-    /// a round barrier, and only then return to the caller.
+    /// a round barrier, and only then return to the caller. While an
+    /// observer is attached, the chunk runs round-granular instead so the
+    /// observer sees every round boundary (results are identical).
     pub fn run_rounds(&mut self, count: usize) {
+        if self.observer.is_none() {
+            self.run_rounds_unobserved(count);
+            return;
+        }
+        for _ in 0..count {
+            let start = std::time::Instant::now();
+            self.run_rounds_unobserved(1);
+            self.observe_round(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Reports the just-completed round to the attached observer.
+    fn observe_round(&mut self, dispatch_ns: u64) {
+        let Some(mut observer) = self.observer.take() else {
+            return;
+        };
+        let halo_bytes = match &self.halo {
+            Some(halo) if self.shards.len() > 1 => {
+                (halo.plan.total_halo() * std::mem::size_of::<P::State>()) as u64
+            }
+            _ => 0,
+        };
+        observer.on_round(&RoundStats {
+            round: self.rounds - 1,
+            alarms: self.alarming_nodes().len(),
+            activations: self.states.len(),
+            halo_bytes,
+            dispatch_ns,
+        });
+        self.observer = Some(observer);
+    }
+
+    /// The chunked dispatch core of [`run_rounds`](Self::run_rounds).
+    fn run_rounds_unobserved(&mut self, count: usize) {
         if count == 0 {
             return;
         }
@@ -473,32 +581,107 @@ where
     }
 
     /// Runs until some node raises an alarm, for at most `max_rounds`
-    /// rounds. Returns the detection time in rounds.
+    /// rounds. Returns the detection time in rounds. (Delegates to the
+    /// shared [`Runner::run_until`] loop.)
     pub fn run_until_alarm(&mut self, max_rounds: usize) -> Option<usize> {
-        if self.any_alarm() {
-            return Some(0);
-        }
-        for executed in 1..=max_rounds {
-            self.step_round();
-            if self.any_alarm() {
-                return Some(executed);
-            }
-        }
-        None
+        Runner::run_until(self, StopCondition::FirstAlarm, max_rounds)
     }
 
     /// Runs until every node accepts, for at most `max_rounds` rounds.
+    /// (Delegates to the shared [`Runner::run_until`] loop.)
     pub fn run_until_all_accept(&mut self, max_rounds: usize) -> Option<usize> {
-        if self.all_accept() {
-            return Some(0);
+        Runner::run_until(self, StopCondition::AllAccept, max_rounds)
+    }
+}
+
+impl<'p, P> Runner<P> for ParallelSyncRunner<'p, P>
+where
+    P: NodeProgram + Sync,
+    P::State: Send + Sync,
+{
+    fn step(&mut self) {
+        self.step_round();
+    }
+
+    fn steps(&self) -> usize {
+        self.rounds
+    }
+
+    fn activations(&self) -> usize {
+        self.rounds * self.states.len()
+    }
+
+    fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    fn state(&self, v: NodeId) -> &P::State {
+        ParallelSyncRunner::state(self, v)
+    }
+
+    fn state_mut(&mut self, v: NodeId) -> &mut P::State {
+        ParallelSyncRunner::state_mut(self, v)
+    }
+
+    fn states_snapshot(&self) -> Vec<P::State> {
+        ParallelSyncRunner::states_snapshot(self)
+    }
+
+    fn context(&self, v: NodeId) -> NodeContext {
+        ParallelSyncRunner::context(self, v).clone()
+    }
+
+    fn any_alarm(&self) -> bool {
+        ParallelSyncRunner::any_alarm(self)
+    }
+
+    fn all_accept(&self) -> bool {
+        ParallelSyncRunner::all_accept(self)
+    }
+
+    fn alarming_nodes(&self) -> Vec<NodeId> {
+        ParallelSyncRunner::alarming_nodes(self)
+    }
+
+    fn apply_faults(&mut self, plan: &FaultPlan, mutate: &mut dyn FnMut(NodeId, &mut P::State)) {
+        ParallelSyncRunner::apply_faults(self, plan, mutate);
+    }
+
+    fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        ParallelSyncRunner::set_observer(self, observer);
+    }
+
+    fn run_until(&mut self, until: StopCondition, max_steps: usize) -> Option<usize> {
+        // a fixed-step run needs no per-round condition checks: use the
+        // chunked pool dispatch (one epoch bump for the whole budget)
+        // instead of the shared step-by-step loop — results are identical
+        if matches!(until, StopCondition::Steps) {
+            self.run_rounds(max_steps);
+            return Some(max_steps);
         }
-        for executed in 1..=max_rounds {
-            self.step_round();
-            if self.all_accept() {
-                return Some(executed);
-            }
+        crate::runner::drive_until(self, until, max_steps)
+    }
+
+    fn report(&self) -> RunReport {
+        let mut engine = format!("parallel-sync(threads={}", self.threads);
+        if !self.layout.is_identity() {
+            engine.push_str(",layout");
         }
-        None
+        if self.halo.is_some() {
+            engine.push_str(",halo");
+        }
+        engine.push(')');
+        RunReport {
+            node_count: self.states.len(),
+            steps: self.rounds,
+            activations: Runner::activations(self),
+            threads: self.threads,
+            engine,
+        }
+    }
+
+    fn into_network(self: Box<Self>) -> Network<P> {
+        ParallelSyncRunner::into_network(*self)
     }
 }
 
@@ -570,6 +753,7 @@ fn compute_shard_halo<P: NodeProgram>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated constructor shims must keep working for one release
 mod tests {
     use super::*;
     use smst_graph::generators::{expander_graph, path_graph, random_connected_graph};

@@ -1,0 +1,380 @@
+//! The one runner API: an object-safe [`Runner`] trait implemented by all
+//! four execution paths.
+//!
+//! The workspace grew four runner entry points — the sequential references
+//! [`SyncRunner`] / [`AsyncRunner`] in `smst-sim` and the sharded
+//! [`ParallelSyncRunner`](crate::ParallelSyncRunner) /
+//! [`ShardedAsyncRunner`](crate::ShardedAsyncRunner) in this crate — each
+//! with its own constructors and its own copy of the alarm / accept /
+//! stop-condition driving loops. [`Runner`] unifies them: callers hold a
+//! `Box<dyn Runner<P>>` built by
+//! [`EngineConfig::instantiate`](crate::EngineConfig::instantiate) and
+//! drive it through `step` / [`run_until`](Runner::run_until) /
+//! [`state`](Runner::state) / [`report`](Runner::report) without knowing
+//! which execution path is underneath. The shared [`StopCondition`] is
+//! consumed by the trait's single `run_until` loop — the per-runner
+//! alarm/accept loops are gone.
+//!
+//! Every runner also accepts a [`RoundObserver`]
+//! ([`set_observer`](Runner::set_observer)): a per-round measurement hook
+//! (round index, alarm count, halo bytes exchanged, dispatch latency)
+//! shared by benches, figures and KMW-style per-round accounting.
+
+use smst_graph::{NodeId, WeightedGraph};
+use smst_sim::{
+    AsyncRunner, FaultPlan, Network, NodeContext, NodeProgram, RoundObserver, SyncRunner,
+};
+
+/// When a driven run ends (always bounded by the caller's step budget).
+///
+/// Shared by the [`Runner`] trait's [`run_until`](Runner::run_until) and
+/// the [`ScenarioSpec`](crate::ScenarioSpec) façade — one stop-condition
+/// vocabulary for every execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run the full step budget.
+    Steps,
+    /// Stop at the first alarm ([`smst_sim::Verdict::Reject`]).
+    FirstAlarm,
+    /// Stop once every node accepts.
+    AllAccept,
+}
+
+/// A summary of what a [`Runner`] has executed so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Nodes in the executed graph.
+    pub node_count: usize,
+    /// Steps (synchronous rounds or asynchronous time units) executed.
+    pub steps: usize,
+    /// Raw single-node activations executed (`node_count × steps` for
+    /// synchronous runners; the daemon's schedule lengths for
+    /// asynchronous ones).
+    pub activations: usize,
+    /// Worker threads the runner dispatches on (1 for the sequential
+    /// reference runners).
+    pub threads: usize,
+    /// A short, stable descriptor of the execution path (for labels and
+    /// artifact meta), e.g. `parallel-sync(threads=4,halo)`.
+    pub engine: String,
+}
+
+/// One execution path of the engine, driven step by step.
+///
+/// Object safe: [`EngineConfig::instantiate`](crate::EngineConfig::instantiate)
+/// hands callers a `Box<dyn Runner<P>>` over any of the four execution
+/// paths. A *step* is one synchronous round or one normalized
+/// asynchronous time unit, whichever the path executes.
+///
+/// All node-addressed methods speak **original node ids** regardless of
+/// the layout policy underneath.
+pub trait Runner<P: NodeProgram> {
+    /// Executes exactly one step.
+    fn step(&mut self);
+
+    /// Steps executed so far.
+    fn steps(&self) -> usize;
+
+    /// Raw single-node activations executed so far.
+    fn activations(&self) -> usize;
+
+    /// The graph being executed.
+    fn graph(&self) -> &WeightedGraph;
+
+    /// The register of one node (original id).
+    fn state(&self, v: NodeId) -> &P::State;
+
+    /// Mutable access to one register (fault injection; original id).
+    fn state_mut(&mut self, v: NodeId) -> &mut P::State;
+
+    /// The registers in original node-id order (clones;
+    /// layout-independent).
+    fn states_snapshot(&self) -> Vec<P::State>;
+
+    /// The static context of a node (original id).
+    fn context(&self, v: NodeId) -> NodeContext;
+
+    /// `true` if at least one node raises an alarm.
+    fn any_alarm(&self) -> bool;
+
+    /// `true` if every node accepts.
+    fn all_accept(&self) -> bool;
+
+    /// The nodes currently raising an alarm (original ids, ascending).
+    fn alarming_nodes(&self) -> Vec<NodeId>;
+
+    /// Applies a [`FaultPlan`] by passing every planned node's register to
+    /// `mutate`.
+    fn apply_faults(&mut self, plan: &FaultPlan, mutate: &mut dyn FnMut(NodeId, &mut P::State));
+
+    /// Attaches a [`RoundObserver`] invoked after every step (replacing
+    /// any previous one). Purely observational — results never change.
+    fn set_observer(&mut self, observer: Box<dyn RoundObserver>);
+
+    /// A summary of the execution so far.
+    fn report(&self) -> RunReport;
+
+    /// Consumes the runner, returning a sequential [`Network`] holding the
+    /// final registers in original node-id order.
+    fn into_network(self: Box<Self>) -> Network<P>;
+
+    /// Runs until `until` holds (checked after every step, and once before
+    /// the first) or until `max_steps` additional steps have elapsed.
+    /// Returns the number of steps executed by this call if the condition
+    /// was met (`Some(max_steps)` for [`StopCondition::Steps`]), `None` on
+    /// timeout.
+    ///
+    /// The default body ([`drive_until`]) is the **single** implementation
+    /// of the alarm/accept driving loops that used to be duplicated per
+    /// runner; implementations may override only to substitute a faster
+    /// equivalent execution (e.g. chunked dispatch for
+    /// [`StopCondition::Steps`]), never to change results.
+    fn run_until(&mut self, until: StopCondition, max_steps: usize) -> Option<usize> {
+        drive_until(self, until, max_steps)
+    }
+}
+
+/// The shared driving loop behind [`Runner::run_until`], callable from
+/// impls that override the trait method for one condition and fall back to
+/// the common loop for the rest.
+pub fn drive_until<P, R>(runner: &mut R, until: StopCondition, max_steps: usize) -> Option<usize>
+where
+    P: NodeProgram,
+    R: Runner<P> + ?Sized,
+{
+    let met = |runner: &R| match until {
+        StopCondition::Steps => false,
+        StopCondition::FirstAlarm => runner.any_alarm(),
+        StopCondition::AllAccept => runner.all_accept(),
+    };
+    if !matches!(until, StopCondition::Steps) && met(runner) {
+        return Some(0);
+    }
+    for executed in 1..=max_steps {
+        runner.step();
+        if met(runner) {
+            return Some(executed);
+        }
+    }
+    match until {
+        StopCondition::Steps => Some(max_steps),
+        _ => None,
+    }
+}
+
+impl<'p, P> Runner<P> for SyncRunner<'p, P>
+where
+    P: NodeProgram + Sync,
+    P::State: Send + Sync,
+{
+    fn step(&mut self) {
+        self.step_round();
+    }
+
+    fn steps(&self) -> usize {
+        self.rounds()
+    }
+
+    fn activations(&self) -> usize {
+        self.rounds() * self.network().node_count()
+    }
+
+    fn graph(&self) -> &WeightedGraph {
+        self.network().graph()
+    }
+
+    fn state(&self, v: NodeId) -> &P::State {
+        self.network().state(v)
+    }
+
+    fn state_mut(&mut self, v: NodeId) -> &mut P::State {
+        self.network_mut().state_mut(v)
+    }
+
+    fn states_snapshot(&self) -> Vec<P::State> {
+        self.network().states().to_vec()
+    }
+
+    fn context(&self, v: NodeId) -> NodeContext {
+        self.network().context(v).clone()
+    }
+
+    fn any_alarm(&self) -> bool {
+        self.network().any_alarm(self.program())
+    }
+
+    fn all_accept(&self) -> bool {
+        self.network().all_accept(self.program())
+    }
+
+    fn alarming_nodes(&self) -> Vec<NodeId> {
+        self.network().alarming_nodes(self.program())
+    }
+
+    fn apply_faults(&mut self, plan: &FaultPlan, mutate: &mut dyn FnMut(NodeId, &mut P::State)) {
+        for &v in plan.nodes() {
+            mutate(v, self.network_mut().state_mut(v));
+        }
+    }
+
+    fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        SyncRunner::set_observer(self, observer);
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            node_count: self.network().node_count(),
+            steps: self.rounds(),
+            activations: Runner::activations(self),
+            threads: 1,
+            engine: "reference-sync".to_string(),
+        }
+    }
+
+    fn into_network(self: Box<Self>) -> Network<P> {
+        SyncRunner::into_network(*self)
+    }
+}
+
+impl<'p, P> Runner<P> for AsyncRunner<'p, P>
+where
+    P: NodeProgram + Sync,
+    P::State: Send + Sync,
+{
+    fn step(&mut self) {
+        self.step_time_unit();
+    }
+
+    fn steps(&self) -> usize {
+        self.time_units()
+    }
+
+    fn activations(&self) -> usize {
+        AsyncRunner::activations(self)
+    }
+
+    fn graph(&self) -> &WeightedGraph {
+        self.network().graph()
+    }
+
+    fn state(&self, v: NodeId) -> &P::State {
+        self.network().state(v)
+    }
+
+    fn state_mut(&mut self, v: NodeId) -> &mut P::State {
+        self.network_mut().state_mut(v)
+    }
+
+    fn states_snapshot(&self) -> Vec<P::State> {
+        self.network().states().to_vec()
+    }
+
+    fn context(&self, v: NodeId) -> NodeContext {
+        self.network().context(v).clone()
+    }
+
+    fn any_alarm(&self) -> bool {
+        self.network().any_alarm(self.program())
+    }
+
+    fn all_accept(&self) -> bool {
+        self.network().all_accept(self.program())
+    }
+
+    fn alarming_nodes(&self) -> Vec<NodeId> {
+        self.network().alarming_nodes(self.program())
+    }
+
+    fn apply_faults(&mut self, plan: &FaultPlan, mutate: &mut dyn FnMut(NodeId, &mut P::State)) {
+        for &v in plan.nodes() {
+            mutate(v, self.network_mut().state_mut(v));
+        }
+    }
+
+    fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        AsyncRunner::set_observer(self, observer);
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            node_count: self.network().node_count(),
+            steps: self.time_units(),
+            activations: AsyncRunner::activations(self),
+            threads: 1,
+            engine: "reference-async".to_string(),
+        }
+    }
+
+    fn into_network(self: Box<Self>) -> Network<P> {
+        AsyncRunner::into_network(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::MinIdFlood;
+    use smst_graph::generators::path_graph;
+    use smst_sim::{Daemon, RecordingObserver};
+
+    #[test]
+    fn reference_runners_drive_through_the_trait() {
+        let g = path_graph(6, 0);
+        let program = MinIdFlood::new(0);
+        let mut sync: Box<dyn Runner<MinIdFlood>> =
+            Box::new(SyncRunner::new(&program, Network::new(&program, g.clone())));
+        let steps = sync
+            .run_until(StopCondition::AllAccept, 100)
+            .expect("the flood converges");
+        assert_eq!(steps, g.diameter().unwrap());
+        assert_eq!(sync.steps(), steps);
+        assert_eq!(sync.activations(), steps * 6);
+        assert!(sync.all_accept());
+        assert!(!sync.any_alarm());
+        assert!(sync.alarming_nodes().is_empty());
+        assert_eq!(sync.report().engine, "reference-sync");
+        assert_eq!(sync.context(NodeId(3)).degree, 2);
+        let network = sync.into_network();
+        assert!(network.states().iter().all(|&s| s == 0));
+
+        let mut asynch: Box<dyn Runner<MinIdFlood>> = Box::new(AsyncRunner::new(
+            &program,
+            Network::new(&program, g),
+            Daemon::RoundRobin,
+        ));
+        asynch.step();
+        assert_eq!(asynch.steps(), 1);
+        assert_eq!(asynch.report().engine, "reference-async");
+    }
+
+    #[test]
+    fn reference_runners_invoke_observers() {
+        let g = path_graph(5, 0);
+        let program = MinIdFlood::new(0);
+        let recording = RecordingObserver::new();
+        let mut runner: Box<dyn Runner<MinIdFlood>> =
+            Box::new(SyncRunner::new(&program, Network::new(&program, g)));
+        runner.set_observer(Box::new(recording.clone()));
+        runner.run_until(StopCondition::Steps, 3);
+        assert_eq!(recording.rounds_observed(), 3);
+        let trace = recording.deterministic_trace();
+        assert_eq!(trace[0].0, 0, "step indices start at 0");
+        assert_eq!(trace[2].0, 2);
+        assert!(trace.iter().all(|t| t.2 == 5), "n activations per round");
+    }
+
+    #[test]
+    fn run_until_semantics() {
+        let g = path_graph(4, 0);
+        let program = MinIdFlood::new(0);
+        let mut runner: Box<dyn Runner<MinIdFlood>> =
+            Box::new(SyncRunner::new(&program, Network::new(&program, g)));
+        // Steps runs the full budget and reports it
+        assert_eq!(runner.run_until(StopCondition::Steps, 2), Some(2));
+        // AllAccept met immediately costs zero steps
+        runner.run_until(StopCondition::AllAccept, 100);
+        assert_eq!(runner.run_until(StopCondition::AllAccept, 5), Some(0));
+        // FirstAlarm never fires on this program: timeout
+        assert_eq!(runner.run_until(StopCondition::FirstAlarm, 2), None);
+    }
+}

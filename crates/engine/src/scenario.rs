@@ -1,22 +1,32 @@
-//! Scenario specification: one API over graph family × fault plan × daemon.
+//! Scenario specification: one API over graph family × fault plan ×
+//! execution envelope.
 //!
 //! A [`ScenarioSpec`] bundles everything that defines an execution-engine
-//! workload — the topology family and its size, the schedule (synchronous
-//! rounds or an asynchronous daemon with a batch width), the thread count,
-//! and a list of [`FaultBurst`]s to inject mid-run — so examples, benches
-//! and tests can describe diverse runs declaratively and reproducibly (the
-//! whole scenario derives from explicit seeds).
+//! workload — the topology family and its size, a list of [`FaultBurst`]s
+//! to inject mid-run, a [`StopCondition`], and the full execution envelope
+//! as an [`EngineConfig`] — so examples, benches and tests can describe
+//! diverse runs declaratively and reproducibly (the whole scenario derives
+//! from explicit seeds).
+//!
+//! The spec is a **thin façade over [`EngineConfig`]**: every knob setter
+//! (`threads`, `layout`, `pin`, `halo_exchange`, `asynchronous`,
+//! `batch_daemon`) writes into the embedded config, and
+//! [`ScenarioSpec::run`] drives whatever
+//! [`EngineConfig::instantiate`] returns through the object-safe
+//! [`Runner`](crate::runner::Runner) trait — the spec itself knows nothing about individual
+//! runner types. Invalid envelopes surface as [`ConfigError`] from the
+//! `try_*` variants instead of panicking deep in dispatch.
 
+use crate::config::{ConfigError, EngineConfig};
 use crate::layout::LayoutPolicy;
-use crate::parallel_sync::ParallelSyncRunner;
 use crate::pool::PinPolicy;
-use crate::sharded_async::ShardedAsyncRunner;
+pub use crate::runner::StopCondition;
 use smst_graph::generators::{
     caterpillar_graph, complete_graph, expander_graph, grid_graph, path_graph,
     random_connected_graph, ring_graph, star_graph,
 };
 use smst_graph::{NodeId, WeightedGraph};
-use smst_sim::{BatchDaemon, ChunkedDaemon, Daemon, FaultPlan, Network, NodeProgram};
+use smst_sim::{BatchDaemon, Daemon, FaultPlan, Network, NodeProgram, RoundObserver};
 
 /// The topology families a scenario can run on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,31 +123,6 @@ pub struct FaultBurst {
     pub seed: u64,
 }
 
-/// The schedule a scenario runs under.
-#[derive(Debug, Clone)]
-pub enum Schedule {
-    /// Lock-step synchronous rounds ([`ParallelSyncRunner`]).
-    Sync,
-    /// Daemon-driven batches ([`ShardedAsyncRunner`]) under any
-    /// [`BatchDaemon`] — chunked central daemons and fully distributed
-    /// (adversarial) batch daemons alike.
-    Async {
-        /// The activation daemon.
-        daemon: Box<dyn BatchDaemon>,
-    },
-}
-
-/// When a scenario run ends (always bounded by the step budget).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StopCondition {
-    /// Run the full step budget.
-    Steps,
-    /// Stop at the first alarm ([`smst_sim::Verdict::Reject`]).
-    FirstAlarm,
-    /// Stop once every node accepts.
-    AllAccept,
-}
-
 /// A declarative description of one engine run.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -145,20 +130,9 @@ pub struct ScenarioSpec {
     pub family: GraphFamily,
     /// Graph seed.
     pub seed: u64,
-    /// Worker threads.
-    pub threads: usize,
-    /// Node renumbering applied before sharding (wall-clock only; results
-    /// are layout-invariant).
-    pub layout: LayoutPolicy,
-    /// Worker core pinning (wall-clock only; results are
-    /// placement-invariant).
-    pub pin: PinPolicy,
-    /// Halo-exchange execution mode for synchronous schedules (wall-clock
-    /// only; results are bit-for-bit identical either way). Ignored by
-    /// asynchronous schedules, whose batches are not shard-aligned.
-    pub halo: bool,
-    /// Synchronous or asynchronous execution.
-    pub schedule: Schedule,
+    /// The full execution envelope (backend, mode/daemon, threads, layout,
+    /// pinning, halo) — the spec is a façade over it.
+    pub engine: EngineConfig,
     /// Fault bursts, in firing order.
     pub faults: Vec<FaultBurst>,
     /// Termination condition (checked after every step).
@@ -171,57 +145,66 @@ impl ScenarioSpec {
         ScenarioSpec {
             family,
             seed: 0,
-            threads: 1,
-            layout: LayoutPolicy::Identity,
-            pin: PinPolicy::None,
-            halo: false,
-            schedule: Schedule::Sync,
+            engine: EngineConfig::new(),
             faults: Vec::new(),
             until: StopCondition::Steps,
         }
     }
 
-    /// Sets the graph seed.
+    /// Sets the graph seed (kept in sync with the envelope seed).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self.engine.seed = seed;
         self
     }
 
-    /// Sets the worker-thread count.
+    /// Replaces the whole execution envelope (the graph seed stays the
+    /// scenario's).
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self.engine.seed = self.seed;
+        self
+    }
+
+    /// Sets the worker-thread count. `0` is **not** clamped — it surfaces
+    /// as [`ConfigError::ZeroThreads`] when the scenario runs.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.engine = self.engine.threads(threads);
         self
     }
 
     /// Sets the layout policy (RCM renumbering before sharding).
     pub fn layout(mut self, layout: LayoutPolicy) -> Self {
-        self.layout = layout;
+        self.engine = self.engine.layout(layout);
         self
     }
 
     /// Sets the worker pin policy (best-effort core affinity).
     pub fn pin(mut self, pin: PinPolicy) -> Self {
-        self.pin = pin;
+        self.engine = self.engine.pin(pin);
         self
     }
 
-    /// Switches the halo-exchange execution mode on or off for synchronous
-    /// schedules (asynchronous schedules ignore it).
+    /// Switches the halo-exchange execution mode on or off. Halo exchange
+    /// is defined only for synchronous schedules — an asynchronous
+    /// scenario with halo set fails with [`ConfigError::HaloRequiresSync`]
+    /// when run.
     pub fn halo_exchange(mut self, halo: bool) -> Self {
-        self.halo = halo;
+        self.engine = self.engine.halo(halo);
         self
     }
 
     /// Switches to an asynchronous schedule: a central [`Daemon`] executed
     /// in uniform chunks of `batch` simultaneous activations.
-    pub fn asynchronous(self, daemon: Daemon, batch: usize) -> Self {
-        self.batch_daemon(Box::new(ChunkedDaemon::new(daemon, batch)))
+    pub fn asynchronous(mut self, daemon: Daemon, batch: usize) -> Self {
+        self.engine = self.engine.asynchronous(daemon, batch);
+        self
     }
 
     /// Switches to an asynchronous schedule under **any** [`BatchDaemon`]
     /// (e.g. the adversarial batch daemons of `smst-adversary`).
     pub fn batch_daemon(mut self, daemon: Box<dyn BatchDaemon>) -> Self {
-        self.schedule = Schedule::Async { daemon };
+        self.engine = self.engine.batch_daemon(daemon);
         self
     }
 
@@ -251,8 +234,10 @@ impl ScenarioSpec {
     ///
     /// # Panics
     ///
-    /// Panics if a [`FaultBurst`] is scheduled at or after `max_steps` —
-    /// such a burst could never fire, and silently dropping it would make a
+    /// Panics if the execution envelope is invalid (see
+    /// [`ScenarioSpec::try_run`] for the non-panicking variant) or if a
+    /// [`FaultBurst`] is scheduled at or after `max_steps` — such a burst
+    /// could never fire, and silently dropping it would make a
     /// misconfigured fault scenario look like a passing fault-free one.
     pub fn run<P, F>(&self, program: &P, corrupt: F, max_steps: usize) -> ScenarioOutcome<P>
     where
@@ -260,7 +245,24 @@ impl ScenarioSpec {
         P::State: Send + Sync,
         F: FnMut(NodeId, &mut P::State),
     {
-        self.run_on(program, self.build_graph(), corrupt, max_steps)
+        self.try_run(program, corrupt, max_steps)
+            .unwrap_or_else(|e| panic!("invalid scenario engine config: {e}"))
+    }
+
+    /// [`ScenarioSpec::run`], returning [`ConfigError`] instead of
+    /// panicking on an invalid execution envelope.
+    pub fn try_run<P, F>(
+        &self,
+        program: &P,
+        corrupt: F,
+        max_steps: usize,
+    ) -> Result<ScenarioOutcome<P>, ConfigError>
+    where
+        P: NodeProgram + Sync,
+        P::State: Send + Sync,
+        F: FnMut(NodeId, &mut P::State),
+    {
+        self.try_run_on(program, self.build_graph(), corrupt, max_steps, None)
     }
 
     /// Like [`ScenarioSpec::run`], but the program is **built from the
@@ -268,6 +270,10 @@ impl ScenarioSpec {
     /// data, e.g. the paper's verifier carrying proof labels). Returns the
     /// outcome together with the built program, so callers can evaluate
     /// per-node quantities (verdicts, memory bits) on the final network.
+    ///
+    /// # Panics
+    ///
+    /// As [`ScenarioSpec::run`]; see [`ScenarioSpec::try_run_with`].
     pub fn run_with<P, B, F>(
         &self,
         build: B,
@@ -280,19 +286,65 @@ impl ScenarioSpec {
         B: FnOnce(&WeightedGraph) -> P,
         F: FnMut(NodeId, &mut P::State),
     {
-        let graph = self.build_graph();
-        let program = build(&graph);
-        let outcome = self.run_on(&program, graph, corrupt, max_steps);
-        (outcome, program)
+        self.try_run_with(build, corrupt, max_steps)
+            .unwrap_or_else(|e| panic!("invalid scenario engine config: {e}"))
     }
 
-    fn run_on<P, F>(
+    /// [`ScenarioSpec::run_with`], returning [`ConfigError`] instead of
+    /// panicking on an invalid execution envelope.
+    pub fn try_run_with<P, B, F>(
+        &self,
+        build: B,
+        corrupt: F,
+        max_steps: usize,
+    ) -> Result<(ScenarioOutcome<P>, P), ConfigError>
+    where
+        P: NodeProgram + Sync,
+        P::State: Send + Sync,
+        B: FnOnce(&WeightedGraph) -> P,
+        F: FnMut(NodeId, &mut P::State),
+    {
+        let graph = self.build_graph();
+        let program = build(&graph);
+        let outcome = self.try_run_on(&program, graph, corrupt, max_steps, None)?;
+        Ok((outcome, program))
+    }
+
+    /// [`ScenarioSpec::run`] with a [`RoundObserver`] attached to the
+    /// instantiated runner for the duration of the run — per-step
+    /// accounting (alarm counts, halo bytes, dispatch latency) without
+    /// changing the scenario's results.
+    pub fn run_observed<P, F>(
+        &self,
+        program: &P,
+        corrupt: F,
+        max_steps: usize,
+        observer: Box<dyn RoundObserver>,
+    ) -> Result<ScenarioOutcome<P>, ConfigError>
+    where
+        P: NodeProgram + Sync,
+        P::State: Send + Sync,
+        F: FnMut(NodeId, &mut P::State),
+    {
+        self.try_run_on(
+            program,
+            self.build_graph(),
+            corrupt,
+            max_steps,
+            Some(observer),
+        )
+    }
+
+    /// The driving loop, shared by every entry point: one code path over
+    /// whatever [`Runner`] the envelope instantiates.
+    fn try_run_on<P, F>(
         &self,
         program: &P,
         graph: WeightedGraph,
         mut corrupt: F,
         max_steps: usize,
-    ) -> ScenarioOutcome<P>
+        observer: Option<Box<dyn RoundObserver>>,
+    ) -> Result<ScenarioOutcome<P>, ConfigError>
     where
         P: NodeProgram + Sync,
         P::State: Send + Sync,
@@ -305,6 +357,10 @@ impl ScenarioSpec {
             );
         }
         let n = graph.node_count();
+        let mut runner = self.engine.instantiate(program, graph)?;
+        if let Some(observer) = observer {
+            runner.set_observer(observer);
+        }
         // alarms and recovery are measured from the first burst; in a
         // fault-free scenario they are measured from the start of the run
         let measure_from = self.faults.iter().map(|b| b.at).min().unwrap_or(0);
@@ -314,72 +370,45 @@ impl ScenarioSpec {
         let mut recovered = None;
         let mut steps_run = 0usize;
 
-        macro_rules! drive {
-            ($runner:ident, $step:ident) => {{
-                for step in 0..max_steps {
-                    for burst in self.faults.iter().filter(|b| b.at == step) {
-                        let plan = FaultPlan::random(n, burst.count.min(n), burst.seed);
-                        for &v in plan.nodes() {
-                            corrupt(v, $runner.state_mut(v));
-                        }
-                        injected += plan.len();
-                        injected_nodes.extend_from_slice(plan.nodes());
-                    }
-                    $runner.$step();
-                    steps_run = step + 1;
-                    let measuring = step >= measure_from;
-                    if first_alarm.is_none() && measuring && $runner.any_alarm() {
-                        first_alarm = Some(step + 1 - measure_from);
-                    }
-                    match self.until {
-                        StopCondition::Steps => {}
-                        StopCondition::FirstAlarm => {
-                            if first_alarm.is_some() {
-                                break;
-                            }
-                        }
-                        StopCondition::AllAccept => {
-                            // never stop while bursts are still scheduled:
-                            // converging before the burst would otherwise
-                            // silently skip the configured faults
-                            let bursts_pending = self.faults.iter().any(|b| b.at > step);
-                            if $runner.all_accept() && !bursts_pending {
-                                if measuring {
-                                    recovered = Some(step + 1 - measure_from);
-                                }
-                                break;
-                            }
-                        }
+        for step in 0..max_steps {
+            for burst in self.faults.iter().filter(|b| b.at == step) {
+                let plan = FaultPlan::random(n, burst.count.min(n), burst.seed);
+                runner.apply_faults(&plan, &mut corrupt);
+                injected += plan.len();
+                injected_nodes.extend_from_slice(plan.nodes());
+            }
+            runner.step();
+            steps_run = step + 1;
+            let measuring = step >= measure_from;
+            if first_alarm.is_none() && measuring && runner.any_alarm() {
+                first_alarm = Some(step + 1 - measure_from);
+            }
+            match self.until {
+                StopCondition::Steps => {}
+                StopCondition::FirstAlarm => {
+                    if first_alarm.is_some() {
+                        break;
                     }
                 }
-                let all_accept = $runner.all_accept();
-                let alarm_nodes = $runner.alarming_nodes();
-                (($runner).into_network(), all_accept, alarm_nodes)
-            }};
+                StopCondition::AllAccept => {
+                    // never stop while bursts are still scheduled:
+                    // converging before the burst would otherwise
+                    // silently skip the configured faults
+                    let bursts_pending = self.faults.iter().any(|b| b.at > step);
+                    if runner.all_accept() && !bursts_pending {
+                        if measuring {
+                            recovered = Some(step + 1 - measure_from);
+                        }
+                        break;
+                    }
+                }
+            }
         }
+        let all_accept = runner.all_accept();
+        let alarm_nodes = runner.alarming_nodes();
+        let network = runner.into_network();
 
-        let (network, all_accept, alarm_nodes) = match &self.schedule {
-            Schedule::Sync => {
-                let mut runner =
-                    ParallelSyncRunner::with_layout(program, graph, self.threads, self.layout)
-                        .halo_exchange(self.halo)
-                        .pinning(self.pin);
-                drive!(runner, step_round)
-            }
-            Schedule::Async { daemon } => {
-                let mut runner = ShardedAsyncRunner::with_batch_daemon(
-                    program,
-                    graph,
-                    daemon.clone(),
-                    self.threads,
-                    self.layout,
-                )
-                .pinning(self.pin);
-                drive!(runner, step_time_unit)
-            }
-        };
-
-        ScenarioOutcome {
+        Ok(ScenarioOutcome {
             report: ScenarioReport {
                 node_count: n,
                 steps_run,
@@ -391,7 +420,7 @@ impl ScenarioSpec {
                 injected_nodes,
             },
             network,
-        }
+        })
     }
 }
 
@@ -434,8 +463,9 @@ pub struct ScenarioOutcome<P: NodeProgram> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Backend;
     use crate::programs::MinIdFlood;
-    use smst_sim::Verdict;
+    use smst_sim::{RecordingObserver, Verdict};
 
     #[test]
     fn family_node_counts_match_built_graphs() {
@@ -493,6 +523,31 @@ mod tests {
             .fault_burst(40, 2, 1)
             .until(StopCondition::AllAccept);
         let _ = spec.run(&MinIdFlood::new(0), |_v, s| *s = 1, 30);
+    }
+
+    #[test]
+    fn zero_threads_is_a_config_error_not_a_panic() {
+        let spec = ScenarioSpec::new(GraphFamily::Path { n: 4 }).threads(0);
+        let err = spec
+            .try_run(&MinIdFlood::new(0), |_v, s| *s = 1, 10)
+            .expect_err("zero threads must be rejected");
+        assert_eq!(err, ConfigError::ZeroThreads);
+        let err = spec
+            .try_run_with(|_g| MinIdFlood::new(0), |_v, s| *s = 1, 10)
+            .expect_err("try_run_with routes through validate too");
+        assert_eq!(err, ConfigError::ZeroThreads);
+    }
+
+    #[test]
+    fn async_halo_is_a_config_error() {
+        let spec = ScenarioSpec::new(GraphFamily::Path { n: 6 })
+            .asynchronous(Daemon::RoundRobin, 2)
+            .halo_exchange(true);
+        assert_eq!(
+            spec.try_run(&MinIdFlood::new(0), |_v, s| *s = 1, 10)
+                .expect_err("halo requires sync"),
+            ConfigError::HaloRequiresSync
+        );
     }
 
     #[test]
@@ -558,6 +613,38 @@ mod tests {
     }
 
     #[test]
+    fn reference_backend_runs_the_same_scenario() {
+        // the sequential reference is reachable through the same façade —
+        // and agrees with the sharded engine bit for bit
+        let base = ScenarioSpec::new(GraphFamily::RandomConnected { n: 40, m: 90 })
+            .seed(4)
+            .fault_burst(2, 5, 9)
+            .until(StopCondition::AllAccept);
+        let sharded = base
+            .clone()
+            .threads(4)
+            .run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 300);
+        let reference = base.engine(EngineConfig::reference()).run(
+            &MinIdFlood::new(0),
+            |_v, s| *s = u64::MAX,
+            300,
+        );
+        assert_eq!(sharded.network.states(), reference.network.states());
+        assert_eq!(sharded.report.steps_run, reference.report.steps_run);
+        assert_eq!(sharded.report.recovered, reference.report.recovered);
+    }
+
+    #[test]
+    fn engine_setter_preserves_the_graph_seed() {
+        let spec = ScenarioSpec::new(GraphFamily::Path { n: 8 })
+            .seed(42)
+            .engine(EngineConfig::new().threads(2).backend(Backend::Sharded));
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.engine.seed, 42, "envelope seed follows the scenario");
+        assert_eq!(spec.engine.threads, 2);
+    }
+
+    #[test]
     fn run_with_builds_the_program_from_the_scenario_graph() {
         let spec = ScenarioSpec::new(GraphFamily::Ring { n: 10 }).until(StopCondition::AllAccept);
         let (outcome, program) = spec.run_with(
@@ -583,6 +670,30 @@ mod tests {
         let b = spec.run(&MinIdFlood::new(0), |_v, s| *s ^= 0xFFFF, 20);
         assert_eq!(a.network.states(), b.network.states());
         assert_eq!(a.report.injected_faults, b.report.injected_faults);
+    }
+
+    #[test]
+    fn observed_runs_report_per_step_stats() {
+        let spec = ScenarioSpec::new(GraphFamily::Ring { n: 16 })
+            .seed(3)
+            .threads(2)
+            .until(StopCondition::Steps);
+        let recording = RecordingObserver::new();
+        let outcome = spec
+            .run_observed(
+                &MinIdFlood::new(0),
+                |_v, s| *s = 1,
+                5,
+                Box::new(recording.clone()),
+            )
+            .expect("valid config");
+        assert_eq!(outcome.report.steps_run, 5);
+        assert_eq!(recording.rounds_observed(), 5);
+        assert!(recording
+            .deterministic_trace()
+            .iter()
+            .enumerate()
+            .all(|(i, t)| t.0 == i && t.2 == 16));
     }
 
     #[test]

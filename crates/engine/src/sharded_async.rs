@@ -25,12 +25,15 @@
 //! [`AsyncRunner`](smst_sim::AsyncRunner) activation-for-activation, which
 //! `tests/` pins differentially.
 
+use crate::config::{Backend, ConfigError, EngineConfig, Mode};
 use crate::layout::{Layout, LayoutPolicy};
 use crate::pool::{PinPolicy, PoolHandle};
+use crate::runner::{RunReport, Runner, StopCondition};
 use crate::topology::CsrTopology;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_sim::{
-    BatchDaemon, ChunkedDaemon, Daemon, FaultPlan, Network, NodeContext, NodeProgram, Verdict,
+    BatchDaemon, ChunkedDaemon, Daemon, FaultPlan, Network, NodeContext, NodeProgram,
+    RoundObserver, RoundStats, Verdict,
 };
 
 /// Runs a [`NodeProgram`] under an asynchronous daemon, executing each time
@@ -55,6 +58,9 @@ pub struct ShardedAsyncRunner<'p, P: NodeProgram> {
     threads: usize,
     time_units: usize,
     activations: usize,
+    /// Per-time-unit measurement hook; stats are computed only while
+    /// attached.
+    observer: Option<Box<dyn RoundObserver>>,
 }
 
 impl<'p, P> ShardedAsyncRunner<'p, P>
@@ -65,6 +71,10 @@ where
     /// Creates a runner with program-initialized registers under a central
     /// [`Daemon`] chunked into `batch` simultaneous activations per step
     /// (`1` replays the central daemon); `threads` only affects wall-clock.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build through `EngineConfig::asynchronous(daemon, batch)` (one validated envelope for daemon/threads/layout/pin): `EngineConfig::instantiate` or `ShardedAsyncRunner::from_config`"
+    )]
     pub fn new(
         program: &'p P,
         graph: WeightedGraph,
@@ -72,17 +82,53 @@ where
         batch: usize,
         threads: usize,
     ) -> Self {
-        Self::with_layout(
+        Self::with_batch_daemon(
             program,
             graph,
-            daemon,
-            batch,
+            Box::new(ChunkedDaemon::new(daemon, batch)),
             threads,
             LayoutPolicy::Identity,
         )
     }
 
+    /// Builds the runner an [`EngineConfig`] describes (an asynchronous
+    /// sharded envelope): daemon, threads, layout and pinning all come
+    /// from the one validated config — the typed-constructor twin of
+    /// [`EngineConfig::instantiate`] for callers that need the concrete
+    /// runner (e.g. to read [`activations`](Self::activations)).
+    pub fn from_config(
+        program: &'p P,
+        graph: WeightedGraph,
+        config: &EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let Mode::Async(daemon) = &config.mode else {
+            return Err(ConfigError::WrongMode {
+                expected: "sharded asynchronous",
+                got: config.describe(),
+            });
+        };
+        if config.backend != Backend::Sharded {
+            return Err(ConfigError::WrongMode {
+                expected: "sharded asynchronous",
+                got: config.describe(),
+            });
+        }
+        Ok(Self::with_batch_daemon(
+            program,
+            graph,
+            daemon.build(),
+            config.threads,
+            config.layout,
+        )
+        .pinning(config.pin))
+    }
+
     /// [`ShardedAsyncRunner::new`] with an explicit [`LayoutPolicy`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build through `EngineConfig::asynchronous(daemon, batch)` (one validated envelope for daemon/threads/layout/pin): `EngineConfig::instantiate` or `ShardedAsyncRunner::from_config`"
+    )]
     pub fn with_layout(
         program: &'p P,
         graph: WeightedGraph,
@@ -133,7 +179,20 @@ where
             threads,
             time_units: 0,
             activations: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches a [`RoundObserver`] invoked after every time unit
+    /// (replacing any previous one). Purely observational — batch
+    /// outcomes never change.
+    pub fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn RoundObserver>> {
+        self.observer.take()
     }
 
     /// Sets the worker [`PinPolicy`], re-acquiring a pool whose workers
@@ -304,6 +363,8 @@ where
     /// further steps (its daemon slot stays empty) rather than silently
     /// continuing under a different schedule.
     pub fn step_time_unit(&mut self) {
+        let start = self.observer.is_some().then(std::time::Instant::now);
+        let activations_before = self.activations;
         // take the daemon out so its borrowed batches can drive &mut self;
         // for_each_batch lends slices (no per-batch Vec materialization —
         // ChunkedDaemon chunks one flat schedule, the adversarial daemons
@@ -324,6 +385,16 @@ where
         });
         self.daemon = Some(daemon);
         self.time_units += 1;
+        if let Some(mut observer) = self.observer.take() {
+            observer.on_round(&RoundStats {
+                round: self.time_units - 1,
+                alarms: self.alarming_nodes().len(),
+                activations: self.activations - activations_before,
+                halo_bytes: 0,
+                dispatch_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            });
+            self.observer = Some(observer);
+        }
     }
 
     /// Executes `count` time units.
@@ -371,32 +442,91 @@ where
     }
 
     /// Runs until some node raises an alarm; returns the detection time in
-    /// time units.
+    /// time units. (Delegates to the shared [`Runner::run_until`] loop.)
     pub fn run_until_alarm(&mut self, max_units: usize) -> Option<usize> {
-        if self.any_alarm() {
-            return Some(0);
-        }
-        for executed in 1..=max_units {
-            self.step_time_unit();
-            if self.any_alarm() {
-                return Some(executed);
-            }
-        }
-        None
+        Runner::run_until(self, StopCondition::FirstAlarm, max_units)
     }
 
-    /// Runs until every node accepts.
+    /// Runs until every node accepts. (Delegates to the shared
+    /// [`Runner::run_until`] loop.)
     pub fn run_until_all_accept(&mut self, max_units: usize) -> Option<usize> {
-        if self.all_accept() {
-            return Some(0);
+        Runner::run_until(self, StopCondition::AllAccept, max_units)
+    }
+}
+
+impl<'p, P> Runner<P> for ShardedAsyncRunner<'p, P>
+where
+    P: NodeProgram + Sync,
+    P::State: Send + Sync,
+{
+    fn step(&mut self) {
+        self.step_time_unit();
+    }
+
+    fn steps(&self) -> usize {
+        self.time_units
+    }
+
+    fn activations(&self) -> usize {
+        self.activations
+    }
+
+    fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    fn state(&self, v: NodeId) -> &P::State {
+        ShardedAsyncRunner::state(self, v)
+    }
+
+    fn state_mut(&mut self, v: NodeId) -> &mut P::State {
+        ShardedAsyncRunner::state_mut(self, v)
+    }
+
+    fn states_snapshot(&self) -> Vec<P::State> {
+        ShardedAsyncRunner::states_snapshot(self)
+    }
+
+    fn context(&self, v: NodeId) -> NodeContext {
+        ShardedAsyncRunner::context(self, v).clone()
+    }
+
+    fn any_alarm(&self) -> bool {
+        ShardedAsyncRunner::any_alarm(self)
+    }
+
+    fn all_accept(&self) -> bool {
+        ShardedAsyncRunner::all_accept(self)
+    }
+
+    fn alarming_nodes(&self) -> Vec<NodeId> {
+        ShardedAsyncRunner::alarming_nodes(self)
+    }
+
+    fn apply_faults(&mut self, plan: &FaultPlan, mutate: &mut dyn FnMut(NodeId, &mut P::State)) {
+        ShardedAsyncRunner::apply_faults(self, plan, mutate);
+    }
+
+    fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        ShardedAsyncRunner::set_observer(self, observer);
+    }
+
+    fn report(&self) -> RunReport {
+        let daemon = self
+            .daemon
+            .as_deref()
+            .map_or_else(|| "poisoned".to_string(), BatchDaemon::describe);
+        RunReport {
+            node_count: self.states.len(),
+            steps: self.time_units,
+            activations: self.activations,
+            threads: self.threads,
+            engine: format!("sharded-async(threads={},daemon={daemon})", self.threads),
         }
-        for executed in 1..=max_units {
-            self.step_time_unit();
-            if self.all_accept() {
-                return Some(executed);
-            }
-        }
-        None
+    }
+
+    fn into_network(self: Box<Self>) -> Network<P> {
+        ShardedAsyncRunner::into_network(*self)
     }
 }
 
@@ -431,6 +561,7 @@ fn compute_nodes<P: NodeProgram>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated constructor shims must keep working for one release
 mod tests {
     use super::*;
     use smst_graph::generators::{path_graph, random_connected_graph};

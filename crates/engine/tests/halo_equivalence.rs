@@ -6,6 +6,11 @@
 //! on the expander scenario the RCM layout must leave strictly smaller
 //! halos than the identity layout.
 
+// the deprecated per-runner constructors are shims over the EngineConfig
+// path for one release; this suite deliberately keeps exercising them so
+// the shims stay bit-for-bit equal to the new surface until removal
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use smst_engine::programs::MinIdFlood;
 use smst_engine::{

@@ -5,6 +5,11 @@
 //! layout on and off; and the RCM renumbering must round-trip node ids on
 //! random and expander graphs.
 
+// the deprecated per-runner constructors are shims over the EngineConfig
+// path for one release; this suite deliberately keeps exercising them so
+// the shims stay bit-for-bit equal to the new surface until removal
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use smst_engine::layout::mean_bandwidth;
 use smst_engine::programs::MinIdFlood;

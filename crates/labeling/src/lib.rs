@@ -16,7 +16,7 @@
 //!   `O(log² n)` bits per node (the memory-heavy baseline the paper improves
 //!   on);
 //! * [`recompute`] — verification from scratch (no labels at all): recompute
-//!   the MST and compare, the time-heavy baseline ([53], and the behaviour of
+//!   the MST and compare, the time-heavy baseline (\[53\], and the behaviour of
 //!   the `Ω(n·|E|)`-time self-stabilizing algorithms in Table 1);
 //! * [`adapter`] — wraps any 1-round scheme as a [`smst_sim::NodeProgram`] so
 //!   it can be run, fault-injected and measured by the simulator.

@@ -2,7 +2,7 @@
 //!
 //! Without labels, verifying that `H(G)` is an MST requires recomputing (a
 //! certificate of) the MST, which costs `Ω(√n + D)` time and `Ω(|E|)`
-//! messages (Kor–Korman–Peleg, [53] in the paper), and in the self-stabilizing
+//! messages (Kor–Korman–Peleg, \[53\] in the paper), and in the self-stabilizing
 //! constructions of Table 1 that rely on repeated recomputation the time
 //! degenerates to `Ω(n·|E|)`. This module models that baseline: the *checker*
 //! recomputes the MST centrally and compares; the *cost model* charges the
@@ -60,7 +60,7 @@ impl RecomputeChecker {
     }
 
     /// The rounds charged to one verification pass in the *message-conscious*
-    /// low-memory model of Higham–Liang ([48]): each of the `n` beacon rounds
+    /// low-memory model of Higham–Liang (\[48\]): each of the `n` beacon rounds
     /// re-examines every edge, giving the `Ω(n·|E|)`-flavoured bound Table 1
     /// quotes. Used by the Table 1 harness as the time of the
     /// recompute-checker self-stabilizing baseline.

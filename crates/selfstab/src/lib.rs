@@ -21,11 +21,11 @@
 //! * [`Variant::OneRoundLabels`] — SYNC_MST + the `O(log² n)`-bit 1-round
 //!   scheme of Korman–Kutten (what one gets by plugging [54, 55] into the
 //!   transformer; the closest implementable stand-in for the `O(log² n)`-bit
-//!   algorithm of Blin et al. [17]);
+//!   algorithm of Blin et al. \[17\]);
 //! * [`Variant::Recompute`] — the label-free checker that re-verifies by
 //!   recomputation, whose repeated checking cost models the `Ω(n·|E|)`-time
-//!   behaviour of the `O(log n)`-bit algorithms of Higham–Liang [48] and
-//!   Blin et al. [18].
+//!   behaviour of the `O(log n)`-bit algorithms of Higham–Liang \[48\] and
+//!   Blin et al. \[18\].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -9,7 +9,7 @@
 //! * the detection time of the verification scheme on the (arbitrary,
 //!   possibly corrupted) initial configuration,
 //! * a reset wave (`O(n)` in the paper's model; the underlying self-
-//!   stabilizing spanning-tree / reset substrate of [13] and [1, 28] is
+//!   stabilizing spanning-tree / reset substrate of \[13\] and \[1, 28\] is
 //!   charged as a linear number of rounds), and
 //! * the construction + marker time.
 //!
@@ -30,8 +30,8 @@ use smst_labeling::Instance;
 pub enum Variant {
     /// SYNC_MST + the paper's `O(log n)`-bit polylog-time verifier.
     Paper,
-    /// SYNC_MST + the `O(log² n)`-bit 1-round scheme of [54, 55]
-    /// (stand-in for the `O(log² n)`-memory algorithm of [17]).
+    /// SYNC_MST + the `O(log² n)`-bit 1-round scheme of \[54, 55\]
+    /// (stand-in for the `O(log² n)`-memory algorithm of \[17\]).
     OneRoundLabels,
     /// SYNC_MST + label-free re-verification by recomputation
     /// (stand-in for the `Ω(n·|E|)`-time algorithms of [48, 18]).

@@ -10,6 +10,7 @@
 //! others) is modelled.
 
 use crate::network::Network;
+use crate::observer::{RoundObserver, RoundStats};
 use crate::program::NodeProgram;
 use smst_graph::NodeId;
 use smst_rng::{Rng, SeedableRng, SliceRandom, StdRng};
@@ -240,6 +241,9 @@ pub struct AsyncRunner<'p, P: NodeProgram> {
     daemon: Daemon,
     time_units: usize,
     activations: usize,
+    /// Per-time-unit measurement hook; stats are computed only while
+    /// attached.
+    observer: Option<Box<dyn RoundObserver>>,
 }
 
 impl<'p, P: NodeProgram> AsyncRunner<'p, P> {
@@ -251,7 +255,20 @@ impl<'p, P: NodeProgram> AsyncRunner<'p, P> {
             daemon,
             time_units: 0,
             activations: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches a [`RoundObserver`] invoked after every time unit
+    /// (replacing any previous one). Observation costs one verdict sweep
+    /// per unit; results never change.
+    pub fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn RoundObserver>> {
+        self.observer.take()
     }
 
     /// Normalized asynchronous time units elapsed so far.
@@ -274,6 +291,11 @@ impl<'p, P: NodeProgram> AsyncRunner<'p, P> {
         &mut self.network
     }
 
+    /// The program being executed.
+    pub fn program(&self) -> &P {
+        self.program
+    }
+
     /// Consumes the runner, returning the network.
     pub fn into_network(self) -> Network<P> {
         self.network
@@ -281,14 +303,26 @@ impl<'p, P: NodeProgram> AsyncRunner<'p, P> {
 
     /// Executes one normalized time unit (every node activated at least once).
     pub fn step_time_unit(&mut self) {
+        let start = self.observer.is_some().then(std::time::Instant::now);
         let schedule = self
             .daemon
             .schedule(self.network.node_count(), self.time_units);
+        let unit_activations = schedule.len();
         for v in schedule {
             self.network.activate(self.program, v);
             self.activations += 1;
         }
         self.time_units += 1;
+        if let Some(mut observer) = self.observer.take() {
+            observer.on_round(&RoundStats {
+                round: self.time_units - 1,
+                alarms: self.network.alarming_nodes(self.program).len(),
+                activations: unit_activations,
+                halo_bytes: 0,
+                dispatch_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            });
+            self.observer = Some(observer);
+        }
     }
 
     /// Executes `count` time units.

@@ -30,6 +30,9 @@
 //! * [`memory`] — per-node memory-size accounting in bits;
 //! * [`metrics`] — detection time / detection distance / stabilization
 //!   statistics;
+//! * [`observer`] — the per-round measurement hook ([`RoundObserver`])
+//!   every runner in the workspace invokes, with a [`RecordingObserver`]
+//!   for benches and tests;
 //! * [`trace`] — a bounded execution trace for debugging and examples.
 
 #![forbid(unsafe_code)]
@@ -40,6 +43,7 @@ pub mod faults;
 pub mod memory;
 pub mod metrics;
 pub mod network;
+pub mod observer;
 pub mod program;
 pub mod sync;
 pub mod trace;
@@ -49,5 +53,6 @@ pub use faults::FaultPlan;
 pub use memory::MemoryUsage;
 pub use metrics::{DetectionReport, ExecutionStats};
 pub use network::Network;
+pub use observer::{RecordingObserver, RoundObserver, RoundStats};
 pub use program::{NodeContext, NodeProgram, Verdict};
 pub use sync::SyncRunner;

@@ -1,0 +1,176 @@
+//! Round observers: a per-round/per-time-unit measurement hook shared by
+//! every runner in the workspace.
+//!
+//! A [`RoundObserver`] is invoked by a runner after **every** completed
+//! step (synchronous round or asynchronous time unit) with a
+//! [`RoundStats`] snapshot: the step index, the number of alarming nodes,
+//! the halo bytes the step exchanged (sharded halo mode only) and the
+//! wall-clock dispatch latency. This is the single instrumentation surface
+//! the `smst-engine` runners, the sequential reference runners and the
+//! bench harness share — per-round accounting of the kind KMW-style
+//! lower-bound experiments need plugs in here once, not per runner.
+//!
+//! # Determinism
+//!
+//! Everything in [`RoundStats`] except `dispatch_ns` is a pure function of
+//! the execution semantics: `round`, `alarms` and `activations` are
+//! identical across thread counts, layouts and pinning (the engine's
+//! determinism contract), and `halo_bytes` is a pure function of the
+//! shard geometry. `dispatch_ns` is wall-clock and varies run to run.
+//!
+//! # Cost
+//!
+//! Runners compute [`RoundStats`] only while an observer is attached; an
+//! attached observer costs one verdict sweep (`O(n)`) per step. The
+//! sharded runners also drop from chunked multi-round dispatch to
+//! round-granular dispatch while observed, so every round boundary is
+//! visible — results never change, only wall-clock.
+
+use std::sync::{Arc, Mutex};
+
+/// What one completed step (round / time unit) looked like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Index of the completed step (the first step a runner executes
+    /// reports `round == 0`).
+    pub round: usize,
+    /// Number of nodes raising an alarm after the step.
+    pub alarms: usize,
+    /// Activations the step executed (node count for a synchronous round;
+    /// the daemon's schedule length for an asynchronous time unit).
+    pub activations: usize,
+    /// Register bytes pulled across shard boundaries by the step's halo
+    /// exchange (0 outside the sharded halo-exchange mode).
+    pub halo_bytes: u64,
+    /// Wall-clock nanoseconds the step's dispatch took. **Not**
+    /// deterministic — never compare it across runs.
+    pub dispatch_ns: u64,
+}
+
+impl RoundStats {
+    /// The deterministic projection of the stats — every field that the
+    /// determinism contract covers (everything except `dispatch_ns`).
+    /// Equality of these tuples across thread counts / layouts / pinning
+    /// is what the observer property tests pin.
+    pub fn deterministic(&self) -> (usize, usize, usize, u64) {
+        (self.round, self.alarms, self.activations, self.halo_bytes)
+    }
+}
+
+/// A per-step measurement hook. Implementations must be cheap relative to
+/// a step (they run on the dispatching thread, inside the step loop).
+pub trait RoundObserver: std::fmt::Debug + Send {
+    /// Called once after every completed round / time unit.
+    fn on_round(&mut self, stats: &RoundStats);
+}
+
+/// A [`RoundObserver`] that records every [`RoundStats`] into shared
+/// storage. Cloning is shallow: keep one clone, hand the other to
+/// [`set_observer`](crate::SyncRunner::set_observer), and read the
+/// recording back through the kept clone after the run.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    rounds: Arc<Mutex<Vec<RoundStats>>>,
+}
+
+impl RecordingObserver {
+    /// An empty recording.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything recorded so far (a snapshot clone).
+    pub fn stats(&self) -> Vec<RoundStats> {
+        self.rounds.lock().expect("observer lock poisoned").clone()
+    }
+
+    /// Number of steps observed.
+    pub fn rounds_observed(&self) -> usize {
+        self.rounds.lock().expect("observer lock poisoned").len()
+    }
+
+    /// Total halo bytes exchanged across all observed steps.
+    pub fn total_halo_bytes(&self) -> u64 {
+        self.stats().iter().map(|s| s.halo_bytes).sum()
+    }
+
+    /// Total activations across all observed steps.
+    pub fn total_activations(&self) -> usize {
+        self.stats().iter().map(|s| s.activations).sum()
+    }
+
+    /// Mean dispatch latency in nanoseconds (0.0 when nothing was
+    /// observed). Wall-clock — indicative only.
+    pub fn mean_dispatch_ns(&self) -> f64 {
+        let stats = self.stats();
+        if stats.is_empty() {
+            return 0.0;
+        }
+        stats.iter().map(|s| s.dispatch_ns as f64).sum::<f64>() / stats.len() as f64
+    }
+
+    /// The deterministic projections of every recorded step, in order —
+    /// the sequence the cross-thread-count determinism tests compare.
+    pub fn deterministic_trace(&self) -> Vec<(usize, usize, usize, u64)> {
+        self.stats().iter().map(RoundStats::deterministic).collect()
+    }
+}
+
+impl RoundObserver for RecordingObserver {
+    fn on_round(&mut self, stats: &RoundStats) {
+        self.rounds
+            .lock()
+            .expect("observer lock poisoned")
+            .push(stats.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(round: usize) -> RoundStats {
+        RoundStats {
+            round,
+            alarms: round % 2,
+            activations: 10,
+            halo_bytes: 8,
+            dispatch_ns: 123,
+        }
+    }
+
+    #[test]
+    fn recording_observer_accumulates_through_clones() {
+        let recording = RecordingObserver::new();
+        let mut handle = recording.clone();
+        handle.on_round(&stat(0));
+        handle.on_round(&stat(1));
+        assert_eq!(recording.rounds_observed(), 2);
+        assert_eq!(recording.stats()[1], stat(1));
+        assert_eq!(recording.total_halo_bytes(), 16);
+        assert_eq!(recording.total_activations(), 20);
+        assert!((recording.mean_dispatch_ns() - 123.0).abs() < 1e-9);
+        assert_eq!(
+            recording.deterministic_trace(),
+            vec![(0, 0, 10, 8), (1, 1, 10, 8)]
+        );
+    }
+
+    #[test]
+    fn deterministic_projection_drops_wall_clock() {
+        let mut a = stat(3);
+        let mut b = stat(3);
+        a.dispatch_ns = 1;
+        b.dispatch_ns = 999_999;
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic(), b.deterministic());
+    }
+
+    #[test]
+    fn empty_recording_reports_zeroes() {
+        let recording = RecordingObserver::new();
+        assert_eq!(recording.rounds_observed(), 0);
+        assert_eq!(recording.mean_dispatch_ns(), 0.0);
+        assert!(recording.deterministic_trace().is_empty());
+    }
+}

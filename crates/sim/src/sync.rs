@@ -5,6 +5,7 @@
 //! its own register. One round is one time unit.
 
 use crate::network::Network;
+use crate::observer::{RoundObserver, RoundStats};
 use crate::program::NodeProgram;
 use smst_graph::NodeId;
 
@@ -19,6 +20,8 @@ pub struct SyncRunner<'p, P: NodeProgram> {
     /// hot path free of per-round `Vec` allocations).
     scratch: Vec<P::State>,
     rounds: usize,
+    /// Per-round measurement hook; stats are computed only while attached.
+    observer: Option<Box<dyn RoundObserver>>,
 }
 
 impl<'p, P: NodeProgram> SyncRunner<'p, P> {
@@ -30,7 +33,20 @@ impl<'p, P: NodeProgram> SyncRunner<'p, P> {
             network,
             scratch,
             rounds: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches a [`RoundObserver`] invoked after every round (replacing
+    /// any previous one). Observation costs one verdict sweep per round;
+    /// results never change.
+    pub fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn RoundObserver>> {
+        self.observer.take()
     }
 
     /// The number of rounds executed so far.
@@ -60,12 +76,23 @@ impl<'p, P: NodeProgram> SyncRunner<'p, P> {
 
     /// Executes exactly one synchronous round.
     pub fn step_round(&mut self) {
+        let start = self.observer.is_some().then(std::time::Instant::now);
         let n = self.network.node_count();
         for (v, slot) in self.scratch.iter_mut().enumerate().take(n) {
             *slot = self.network.next_state(self.program, NodeId(v));
         }
         self.network.swap_states(&mut self.scratch);
         self.rounds += 1;
+        if let Some(mut observer) = self.observer.take() {
+            observer.on_round(&RoundStats {
+                round: self.rounds - 1,
+                alarms: self.network.alarming_nodes(self.program).len(),
+                activations: n,
+                halo_bytes: 0,
+                dispatch_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            });
+            self.observer = Some(observer);
+        }
     }
 
     /// Executes `count` synchronous rounds.

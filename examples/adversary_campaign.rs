@@ -18,6 +18,8 @@ use smst_adversary::{
 use smst_engine::GraphFamily;
 
 fn main() {
+    // SMST_BENCH_SMOKE=1 shrinks the search so CI can run the example
+    let smoke = std::env::var_os("SMST_BENCH_SMOKE").is_some_and(|v| v != "0");
     let mut spec = CampaignSpec::new("example", Workload::Monitor);
     spec.families = vec![
         GraphFamily::Path { n: 64 },
@@ -25,8 +27,8 @@ fn main() {
         GraphFamily::RandomConnected { n: 64, m: 96 },
     ];
     spec.graph_seeds = vec![1, 2, 3];
-    spec.random_trials = 32;
-    spec.guided_rounds = 2;
+    spec.random_trials = if smoke { 12 } else { 32 };
+    spec.guided_rounds = if smoke { 1 } else { 2 };
     spec.budget = 320;
     spec.seed = 11;
     spec.threads = smst_engine::default_threads();

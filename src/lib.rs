@@ -16,7 +16,7 @@
 //! * [`labeling`] — proof-labeling schemes and baselines;
 //! * [`core`] — the paper's marker and `O(log n)`-bit verifier;
 //! * [`selfstab`] — the enhanced Awerbuch–Varghese transformer;
-//! * [`bench`] — experiment drivers and the timing harness.
+//! * [`mod@bench`] — experiment drivers and the timing harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 use smst_core::scheme::{rounds_until_rejection, MstVerificationScheme};
 use smst_core::CoreLabel;
-use smst_engine::adapters::rounds_until_rejection_parallel;
+use smst_engine::adapters::rounds_until_rejection_engine;
+use smst_engine::EngineConfig;
 use smst_graph::generators::random_connected_graph;
 use smst_graph::mst::kruskal;
 use smst_graph::{EdgeId, NodeId, RootedTree};
@@ -87,7 +88,13 @@ proptest! {
         );
         prop_assert!(seq.unwrap() <= budget);
 
-        let par = rounds_until_rejection_parallel(&bad, labels, budget, 4);
+        let par = rounds_until_rejection_engine(
+            &bad,
+            labels,
+            budget,
+            &EngineConfig::new().threads(4),
+        )
+        .expect("a plain sync envelope is valid");
         prop_assert_eq!(par, seq, "sharded detection time diverged from sequential");
     }
 }
@@ -114,7 +121,13 @@ proptest! {
             "sequential runner missed a spanning non-MST tree within the bound"
         );
 
-        let par = rounds_until_rejection_parallel(&bad, labels, budget, 3);
+        let par = rounds_until_rejection_engine(
+            &bad,
+            labels,
+            budget,
+            &EngineConfig::new().threads(3),
+        )
+        .expect("a plain sync envelope is valid");
         prop_assert_eq!(par, seq, "sharded detection time diverged from sequential");
     }
 }
