@@ -1,13 +1,19 @@
 //! A tiny seeded campaign for CI: exercises the whole pipeline (search →
 //! baseline regret → shrink → replay) in seconds and writes
-//! `CAMPAIGN_smoke.json` for the artifact upload. `SMST_BENCH_SMOKE=1`
-//! shrinks the trial count further (the default sizes are already small).
+//! `CAMPAIGN_smoke.json` for the artifact upload. The campaign's best find
+//! is additionally replayed **observed** — teeing a [`RecordingObserver`]
+//! with the env-gated telemetry sink — and its per-round stream is written
+//! to `BENCH_rounds_campaign.json`, keyed by the replayable `TrialId`.
+//! `SMST_BENCH_SMOKE=1` shrinks the trial count further (the default sizes
+//! are already small).
 
 use smst_adversary::{
-    beats_round_robin_memo, run_campaign, run_trial, shrink_trial, write_campaign_artifact,
-    CampaignSpec, TrialSpec, Workload,
+    beats_round_robin_memo, run_campaign, run_trial, run_trial_observed, shrink_trial,
+    write_campaign_artifact, CampaignSpec, TrialSpec, Workload,
 };
 use smst_bench::harness::smoke_mode;
+use smst_sim::{RecordingObserver, TeeObserver};
+use smst_telemetry::{RoundsArtifact, Telemetry};
 
 fn main() {
     let mut spec = CampaignSpec::new("smoke", Workload::Monitor);
@@ -61,4 +67,28 @@ fn main() {
         None
     };
     write_campaign_artifact(&report, spec.budget, shrunk.as_ref());
+
+    // observed replay of the best find (shrunk if available): the
+    // deterministic trial, re-run with per-round accounting attached, its
+    // stream promoted to BENCH_rounds_campaign.json keyed by the TrialId
+    let replay_spec = shrunk.map(|s| s.spec).unwrap_or(best.spec);
+    let trial_id = replay_spec.id();
+    let telemetry = Telemetry::from_env("campaign_smoke");
+    let recording = RecordingObserver::new();
+    let mut tee = TeeObserver::new().with(Box::new(recording.clone()));
+    if let Some(observer) = telemetry.observer(&trial_id) {
+        tee.push(observer);
+    }
+    let observed = run_trial_observed(&replay_spec, Box::new(tee));
+    assert_eq!(
+        observed,
+        run_trial(&replay_spec),
+        "attaching an observer changed the trial outcome"
+    );
+    let stats = recording.stats();
+    assert_eq!(stats.len(), observed.steps_run, "one record per step run");
+    let mut artifact = RoundsArtifact::new("rounds_campaign");
+    artifact.push(&format!("campaign/{}/best", spec.name), &trial_id, stats);
+    artifact.finish();
+    telemetry.flush().expect("flushing the campaign trace");
 }

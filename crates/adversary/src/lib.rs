@@ -48,6 +48,6 @@ pub use campaign::{run_campaign, CampaignReport, CampaignSpec, TrialRecord};
 pub use daemons::{CutFocusDaemon, StallDaemon, StarveDaemon};
 pub use shrink::{shrink as shrink_trial, ShrinkResult};
 pub use trial::{
-    beats_round_robin, beats_round_robin_memo, run_trial, DaemonSpec, Score, TrialOutcome,
-    TrialSpec, Workload,
+    beats_round_robin, beats_round_robin_memo, run_trial, run_trial_observed, DaemonSpec, Score,
+    TrialOutcome, TrialSpec, Workload,
 };

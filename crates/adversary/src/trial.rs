@@ -14,7 +14,7 @@ use smst_core::faults::{corrupt, FaultKind};
 use smst_engine::programs::{MinIdFlood, MonitorFlood};
 use smst_engine::{EngineConfig, GraphFamily, ScenarioSpec, StopCondition};
 use smst_graph::WeightedGraph;
-use smst_sim::{BatchDaemon, ChunkedDaemon, Daemon};
+use smst_sim::{BatchDaemon, ChunkedDaemon, Daemon, RoundObserver};
 
 /// A replayable daemon descriptor: every daemon a campaign can schedule,
 /// with its parameters, in a form that encodes into a `TrialId`.
@@ -457,6 +457,20 @@ pub struct TrialOutcome {
 /// Runs one trial. Deterministic: the same spec always produces the same
 /// outcome (pinned by the replay tests).
 pub fn run_trial(spec: &TrialSpec) -> TrialOutcome {
+    run_trial_inner(spec, None)
+}
+
+/// [`run_trial`] with a [`RoundObserver`] attached to the instantiated
+/// runner — per-step accounting for campaign artifacts and traces without
+/// changing the trial's results. The outcome and the observed
+/// deterministic fields (`round`, `alarms`, `activations`, `halo_bytes`)
+/// are the same pure function of the spec as [`run_trial`]'s; only the
+/// `*_ns` phase timings are wall-clock.
+pub fn run_trial_observed(spec: &TrialSpec, observer: Box<dyn RoundObserver>) -> TrialOutcome {
+    run_trial_inner(spec, Some(observer))
+}
+
+fn run_trial_inner(spec: &TrialSpec, observer: Option<Box<dyn RoundObserver>>) -> TrialOutcome {
     let graph = spec.family.build(spec.graph_seed);
     let n = graph.node_count();
     let daemon = spec.daemon.build(&graph);
@@ -476,11 +490,14 @@ pub fn run_trial(spec: &TrialSpec) -> TrialOutcome {
         Workload::Monitor => {
             let ceiling = n.max(1) as u64 - 1;
             let program = MonitorFlood::new(ceiling, ceiling);
-            let outcome = scenario.until(StopCondition::FirstAlarm).run(
-                &program,
-                |_v, s| *s = MonitorFlood::BOGUS,
-                budget,
-            );
+            let scenario = scenario.until(StopCondition::FirstAlarm);
+            let corrupt_state = |_v, s: &mut u64| *s = MonitorFlood::BOGUS;
+            let outcome = match observer {
+                Some(obs) => scenario
+                    .run_observed(&program, corrupt_state, budget, obs)
+                    .unwrap_or_else(|e| panic!("invalid scenario engine config: {e}")),
+                None => scenario.run(&program, corrupt_state, budget),
+            };
             TrialOutcome {
                 node_count: outcome.report.node_count,
                 steps_run: outcome.report.steps_run,
@@ -495,11 +512,14 @@ pub fn run_trial(spec: &TrialSpec) -> TrialOutcome {
         }
         Workload::Heal => {
             let program = MinIdFlood::new(0);
-            let outcome = scenario.until(StopCondition::AllAccept).run(
-                &program,
-                |_v, s| *s = u64::MAX,
-                budget,
-            );
+            let scenario = scenario.until(StopCondition::AllAccept);
+            let corrupt_state = |_v, s: &mut u64| *s = u64::MAX;
+            let outcome = match observer {
+                Some(obs) => scenario
+                    .run_observed(&program, corrupt_state, budget, obs)
+                    .unwrap_or_else(|e| panic!("invalid scenario engine config: {e}")),
+                None => scenario.run(&program, corrupt_state, budget),
+            };
             TrialOutcome {
                 node_count: outcome.report.node_count,
                 steps_run: outcome.report.steps_run,
@@ -516,14 +536,21 @@ pub fn run_trial(spec: &TrialSpec) -> TrialOutcome {
             let kind = spec.fault_kind;
             let seed = spec.fault_seed;
             let mut i = 0u64;
-            let (outcome, _verifier) = scenario.until(StopCondition::FirstAlarm).run_with(
-                mst_verifier_for,
-                move |_v, state| {
-                    corrupt(state, kind, seed.wrapping_add(i));
-                    i += 1;
-                },
-                budget,
-            );
+            let corrupt_state = move |_v, state: &mut _| {
+                corrupt(state, kind, seed.wrapping_add(i));
+                i += 1;
+            };
+            // the verifier is built from the trial's own graph — the same
+            // `(family, seed)` product the scenario rebuilds internally, so
+            // this equals the unobserved `run_with` construction
+            let program = mst_verifier_for(&graph);
+            let scenario = scenario.until(StopCondition::FirstAlarm);
+            let outcome = match observer {
+                Some(obs) => scenario
+                    .run_observed(&program, corrupt_state, budget, obs)
+                    .unwrap_or_else(|e| panic!("invalid scenario engine config: {e}")),
+                None => scenario.run(&program, corrupt_state, budget),
+            };
             TrialOutcome {
                 node_count: outcome.report.node_count,
                 steps_run: outcome.report.steps_run,

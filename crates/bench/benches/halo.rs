@@ -14,20 +14,26 @@
 //! * `halo/<layout>/bytes_per_round` — exchanged bytes per round for the
 //!   `u64` registers of the bench program, as reported **per round by a
 //!   [`RecordingObserver`]** (the one-engine-API measurement hook), plus
-//!   `halo/<layout>/observed_dispatch_ns` — the observer's mean dispatch
-//!   latency over the observed rounds (wall-clock, indicative).
+//!   `halo/<layout>/observed_round_ns` — the observer's mean per-round
+//!   total over the observed rounds (wall-clock, indicative).
 //!
 //! RCM exists to shrink the boundary, so `halo/rcm/entries` should come
 //! out well below `halo/identity/entries` (the engine's property tests pin
 //! the strict inequality; here it is measured and reported). Results land
-//! in `BENCH_halo.json`; `SMST_BENCH_SMOKE=1` shrinks the sizes for CI.
+//! in `BENCH_halo.json`. The observed probe rounds — which carry the full
+//! dispatch/compute/barrier/exchange phase split — are promoted to
+//! `BENCH_rounds_halo.json` via a [`RoundsArtifact`], teeing the recording
+//! observer with the env-gated telemetry sink ([`Telemetry::from_env`],
+//! `SMST_TRACE_SAMPLE` → `TRACE_halo.jsonl`). `SMST_BENCH_SMOKE=1`
+//! shrinks the sizes for CI.
 
 use smst_bench::harness::{smoke_mode, BenchGroup};
 use smst_engine::programs::MinIdFlood;
 use smst_engine::{EngineConfig, LayoutPolicy, ParallelSyncRunner, PinPolicy};
 use smst_graph::generators::expander_graph;
 use smst_graph::WeightedGraph;
-use smst_sim::RecordingObserver;
+use smst_sim::{RecordingObserver, TeeObserver};
+use smst_telemetry::{RoundsArtifact, Telemetry};
 
 const ROUNDS_PER_ITER: usize = 8;
 
@@ -72,6 +78,8 @@ fn main() {
     };
     let g = expander_graph(n, degree, 5);
     let program = MinIdFlood::new(0);
+    let telemetry = Telemetry::from_env("halo");
+    let mut artifact = RoundsArtifact::new("rounds_halo");
     for (label, layout) in [
         ("identity", LayoutPolicy::Identity),
         ("rcm", LayoutPolicy::Rcm),
@@ -96,8 +104,13 @@ fn main() {
                 .halo(true),
         )
         .expect("a sync halo envelope is valid");
+        let run = format!("n={n};degree={degree};threads={threads};layout={label}");
         let recording = RecordingObserver::new();
-        probe.set_observer(Box::new(recording.clone()));
+        let mut tee = TeeObserver::new().with(Box::new(recording.clone()));
+        if let Some(observer) = telemetry.observer(&run) {
+            tee.push(observer);
+        }
+        probe.set_observer(Box::new(tee));
         probe.run_rounds(4);
         let stats = recording.stats();
         assert_eq!(stats.len(), 4, "one callback per observed round");
@@ -118,9 +131,16 @@ fn main() {
             stats[0].halo_bytes as f64,
         );
         group.record_meta(
-            &format!("halo/{label}/observed_dispatch_ns"),
-            recording.mean_dispatch_ns(),
+            &format!("halo/{label}/observed_round_ns"),
+            recording.mean_round_ns(),
+        );
+        artifact.push(
+            &format!("expander/{n}/threads={threads}/{label}"),
+            &run,
+            stats,
         );
     }
+    artifact.finish();
+    telemetry.flush().expect("flushing the halo trace");
     group.finish();
 }

@@ -2,11 +2,21 @@
 //! to the first alarm, as a function of n — engine-native, so the sweep
 //! parallelizes across the worker pool and scales to 100k+ nodes.
 //!
+//! The largest sweep point is additionally replayed **observed**: the same
+//! scenario re-run with per-round accounting attached (a
+//! [`RecordingObserver`] teed with the env-gated telemetry sink), its
+//! stream promoted to `BENCH_rounds_detection.json` — so the figure's
+//! headline point ships with its full per-round phase split.
+//!
 //! Sizes are small by default; set `SMST_FIG_N=<n>` to extend the sweep
 //! (doubling sizes up to `n`) on a multi-core host.
 
-use smst_bench::engine_metrics::{engine_detection_sweep, fig_sizes};
-use smst_engine::{EngineConfig, LayoutPolicy};
+use smst_bench::engine_metrics::{engine_detection_sweep, fig_sizes, mst_verifier_for};
+use smst_core::faults::{corrupt, FaultKind};
+use smst_core::MstVerificationScheme;
+use smst_engine::{EngineConfig, GraphFamily, LayoutPolicy, ScenarioSpec, StopCondition};
+use smst_sim::{RecordingObserver, TeeObserver};
+use smst_telemetry::{RoundsArtifact, Telemetry};
 
 fn main() {
     let sizes = fig_sizes(&[16, 24, 32, 48, 64]);
@@ -41,4 +51,53 @@ fn main() {
             p.n, p.max_degree, steps, normalized, distance
         );
     }
+    observed_replay(*sizes.last().expect("at least one size"), 7, &engine);
+}
+
+/// Replays one sweep point with per-round accounting attached and writes
+/// the stream to `BENCH_rounds_detection.json` (plus sampled trace lines
+/// when `SMST_TRACE_SAMPLE` is set).
+fn observed_replay(n: usize, seed: u64, engine: &EngineConfig) {
+    let warmup = MstVerificationScheme::sync_budget(n);
+    let budget = warmup + 4 * MstVerificationScheme::sync_budget(n) + 1;
+    let spec = ScenarioSpec::new(GraphFamily::RandomConnected { n, m: 3 * n })
+        .engine(engine.clone())
+        .seed(seed)
+        .fault_burst(warmup, 1, seed)
+        .until(StopCondition::FirstAlarm);
+    let verifier = mst_verifier_for(&spec.build_graph());
+    let telemetry = Telemetry::from_env("fig_detection");
+    let run = format!("fam=rand:{n}x{m};gs={seed};at={warmup}", m = 3 * n);
+    let recording = RecordingObserver::new();
+    let mut tee = TeeObserver::new().with(Box::new(recording.clone()));
+    if let Some(observer) = telemetry.observer(&run) {
+        tee.push(observer);
+    }
+    let mut i = 0u64;
+    let outcome = spec
+        .run_observed(
+            &verifier,
+            |_v, state| {
+                corrupt(state, FaultKind::StoredPieceWeight, seed.wrapping_add(i));
+                i += 1;
+            },
+            budget,
+            Box::new(tee),
+        )
+        .expect("the sweep envelope is valid");
+    let stats = recording.stats();
+    assert_eq!(
+        stats.len(),
+        outcome.report.steps_run,
+        "one record per executed step"
+    );
+    // the warm-up dominates the step count (the polylog budget is ~10^5
+    // steps even at small n); the artifact keeps the window around the
+    // fault — a short converged prefix plus everything from injection to
+    // the alarm — instead of megabytes of identical warm-up rounds
+    let window: Vec<_> = stats.into_iter().skip(warmup.saturating_sub(8)).collect();
+    let mut artifact = RoundsArtifact::new("rounds_detection");
+    artifact.push(&format!("detection/random/{n}"), &run, window);
+    artifact.finish();
+    telemetry.flush().expect("flushing the fig_detection trace");
 }

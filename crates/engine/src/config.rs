@@ -18,6 +18,12 @@
 //! sites. Now those layers hold an `EngineConfig` and new knobs are added
 //! here once.
 //!
+//! Observability is deliberately **not** part of the envelope: every knob
+//! here selects semantics or placement, while measurement is attached
+//! after instantiation via [`Runner::set_observer`] (e.g. a
+//! `RecordingObserver`, or the telemetry crate's sinks) and never changes
+//! results.
+//!
 //! ```
 //! use smst_engine::{EngineConfig, LayoutPolicy, StopCondition};
 //! use smst_engine::programs::MinIdFlood;

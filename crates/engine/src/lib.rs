@@ -30,6 +30,9 @@
 //!   per-round thread spawns anywhere; [`pool::PinPolicy`] optionally pins
 //!   each worker to a core (raw `sched_setaffinity` on Linux, no-op
 //!   elsewhere) so shard arenas keep their cache and NUMA placement;
+//!   [`pool::PhaseTimes`] optionally splits observed rounds into
+//!   compute / barrier / halo-exchange wall-clock phases, surfaced through
+//!   [`smst_sim::RoundStats`] (timing never affects results);
 //! * [`ParallelSyncRunner`] — double-buffered lock-step rounds; each round
 //!   is an embarrassingly parallel map over shards, **bit-for-bit equal**
 //!   to [`smst_sim::SyncRunner`] at every thread count;
@@ -86,7 +89,7 @@ pub mod topology;
 pub use config::{Backend, ConfigError, DaemonConfig, EngineConfig, Mode};
 pub use layout::{Layout, LayoutPolicy};
 pub use parallel_sync::ParallelSyncRunner;
-pub use pool::{PinPolicy, PoolHandle, WorkerPool};
+pub use pool::{PhaseTimes, PinPolicy, PoolHandle, WorkerPool};
 pub use runner::{RunReport, Runner, StopCondition};
 pub use scenario::{FaultBurst, GraphFamily, ScenarioOutcome, ScenarioReport, ScenarioSpec};
 pub use shard::{partition_balanced, HaloPlan, Shard};

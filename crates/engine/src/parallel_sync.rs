@@ -30,7 +30,7 @@
 
 use crate::config::{Backend, ConfigError, EngineConfig};
 use crate::layout::{Layout, LayoutPolicy};
-use crate::pool::{PinPolicy, PoolHandle};
+use crate::pool::{PhaseTimes, PinPolicy, PoolHandle};
 use crate::runner::{RunReport, Runner, StopCondition};
 use crate::shard::{partition_balanced, HaloPlan, Shard};
 use crate::topology::CsrTopology;
@@ -72,6 +72,10 @@ pub struct ParallelSyncRunner<'p, P: NodeProgram> {
     /// Per-round measurement hook; while attached, multi-round chunks run
     /// round-granular so every boundary is observed.
     observer: Option<Box<dyn RoundObserver>>,
+    /// Phase accumulators for observed rounds (compute / barrier / halo
+    /// exchange); drained into each [`RoundStats`]. Only written while an
+    /// observer is attached — unobserved runs never read the clock.
+    phases: PhaseTimes,
 }
 
 impl<'p, P> ParallelSyncRunner<'p, P>
@@ -231,6 +235,7 @@ where
             threads,
             rounds: 0,
             observer: None,
+            phases: PhaseTimes::new(),
         }
     }
 
@@ -404,21 +409,26 @@ where
     /// observer sees every round boundary (results are identical).
     pub fn run_rounds(&mut self, count: usize) {
         if self.observer.is_none() {
-            self.run_rounds_unobserved(count);
+            self.run_rounds_unobserved(count, false);
             return;
         }
         for _ in 0..count {
             let start = std::time::Instant::now();
-            self.run_rounds_unobserved(1);
+            self.run_rounds_unobserved(1, true);
             self.observe_round(start.elapsed().as_nanos() as u64);
         }
     }
 
-    /// Reports the just-completed round to the attached observer.
-    fn observe_round(&mut self, dispatch_ns: u64) {
+    /// Reports the just-completed round to the attached observer, draining
+    /// the [`PhaseTimes`] accumulators into the stats. `dispatch_ns` is
+    /// the residual of the measured round total after the three named
+    /// phases, so gather/scatter and pool wake-up land there and the four
+    /// timing fields sum to the round total exactly.
+    fn observe_round(&mut self, total_ns: u64) {
         let Some(mut observer) = self.observer.take() else {
             return;
         };
+        let (compute_ns, barrier_ns, exchange_ns) = self.phases.take();
         let halo_bytes = match &self.halo {
             Some(halo) if self.shards.len() > 1 => {
                 (halo.plan.total_halo() * std::mem::size_of::<P::State>()) as u64
@@ -430,13 +440,18 @@ where
             alarms: self.alarming_nodes().len(),
             activations: self.states.len(),
             halo_bytes,
-            dispatch_ns,
+            dispatch_ns: total_ns.saturating_sub(compute_ns + barrier_ns + exchange_ns),
+            compute_ns,
+            barrier_ns,
+            exchange_ns,
         });
         self.observer = Some(observer);
     }
 
     /// The chunked dispatch core of [`run_rounds`](Self::run_rounds).
-    fn run_rounds_unobserved(&mut self, count: usize) {
+    /// `timed` routes the pool's per-phase clocks into [`Self::phases`]
+    /// (observed rounds only — the unobserved path stays clock-free).
+    fn run_rounds_unobserved(&mut self, count: usize, timed: bool) {
         if count == 0 {
             return;
         }
@@ -447,7 +462,7 @@ where
             return;
         }
         if self.halo.is_some() && self.shards.len() > 1 {
-            self.run_rounds_halo(count);
+            self.run_rounds_halo(count, timed);
             self.rounds += count;
             return;
         }
@@ -459,6 +474,7 @@ where
             // single-shard path: no dispatch, no synchronization at all
             let shard = shards[0];
             for _ in 0..count {
+                let start = timed.then(std::time::Instant::now);
                 compute_shard(
                     program,
                     topo,
@@ -467,10 +483,13 @@ where
                     shard,
                     &mut self.scratch,
                 );
+                if let Some(t) = start {
+                    self.phases.add_compute_ns(t.elapsed().as_nanos() as u64);
+                }
                 std::mem::swap(&mut self.states, &mut self.scratch);
             }
         } else {
-            self.pool.pool().run_rounds_double_buffered(
+            self.pool.pool().run_rounds_double_buffered_phased(
                 &self.bounds,
                 count,
                 &mut self.states,
@@ -478,6 +497,7 @@ where
                 |part, _round, prev, out| {
                     compute_shard(program, topo, contexts, prev, shards[part], out);
                 },
+                timed.then_some(&self.phases),
             );
         }
         self.rounds += count;
@@ -490,7 +510,7 @@ where
     /// `scratch` is refreshed with the previous round's registers on the
     /// way out, so [`run_to_fixpoint`](Self::run_to_fixpoint)'s
     /// states-vs-scratch comparison keeps working in halo mode.
-    fn run_rounds_halo(&mut self, count: usize) {
+    fn run_rounds_halo(&mut self, count: usize, timed: bool) {
         let mut halo = self.halo.take().expect("halo mode checked by caller");
         {
             let plan = &halo.plan;
@@ -504,7 +524,7 @@ where
             let regions = plan.regions();
             let program = self.program;
             let contexts = &self.contexts;
-            self.pool.pool().run_rounds_halo(
+            self.pool.pool().run_rounds_halo_phased(
                 &regions,
                 plan.exchange(),
                 count,
@@ -513,6 +533,7 @@ where
                 |part, _round, prev, out| {
                     compute_shard_halo(program, plan, part, contexts, prev, out);
                 },
+                timed.then_some(&self.phases),
             );
             plan.scatter_interiors(&halo.front, &mut self.states);
             plan.scatter_interiors(&halo.back, &mut self.scratch);

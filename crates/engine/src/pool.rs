@@ -49,10 +49,99 @@
 #![allow(unsafe_code)]
 
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Lock-free per-phase wall-clock accumulators for the pool's round
+/// primitives: how many nanoseconds the instrumented part spent computing,
+/// waiting on the round barrier, and pulling halo copies.
+///
+/// The `*_phased` round primitives
+/// ([`run_rounds_halo_phased`](WorkerPool::run_rounds_halo_phased),
+/// [`run_rounds_double_buffered_phased`](WorkerPool::run_rounds_double_buffered_phased))
+/// accumulate into one of these when handed `Some`; timing is sampled on
+/// **part 0 only** (the dispatching side), so barrier waits naturally
+/// absorb any imbalance against the slower parts and the accumulators
+/// never contend. Passing `None` compiles the clock reads out of the round
+/// loop entirely — the untimed primitives are the `None` special case.
+///
+/// Purely wall-clock: results are bit-for-bit identical with or without an
+/// accumulator attached (the engine's determinism contract never covers
+/// timing).
+#[derive(Debug, Default)]
+pub struct PhaseTimes {
+    compute_ns: AtomicU64,
+    barrier_ns: AtomicU64,
+    exchange_ns: AtomicU64,
+}
+
+impl PhaseTimes {
+    /// Fresh accumulators, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Nanoseconds accumulated in the compute phase.
+    pub fn compute_ns(&self) -> u64 {
+        self.compute_ns.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds accumulated waiting on round barriers.
+    pub fn barrier_ns(&self) -> u64 {
+        self.barrier_ns.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds accumulated pulling halo copies.
+    pub fn exchange_ns(&self) -> u64 {
+        self.exchange_ns.load(Ordering::Relaxed)
+    }
+
+    /// Adds to the compute phase (for callers that run compute inline,
+    /// outside the pool's round primitives — e.g. a single-shard runner).
+    pub fn add_compute_ns(&self, ns: u64) {
+        self.compute_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshots and resets all three accumulators, returning
+    /// `(compute_ns, barrier_ns, exchange_ns)`.
+    pub fn take(&self) -> (u64, u64, u64) {
+        (
+            self.compute_ns.swap(0, Ordering::Relaxed),
+            self.barrier_ns.swap(0, Ordering::Relaxed),
+            self.exchange_ns.swap(0, Ordering::Relaxed),
+        )
+    }
+}
+
+/// Which [`PhaseTimes`] accumulator a [`lap`] lands in.
+#[derive(Clone, Copy)]
+enum PhaseSlot {
+    Compute,
+    Barrier,
+    Exchange,
+}
+
+/// Adds the time since `*mark` to `slot` and advances `*mark` to now.
+/// With `phases == None` (or no prior mark) this is a no-op that never
+/// reads the clock — the untimed round loop stays clock-free.
+fn lap(phases: Option<&PhaseTimes>, mark: &mut Option<Instant>, slot: PhaseSlot) {
+    let (Some(times), Some(prev)) = (phases, mark.as_mut()) else {
+        return;
+    };
+    let now = Instant::now();
+    let ns = now.duration_since(*prev).as_nanos() as u64;
+    let cell = match slot {
+        PhaseSlot::Compute => &times.compute_ns,
+        PhaseSlot::Barrier => &times.barrier_ns,
+        PhaseSlot::Exchange => &times.exchange_ns,
+    };
+    cell.fetch_add(ns, Ordering::Relaxed);
+    *prev = now;
+}
 
 /// Whether (and how) the pool pins its worker threads to cores.
 ///
@@ -446,6 +535,26 @@ impl WorkerPool {
         T: Send + Sync + Clone,
         F: Fn(usize, usize, &[T], &mut [T]) + Sync,
     {
+        self.run_rounds_double_buffered_phased(bounds, rounds, front, back, step, None);
+    }
+
+    /// [`run_rounds_double_buffered`](Self::run_rounds_double_buffered)
+    /// with optional per-phase timing: when `phases` is `Some`, part 0's
+    /// compute and barrier nanoseconds accumulate into the given
+    /// [`PhaseTimes`] (see its docs for the sampling contract). `None` is
+    /// exactly the untimed primitive.
+    pub fn run_rounds_double_buffered_phased<T, F>(
+        &self,
+        bounds: &[usize],
+        rounds: usize,
+        front: &mut Vec<T>,
+        back: &mut Vec<T>,
+        step: F,
+        phases: Option<&PhaseTimes>,
+    ) where
+        T: Send + Sync + Clone,
+        F: Fn(usize, usize, &[T], &mut [T]) + Sync,
+    {
         // the gap-free, exchange-free special case of the halo primitive —
         // one shared implementation of the unsafe round machinery (with no
         // exchange pairs anywhere, the exchange phase and its barrier
@@ -456,7 +565,7 @@ impl WorkerPool {
         assert_eq!(bounds[parts], front.len(), "bounds must cover the buffer");
         let regions: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
         let exchange = vec![Vec::new(); parts];
-        self.run_rounds_halo(&regions, &exchange, rounds, front, back, step);
+        self.run_rounds_halo_phased(&regions, &exchange, rounds, front, back, step, phases);
     }
 
     /// Halo-exchange variant of
@@ -497,6 +606,32 @@ impl WorkerPool {
         front: &mut Vec<T>,
         back: &mut Vec<T>,
         step: F,
+    ) where
+        T: Send + Sync + Clone,
+        F: Fn(usize, usize, &[T], &mut [T]) + Sync,
+    {
+        self.run_rounds_halo_phased(regions, exchange, rounds, front, back, step, None);
+    }
+
+    /// [`run_rounds_halo`](Self::run_rounds_halo) with optional per-phase
+    /// timing: when `phases` is `Some`, part 0's compute, barrier-wait and
+    /// halo-exchange nanoseconds accumulate into the given [`PhaseTimes`]
+    /// (see its docs for the sampling contract). `None` is exactly the
+    /// untimed primitive — the round loop then never reads the clock.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_rounds_halo`](Self::run_rounds_halo).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_rounds_halo_phased<T, F>(
+        &self,
+        regions: &[(usize, usize)],
+        exchange: &[Vec<(u32, u32)>],
+        rounds: usize,
+        front: &mut Vec<T>,
+        back: &mut Vec<T>,
+        step: F,
+        phases: Option<&PhaseTimes>,
     ) where
         T: Send + Sync + Clone,
         F: Fn(usize, usize, &[T], &mut [T]) + Sync,
@@ -562,14 +697,19 @@ impl WorkerPool {
                 } else {
                     (&*back, &mut *front)
                 };
+                let mut mark = phases.map(|_| Instant::now());
                 for (part, &(lo, hi)) in regions.iter().enumerate() {
                     let slice = &mut next[lo..hi];
                     step(part, round, prev, slice);
                 }
-                for pairs in exchange {
-                    for &(src, dst) in pairs {
-                        next[dst as usize] = next[src as usize].clone();
+                lap(phases, &mut mark, PhaseSlot::Compute);
+                if has_exchange {
+                    for pairs in exchange {
+                        for &(src, dst) in pairs {
+                            next[dst as usize] = next[src as usize].clone();
+                        }
                     }
+                    lap(phases, &mut mark, PhaseSlot::Exchange);
                 }
             }
         } else {
@@ -582,6 +722,9 @@ impl WorkerPool {
             let front_ptr = BufPtr(front.as_mut_ptr());
             let back_ptr = BufPtr(back.as_mut_ptr());
             self.dispatch(parts, &|part| {
+                // phase timing samples part 0 only (the dispatching side);
+                // other parts never read the clock
+                let timing = if part == 0 { phases } else { None };
                 let work = || {
                     for round in 0..rounds {
                         let (prev_ptr, next_ptr) = if round % 2 == 0 {
@@ -600,9 +743,12 @@ impl WorkerPool {
                         let (lo, hi) = regions[part];
                         let next: &mut [T] =
                             unsafe { std::slice::from_raw_parts_mut(next_ptr.add(lo), hi - lo) };
+                        let mut mark = timing.map(|_| Instant::now());
                         step(part, round, prev, next);
+                        lap(timing, &mut mark, PhaseSlot::Compute);
                         if has_exchange {
                             barrier.wait();
+                            lap(timing, &mut mark, PhaseSlot::Barrier);
                             // SAFETY: exchange phase — sources are interior
                             // slots (all compute writes are barrier-ordered
                             // before this, and nothing writes interiors
@@ -615,9 +761,11 @@ impl WorkerPool {
                                     *next_ptr.add(dst as usize) = value;
                                 }
                             }
+                            lap(timing, &mut mark, PhaseSlot::Exchange);
                         }
                         if round + 1 < rounds {
                             barrier.wait();
+                            lap(timing, &mut mark, PhaseSlot::Barrier);
                         }
                     }
                 };

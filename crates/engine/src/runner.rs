@@ -17,8 +17,12 @@
 //!
 //! Every runner also accepts a [`RoundObserver`]
 //! ([`set_observer`](Runner::set_observer)): a per-round measurement hook
-//! (round index, alarm count, halo bytes exchanged, dispatch latency)
-//! shared by benches, figures and KMW-style per-round accounting.
+//! (round index, alarm count, halo bytes exchanged, and the
+//! dispatch/compute/barrier/exchange phase split) shared by benches,
+//! figures, the telemetry sinks and KMW-style per-round accounting.
+//! Attaching an observer never changes results — only the wall-clock
+//! `*_ns` fields vary between runs — and an unobserved runner never
+//! reads the clock at all.
 
 use smst_graph::{NodeId, WeightedGraph};
 use smst_sim::{

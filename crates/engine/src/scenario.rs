@@ -312,8 +312,12 @@ impl ScenarioSpec {
 
     /// [`ScenarioSpec::run`] with a [`RoundObserver`] attached to the
     /// instantiated runner for the duration of the run — per-step
-    /// accounting (alarm counts, halo bytes, dispatch latency) without
-    /// changing the scenario's results.
+    /// accounting (alarm counts, halo bytes, the
+    /// dispatch/compute/barrier/exchange phase split) without changing
+    /// the scenario's results. For programs built from the scenario's
+    /// graph (the verifier workloads), build once from
+    /// [`ScenarioSpec::build_graph`] and pass the program here — the
+    /// scenario rebuilds the identical graph internally.
     pub fn run_observed<P, F>(
         &self,
         program: &P,

@@ -61,6 +61,10 @@ pub struct ShardedAsyncRunner<'p, P: NodeProgram> {
     /// Per-time-unit measurement hook; stats are computed only while
     /// attached.
     observer: Option<Box<dyn RoundObserver>>,
+    /// Nanoseconds the current observed time unit spent in
+    /// [`activate_batch`](Self::activate_batch) (batch compute, including
+    /// the pool fan-out); accumulated only while an observer is attached.
+    unit_compute_ns: u64,
 }
 
 impl<'p, P> ShardedAsyncRunner<'p, P>
@@ -180,6 +184,7 @@ where
             time_units: 0,
             activations: 0,
             observer: None,
+            unit_compute_ns: 0,
         }
     }
 
@@ -309,6 +314,7 @@ where
         // any register is written, so results do not depend on the worker
         // split (the spawn threshold and the layout cannot change outcomes,
         // only wall-clock)
+        let batch_start = self.observer.is_some().then(std::time::Instant::now);
         let layout = &self.layout;
         // under the identity layout the daemon's chunk already holds
         // internal indices: borrow it instead of allocating per batch
@@ -352,6 +358,9 @@ where
             self.states[v as usize] = value;
         }
         self.activations += chunk.len();
+        if let Some(t) = batch_start {
+            self.unit_compute_ns += t.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Executes one normalized time unit (every node activated at least
@@ -364,6 +373,7 @@ where
     /// continuing under a different schedule.
     pub fn step_time_unit(&mut self) {
         let start = self.observer.is_some().then(std::time::Instant::now);
+        self.unit_compute_ns = 0;
         let activations_before = self.activations;
         // take the daemon out so its borrowed batches can drive &mut self;
         // for_each_batch lends slices (no per-batch Vec materialization —
@@ -385,13 +395,22 @@ where
         });
         self.daemon = Some(daemon);
         self.time_units += 1;
+        // measured before the observer's verdict sweep, so the phase sum
+        // reflects the unit itself, not the cost of observing it
+        let total_ns = start.map_or(0, |t| t.elapsed().as_nanos() as u64);
         if let Some(mut observer) = self.observer.take() {
+            let compute_ns = self.unit_compute_ns;
             observer.on_round(&RoundStats {
                 round: self.time_units - 1,
                 alarms: self.alarming_nodes().len(),
                 activations: self.activations - activations_before,
                 halo_bytes: 0,
-                dispatch_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                // residual: daemon scheduling, chunk translation, batch
+                // bookkeeping — everything outside activate_batch
+                dispatch_ns: total_ns.saturating_sub(compute_ns),
+                compute_ns,
+                barrier_ns: 0,
+                exchange_ns: 0,
             });
             self.observer = Some(observer);
         }

@@ -4,14 +4,16 @@
 //! sequential reference runner — itself instantiated through the *same*
 //! `EngineConfig` API ([`EngineConfig::reference`]) — and `RoundObserver`
 //! callbacks must be deterministic across thread counts, layouts, halo
-//! modes and pinning.
+//! modes, pinning and telemetry modes (disabled / enabled / sampled
+//! tracing).
 
 use proptest::prelude::*;
 use smst_engine::programs::{MinIdFlood, MonitorFlood};
 use smst_engine::{ConfigError, EngineConfig, LayoutPolicy, PinPolicy, Runner, StopCondition};
 use smst_graph::generators::{expander_graph, random_connected_graph};
 use smst_graph::{NodeId, WeightedGraph};
-use smst_sim::{Daemon, FaultPlan, RecordingObserver};
+use smst_sim::{Daemon, FaultPlan, RecordingObserver, TeeObserver};
+use smst_telemetry::{Telemetry, TraceWriter};
 
 fn graph_for(kind: bool, n: usize, seed: u64) -> WeightedGraph {
     if kind {
@@ -201,6 +203,63 @@ proptest! {
                 &**first_label
             );
         }
+    }
+}
+
+#[test]
+fn telemetry_modes_never_change_the_deterministic_trace() {
+    // telemetry is measurement, not computation: the deterministic
+    // (round, alarms, activations) trace is identical with telemetry
+    // disabled (no observer at all), enabled (counters + histograms), and
+    // enabled with sampled round tracing — at every thread count
+    let n = 40usize;
+    let g = graph_for(true, n, 11);
+    let program = MonitorFlood::new(n as u64 - 1, n as u64 - 1);
+    let plan = FaultPlan::random(n, 2, 0x5EED);
+    let trace_dir = std::env::temp_dir().join("smst_engine_telemetry_determinism");
+    std::fs::create_dir_all(&trace_dir).expect("temp trace dir");
+    let mut traces = Vec::new();
+    for threads in [1usize, 2, 8] {
+        for mode in ["disabled", "enabled", "sampled"] {
+            let telemetry = match mode {
+                "disabled" => Telemetry::disabled(),
+                "enabled" => Telemetry::enabled(),
+                // an explicit directory instead of the env gate: tests
+                // must not mutate process-global environment
+                _ => Telemetry::with_trace(
+                    TraceWriter::create_in(&trace_dir, &format!("equiv_t{threads}"))
+                        .expect("trace file"),
+                    2,
+                ),
+            };
+            assert_eq!(telemetry.is_enabled(), mode != "disabled");
+            let label = format!("threads={threads};mode={mode}");
+            let recording = RecordingObserver::new();
+            let mut tee = TeeObserver::new().with(Box::new(recording.clone()));
+            if let Some(observer) = telemetry.observer(&label) {
+                tee.push(observer);
+            }
+            let mut runner = EngineConfig::new()
+                .threads(threads)
+                .instantiate(&program, g.clone())
+                .expect("valid");
+            runner.set_observer(Box::new(tee));
+            runner.run_until(StopCondition::Steps, 3);
+            runner.apply_faults(&plan, &mut |_v, s| *s = MonitorFlood::BOGUS);
+            runner.run_until(StopCondition::Steps, 6);
+            let trace: Vec<(usize, usize, usize)> = recording
+                .deterministic_trace()
+                .into_iter()
+                .map(|(round, alarms, activations, _halo_bytes)| (round, alarms, activations))
+                .collect();
+            assert_eq!(trace.len(), 9, "{label}");
+            telemetry.flush().expect("flushing the test trace");
+            traces.push((label, trace));
+        }
+    }
+    let (first_label, first) = traces[0].clone();
+    for (label, trace) in &traces[1..] {
+        assert_eq!(trace, &first, "{label} diverged from {first_label}");
     }
 }
 

@@ -319,7 +319,11 @@ impl<'p, P: NodeProgram> AsyncRunner<'p, P> {
                 alarms: self.network.alarming_nodes(self.program).len(),
                 activations: unit_activations,
                 halo_bytes: 0,
-                dispatch_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                // sequential activations: the whole unit is compute
+                dispatch_ns: 0,
+                compute_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                barrier_ns: 0,
+                exchange_ns: 0,
             });
             self.observer = Some(observer);
         }

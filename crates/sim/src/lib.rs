@@ -32,7 +32,8 @@
 //!   statistics;
 //! * [`observer`] — the per-round measurement hook ([`RoundObserver`])
 //!   every runner in the workspace invokes, with a [`RecordingObserver`]
-//!   for benches and tests;
+//!   for benches and tests and a [`TeeObserver`] to fan one stream out to
+//!   several sinks (e.g. recording plus telemetry);
 //! * [`trace`] — a bounded execution trace for debugging and examples.
 
 #![forbid(unsafe_code)]
@@ -53,6 +54,6 @@ pub use faults::FaultPlan;
 pub use memory::MemoryUsage;
 pub use metrics::{DetectionReport, ExecutionStats};
 pub use network::Network;
-pub use observer::{RecordingObserver, RoundObserver, RoundStats};
+pub use observer::{RecordingObserver, RoundObserver, RoundStats, TeeObserver};
 pub use program::{NodeContext, NodeProgram, Verdict};
 pub use sync::SyncRunner;

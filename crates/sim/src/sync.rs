@@ -89,7 +89,12 @@ impl<'p, P: NodeProgram> SyncRunner<'p, P> {
                 alarms: self.network.alarming_nodes(self.program).len(),
                 activations: n,
                 halo_bytes: 0,
-                dispatch_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                // the sequential runner's whole step is compute: no
+                // dispatch, no barriers, no halo exchange
+                dispatch_ns: 0,
+                compute_ns: start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                barrier_ns: 0,
+                exchange_ns: 0,
             });
             self.observer = Some(observer);
         }

@@ -1,0 +1,390 @@
+//! A registry of named atomic counters and fixed-bucket log-scale
+//! histograms.
+//!
+//! Design constraints (from the engine's hot path):
+//!
+//! * **no locks on the hot path** — [`Counter::add`] and
+//!   [`Histogram::record`] are one or three relaxed atomic RMWs; the
+//!   registry's `Mutex` is taken only at registration
+//!   ([`Metrics::counter`] / [`Metrics::histogram`]) and snapshot time;
+//! * **cheap aggregation** — a [`Histogram`] is 65 fixed power-of-two
+//!   buckets (bucket `i` counts values of bit length `i`; bucket 0 counts
+//!   zeros) plus a running count and sum, so recording never allocates
+//!   and a snapshot is a bounded copy;
+//! * **disabled means free** — both handle types have a no-op state
+//!   (`None` inside) whose operations compile to a branch on a constant;
+//!   [`Telemetry::disabled`](crate::Telemetry::disabled) hands those out.
+//!
+//! [`Metrics::snapshot`] returns a plain-data [`MetricsSnapshot`];
+//! [`MetricsSnapshot::diff`] subtracts an earlier snapshot, which is how
+//! callers meter a region of a run without resetting anything.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket `0` holds zeros, bucket `i >= 1`
+/// holds values of bit length `i` (the range `2^(i-1) ..= 2^i - 1`), up
+/// to bucket 64 for values with the top bit set.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: its bit length.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0` for bucket 0, `2^i - 1`
+/// otherwise, saturating at `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// The shared cells behind a registered histogram.
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let v = b.load(Ordering::Relaxed);
+                (v != 0).then_some((i, v))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A handle to a named monotone counter (or a no-op). Clones share the
+/// same cell; all operations are relaxed atomics.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A disabled counter: every operation is free, [`get`](Self::get)
+    /// reads 0.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Whether this handle is the disabled no-op.
+    pub fn is_noop(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for the no-op).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A handle to a named log-scale histogram (or a no-op). Clones share the
+/// same cells; recording is three relaxed atomic RMWs.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+impl Histogram {
+    /// A disabled histogram: recording is free, [`count`](Self::count)
+    /// reads 0.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Whether this handle is the disabled no-op.
+    pub fn is_noop(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        if let Some(cells) = &self.0 {
+            cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            cells.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of values recorded (0 for the no-op).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cells| cells.count.load(Ordering::Relaxed))
+    }
+}
+
+/// The registry: name → shared cells. Registration interns the name
+/// (same name → same cells, so every holder of a handle updates one
+/// shared value); handles escape the lock, updates never take it.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCells>>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) the counter `name` and returns a live
+    /// handle to it.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock().expect("metrics registry poisoned");
+        let cell = counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Registers (or looks up) the histogram `name` and returns a live
+    /// handle to it.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = self.histograms.lock().expect("metrics registry poisoned");
+        let cells = histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCells::new()));
+        Histogram(Some(Arc::clone(cells)))
+    }
+
+    /// A plain-data snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(name, cells)| (name.clone(), cells.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Plain-data copy of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Sparse non-empty buckets, ascending `(bucket index, count)`; see
+    /// [`bucket_upper_bound`] for the value range a bucket covers.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, guarded to `0.0` when empty (never `NaN`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Inclusive upper bound of the highest non-empty bucket (0 when
+    /// empty) — a cheap "order of magnitude of the max".
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .last()
+            .map_or(0, |&(i, _)| bucket_upper_bound(i))
+    }
+
+    /// This snapshot minus an `earlier` one of the same histogram
+    /// (per-bucket saturating subtraction).
+    fn diff(&self, earlier: &Self) -> Self {
+        let before: BTreeMap<usize, u64> = earlier.buckets.iter().copied().collect();
+        let buckets = self
+            .buckets
+            .iter()
+            .filter_map(|&(i, v)| {
+                let d = v.saturating_sub(before.get(&i).copied().unwrap_or(0));
+                (d != 0).then_some((i, d))
+            })
+            .collect();
+        Self {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data copy of a whole [`Metrics`] registry at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → snapshot.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing was registered when the snapshot was taken.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// This snapshot minus an `earlier` one from the same registry: what
+    /// happened in between (saturating, so metrics registered after the
+    /// earlier snapshot diff against zero).
+    pub fn diff(&self, earlier: &Self) -> Self {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| {
+                let before = earlier.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let diffed = match earlier.histograms.get(name) {
+                    Some(before) => h.diff(before),
+                    None => h.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        Self {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_one_cell() {
+        let metrics = Metrics::new();
+        let a = metrics.counter("x");
+        let b = metrics.counter("x");
+        a.add(2);
+        b.incr();
+        assert_eq!(a.get(), 3);
+        assert_eq!(metrics.snapshot().counters["x"], 3);
+    }
+
+    #[test]
+    fn noop_handles_are_free_and_silent() {
+        let c = Counter::noop();
+        c.add(5);
+        assert!(c.is_noop());
+        assert_eq!(c.get(), 0);
+        let h = Histogram::noop();
+        h.record(5);
+        assert!(h.is_noop());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+
+        let metrics = Metrics::new();
+        let h = metrics.histogram("lat");
+        for v in [0, 1, 2, 3, 700] {
+            h.record(v);
+        }
+        let snap = &metrics.snapshot().histograms["lat"];
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 706);
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+        assert!((snap.mean() - 141.2).abs() < 1e-9);
+        assert_eq!(snap.max_bound(), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero_not_nan() {
+        assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+        assert_eq!(HistogramSnapshot::default().max_bound(), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_meters_a_region() {
+        let metrics = Metrics::new();
+        let c = metrics.counter("rounds");
+        let h = metrics.histogram("ns");
+        c.add(10);
+        h.record(3);
+        let before = metrics.snapshot();
+        c.add(5);
+        h.record(3);
+        h.record(900);
+        let after = metrics.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counters["rounds"], 5);
+        assert_eq!(d.histograms["ns"].count, 2);
+        assert_eq!(d.histograms["ns"].sum, 903);
+        assert_eq!(d.histograms["ns"].buckets, vec![(2, 1), (10, 1)]);
+        // a self-diff is empty-valued
+        let zero = after.diff(&after);
+        assert_eq!(zero.counters["rounds"], 0);
+        assert_eq!(zero.histograms["ns"].count, 0);
+        assert!(zero.histograms["ns"].buckets.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! The per-round accounting artifact: `BENCH_<group>.json` with one
+//! record per observed round — the ROADMAP's "promote the `RoundObserver`
+//! stream to a first-class `BENCH_rounds.json` artifact".
+//!
+//! A [`RoundsArtifact`] collects one or more labelled runs (each a
+//! recorded `Vec<RoundStats>` plus a replay-correlation label such as a
+//! `TrialId` or seed) and writes them with the same group-named,
+//! injectable-directory discipline as the bench harness's `BenchGroup`:
+//! `write_json_to(dir)` for tests, `write_json()` for `$SMST_BENCH_DIR`,
+//! `finish()` to write-and-announce. The `round_latency` bench uses group
+//! `"rounds"` (→ literally `BENCH_rounds.json`); other producers suffix
+//! the group (`rounds_halo`, `rounds_campaign`) so one CI `BENCH_*.json`
+//! glob uploads them all.
+//!
+//! Artifact schema:
+//!
+//! ```json
+//! {"schema":"smst-rounds-v1","group":"rounds",
+//!  "runs":[{"label":"<case>","run":"<replay id>",
+//!           "rounds":[{"round":0,"alarms":0,"activations":500,
+//!                      "halo_bytes":0,"dispatch_ns":1,"compute_ns":2,
+//!                      "barrier_ns":3,"exchange_ns":4}]}]}
+//! ```
+
+use crate::json::{json_string, round_fields};
+use smst_sim::RoundStats;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// One labelled run inside a [`RoundsArtifact`].
+#[derive(Debug, Clone)]
+pub struct RoundsRun {
+    /// Case label (what was run — mirrors bench case naming).
+    pub label: String,
+    /// Replay correlation: a `TrialId`, a seed, a config description —
+    /// whatever lets a reader reproduce the run the rounds came from.
+    pub run: String,
+    /// The observed per-round stats, in round order.
+    pub stats: Vec<RoundStats>,
+}
+
+/// Collects observed round streams and writes `BENCH_<group>.json`.
+#[derive(Debug)]
+pub struct RoundsArtifact {
+    group: String,
+    runs: Vec<RoundsRun>,
+}
+
+impl RoundsArtifact {
+    /// An empty artifact for `group` (written as `BENCH_<group>.json`).
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// The artifact's group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Appends one labelled run.
+    pub fn push(&mut self, label: &str, run: &str, stats: Vec<RoundStats>) {
+        self.runs.push(RoundsRun {
+            label: label.to_string(),
+            run: run.to_string(),
+            stats,
+        });
+    }
+
+    /// Number of runs collected so far.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs were collected.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The artifact as a JSON document (see the module docs for the
+    /// schema).
+    pub fn to_json(&self) -> String {
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|run| {
+                let rounds: Vec<String> = run
+                    .stats
+                    .iter()
+                    .map(|s| format!("{{{}}}", round_fields(s)))
+                    .collect();
+                format!(
+                    "{{\"label\":{},\"run\":{},\"rounds\":[{}]}}",
+                    json_string(&run.label),
+                    json_string(&run.run),
+                    rounds.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"smst-rounds-v1\",\"group\":{},\"runs\":[{}]}}\n",
+            json_string(&self.group),
+            runs.join(",")
+        )
+    }
+
+    /// Writes `BENCH_<group>.json` into `dir` and returns its path (the
+    /// injectable core — tests pass a directory instead of mutating the
+    /// process-global `SMST_BENCH_DIR`).
+    pub fn write_json_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.group));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes `BENCH_<group>.json` into
+    /// [`artifact_dir`](crate::artifact_dir) and returns its path.
+    pub fn write_json(&self) -> io::Result<PathBuf> {
+        self.write_json_to(&crate::artifact_dir())
+    }
+
+    /// Writes the artifact, printing where it went (panics on I/O errors
+    /// — an artifact run that silently loses its results is worse than
+    /// one that fails).
+    pub fn finish(self) -> PathBuf {
+        let path = self.write_json().expect("writing the rounds JSON artifact");
+        println!("  rounds -> {}", path.display());
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(round: usize) -> RoundStats {
+        RoundStats {
+            round,
+            alarms: round,
+            activations: 3,
+            halo_bytes: 16,
+            dispatch_ns: 1,
+            compute_ns: 2,
+            barrier_ns: 3,
+            exchange_ns: 4,
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip_through_a_directory() {
+        let dir = std::env::temp_dir().join("smst_telemetry_rounds_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut artifact = RoundsArtifact::new("rounds_unit");
+        assert!(artifact.is_empty());
+        artifact.push("expander/n=500", "seed=7", vec![stat(0), stat(1)]);
+        assert_eq!(artifact.len(), 1);
+        let path = artifact.write_json_to(&dir).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            "BENCH_rounds_unit.json"
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"schema\":\"smst-rounds-v1\",\"group\":\"rounds_unit\""));
+        assert!(body.contains("\"label\":\"expander/n=500\""));
+        assert!(body.contains("\"run\":\"seed=7\""));
+        assert!(body.contains(
+            "{\"round\":1,\"alarms\":1,\"activations\":3,\"halo_bytes\":16,\
+             \"dispatch_ns\":1,\"compute_ns\":2,\"barrier_ns\":3,\"exchange_ns\":4}"
+        ));
+    }
+}

@@ -1,0 +1,138 @@
+//! Structured per-round JSONL event stream: `TRACE_<name>.jsonl`.
+//!
+//! One line per observed round, correlatable to a replayable run: every
+//! record carries a `run` label (a `TrialId`, a bench case name, a seed —
+//! whatever identifies how to reproduce the run) plus the eight
+//! [`RoundStats`] fields. Sampling is env-gated: `SMST_TRACE_SAMPLE=k`
+//! keeps every `k`-th round (`k = 1` keeps all); unset or `0` disables
+//! tracing entirely, which is the default —
+//! [`Telemetry::from_env`](crate::Telemetry::from_env) creates a writer
+//! only when sampling is on.
+//!
+//! Record schema (one JSON object per line):
+//!
+//! ```json
+//! {"run":"<label>","round":0,"alarms":0,"activations":500,"halo_bytes":0,
+//!  "dispatch_ns":1,"compute_ns":2,"barrier_ns":3,"exchange_ns":4}
+//! ```
+
+use crate::json::{json_string, round_fields};
+use smst_sim::RoundStats;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The sampling env var: `SMST_TRACE_SAMPLE=k` records every `k`-th
+/// round; unset or `0` disables the trace stream.
+pub const TRACE_SAMPLE_ENV: &str = "SMST_TRACE_SAMPLE";
+
+/// The sampling interval `$SMST_TRACE_SAMPLE` requests (0 when unset,
+/// unparsable, or explicitly 0 — all meaning "no trace").
+pub fn trace_sample_from_env() -> u64 {
+    std::env::var(TRACE_SAMPLE_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A buffered, thread-safe `TRACE_<name>.jsonl` writer. Flushed on drop;
+/// the `Mutex` is per-line, never on any runner's compute path (observers
+/// run between rounds, on the dispatching thread).
+#[derive(Debug)]
+pub struct TraceWriter {
+    path: PathBuf,
+    file: Mutex<BufWriter<File>>,
+}
+
+impl TraceWriter {
+    /// Creates (truncating) `TRACE_<name>.jsonl` inside `dir`.
+    ///
+    /// This is the injectable core of [`create`](Self::create): tests
+    /// pass a directory instead of mutating the process-global
+    /// `SMST_BENCH_DIR`.
+    pub fn create_in(dir: &Path, name: &str) -> io::Result<Self> {
+        let path = dir.join(format!("TRACE_{name}.jsonl"));
+        let file = BufWriter::new(File::create(&path)?);
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Creates (truncating) `TRACE_<name>.jsonl` in
+    /// [`artifact_dir`](crate::artifact_dir) — next to the `BENCH_*.json`
+    /// artifacts, so CI uploads them together.
+    pub fn create(name: &str) -> io::Result<Self> {
+        Self::create_in(&crate::artifact_dir(), name)
+    }
+
+    /// Where the stream is being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one round record attributed to `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — a trace that silently loses records is
+    /// worse than a run that fails (the bench-artifact philosophy).
+    pub fn write_round(&self, run: &str, stats: &RoundStats) {
+        let line = format!("{{\"run\":{},{}}}\n", json_string(run), round_fields(stats));
+        self.file
+            .lock()
+            .expect("trace writer poisoned")
+            .write_all(line.as_bytes())
+            .expect("writing a TRACE_*.jsonl record");
+    }
+
+    /// Flushes buffered records to disk.
+    pub fn flush(&self) -> io::Result<()> {
+        self.file.lock().expect("trace writer poisoned").flush()
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        // best-effort: drop cannot propagate errors, and the explicit
+        // `flush` is there for callers that need the guarantee
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(round: usize) -> RoundStats {
+        RoundStats {
+            round,
+            alarms: 1,
+            activations: 4,
+            halo_bytes: 32,
+            dispatch_ns: 9,
+            compute_ns: 90,
+            barrier_ns: 0,
+            exchange_ns: 1,
+        }
+    }
+
+    #[test]
+    fn writes_one_json_object_per_round() {
+        let dir = std::env::temp_dir().join("smst_telemetry_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer = TraceWriter::create_in(&dir, "unit").unwrap();
+        assert_eq!(writer.path().file_name().unwrap(), "TRACE_unit.jsonl");
+        writer.write_round("trial-a", &stat(0));
+        writer.write_round("trial-a", &stat(1));
+        writer.flush().unwrap();
+        let body = std::fs::read_to_string(writer.path()).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"run\":\"trial-a\",\"round\":0,"));
+        assert!(lines[1].contains("\"round\":1"));
+        assert!(lines[1].contains("\"compute_ns\":90"));
+        assert!(lines[1].ends_with('}'));
+    }
+}

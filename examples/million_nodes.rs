@@ -3,8 +3,8 @@
 //! (the typed [`ParallelSyncRunner::from_config`] here, so the renumbered
 //! topology stays inspectable; the type-erased
 //! [`EngineConfig::instantiate`] in the determinism check), a
-//! [`RecordingObserver`] reports per-round alarm counts and dispatch
-//! latency, and the final spot check runs the same prefix under two
+//! [`RecordingObserver`] reports per-round alarm counts and phase
+//! timings, and the final spot check runs the same prefix under two
 //! differently-knobbed envelopes and asserts bit-for-bit equality — the
 //! engine's determinism contract covers every knob.
 //!
@@ -85,7 +85,7 @@ fn main() {
     );
 
     // phase 2: transient-fault burst, then watch the healing wave — with a
-    // RoundObserver recording per-round alarm counts and dispatch latency
+    // RoundObserver recording per-round alarm counts and phase timings
     let plan = FaultPlan::random(n, faults, 7);
     runner.apply_faults(&plan, |_v, state| *state = u64::MAX);
     println!("injected {faults} corrupted registers");
@@ -100,9 +100,10 @@ fn main() {
         t0.elapsed()
     );
     println!(
-        "  observed {} rounds, mean dispatch {:.1} µs",
+        "  observed {} rounds, mean round {:.1} µs (mean compute {:.1} µs)",
         recording.rounds_observed(),
-        recording.mean_dispatch_ns() / 1e3,
+        recording.mean_round_ns() / 1e3,
+        recording.mean_compute_ns() / 1e3,
     );
 
     // determinism spot check: a genuinely multi-threaded, RCM-renumbered,

@@ -16,6 +16,8 @@
 //! * [`labeling`] — proof-labeling schemes and baselines;
 //! * [`core`] — the paper's marker and `O(log n)`-bit verifier;
 //! * [`selfstab`] — the enhanced Awerbuch–Varghese transformer;
+//! * [`telemetry`] — metrics registry, phase-level round tracing and the
+//!   per-round accounting artifacts;
 //! * [`mod@bench`] — experiment drivers and the timing harness.
 
 #![forbid(unsafe_code)]
@@ -29,3 +31,4 @@ pub use smst_labeling as labeling;
 pub use smst_rng as rng;
 pub use smst_selfstab as selfstab;
 pub use smst_sim as sim;
+pub use smst_telemetry as telemetry;
