@@ -1,0 +1,414 @@
+//! Chaos campaigns: recurring [`FaultSchedule`] waves driven through the
+//! engine's self-healing pool, bridged into `smst-telemetry`.
+//!
+//! The campaign engine in [`campaign`](crate::campaign) *searches* for bad
+//! schedules; this module *endures* them. A [`ChaosCase`] is one fully
+//! replayable verify-forever run — graph family × schedule × execution
+//! envelope (threads, [`RecoveryPolicy`], optional one-shot
+//! [`InjectionSpec`]) — executed by the engine's
+//! [`run_chaos_scenario`] on the [`AlarmedFlood`] workload (the one demo
+//! program where every wave is both *detected* — the garbage floods to a
+//! monitor node — and *digested* — out-of-range values decay
+//! geometrically and the flood re-converges). Results bridge two ways:
+//!
+//! * [`ChaosCase::chaos_run`] converts an engine [`ChaosReport`] into a
+//!   telemetry [`ChaosRun`] for the `BENCH_chaos.json` artifact
+//!   ([`smst_telemetry::ChaosArtifact`]);
+//! * [`record_chaos_metrics`] / [`record_pool_metrics`] feed the
+//!   [`Metrics`] registry under the `names::CHAOS_*` / `names::POOL_*`
+//!   keys, including the worker pool's self-healing counters
+//!   ([`PoolStats`]).
+//!
+//! [`chaos_campaign_json`] serializes a whole campaign (cases plus pool
+//! counters) as `CAMPAIGN_chaos.json`, next to the search campaigns'
+//! artifacts and with the same writer discipline.
+
+use smst_bench::harness::{bench_dir, json_string};
+use smst_engine::programs::AlarmedFlood;
+use smst_engine::{
+    run_chaos_scenario, ChaosReport, EngineError, GraphFamily, InjectionSpec, PoolStats,
+    RecoveryPolicy, ScenarioSpec,
+};
+use smst_sim::FaultSchedule;
+use smst_telemetry::{names, ChaosRun, Metrics};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One replayable chaos campaign case: a graph family under a recurring
+/// fault schedule, executed on a chosen engine envelope.
+#[derive(Debug, Clone)]
+pub struct ChaosCase {
+    /// Case label (artifact key).
+    pub name: String,
+    /// The graph family under chaos.
+    pub family: GraphFamily,
+    /// Graph seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// The recurring fault schedule.
+    pub schedule: FaultSchedule,
+    /// Step budget of the campaign.
+    pub steps: usize,
+    /// Retry/backoff/watchdog policy for panicked or hung workers.
+    pub recovery: RecoveryPolicy,
+    /// Optional one-shot worker-level chaos (panic or stall injection).
+    pub injection: Option<InjectionSpec>,
+}
+
+impl ChaosCase {
+    /// A case with defaults: seed 1, one thread, no recovery, no
+    /// injection.
+    pub fn new(name: &str, family: GraphFamily, schedule: FaultSchedule, steps: usize) -> Self {
+        ChaosCase {
+            name: name.to_string(),
+            family,
+            seed: 1,
+            threads: 1,
+            schedule,
+            steps,
+            recovery: RecoveryPolicy::none(),
+            injection: None,
+        }
+    }
+
+    /// Sets the graph seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the recovery policy.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Arms a one-shot worker-level injection.
+    pub fn inject(mut self, injection: InjectionSpec) -> Self {
+        self.injection = Some(injection);
+        self
+    }
+
+    /// The workload every chaos case runs: an [`AlarmedFlood`] converging
+    /// to the family's largest identity, with node 0 as the monitor —
+    /// detection latency is the propagation distance from each wave to
+    /// node 0, quiescence the garbage-decay plus re-convergence time.
+    pub fn workload(&self) -> AlarmedFlood {
+        AlarmedFlood::new(0, self.family.node_count() as u64 - 1)
+    }
+
+    fn scenario(&self) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(self.family.clone())
+            .seed(self.seed)
+            .threads(self.threads)
+            .recovery(self.recovery);
+        if let Some(injection) = self.injection {
+            spec = spec.inject(injection);
+        }
+        spec
+    }
+
+    /// Runs the campaign: every wave corrupts its registers with
+    /// [`AlarmedFlood::BOGUS`].
+    pub fn run(&self) -> Result<ChaosCaseOutcome, EngineError> {
+        let outcome = run_chaos_scenario(
+            &self.scenario(),
+            &self.workload(),
+            &self.schedule,
+            self.steps,
+            |_v, s| *s = AlarmedFlood::BOGUS,
+        )?;
+        Ok(ChaosCaseOutcome {
+            states: outcome.network.states().to_vec(),
+            report: outcome.report,
+        })
+    }
+
+    /// Bridges an engine [`ChaosReport`] into the telemetry artifact
+    /// record for this case.
+    pub fn chaos_run(&self, report: &ChaosReport) -> ChaosRun {
+        ChaosRun {
+            label: self.name.clone(),
+            run: format!(
+                "{:?} seed={} threads={} recovery={:?}",
+                self.family, self.seed, self.threads, self.recovery
+            ),
+            schedule: self.schedule.describe(),
+            steps_run: report.steps_run,
+            injected_faults: report.injected_faults,
+            waves: report.waves.clone(),
+        }
+    }
+}
+
+/// What one chaos case produced: the campaign report plus the final
+/// registers (for clean-vs-injected identity checks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosCaseOutcome {
+    /// Per-wave accounting and run totals.
+    pub report: ChaosReport,
+    /// Final registers, by original node id.
+    pub states: Vec<u64>,
+}
+
+/// Records one campaign report into `metrics` under the `names::CHAOS_*`
+/// keys: wave/fault counters plus per-wave detection-latency and
+/// rounds-to-quiescence histograms (censored waves are skipped, never
+/// recorded as zero).
+pub fn record_chaos_metrics(metrics: &Metrics, report: &ChaosReport) {
+    metrics
+        .counter(names::CHAOS_WAVES)
+        .add(report.waves.len() as u64);
+    metrics
+        .counter(names::CHAOS_FAULTS)
+        .add(report.injected_faults as u64);
+    let detection = metrics.histogram(names::CHAOS_DETECTION_STEPS);
+    let quiescence = metrics.histogram(names::CHAOS_QUIESCENCE_STEPS);
+    for w in &report.waves {
+        if let Some(d) = w.detection_latency {
+            detection.record(d as u64);
+        }
+        if let Some(q) = w.quiescence {
+            quiescence.record(q as u64);
+        }
+    }
+}
+
+/// Copies the worker pool's self-healing totals ([`PoolStats`] is
+/// process-cumulative) into `metrics` under the `names::POOL_*` keys.
+/// Call once per registry, at the end of a campaign — counters
+/// accumulate, so repeated bridging would double-count.
+pub fn record_pool_metrics(metrics: &Metrics, stats: &PoolStats) {
+    metrics
+        .counter(names::POOL_WORKER_PANICS)
+        .add(stats.panics());
+    metrics
+        .counter(names::POOL_WORKER_RESPAWNS)
+        .add(stats.respawns());
+    metrics
+        .counter(names::POOL_BARRIER_TIMEOUTS)
+        .add(stats.barrier_timeouts());
+}
+
+/// One case line inside [`chaos_campaign_json`].
+#[derive(Debug, Clone)]
+pub struct ChaosCaseRecord {
+    /// Case label.
+    pub case: String,
+    /// Schedule grammar (`FaultSchedule::describe()`).
+    pub schedule: String,
+    /// Worker threads the case ran on.
+    pub threads: usize,
+    /// The case's campaign report.
+    pub report: ChaosReport,
+    /// `Some(true)` when an injected twin of this case reproduced the
+    /// clean run bit-for-bit (`None` when no twin was run).
+    pub recovery_invisible: Option<bool>,
+}
+
+impl ChaosCaseRecord {
+    /// A record from a case and what it reported.
+    pub fn new(case: &ChaosCase, report: ChaosReport) -> Self {
+        ChaosCaseRecord {
+            case: case.name.clone(),
+            schedule: case.schedule.describe(),
+            threads: case.threads,
+            report,
+            recovery_invisible: None,
+        }
+    }
+
+    /// Marks whether the injected twin reproduced the clean run.
+    pub fn recovery_invisible(mut self, invisible: bool) -> Self {
+        self.recovery_invisible = Some(invisible);
+        self
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x}"))
+}
+
+fn json_opt_bool(v: Option<bool>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+/// Serializes a chaos campaign — case records plus the pool's
+/// self-healing counters — as one JSON object (the `CAMPAIGN_chaos.json`
+/// body).
+pub fn chaos_campaign_json(name: &str, records: &[ChaosCaseRecord], pool: &PoolStats) -> String {
+    let cases: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"case\":{},\"schedule\":{},\"threads\":{},\
+                 \"steps_run\":{},\"waves\":{},\"injected_faults\":{},\
+                 \"detected_waves\":{},\"quiesced_waves\":{},\
+                 \"mean_detection_latency\":{},\"mean_quiescence\":{},\
+                 \"recovery_invisible\":{}}}",
+                json_string(&r.case),
+                json_string(&r.schedule),
+                r.threads,
+                r.report.steps_run,
+                r.report.waves.len(),
+                r.report.injected_faults,
+                r.report.detected_waves(),
+                r.report.quiesced_waves(),
+                json_opt_f64(r.report.mean_detection_latency()),
+                json_opt_f64(r.report.mean_quiescence()),
+                json_opt_bool(r.recovery_invisible),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"campaign\":{},\"cases\":[{}],\
+         \"pool\":{{\"worker_panics\":{},\"worker_respawns\":{},\
+         \"barrier_timeouts\":{}}}}}\n",
+        json_string(name),
+        cases.join(","),
+        pool.panics(),
+        pool.respawns(),
+        pool.barrier_timeouts(),
+    )
+}
+
+/// Writes `CAMPAIGN_<name>.json` into [`bench_dir`] and returns its path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — a campaign that silently loses its results is
+/// worse than one that fails.
+pub fn write_chaos_campaign_artifact(
+    name: &str,
+    records: &[ChaosCaseRecord],
+    pool: &PoolStats,
+) -> PathBuf {
+    write_chaos_campaign_artifact_in(&bench_dir(), name, records, pool)
+}
+
+/// [`write_chaos_campaign_artifact`] into an explicit directory.
+pub fn write_chaos_campaign_artifact_in(
+    dir: &Path,
+    name: &str,
+    records: &[ChaosCaseRecord],
+    pool: &PoolStats,
+) -> PathBuf {
+    let path = dir.join(format!("CAMPAIGN_{name}.json"));
+    let mut file = std::fs::File::create(&path).expect("creating the chaos campaign artifact");
+    file.write_all(chaos_campaign_json(name, records, pool).as_bytes())
+        .expect("writing the chaos campaign artifact");
+    println!("  chaos campaign -> {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smst_engine::PoolHandle;
+
+    fn small_case(name: &str, threads: usize) -> ChaosCase {
+        // period 24 leaves each wave room for the ~15-step garbage decay
+        // plus the expander's diameter before the next wave fires
+        ChaosCase::new(
+            name,
+            GraphFamily::Expander { n: 48, degree: 4 },
+            FaultSchedule::periodic(24, 5, 23).offset(3),
+            75,
+        )
+        .seed(6)
+        .threads(threads)
+    }
+
+    #[test]
+    fn a_case_detects_and_digests_every_wave() {
+        let outcome = small_case("unit_periodic", 2).run().expect("valid case");
+        assert_eq!(outcome.report.waves.len(), 3, "waves at 3, 27, 51");
+        assert_eq!(outcome.report.detected_waves(), 3);
+        assert_eq!(outcome.report.quiesced_waves(), 3);
+        assert!(
+            outcome.states.iter().all(|&s| s == 47),
+            "back at the ceiling"
+        );
+    }
+
+    #[test]
+    fn cases_replay_across_thread_counts() {
+        let a = small_case("a", 1).run().expect("valid case");
+        let b = small_case("b", 4).run().expect("valid case");
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.states, b.states);
+    }
+
+    #[test]
+    fn injected_panic_with_recovery_is_invisible() {
+        let clean = small_case("clean", 2).run().expect("valid case");
+        let chaotic = small_case("chaotic", 2)
+            .recovery(RecoveryPolicy::retries(2))
+            .inject(InjectionSpec::panic_at(4, 0))
+            .run()
+            .expect("the injected panic is retried away");
+        assert_eq!(chaotic, clean);
+    }
+
+    #[test]
+    fn metrics_bridge_counts_waves_and_latencies() {
+        let outcome = small_case("metrics", 2).run().expect("valid case");
+        let metrics = Metrics::new();
+        record_chaos_metrics(&metrics, &outcome.report);
+        record_pool_metrics(&metrics, PoolHandle::for_threads(2).pool().stats());
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.counters[names::CHAOS_WAVES], 3);
+        assert_eq!(snapshot.counters[names::CHAOS_FAULTS], 15);
+        assert_eq!(snapshot.histograms[names::CHAOS_DETECTION_STEPS].count, 3);
+        assert_eq!(snapshot.histograms[names::CHAOS_QUIESCENCE_STEPS].count, 3);
+        // the pool counters exist (their values are process-cumulative,
+        // shared with every other test in the binary)
+        assert!(snapshot.counters.contains_key(names::POOL_WORKER_PANICS));
+        assert!(snapshot.counters.contains_key(names::POOL_WORKER_RESPAWNS));
+        assert!(snapshot.counters.contains_key(names::POOL_BARRIER_TIMEOUTS));
+    }
+
+    #[test]
+    fn campaign_json_is_balanced_and_complete() {
+        let case = small_case("json_case", 2);
+        let outcome = case.run().expect("valid case");
+        let records = vec![ChaosCaseRecord::new(&case, outcome.report).recovery_invisible(true)];
+        let json = chaos_campaign_json("chaos_unit", &records, &PoolStats::default());
+        assert!(json.starts_with("{\"campaign\":\"chaos_unit\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"case\":\"json_case\""));
+        assert!(json.contains("\"schedule\":\"periodic(period=24,offset=3,f=5,seed=23)\""));
+        assert!(json.contains("\"recovery_invisible\":true"));
+        assert!(json.contains("\"pool\":{\"worker_panics\":0"));
+    }
+
+    #[test]
+    fn campaign_artifact_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join("smst_adversary_chaos_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let case = small_case("roundtrip", 1);
+        let outcome = case.run().expect("valid case");
+        let records = vec![ChaosCaseRecord::new(&case, outcome.report)];
+        let path = write_chaos_campaign_artifact_in(
+            &dir,
+            "chaos_roundtrip",
+            &records,
+            &PoolStats::default(),
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"campaign\":\"chaos_roundtrip\""));
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            "CAMPAIGN_chaos_roundtrip.json"
+        );
+        std::fs::remove_file(path).ok();
+    }
+}

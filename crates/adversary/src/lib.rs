@@ -29,7 +29,12 @@
 //!   to a 1-minimal counterexample;
 //! * [`artifact`] — `CAMPAIGN_<name>.json` written next to the bench
 //!   JSONs (same escaping, same `$SMST_BENCH_DIR`), uploaded by CI's
-//!   `campaign-smoke` job.
+//!   `campaign-smoke` job;
+//! * [`chaos`] — verify-forever chaos campaigns: recurring
+//!   [`FaultSchedule`](smst_sim::FaultSchedule) waves endured on the
+//!   engine's self-healing pool, bridged into `smst-telemetry`
+//!   (`BENCH_chaos.json`, the `chaos.*`/`pool.*` metrics) and summarized
+//!   as `CAMPAIGN_chaos.json` by CI's `chaos-smoke` job.
 //!
 //! Everything is a pure function of explicit seeds: campaigns, trials and
 //! shrinks all replay bit-for-bit.
@@ -39,12 +44,17 @@
 
 pub mod artifact;
 pub mod campaign;
+pub mod chaos;
 pub mod daemons;
 pub mod shrink;
 pub mod trial;
 
 pub use artifact::{campaign_json, write_campaign_artifact};
 pub use campaign::{run_campaign, CampaignReport, CampaignSpec, TrialRecord};
+pub use chaos::{
+    chaos_campaign_json, record_chaos_metrics, record_pool_metrics, write_chaos_campaign_artifact,
+    ChaosCase, ChaosCaseOutcome, ChaosCaseRecord,
+};
 pub use daemons::{CutFocusDaemon, StallDaemon, StarveDaemon};
 pub use shrink::{shrink as shrink_trial, ShrinkResult};
 pub use trial::{

@@ -12,7 +12,7 @@
 //! driver, [`run_engine_fault_experiment`]: the synchronous and
 //! asynchronous variants differ only in the envelope's [`Mode`](crate::config::Mode) (and hence
 //! in the warm-up budget), not in code path. The old per-runner entry
-//! points remain as `#[deprecated]` shims for one release.
+//! points shipped as `#[deprecated]` shims for one release and are gone.
 //!
 //! Because the engine's rounds are bit-for-bit identical to the sequential
 //! ones, every number these functions return (warm-up rounds, detection
@@ -20,7 +20,6 @@
 //! output; the adapter tests pin that equality.
 
 use crate::config::{ConfigError, EngineConfig};
-use crate::layout::LayoutPolicy;
 use crate::runner::{Runner, StopCondition};
 use smst_core::faults::{corrupt, FaultKind};
 use smst_core::scheme::FaultExperimentOutcome;
@@ -30,9 +29,7 @@ use smst_graph::{ComponentMap, NodeId, WeightedGraph};
 use smst_labeling::Instance;
 use smst_selfstab::baselines::DetectionCost;
 use smst_selfstab::{SelfStabilizingMst, StabilizationOutcome, Variant};
-use smst_sim::{
-    BatchDaemon, ChunkedDaemon, Daemon, DetectionReport, FaultPlan, MemoryUsage, NodeProgram,
-};
+use smst_sim::{DetectionReport, FaultPlan, MemoryUsage, NodeProgram};
 
 /// Per-node register sizes of a run, as reported by the program.
 fn memory_bits(runner: &dyn Runner<CoreVerifier>, verifier: &CoreVerifier, n: usize) -> Vec<u64> {
@@ -100,108 +97,6 @@ pub fn run_engine_fault_experiment(
     })
 }
 
-/// Parallel mirror of [`smst_core::scheme::run_sync_fault_experiment`]:
-/// the synchronous sharded experiment over `threads` shards.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_engine_fault_experiment` with an `EngineConfig` envelope"
-)]
-pub fn run_parallel_sync_fault_experiment(
-    instance: &Instance,
-    plan: &FaultPlan,
-    kind: FaultKind,
-    seed: u64,
-    threads: usize,
-) -> FaultExperimentOutcome {
-    run_engine_fault_experiment(
-        instance,
-        plan,
-        kind,
-        seed,
-        &EngineConfig::new().threads(threads.max(1)),
-    )
-    .expect("a clamped sync envelope is always valid")
-}
-
-/// [`run_parallel_sync_fault_experiment`] with an explicit
-/// [`LayoutPolicy`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_engine_fault_experiment` with an `EngineConfig` envelope"
-)]
-pub fn run_parallel_sync_fault_experiment_with_layout(
-    instance: &Instance,
-    plan: &FaultPlan,
-    kind: FaultKind,
-    seed: u64,
-    threads: usize,
-    layout: LayoutPolicy,
-) -> FaultExperimentOutcome {
-    run_engine_fault_experiment(
-        instance,
-        plan,
-        kind,
-        seed,
-        &EngineConfig::new().threads(threads.max(1)).layout(layout),
-    )
-    .expect("a clamped sync envelope is always valid")
-}
-
-/// Sharded-daemon mirror of
-/// [`smst_core::scheme::run_async_fault_experiment`]: the same experiment
-/// under a central asynchronous daemon executed in parallel batches of
-/// `batch` simultaneous activations.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_engine_fault_experiment` with an `EngineConfig::asynchronous` envelope"
-)]
-pub fn run_sharded_async_fault_experiment(
-    instance: &Instance,
-    plan: &FaultPlan,
-    kind: FaultKind,
-    daemon: Daemon,
-    seed: u64,
-    batch: usize,
-    threads: usize,
-) -> FaultExperimentOutcome {
-    run_engine_fault_experiment(
-        instance,
-        plan,
-        kind,
-        seed,
-        &EngineConfig::new()
-            .threads(threads.max(1))
-            .batch_daemon(Box::new(ChunkedDaemon::new(daemon, batch))),
-    )
-    .expect("a clamped async envelope is always valid")
-}
-
-/// The fully general asynchronous fault experiment under any
-/// [`BatchDaemon`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_engine_fault_experiment` with an `EngineConfig::batch_daemon` envelope"
-)]
-pub fn run_batch_daemon_fault_experiment(
-    instance: &Instance,
-    plan: &FaultPlan,
-    kind: FaultKind,
-    daemon: Box<dyn BatchDaemon>,
-    seed: u64,
-    threads: usize,
-) -> FaultExperimentOutcome {
-    run_engine_fault_experiment(
-        instance,
-        plan,
-        kind,
-        seed,
-        &EngineConfig::new()
-            .threads(threads.max(1))
-            .batch_daemon(daemon),
-    )
-    .expect("a clamped async envelope is always valid")
-}
-
 /// Engine mirror of [`smst_core::scheme::rounds_until_rejection`]: runs
 /// the verifier on a (non-MST) instance with the given labels until the
 /// first alarm, on whatever execution path `engine` describes.
@@ -214,26 +109,6 @@ pub fn rounds_until_rejection_engine(
     let verifier = MstVerificationScheme::new().verifier(instance, labels);
     let mut runner = engine.instantiate(&verifier, instance.graph.clone())?;
     Ok(runner.run_until(StopCondition::FirstAlarm, max_rounds))
-}
-
-/// [`rounds_until_rejection_engine`] over `threads` synchronous shards.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `rounds_until_rejection_engine` with an `EngineConfig` envelope"
-)]
-pub fn rounds_until_rejection_parallel(
-    instance: &Instance,
-    labels: Vec<CoreLabel>,
-    max_rounds: usize,
-    threads: usize,
-) -> Option<usize> {
-    rounds_until_rejection_engine(
-        instance,
-        labels,
-        max_rounds,
-        &EngineConfig::new().threads(threads.max(1)),
-    )
-    .expect("a clamped sync envelope is always valid")
 }
 
 /// Stale labels of the graph's correct MST (what an adversarially corrupted
@@ -303,10 +178,12 @@ pub fn stabilize_with_engine(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::LayoutPolicy;
     use smst_core::scheme::run_sync_fault_experiment;
     use smst_graph::generators::random_connected_graph;
     use smst_selfstab::transformer::garbage_components;
     use smst_selfstab::SelfStabilizingMst;
+    use smst_sim::Daemon;
 
     fn mst_instance(n: usize, m: usize, seed: u64) -> Instance {
         let g = random_connected_graph(n, m, seed);
@@ -341,32 +218,6 @@ mod tests {
             assert_eq!(par.report.alarm_nodes, seq.report.alarm_nodes, "{label}");
             assert_eq!(par.memory.max_bits(), seq.memory.max_bits(), "{label}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)] // the shims must keep matching the new driver for one release
-    fn deprecated_shims_still_match() {
-        let inst = mst_instance(16, 40, 3);
-        let plan = FaultPlan::single(NodeId(7));
-        let new = run_engine_fault_experiment(
-            &inst,
-            &plan,
-            FaultKind::SpDistance,
-            1,
-            &EngineConfig::new().threads(4).layout(LayoutPolicy::Rcm),
-        )
-        .unwrap();
-        let old = run_parallel_sync_fault_experiment_with_layout(
-            &inst,
-            &plan,
-            FaultKind::SpDistance,
-            1,
-            4,
-            LayoutPolicy::Rcm,
-        );
-        assert_eq!(old.warmup_rounds, new.warmup_rounds);
-        assert_eq!(old.report.detection_time, new.report.detection_time);
-        assert_eq!(old.report.alarm_nodes, new.report.alarm_nodes);
     }
 
     #[test]

@@ -40,11 +40,12 @@
 
 use crate::layout::LayoutPolicy;
 use crate::parallel_sync::ParallelSyncRunner;
-use crate::pool::PinPolicy;
+use crate::pool::{PinPolicy, PoolError};
 use crate::runner::Runner;
 use crate::sharded_async::ShardedAsyncRunner;
 use smst_graph::WeightedGraph;
 use smst_sim::{AsyncRunner, BatchDaemon, ChunkedDaemon, Daemon, Network, NodeProgram, SyncRunner};
+use std::time::Duration;
 
 /// Which implementation family executes the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +175,215 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Any failure of the engine's fallible driving surface
+/// ([`Runner::try_step`] /
+/// [`Runner::try_run_until`] and the
+/// [`ScenarioSpec`](crate::ScenarioSpec) façade): either the envelope was
+/// inconsistent ([`ConfigError`]) or the pooled execution failed at run
+/// time ([`PoolError`] — a worker panic that exhausted its
+/// [`RecoveryPolicy`], or a barrier watchdog timeout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The envelope failed validation.
+    Config(ConfigError),
+    /// The pooled execution failed at run time.
+    Pool(PoolError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Config(err) => write!(f, "{err}"),
+            EngineError::Pool(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Config(err) => Some(err),
+            EngineError::Pool(err) => Some(err),
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(err: ConfigError) -> Self {
+        EngineError::Config(err)
+    }
+}
+
+impl From<PoolError> for EngineError {
+    fn from(err: PoolError) -> Self {
+        EngineError::Pool(err)
+    }
+}
+
+/// Supervised recovery for the sharded runners: how a run responds when a
+/// worker panics or hangs mid-epoch.
+///
+/// The default policy (`max_retries == 0`, no backoff, no watchdog) is
+/// exactly the pre-recovery behaviour: the first worker panic surfaces as
+/// an error (through [`Runner::try_step`]) or an
+/// unwind (through the panicking convenience surface) and the run is over.
+/// With `max_retries > 0` the runner snapshots its registers before every
+/// step chunk, and on a worker panic restores the snapshot, sleeps the
+/// (exponentially doubling) backoff, and replays the chunk — a successful
+/// retry is **bit-for-bit invisible** in the deterministic trace, because
+/// the replay starts from the exact pre-chunk registers.
+///
+/// `watchdog_timeout` arms the round-barrier watchdog of the synchronous
+/// sharded runner: a part that fails to reach a round barrier within the
+/// timeout turns into [`PoolError::BarrierTimeout`] instead of a deadlock.
+/// Timeouts are never retried — a hung worker is a liveness bug, not a
+/// transient fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryPolicy {
+    /// How many times a panicked step chunk is replayed before the error
+    /// surfaces (0 = fail on the first panic).
+    pub max_retries: u32,
+    /// Base sleep before a replay; doubles on every further retry of the
+    /// same chunk (`backoff`, `2·backoff`, `4·backoff`, …).
+    pub backoff: Duration,
+    /// Round-barrier watchdog: `Some(t)` poisons a barrier whose laggard
+    /// has not arrived after `t` (synchronous sharded runs only; inert
+    /// elsewhere). `None` waits forever, as before.
+    pub watchdog_timeout: Option<Duration>,
+}
+
+impl RecoveryPolicy {
+    /// The do-nothing policy (fail on first panic, no watchdog).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A policy that replays a panicked chunk up to `max_retries` times
+    /// (no backoff, no watchdog — add them with the builders).
+    pub fn retries(max_retries: u32) -> Self {
+        RecoveryPolicy {
+            max_retries,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the base backoff slept before a replay (doubles per retry).
+    pub fn backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Arms the round-barrier watchdog.
+    pub fn watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog_timeout = Some(timeout);
+        self
+    }
+
+    /// `true` for the default do-nothing policy.
+    pub fn is_none(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// The sleep before retry number `attempt` (1-based): the base backoff
+    /// doubled per prior retry, saturating.
+    pub(crate) fn backoff_before(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.backoff.saturating_mul(factor)
+    }
+}
+
+/// What a chaos injection does to its target part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionKind {
+    /// The part panics (`panic!`) — exercised by the
+    /// [`RecoveryPolicy`] retry path.
+    Panic,
+    /// The part sleeps this many milliseconds before computing — exercised
+    /// by the barrier watchdog. Meaningful on the synchronous sharded
+    /// backend (the watchdog lives in its round barrier); elsewhere it only
+    /// delays.
+    Stall {
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A one-shot worker fault injection for chaos tests and campaigns: at
+/// step `step` (synchronous round or asynchronous time unit), part `part`
+/// of the sharded execution misbehaves per
+/// [`kind`](InjectionSpec::kind) — **exactly once**. The trigger disarms
+/// when it fires, so a [`RecoveryPolicy`] replay of the same step runs
+/// clean and the recovered trace is bit-for-bit identical to an uninjected
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionSpec {
+    /// What the injection does.
+    pub kind: InjectionKind,
+    /// The step (round / time unit) the injection fires at.
+    pub step: usize,
+    /// The part (shard / batch piece) the injection fires in.
+    pub part: usize,
+}
+
+impl InjectionSpec {
+    /// A one-shot worker panic at `(step, part)`.
+    pub fn panic_at(step: usize, part: usize) -> Self {
+        InjectionSpec {
+            kind: InjectionKind::Panic,
+            step,
+            part,
+        }
+    }
+
+    /// A one-shot worker stall of `millis` milliseconds at `(step, part)`.
+    pub fn stall_at(step: usize, part: usize, millis: u64) -> Self {
+        InjectionSpec {
+            kind: InjectionKind::Stall { millis },
+            step,
+            part,
+        }
+    }
+}
+
+/// The armed runtime form of an [`InjectionSpec`]: shared by every part of
+/// a dispatch, fires at most once across the whole run (retries included).
+#[derive(Debug)]
+pub(crate) struct ArmedInjection {
+    spec: InjectionSpec,
+    armed: std::sync::atomic::AtomicBool,
+}
+
+impl ArmedInjection {
+    pub(crate) fn new(spec: InjectionSpec) -> Self {
+        ArmedInjection {
+            spec,
+            armed: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Fires the injection iff `(step, part)` match and it has not fired
+    /// yet. Called from worker threads inside the compute phase; the
+    /// one-shot swap is what keeps a recovered replay clean.
+    pub(crate) fn maybe_fire(&self, step: usize, part: usize) {
+        if step != self.spec.step || part != self.spec.part {
+            return;
+        }
+        // relaxed is enough: the flag is monotone (true -> false) and the
+        // pool's dispatch protocol orders the retry after the panic
+        if !self.armed.swap(false, std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        match self.spec.kind {
+            InjectionKind::Panic => {
+                panic!("injected chaos panic (step {step}, part {part})")
+            }
+            InjectionKind::Stall { millis } => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+        }
+    }
+}
+
 /// The full execution envelope of one run. See the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -198,6 +408,16 @@ pub struct EngineConfig {
     /// façade keeps its graph seed in sync with it. The runners themselves
     /// never read it — execution randomness lives in the daemon seeds.
     pub seed: u64,
+    /// Supervised recovery: retry-with-backoff for panicked step chunks
+    /// and the round-barrier watchdog. The default policy is the exact
+    /// pre-recovery behaviour (fail on first panic, wait forever).
+    /// Sharded-backend only; results are recovery-invariant.
+    pub recovery: RecoveryPolicy,
+    /// A one-shot chaos injection (worker panic or stall) for tests and
+    /// campaigns. Sharded-backend only; with a sufficient
+    /// [`recovery`](Self::recovery) policy, results are
+    /// injection-invariant.
+    pub injection: Option<InjectionSpec>,
 }
 
 impl Default for EngineConfig {
@@ -218,6 +438,8 @@ impl EngineConfig {
             pin: PinPolicy::None,
             halo: false,
             seed: 0,
+            recovery: RecoveryPolicy::default(),
+            injection: None,
         }
     }
 
@@ -290,6 +512,18 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the [`RecoveryPolicy`] (sharded backend only).
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Arms a one-shot chaos [`InjectionSpec`] (sharded backend only).
+    pub fn inject(mut self, injection: InjectionSpec) -> Self {
+        self.injection = Some(injection);
+        self
+    }
+
     /// Checks the envelope for consistency. Every constructor consuming an
     /// `EngineConfig` validates first, so invalid knob combinations
     /// surface here as typed [`ConfigError`]s instead of panics (or silent
@@ -313,6 +547,12 @@ impl EngineConfig {
             }
             if self.halo {
                 return Err(ConfigError::ReferenceKnob("halo exchange"));
+            }
+            if !self.recovery.is_none() {
+                return Err(ConfigError::ReferenceKnob("a recovery policy"));
+            }
+            if self.injection.is_some() {
+                return Err(ConfigError::ReferenceKnob("chaos injection"));
             }
             if let Mode::Async(daemon) = &self.mode {
                 match daemon {
@@ -429,6 +669,18 @@ mod tests {
         );
         assert_eq!(
             EngineConfig::reference()
+                .recovery(RecoveryPolicy::retries(2))
+                .validate(),
+            Err(ConfigError::ReferenceKnob("a recovery policy"))
+        );
+        assert_eq!(
+            EngineConfig::reference()
+                .inject(InjectionSpec::panic_at(3, 0))
+                .validate(),
+            Err(ConfigError::ReferenceKnob("chaos injection"))
+        );
+        assert_eq!(
+            EngineConfig::reference()
                 .batch_daemon(Box::new(ChunkedDaemon::new(Daemon::RoundRobin, 1)))
                 .validate(),
             Err(ConfigError::ReferenceNeedsCentralDaemon)
@@ -463,6 +715,46 @@ mod tests {
                 .validate(),
             Ok(())
         );
+        assert_eq!(
+            EngineConfig::new()
+                .threads(4)
+                .recovery(
+                    RecoveryPolicy::retries(3)
+                        .backoff(Duration::from_millis(1))
+                        .watchdog(Duration::from_secs(5))
+                )
+                .inject(InjectionSpec::stall_at(2, 1, 10))
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn recovery_policy_backoff_doubles_and_saturates() {
+        let policy = RecoveryPolicy::retries(4).backoff(Duration::from_millis(10));
+        assert_eq!(policy.backoff_before(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff_before(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff_before(3), Duration::from_millis(40));
+        assert!(RecoveryPolicy::none().is_none());
+        assert!(!policy.is_none());
+        // recovery and injection are label-invariant: describe() is stable
+        let described = EngineConfig::new()
+            .threads(4)
+            .recovery(policy)
+            .inject(InjectionSpec::panic_at(1, 0))
+            .describe();
+        assert_eq!(described, "sharded-sync(threads=4)");
+    }
+
+    #[test]
+    fn armed_injection_fires_exactly_once() {
+        let armed = ArmedInjection::new(InjectionSpec::panic_at(2, 1));
+        armed.maybe_fire(0, 1); // wrong step: inert
+        armed.maybe_fire(2, 0); // wrong part: inert
+        let hit = std::panic::catch_unwind(|| armed.maybe_fire(2, 1));
+        assert!(hit.is_err(), "matching (step, part) must fire");
+        // disarmed after firing: the retried epoch runs clean
+        armed.maybe_fire(2, 1);
     }
 
     #[test]

@@ -50,6 +50,13 @@
 //!   [`smst_sim::RoundObserver`] hook for per-round accounting;
 //! * [`ScenarioSpec`] — one declarative API over graph family × fault
 //!   bursts × [`EngineConfig`];
+//! * [`chaos`] — the verify-forever chaos plane: recurring
+//!   [`smst_sim::FaultSchedule`] waves driven through the one `Runner`
+//!   loop with per-wave detection-latency and rounds-to-quiescence
+//!   accounting, riding on the engine's self-healing pool
+//!   ([`RecoveryPolicy`] retry/backoff/watchdog for panicked or hung
+//!   workers, one-shot [`InjectionSpec`] chaos injections, typed
+//!   [`EngineError`]s from the `try_*` runner surface);
 //! * [`adapters`] — the paper's verifier and the self-stabilizing
 //!   transformer running unchanged on the engine, with sequential-equality
 //!   guarantees pinned by tests;
@@ -75,6 +82,7 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod chaos;
 pub mod config;
 pub mod layout;
 pub mod parallel_sync;
@@ -86,11 +94,15 @@ pub mod shard;
 pub mod sharded_async;
 pub mod topology;
 
-pub use config::{Backend, ConfigError, DaemonConfig, EngineConfig, Mode};
+pub use chaos::{run_chaos, run_chaos_scenario, ChaosOutcome, ChaosReport};
+pub use config::{
+    Backend, ConfigError, DaemonConfig, EngineConfig, EngineError, InjectionKind, InjectionSpec,
+    Mode, RecoveryPolicy,
+};
 pub use layout::{Layout, LayoutPolicy};
 pub use parallel_sync::ParallelSyncRunner;
-pub use pool::{PhaseTimes, PinPolicy, PoolHandle, WorkerPool};
-pub use runner::{RunReport, Runner, StopCondition};
+pub use pool::{PhaseTimes, PinPolicy, PoolError, PoolHandle, PoolStats, WorkerPool};
+pub use runner::{try_drive_until, RunReport, Runner, StopCondition};
 pub use scenario::{FaultBurst, GraphFamily, ScenarioOutcome, ScenarioReport, ScenarioSpec};
 pub use shard::{partition_balanced, HaloPlan, Shard};
 pub use sharded_async::ShardedAsyncRunner;

@@ -27,10 +27,26 @@
 //! [`SyncRunner`](smst_sim::SyncRunner) at every thread count, with the
 //! layout pass on or off; `tests/` pins this with per-round differential
 //! and property tests.
+//!
+//! # Recovery
+//!
+//! Under a [`RecoveryPolicy`] with retries, every step chunk is guarded:
+//! the runner snapshots its registers before dispatch, catches a worker
+//! panic (the pool has already respawned the dead worker), restores the
+//! snapshot, sleeps the backoff and replays the chunk. A successful replay
+//! starts from the exact pre-chunk registers, so recovery is invisible in
+//! the deterministic trace. Exhausted retries (and barrier-watchdog
+//! timeouts, which are never retried) surface as typed [`PoolError`]s
+//! through [`try_step_round`](ParallelSyncRunner::try_step_round) /
+//! [`Runner::try_step`].
 
-use crate::config::{Backend, ConfigError, EngineConfig};
+use crate::config::{
+    ArmedInjection, Backend, ConfigError, EngineConfig, EngineError, InjectionSpec, RecoveryPolicy,
+};
 use crate::layout::{Layout, LayoutPolicy};
-use crate::pool::{PhaseTimes, PinPolicy, PoolHandle};
+use crate::pool::{
+    panic_message, BarrierTimeoutPanic, PhaseTimes, PinPolicy, PoolError, PoolHandle,
+};
 use crate::runner::{RunReport, Runner, StopCondition};
 use crate::shard::{partition_balanced, HaloPlan, Shard};
 use crate::topology::CsrTopology;
@@ -69,6 +85,10 @@ pub struct ParallelSyncRunner<'p, P: NodeProgram> {
     pin: PinPolicy,
     threads: usize,
     rounds: usize,
+    /// Supervised recovery for panicked chunks + the barrier watchdog.
+    recovery: RecoveryPolicy,
+    /// A one-shot chaos injection, armed until it fires.
+    injection: Option<ArmedInjection>,
     /// Per-round measurement hook; while attached, multi-round chunks run
     /// round-granular so every boundary is observed.
     observer: Option<Box<dyn RoundObserver>>,
@@ -110,22 +130,44 @@ where
         Ok(
             Self::init_and_build(program, graph, config.threads, config.layout)
                 .halo_exchange(config.halo)
-                .pinning(config.pin),
+                .pinning(config.pin)
+                .apply_chaos_knobs(config),
         )
     }
 
-    /// [`ParallelSyncRunner::new`] with an explicit [`LayoutPolicy`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "build through `EngineConfig` (one validated envelope for threads/layout/halo/pin): `EngineConfig::instantiate` or `ParallelSyncRunner::from_config`"
-    )]
-    pub fn with_layout(
+    /// [`from_config`](Self::from_config) with explicitly provided initial
+    /// registers (arbitrary / adversarial initialization), indexed by
+    /// original node id — the config-validated twin of
+    /// [`with_states`](Self::with_states).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the node count.
+    pub fn from_config_with_states(
         program: &'p P,
         graph: WeightedGraph,
-        threads: usize,
-        policy: LayoutPolicy,
-    ) -> Self {
-        Self::init_and_build(program, graph, threads, policy)
+        states: Vec<P::State>,
+        config: &EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if config.backend != Backend::Sharded || config.mode.is_async() {
+            return Err(ConfigError::WrongMode {
+                expected: "sharded synchronous",
+                got: config.describe(),
+            });
+        }
+        Ok(
+            Self::states_and_build(program, graph, states, config.threads, config.layout)
+                .halo_exchange(config.halo)
+                .pinning(config.pin)
+                .apply_chaos_knobs(config),
+        )
+    }
+
+    fn apply_chaos_knobs(mut self, config: &EngineConfig) -> Self {
+        self.recovery = config.recovery;
+        self.injection = config.injection.map(ArmedInjection::new);
+        self
     }
 
     fn init_and_build(
@@ -155,22 +197,6 @@ where
         threads: usize,
     ) -> Self {
         Self::states_and_build(program, graph, states, threads, LayoutPolicy::Identity)
-    }
-
-    /// [`ParallelSyncRunner::with_states`] with an explicit
-    /// [`LayoutPolicy`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "build through `EngineConfig` (one validated envelope for threads/layout/halo/pin); for explicit registers combine `ParallelSyncRunner::with_states` with `EngineConfig`-derived knobs"
-    )]
-    pub fn with_states_and_layout(
-        program: &'p P,
-        graph: WeightedGraph,
-        states: Vec<P::State>,
-        threads: usize,
-        policy: LayoutPolicy,
-    ) -> Self {
-        Self::states_and_build(program, graph, states, threads, policy)
     }
 
     fn states_and_build(
@@ -234,9 +260,26 @@ where
             pin: PinPolicy::None,
             threads,
             rounds: 0,
+            recovery: RecoveryPolicy::default(),
+            injection: None,
             observer: None,
             phases: PhaseTimes::new(),
         }
+    }
+
+    /// Sets the [`RecoveryPolicy`] guarding every step chunk (retries,
+    /// backoff, barrier watchdog). Results are recovery-invariant: a
+    /// successful retry replays from the pre-chunk registers.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Arms a one-shot chaos [`InjectionSpec`] (tests and campaigns): the
+    /// matching `(round, shard)` compute misbehaves exactly once.
+    pub fn inject(mut self, spec: InjectionSpec) -> Self {
+        self.injection = Some(ArmedInjection::new(spec));
+        self
     }
 
     /// Attaches a [`RoundObserver`] invoked after every round (replacing
@@ -265,16 +308,20 @@ where
     pub fn halo_exchange(mut self, enabled: bool) -> Self {
         if enabled {
             if self.halo.is_none() {
-                self.halo = Some(HaloState {
-                    plan: HaloPlan::build(&self.topo, &self.shards),
-                    front: Vec::new(),
-                    back: Vec::new(),
-                });
+                self.halo = Some(Self::build_halo_state(&self.topo, &self.shards));
             }
         } else {
             self.halo = None;
         }
         self
+    }
+
+    fn build_halo_state(topo: &CsrTopology, shards: &[Shard]) -> HaloState<P::State> {
+        HaloState {
+            plan: HaloPlan::build(topo, shards),
+            front: Vec::new(),
+            back: Vec::new(),
+        }
     }
 
     /// Sets the worker [`PinPolicy`], re-acquiring a pool whose workers
@@ -402,20 +449,87 @@ where
         self.run_rounds(1);
     }
 
+    /// [`step_round`](Self::step_round) surfacing pooled-execution
+    /// failures as a typed [`PoolError`] instead of unwinding (supervised
+    /// recovery has already been attempted under the configured
+    /// [`RecoveryPolicy`]). After an `Err` the registers are unspecified.
+    pub fn try_step_round(&mut self) -> Result<(), PoolError> {
+        self.try_run_rounds(1)
+    }
+
     /// Executes `count` rounds in a single chunked pool dispatch: the
     /// parked workers run all `count` rounds back to back, synchronizing on
     /// a round barrier, and only then return to the caller. While an
     /// observer is attached, the chunk runs round-granular instead so the
     /// observer sees every round boundary (results are identical).
     pub fn run_rounds(&mut self, count: usize) {
+        self.try_run_rounds(count)
+            .unwrap_or_else(|err| panic!("{err}"));
+    }
+
+    /// The fallible core of [`run_rounds`](Self::run_rounds): every chunk
+    /// runs under the [`RecoveryPolicy`] guard.
+    pub fn try_run_rounds(&mut self, count: usize) -> Result<(), PoolError> {
         if self.observer.is_none() {
-            self.run_rounds_unobserved(count, false);
-            return;
+            return self.run_chunk_recovering(count, false);
         }
         for _ in 0..count {
             let start = std::time::Instant::now();
-            self.run_rounds_unobserved(1, true);
+            self.run_chunk_recovering(1, true)?;
             self.observe_round(start.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+
+    /// Runs one chunk under the [`RecoveryPolicy`]: catch a worker panic
+    /// (the pool respawns the dead worker on its own), restore the
+    /// pre-chunk snapshot, back off and replay. Barrier-watchdog timeouts
+    /// are never retried. With the default policy this still converts the
+    /// unwind into `Err` — the panicking surface re-raises it.
+    fn run_chunk_recovering(&mut self, count: usize, timed: bool) -> Result<(), PoolError> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let snapshot = (self.recovery.max_retries > 0)
+            .then(|| (self.states.clone(), self.scratch.clone(), self.rounds));
+        let had_halo = self.halo.is_some();
+        let mut attempts = 0u32;
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.run_rounds_unobserved(count, timed)
+            }));
+            let payload = match outcome {
+                Ok(()) => return Ok(()),
+                Err(payload) => payload,
+            };
+            // discard any partial phase accumulation of the failed chunk
+            let _ = self.phases.take();
+            attempts += 1;
+            if let Some(timeout) = payload.downcast_ref::<BarrierTimeoutPanic>() {
+                // a hung worker is a liveness bug, not a transient fault
+                return Err(PoolError::BarrierTimeout { timeout: timeout.0 });
+            }
+            let Some((states, scratch, rounds)) = snapshot.as_ref() else {
+                return Err(PoolError::WorkerPanic {
+                    attempts,
+                    message: panic_message(&payload),
+                });
+            };
+            if attempts > self.recovery.max_retries {
+                return Err(PoolError::WorkerPanic {
+                    attempts,
+                    message: panic_message(&payload),
+                });
+            }
+            self.states.clone_from(states);
+            self.scratch.clone_from(scratch);
+            self.rounds = *rounds;
+            // the unwind may have dropped the halo arenas mid-take
+            if had_halo && self.halo.is_none() {
+                self.halo = Some(Self::build_halo_state(&self.topo, &self.shards));
+            }
+            let backoff = self.recovery.backoff_before(attempts);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
         }
     }
 
@@ -470,10 +584,15 @@ where
         let topo = &self.topo;
         let contexts = &self.contexts;
         let shards = &self.shards;
+        let injection = self.injection.as_ref();
+        let base = self.rounds;
         if shards.len() == 1 {
             // single-shard path: no dispatch, no synchronization at all
             let shard = shards[0];
-            for _ in 0..count {
+            for round in 0..count {
+                if let Some(inj) = injection {
+                    inj.maybe_fire(base + round, 0);
+                }
                 let start = timed.then(std::time::Instant::now);
                 compute_shard(
                     program,
@@ -494,10 +613,14 @@ where
                 count,
                 &mut self.states,
                 &mut self.scratch,
-                |part, _round, prev, out| {
+                |part, round, prev, out| {
+                    if let Some(inj) = injection {
+                        inj.maybe_fire(base + round, part);
+                    }
                     compute_shard(program, topo, contexts, prev, shards[part], out);
                 },
                 timed.then_some(&self.phases),
+                self.recovery.watchdog_timeout,
             );
         }
         self.rounds += count;
@@ -524,16 +647,22 @@ where
             let regions = plan.regions();
             let program = self.program;
             let contexts = &self.contexts;
+            let injection = self.injection.as_ref();
+            let base = self.rounds;
             self.pool.pool().run_rounds_halo_phased(
                 &regions,
                 plan.exchange(),
                 count,
                 &mut halo.front,
                 &mut halo.back,
-                |part, _round, prev, out| {
+                |part, round, prev, out| {
+                    if let Some(inj) = injection {
+                        inj.maybe_fire(base + round, part);
+                    }
                     compute_shard_halo(program, plan, part, contexts, prev, out);
                 },
                 timed.then_some(&self.phases),
+                self.recovery.watchdog_timeout,
             );
             plan.scatter_interiors(&halo.front, &mut self.states);
             plan.scatter_interiors(&halo.back, &mut self.scratch);
@@ -624,6 +753,10 @@ where
         self.step_round();
     }
 
+    fn try_step(&mut self) -> Result<(), EngineError> {
+        self.try_step_round().map_err(EngineError::from)
+    }
+
     fn steps(&self) -> usize {
         self.rounds
     }
@@ -681,6 +814,19 @@ where
             return Some(max_steps);
         }
         crate::runner::drive_until(self, until, max_steps)
+    }
+
+    fn try_run_until(
+        &mut self,
+        until: StopCondition,
+        max_steps: usize,
+    ) -> Result<Option<usize>, EngineError> {
+        // same chunked fast path as `run_until`, over the fallible surface
+        if matches!(until, StopCondition::Steps) {
+            self.try_run_rounds(max_steps)?;
+            return Ok(Some(max_steps));
+        }
+        crate::runner::try_drive_until(self, until, max_steps)
     }
 
     fn report(&self) -> RunReport {
@@ -774,11 +920,11 @@ fn compute_shard_halo<P: NodeProgram>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated constructor shims must keep working for one release
 mod tests {
     use super::*;
     use smst_graph::generators::{expander_graph, path_graph, random_connected_graph};
-    use smst_sim::SyncRunner;
+    use smst_sim::{RecordingObserver, SyncRunner};
+    use std::time::Duration;
 
     /// Propagates the minimum identity (same toy program as the sim tests).
     struct MinId;
@@ -800,12 +946,29 @@ mod tests {
         }
     }
 
+    static MIN_ID: MinId = MinId;
+
+    /// The envelope-built runner the migrated equivalence tests drive
+    /// (threads + layout through one validated `EngineConfig`).
+    fn with_layout(
+        g: &WeightedGraph,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> ParallelSyncRunner<'static, MinId> {
+        ParallelSyncRunner::from_config(
+            &MIN_ID,
+            g.clone(),
+            &EngineConfig::new().threads(threads).layout(policy),
+        )
+        .expect("a valid test envelope")
+    }
+
     #[test]
     fn matches_sequential_runner_every_round() {
         let g = random_connected_graph(60, 150, 11);
         for threads in [1, 2, 4, 7] {
             for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
-                let mut par = ParallelSyncRunner::with_layout(&MinId, g.clone(), threads, policy);
+                let mut par = with_layout(&g, threads, policy);
                 let mut seq = SyncRunner::new(&MinId, Network::new(&MinId, g.clone()));
                 for round in 0..12 {
                     assert_eq!(
@@ -824,8 +987,8 @@ mod tests {
     fn chunked_run_rounds_equals_stepped_rounds() {
         let g = expander_graph(64, 6, 3);
         for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
-            let mut chunked = ParallelSyncRunner::with_layout(&MinId, g.clone(), 4, policy);
-            let mut stepped = ParallelSyncRunner::with_layout(&MinId, g.clone(), 4, policy);
+            let mut chunked = with_layout(&g, 4, policy);
+            let mut stepped = with_layout(&g, 4, policy);
             chunked.run_rounds(7);
             for _ in 0..7 {
                 stepped.step_round();
@@ -857,7 +1020,7 @@ mod tests {
     #[test]
     fn fault_injection_and_healing_with_layout() {
         let g = random_connected_graph(30, 80, 2);
-        let mut runner = ParallelSyncRunner::with_layout(&MinId, g, 4, LayoutPolicy::Rcm);
+        let mut runner = with_layout(&g, 4, LayoutPolicy::Rcm);
         runner.run_to_fixpoint(100).unwrap();
         let plan = FaultPlan::random(30, 5, 9);
         runner.apply_faults(&plan, |_v, s| *s = u64::MAX);
@@ -882,13 +1045,13 @@ mod tests {
         let g = random_connected_graph(25, 60, 8);
         let mut net = Network::new(&MinId, g);
         net.set_state(NodeId(17), 1234);
-        let runner = ParallelSyncRunner::with_states_and_layout(
+        let runner = ParallelSyncRunner::from_config_with_states(
             &MinId,
             net.graph().clone(),
             net.states().to_vec(),
-            3,
-            LayoutPolicy::Rcm,
-        );
+            &EngineConfig::new().threads(3).layout(LayoutPolicy::Rcm),
+        )
+        .expect("a valid test envelope");
         assert_eq!(runner.state(NodeId(17)), &1234);
         let back = runner.into_network();
         assert_eq!(back.states(), net.states());
@@ -908,10 +1071,8 @@ mod tests {
         let g = random_connected_graph(80, 220, 19);
         for threads in [1, 2, 4, 7] {
             for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
-                let mut halo = ParallelSyncRunner::with_layout(&MinId, g.clone(), threads, policy)
-                    .halo_exchange(true);
-                let mut direct =
-                    ParallelSyncRunner::with_layout(&MinId, g.clone(), threads, policy);
+                let mut halo = with_layout(&g, threads, policy).halo_exchange(true);
+                let mut direct = with_layout(&g, threads, policy);
                 for round in 0..10 {
                     assert_eq!(
                         halo.states_snapshot(),
@@ -931,9 +1092,8 @@ mod tests {
         // fixpoint detection relies on the scratch refresh of the halo
         // path; faults mutate `states` between chunked halo runs
         let g = random_connected_graph(40, 100, 3);
-        let mut halo = ParallelSyncRunner::with_layout(&MinId, g.clone(), 4, LayoutPolicy::Rcm)
-            .halo_exchange(true);
-        let mut direct = ParallelSyncRunner::with_layout(&MinId, g, 4, LayoutPolicy::Rcm);
+        let mut halo = with_layout(&g, 4, LayoutPolicy::Rcm).halo_exchange(true);
+        let mut direct = with_layout(&g, 4, LayoutPolicy::Rcm);
         assert_eq!(
             halo.run_to_fixpoint(100).unwrap(),
             direct.run_to_fixpoint(100).unwrap()
@@ -1005,5 +1165,70 @@ mod tests {
             "equal-sized runners must reuse the registered pool"
         );
         assert!(a.pool().pool().threads() >= 33);
+    }
+
+    #[test]
+    fn injected_panic_recovers_invisibly_at_every_thread_count() {
+        let g = random_connected_graph(60, 150, 31);
+        for threads in [1, 2, 8] {
+            for halo in [false, true] {
+                let mut clean = with_layout(&g, threads, LayoutPolicy::Rcm).halo_exchange(halo);
+                let mut chaos = with_layout(&g, threads, LayoutPolicy::Rcm)
+                    .halo_exchange(halo)
+                    .recovery(RecoveryPolicy::retries(2))
+                    .inject(InjectionSpec::panic_at(3, 0));
+                let clean_trace = RecordingObserver::new();
+                let chaos_trace = RecordingObserver::new();
+                clean.set_observer(Box::new(clean_trace.clone()));
+                chaos.set_observer(Box::new(chaos_trace.clone()));
+                clean.run_rounds(8);
+                chaos
+                    .try_run_rounds(8)
+                    .expect("the injected panic is retried away");
+                assert_eq!(
+                    chaos_trace.deterministic_trace(),
+                    clean_trace.deterministic_trace(),
+                    "recovery must be invisible ({threads} threads, halo={halo})"
+                );
+                assert_eq!(chaos.states_snapshot(), clean.states_snapshot());
+                assert_eq!(chaos.rounds(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_worker_panic() {
+        let g = random_connected_graph(40, 100, 5);
+        // default policy: no retries, the first panic is the error
+        let mut runner =
+            with_layout(&g, 4, LayoutPolicy::Identity).inject(InjectionSpec::panic_at(0, 0));
+        match runner.try_step_round() {
+            Err(PoolError::WorkerPanic { attempts, message }) => {
+                assert_eq!(attempts, 1);
+                assert!(message.contains("injected chaos panic"), "{message}");
+            }
+            other => panic!("expected a typed worker panic, got {other:?}"),
+        }
+        // the pool healed: a fresh runner on the same registry pool works
+        let mut fresh = with_layout(&g, 4, LayoutPolicy::Identity);
+        fresh.run_rounds(3);
+        assert_eq!(fresh.rounds(), 3);
+    }
+
+    #[test]
+    fn stall_injection_trips_the_watchdog_as_a_typed_timeout() {
+        let g = random_connected_graph(40, 100, 7);
+        let mut runner = with_layout(&g, 2, LayoutPolicy::Identity)
+            .recovery(RecoveryPolicy::retries(3).watchdog(Duration::from_millis(40)))
+            .inject(InjectionSpec::stall_at(0, 1, 400));
+        let started = std::time::Instant::now();
+        match runner.try_run_rounds(5) {
+            Err(PoolError::BarrierTimeout { timeout }) => {
+                assert_eq!(timeout, Duration::from_millis(40));
+            }
+            other => panic!("expected a barrier timeout, got {other:?}"),
+        }
+        // never retried, and detected well before the stall finished
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 }

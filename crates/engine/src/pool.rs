@@ -42,9 +42,27 @@
 //!    round barrier separates consecutive rounds, so no read of round `r`'s
 //!    input can race a write of round `r + 1`.
 //!
+//! # Self-healing
+//!
 //! Worker panics are caught, propagated to the dispatcher (first panic
 //! wins), and poison the round barrier so sibling workers unwind instead of
-//! deadlocking; the pool itself survives and stays reusable.
+//! deadlocking. A worker whose job panicked **retires** (records itself in
+//! the shared state and exits its thread); the next dispatch joins and
+//! respawns every retired worker before publishing the new epoch, so a
+//! panic in one borrower of a registry-shared pool
+//! ([`PoolHandle::for_threads`]) never leaves the pool broken for the next
+//! borrower. [`WorkerPool::stats`] counts caught panics, respawns and
+//! barrier timeouts for telemetry bridges.
+//!
+//! The round primitives additionally accept a **watchdog**: when a part
+//! fails to reach the round barrier within the timeout, the waiting
+//! siblings poison the barrier and unwind with a typed timeout sentinel, so
+//! a hung worker surfaces as [`PoolError::BarrierTimeout`] at the runner
+//! instead of deadlocking the dispatch. The dispatcher itself still waits
+//! for every participant to acknowledge (the lifetime-erasure contract
+//! requires it), so the dispatch returns once the hung part eventually
+//! finishes or dies — the watchdog bounds *detection*, not the stall
+//! itself.
 
 #![allow(unsafe_code)]
 
@@ -52,9 +70,100 @@ use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A typed failure of a pooled dispatch, produced by the runners' fallible
+/// driving surface ([`Runner::try_step`](crate::Runner::try_step)) instead
+/// of an unwinding panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A job part panicked and every retry the
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy) allowed panicked too.
+    WorkerPanic {
+        /// Attempts made (1 initial try + the policy's retries).
+        attempts: u32,
+        /// The panic message of the last attempt (best-effort string
+        /// extraction from the payload).
+        message: String,
+    },
+    /// A part failed to reach the round barrier within the watchdog
+    /// timeout: the barrier was poisoned and the epoch abandoned. Never
+    /// retried — a hung worker is a liveness bug, not a transient fault.
+    BarrierTimeout {
+        /// The configured watchdog timeout that expired.
+        timeout: Duration,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanic { attempts, message } => {
+                write!(f, "worker panic after {attempts} attempt(s): {message}")
+            }
+            PoolError::BarrierTimeout { timeout } => {
+                write!(
+                    f,
+                    "round barrier watchdog expired after {}ms: a part hung",
+                    timeout.as_millis()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Best-effort extraction of a panic payload's message (`&str` / `String`
+/// payloads; anything else becomes a placeholder).
+pub(crate) fn panic_message(payload: &PanicPayload) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// The typed payload a watchdog timeout unwinds with (non-poison, so the
+/// dispatcher's payload selection prefers it over the secondary poison
+/// panics it releases). Runners downcast it back into
+/// [`PoolError::BarrierTimeout`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BarrierTimeoutPanic(pub(crate) Duration);
+
+/// `true` if a caught payload is the watchdog's timeout sentinel.
+pub(crate) fn is_timeout_panic(payload: &PanicPayload) -> bool {
+    payload.downcast_ref::<BarrierTimeoutPanic>().is_some()
+}
+
+/// Monotone counters of the pool's self-healing machinery, for telemetry
+/// bridges (the engine crate itself stays telemetry-free). All relaxed:
+/// diagnostics, never part of the determinism contract.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    barrier_timeouts: AtomicU64,
+}
+
+impl PoolStats {
+    /// Dispatches that ended in a caught (non-timeout) job panic.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads respawned after retiring on a job panic.
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Dispatches that ended in a barrier watchdog timeout.
+    pub fn barrier_timeouts(&self) -> u64 {
+        self.barrier_timeouts.load(Ordering::Relaxed)
+    }
+}
 
 /// Lock-free per-phase wall-clock accumulators for the pool's round
 /// primitives: how many nanoseconds the instrumented part spent computing,
@@ -302,6 +411,12 @@ struct PoolState {
     outstanding: usize,
     /// First worker panic of the current epoch, if any.
     panic: Option<PanicPayload>,
+    /// Workers that retired (exited their thread) after a job panic, to be
+    /// joined and respawned by the next dispatch. Pushed under the state
+    /// lock *in the same critical section* as the completion
+    /// acknowledgement, so a dispatcher can never start a new epoch while
+    /// a dying worker is still counted as available.
+    retired: Vec<usize>,
     shutdown: bool,
 }
 
@@ -325,7 +440,10 @@ pub struct WorkerPool {
     /// Serializes dispatches from different runner threads onto the same
     /// pool (the job slot is single-occupancy by design).
     dispatch_lock: Mutex<()>,
-    handles: Vec<JoinHandle<()>>,
+    /// Slot `w` holds worker `w`'s thread; a slot is replaced in place when
+    /// its worker retires after a job panic and is respawned.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    stats: PoolStats,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -358,32 +476,22 @@ impl WorkerPool {
                 parts: 0,
                 outstanding: 0,
                 panic: None,
+                retired: Vec::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let handles = (0..threads.saturating_sub(1))
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("smst-engine-worker-{w}"))
-                    .spawn(move || {
-                        if pin == PinPolicy::Cores {
-                            pin_current_thread_to_core((w + 1) % cores);
-                        }
-                        worker_loop(&shared, w)
-                    })
-                    .expect("spawning an engine worker thread")
-            })
+            .map(|w| spawn_worker(&shared, w, pin))
             .collect();
         WorkerPool {
             shared,
             threads,
             pin,
             dispatch_lock: Mutex::new(()),
-            handles,
+            handles: Mutex::new(handles),
+            stats: PoolStats::default(),
         }
     }
 
@@ -395,6 +503,37 @@ impl WorkerPool {
     /// The pin policy the pool's workers were spawned under.
     pub fn pin_policy(&self) -> PinPolicy {
         self.pin
+    }
+
+    /// The pool's self-healing counters (caught panics, worker respawns,
+    /// barrier timeouts).
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Joins and respawns every worker that retired after a job panic.
+    /// Called at the top of each dispatch (under the dispatch lock, before
+    /// the epoch bump), so the new epoch only ever counts live workers —
+    /// this is what makes post-panic reuse of a registry-shared pool sound
+    /// for the next borrower.
+    fn ensure_workers(&self) {
+        let retired: Vec<usize> = {
+            let mut st = self.shared.state.lock().unwrap();
+            std::mem::take(&mut st.retired)
+        };
+        if retired.is_empty() {
+            return;
+        }
+        let mut handles = self.handles.lock().unwrap();
+        for w in retired {
+            let replacement = spawn_worker(&self.shared, w, self.pin);
+            let dead = std::mem::replace(&mut handles[w], replacement);
+            // the retired worker pushed its index in the same critical
+            // section as its final acknowledgement, so this join is
+            // near-instant
+            let _ = dead.join();
+            self.stats.respawns.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Runs `job(part)` for every `part in 0..parts`, the caller executing
@@ -435,6 +574,10 @@ impl WorkerPool {
             None
         };
         let serial = self.dispatch_lock.lock().unwrap();
+        // heal first: join + respawn any worker that retired after a panic
+        // in a previous epoch, so `outstanding` below only counts threads
+        // that are actually alive to acknowledge
+        self.ensure_workers();
         // SAFETY: lifetime erasure; `job` stays borrowed on this stack frame
         // until the completion wait below observes `outstanding == 0`;
         // participating workers only call through the pointer before
@@ -478,9 +621,16 @@ impl WorkerPool {
         let payloads = [caller_panic, worker_panic];
         let mut payloads: Vec<PanicPayload> = payloads.into_iter().flatten().collect();
         if let Some(original) = payloads.iter().position(|p| !is_poison_panic(p)) {
-            resume_unwind(payloads.swap_remove(original));
+            let payload = payloads.swap_remove(original);
+            if is_timeout_panic(&payload) {
+                self.stats.barrier_timeouts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+            }
+            resume_unwind(payload);
         }
         if let Some(payload) = payloads.pop() {
+            self.stats.panics.fetch_add(1, Ordering::Relaxed);
             resume_unwind(payload);
         }
     }
@@ -535,14 +685,19 @@ impl WorkerPool {
         T: Send + Sync + Clone,
         F: Fn(usize, usize, &[T], &mut [T]) + Sync,
     {
-        self.run_rounds_double_buffered_phased(bounds, rounds, front, back, step, None);
+        self.run_rounds_double_buffered_phased(bounds, rounds, front, back, step, None, None);
     }
 
     /// [`run_rounds_double_buffered`](Self::run_rounds_double_buffered)
-    /// with optional per-phase timing: when `phases` is `Some`, part 0's
-    /// compute and barrier nanoseconds accumulate into the given
-    /// [`PhaseTimes`] (see its docs for the sampling contract). `None` is
-    /// exactly the untimed primitive.
+    /// with optional per-phase timing and an optional barrier watchdog:
+    /// when `phases` is `Some`, part 0's compute and barrier nanoseconds
+    /// accumulate into the given [`PhaseTimes`] (see its docs for the
+    /// sampling contract); when `watchdog` is `Some`, a part that fails to
+    /// reach a round barrier within the timeout makes the whole run unwind
+    /// with the typed timeout sentinel the runners surface as
+    /// [`PoolError::BarrierTimeout`]. `(None, None)` is exactly the untimed
+    /// primitive.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_rounds_double_buffered_phased<T, F>(
         &self,
         bounds: &[usize],
@@ -551,6 +706,7 @@ impl WorkerPool {
         back: &mut Vec<T>,
         step: F,
         phases: Option<&PhaseTimes>,
+        watchdog: Option<Duration>,
     ) where
         T: Send + Sync + Clone,
         F: Fn(usize, usize, &[T], &mut [T]) + Sync,
@@ -565,7 +721,9 @@ impl WorkerPool {
         assert_eq!(bounds[parts], front.len(), "bounds must cover the buffer");
         let regions: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
         let exchange = vec![Vec::new(); parts];
-        self.run_rounds_halo_phased(&regions, &exchange, rounds, front, back, step, phases);
+        self.run_rounds_halo_phased(
+            &regions, &exchange, rounds, front, back, step, phases, watchdog,
+        );
     }
 
     /// Halo-exchange variant of
@@ -610,14 +768,18 @@ impl WorkerPool {
         T: Send + Sync + Clone,
         F: Fn(usize, usize, &[T], &mut [T]) + Sync,
     {
-        self.run_rounds_halo_phased(regions, exchange, rounds, front, back, step, None);
+        self.run_rounds_halo_phased(regions, exchange, rounds, front, back, step, None, None);
     }
 
     /// [`run_rounds_halo`](Self::run_rounds_halo) with optional per-phase
-    /// timing: when `phases` is `Some`, part 0's compute, barrier-wait and
-    /// halo-exchange nanoseconds accumulate into the given [`PhaseTimes`]
-    /// (see its docs for the sampling contract). `None` is exactly the
-    /// untimed primitive — the round loop then never reads the clock.
+    /// timing and an optional barrier watchdog: when `phases` is `Some`,
+    /// part 0's compute, barrier-wait and halo-exchange nanoseconds
+    /// accumulate into the given [`PhaseTimes`] (see its docs for the
+    /// sampling contract); when `watchdog` is `Some`, a part that fails to
+    /// reach a round barrier within the timeout poisons the barrier and the
+    /// run unwinds with the typed timeout sentinel instead of deadlocking.
+    /// `(None, None)` is exactly the untimed primitive — the round loop
+    /// then never reads the clock.
     ///
     /// # Panics
     ///
@@ -632,6 +794,7 @@ impl WorkerPool {
         back: &mut Vec<T>,
         step: F,
         phases: Option<&PhaseTimes>,
+        watchdog: Option<Duration>,
     ) where
         T: Send + Sync + Clone,
         F: Fn(usize, usize, &[T], &mut [T]) + Sync,
@@ -718,7 +881,7 @@ impl WorkerPool {
                 "halo run of {parts} parts on a {}-thread pool",
                 self.threads
             );
-            let barrier = RoundBarrier::new(parts);
+            let barrier = RoundBarrier::new(parts, watchdog);
             let front_ptr = BufPtr(front.as_mut_ptr());
             let back_ptr = BufPtr(back.as_mut_ptr());
             self.dispatch(parts, &|part| {
@@ -788,10 +951,27 @@ impl Drop for WorkerPool {
             st.shutdown = true;
         }
         self.shared.work.notify_all();
-        for handle in self.handles.drain(..) {
+        for handle in self.handles.get_mut().unwrap().drain(..) {
             let _ = handle.join();
         }
     }
+}
+
+/// Spawns worker `w` of a pool (pinned to core `(w + 1) % cores` under
+/// [`PinPolicy::Cores`]) — shared between pool construction and the
+/// post-panic respawn in [`WorkerPool::ensure_workers`].
+fn spawn_worker(shared: &Arc<Shared>, w: usize, pin: PinPolicy) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    std::thread::Builder::new()
+        .name(format!("smst-engine-worker-{w}"))
+        .spawn(move || {
+            if pin == PinPolicy::Cores {
+                pin_current_thread_to_core((w + 1) % cores);
+            }
+            worker_loop(&shared, w)
+        })
+        .expect("spawning an engine worker thread")
 }
 
 /// Raw buffer base pointer, shareable across the pool's workers.
@@ -847,6 +1027,12 @@ fn worker_loop(shared: &Shared, worker: usize) {
         }))
         .err();
         let mut st = shared.state.lock().unwrap();
+        // a worker whose *own* job panicked retires: it records itself for
+        // respawn and exits after acknowledging. Poison-released siblings
+        // and watchdog-timeout unwinds are healthy threads — they stay.
+        let retire = panic
+            .as_ref()
+            .is_some_and(|p| !is_poison_panic(p) && !is_timeout_panic(p));
         if let Some(payload) = panic {
             // keep the first *original* payload: poison-released siblings
             // all panic with the sentinel and must not mask the cause
@@ -855,9 +1041,19 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 _ => st.panic = Some(payload),
             }
         }
+        if retire {
+            st.retired.push(worker);
+        }
         st.outstanding -= 1;
         if st.outstanding == 0 {
             shared.done.notify_all();
+        }
+        if retire {
+            // the retirement and the acknowledgement above are one critical
+            // section: the dispatcher that wakes on `outstanding == 0` is
+            // guaranteed to see this worker in `retired` before it can
+            // publish another epoch
+            return;
         }
     }
 }
@@ -881,11 +1077,14 @@ fn is_poison_panic(payload: &PanicPayload) -> bool {
 }
 
 /// A reusable generation barrier with poisoning (a sibling's panic releases
-/// everyone instead of deadlocking the round).
+/// everyone instead of deadlocking the round) and an optional watchdog (a
+/// part that never arrives makes the *waiters* poison the barrier and
+/// unwind with the typed timeout sentinel, instead of deadlocking forever).
 struct RoundBarrier {
     state: Mutex<BarrierState>,
     cv: Condvar,
     parts: usize,
+    watchdog: Option<Duration>,
 }
 
 struct BarrierState {
@@ -895,7 +1094,7 @@ struct BarrierState {
 }
 
 impl RoundBarrier {
-    fn new(parts: usize) -> Self {
+    fn new(parts: usize, watchdog: Option<Duration>) -> Self {
         RoundBarrier {
             state: Mutex::new(BarrierState {
                 arrived: 0,
@@ -904,11 +1103,16 @@ impl RoundBarrier {
             }),
             cv: Condvar::new(),
             parts,
+            watchdog,
         }
     }
 
     /// Blocks until all parts arrive (or the barrier is poisoned, in which
-    /// case this panics so the caller unwinds out of its round loop).
+    /// case this panics so the caller unwinds out of its round loop). With
+    /// a watchdog, a wait that exceeds the timeout poisons the barrier
+    /// itself and unwinds with [`BarrierTimeoutPanic`] — the first waiter
+    /// to time out carries the typed sentinel; the others unwind with the
+    /// ordinary poison sentinel.
     fn wait(&self) {
         let mut st = self.state.lock().unwrap();
         if st.poisoned {
@@ -923,8 +1127,22 @@ impl RoundBarrier {
             self.cv.notify_all();
             return;
         }
+        let deadline = self.watchdog.map(|limit| (Instant::now() + limit, limit));
         while st.generation == generation && !st.poisoned {
-            st = self.cv.wait(st).unwrap();
+            match deadline {
+                None => st = self.cv.wait(st).unwrap(),
+                Some((at, limit)) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        st.poisoned = true;
+                        self.cv.notify_all();
+                        drop(st);
+                        panic_any(BarrierTimeoutPanic(limit));
+                    }
+                    let (guard, _timeout) = self.cv.wait_timeout(st, at - now).unwrap();
+                    st = guard;
+                }
+            }
         }
         let poisoned = st.poisoned;
         drop(st);
@@ -1333,6 +1551,112 @@ mod tests {
         // must never panic, whatever the platform answers
         let _ = pin_current_thread_to_core(0);
         let _ = pin_current_thread_to_core(10_000);
+    }
+
+    #[test]
+    fn registry_pool_reuse_after_panic_is_sound() {
+        // the satellite bugfix: a panic inside one borrower's dispatch must
+        // leave the registry-shared pool healed for the *next* borrower
+        for threads in [1usize, 2, 8] {
+            let handle = PoolHandle::for_threads(threads);
+            let panics_before = handle.pool().stats().panics();
+            let respawns_before = handle.pool().stats().respawns();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                handle.pool().dispatch(threads, &|p| {
+                    if p == threads - 1 {
+                        panic!("borrower boom");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "threads {threads}: panic must propagate");
+            // the next borrower comes through the registry, not the old handle
+            let next = PoolHandle::for_threads(threads);
+            for _ in 0..2 {
+                let counter = AtomicUsize::new(0);
+                next.pool().dispatch(threads, &|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                assert_eq!(counter.load(Ordering::SeqCst), threads, "threads {threads}");
+            }
+            if threads > 1 {
+                // drive one dispatch through the *same* pool object so the
+                // healing is observable on it even if a racing test slipped
+                // a different (smaller) pool into the registry for `next`
+                handle.pool().dispatch(threads, &|_| {});
+                // the panicked part ran on a worker: it retired and was
+                // respawned before the next epoch was published
+                assert!(handle.pool().stats().panics() > panics_before);
+                assert!(handle.pool().stats().respawns() > respawns_before);
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_workers_are_respawned_every_time() {
+        let pool = WorkerPool::new(3);
+        for i in 0..3 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.dispatch(3, &|p| {
+                    if p == 2 {
+                        panic!("boom {i}");
+                    }
+                });
+            }));
+            assert!(result.is_err());
+            let counter = AtomicUsize::new(0);
+            pool.dispatch(3, &|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 3);
+        }
+        assert_eq!(pool.stats().panics(), 3);
+        assert_eq!(pool.stats().respawns(), 3);
+        assert_eq!(pool.stats().barrier_timeouts(), 0);
+    }
+
+    #[test]
+    fn hung_part_trips_the_watchdog_instead_of_deadlocking() {
+        let pool = WorkerPool::new(2);
+        let bounds = vec![0usize, 5, 10];
+        let mut front = vec![0u64; 10];
+        let mut back = vec![0u64; 10];
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_rounds_double_buffered_phased(
+                &bounds,
+                3,
+                &mut front,
+                &mut back,
+                |part: usize, round: usize, _prev: &[u64], _next: &mut [u64]| {
+                    if part == 1 && round == 1 {
+                        // a *finite* stall: the dispatcher must still wait
+                        // for the part to acknowledge (lifetime-erasure
+                        // contract), so the test would deadlock forever on
+                        // an infinite one — the watchdog bounds detection,
+                        // not the stall
+                        std::thread::sleep(Duration::from_millis(300));
+                    }
+                },
+                None,
+                Some(Duration::from_millis(40)),
+            );
+        }));
+        let payload = result.expect_err("the watchdog must fire");
+        assert!(
+            is_timeout_panic(&payload),
+            "expected the typed timeout sentinel"
+        );
+        assert!(started.elapsed() >= Duration::from_millis(40));
+        assert_eq!(pool.stats().barrier_timeouts(), 1);
+        assert_eq!(pool.stats().panics(), 0);
+        // the stalled part was healthy (just slow): nothing retired, and
+        // the pool dispatches again
+        let counter = AtomicUsize::new(0);
+        pool.dispatch(2, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        assert_eq!(pool.stats().respawns(), 0);
     }
 
     #[test]

@@ -140,6 +140,85 @@ impl NodeProgram for MonitorFlood {
     }
 }
 
+/// Maximum-identity flood with **decaying** garbage and a monitor — the
+/// canonical **chaos** workload.
+///
+/// [`MinIdFlood`] heals but never alarms (the min guard silently washes
+/// garbage out in one step); [`MonitorFlood`] alarms but never heals (a
+/// bogus maximum spreads forever). A verify-forever campaign needs both:
+/// every wave must be *detected* (an alarm) and then *digested* (all nodes
+/// accepting again). Here a register above `ceiling` (the largest
+/// legitimate identity) still spreads through the max flood — so the
+/// `monitor` node's detection latency is the true propagation distance
+/// from the fault — but every out-of-range value **halves each step**, so
+/// the global maximum decays monotonically, drops below `ceiling` within
+/// `log2(BOGUS / ceiling)` steps, and the flood then re-converges to
+/// `ceiling`. Detection latency and rounds-to-quiescence are both
+/// well-defined (and wave-dependent) for every wave the schedule leaves
+/// room for.
+#[derive(Debug, Clone, Copy)]
+pub struct AlarmedFlood {
+    monitor: u64,
+    ceiling: u64,
+}
+
+impl AlarmedFlood {
+    /// A flood converging to `ceiling` (the graph's true maximum identity
+    /// — with the workspace generators, `n − 1`), with the node whose
+    /// identity is `monitor` raising the alarm while it holds a value
+    /// above `ceiling`.
+    pub fn new(monitor: u64, ceiling: u64) -> Self {
+        AlarmedFlood { monitor, ceiling }
+    }
+
+    /// A register value no legitimate identity can reach (ids up to a
+    /// million stay well below it), small enough that its decay — one
+    /// halving per step — completes within a few dozen steps.
+    pub const BOGUS: u64 = 1 << 20;
+}
+
+impl NodeProgram for AlarmedFlood {
+    type State = u64;
+
+    fn init(&self, ctx: &NodeContext) -> u64 {
+        ctx.id
+    }
+
+    fn step(&self, ctx: &NodeContext, own: &u64, neighbors: &[&u64]) -> u64 {
+        // the node's own identity is re-injected every step, so the true
+        // maximum survives even when a garbage flood overwrites every
+        // register
+        let raw = neighbors
+            .iter()
+            .fold((*own).max(ctx.id), |acc, &&x| acc.max(x));
+        // out-of-range values keep flooding but decay geometrically: the
+        // global maximum halves every step, so corruption provably dies out
+        if raw > self.ceiling {
+            raw >> 1
+        } else {
+            raw
+        }
+    }
+
+    fn verdict(&self, ctx: &NodeContext, state: &u64) -> Verdict {
+        if ctx.id == self.monitor && *state > self.ceiling {
+            Verdict::Reject
+        } else if *state == self.ceiling {
+            Verdict::Accept
+        } else {
+            Verdict::Working
+        }
+    }
+
+    fn state_bits(&self, _ctx: &NodeContext, _state: &u64) -> u64 {
+        64
+    }
+
+    fn name(&self) -> &str {
+        "alarmed-flood"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +248,25 @@ mod tests {
         let mut runner = ParallelSyncRunner::new(&program, g, 2);
         runner.run_until_all_accept(50).unwrap();
         assert!(runner.states().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn alarmed_flood_detects_and_then_heals() {
+        let n = 24usize;
+        let g = random_connected_graph(n, 60, 9);
+        let program = AlarmedFlood::new(0, n as u64 - 1);
+        let mut runner = ParallelSyncRunner::new(&program, g, 2);
+        runner.run_until_all_accept(50).unwrap();
+        *runner.state_mut(smst_graph::NodeId(5)) = AlarmedFlood::BOGUS;
+        // the garbage floods to the monitor (node 0), which alarms...
+        let t = runner.run_until_alarm(50).expect("the monitor must detect");
+        assert!(t >= 1, "detection takes at least one propagation step");
+        // ...and the geometric decay then clears it and the flood
+        // re-converges to the true maximum
+        runner.run_rounds(40);
+        assert!(!runner.any_alarm());
+        assert!(runner.all_accept());
+        assert!(runner.states().iter().all(|&s| s == n as u64 - 1));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! `*_ns` fields vary between runs — and an unobserved runner never
 //! reads the clock at all.
 
+use crate::config::EngineError;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_sim::{
     AsyncRunner, FaultPlan, Network, NodeContext, NodeProgram, RoundObserver, SyncRunner,
@@ -74,7 +75,29 @@ pub struct RunReport {
 /// the layout policy underneath.
 pub trait Runner<P: NodeProgram> {
     /// Executes exactly one step.
+    ///
+    /// The panicking convenience surface: a sharded runner whose pooled
+    /// execution fails (worker panic past its
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy), barrier watchdog
+    /// timeout) panics with the [`EngineError`] message. Callers that need
+    /// graceful degradation use [`try_step`](Runner::try_step).
     fn step(&mut self);
+
+    /// Executes exactly one step, surfacing pooled-execution failures as a
+    /// typed [`EngineError`] instead of unwinding.
+    ///
+    /// The sequential reference runners never fail (their default body
+    /// wraps [`step`](Runner::step)); the sharded runners override this
+    /// with supervised recovery — a worker panic is retried under the
+    /// configured [`RecoveryPolicy`](crate::RecoveryPolicy) and only
+    /// surfaces as `Err` once retries are exhausted (or immediately for a
+    /// [`PoolError::BarrierTimeout`](crate::PoolError::BarrierTimeout)).
+    /// After an `Err` the runner's registers are unspecified; the run is
+    /// over.
+    fn try_step(&mut self) -> Result<(), EngineError> {
+        self.step();
+        Ok(())
+    }
 
     /// Steps executed so far.
     fn steps(&self) -> usize;
@@ -136,6 +159,18 @@ pub trait Runner<P: NodeProgram> {
     fn run_until(&mut self, until: StopCondition, max_steps: usize) -> Option<usize> {
         drive_until(self, until, max_steps)
     }
+
+    /// [`run_until`](Runner::run_until) over the fallible
+    /// [`try_step`](Runner::try_step) surface: `Ok(Some(steps))` when the
+    /// condition was met, `Ok(None)` on timeout, `Err` when pooled
+    /// execution failed mid-run.
+    fn try_run_until(
+        &mut self,
+        until: StopCondition,
+        max_steps: usize,
+    ) -> Result<Option<usize>, EngineError> {
+        try_drive_until(self, until, max_steps)
+    }
 }
 
 /// The shared driving loop behind [`Runner::run_until`], callable from
@@ -164,6 +199,38 @@ where
         StopCondition::Steps => Some(max_steps),
         _ => None,
     }
+}
+
+/// The shared fallible driving loop behind [`Runner::try_run_until`]:
+/// [`drive_until`] over [`Runner::try_step`], stopping at the first
+/// [`EngineError`].
+pub fn try_drive_until<P, R>(
+    runner: &mut R,
+    until: StopCondition,
+    max_steps: usize,
+) -> Result<Option<usize>, EngineError>
+where
+    P: NodeProgram,
+    R: Runner<P> + ?Sized,
+{
+    let met = |runner: &R| match until {
+        StopCondition::Steps => false,
+        StopCondition::FirstAlarm => runner.any_alarm(),
+        StopCondition::AllAccept => runner.all_accept(),
+    };
+    if !matches!(until, StopCondition::Steps) && met(runner) {
+        return Ok(Some(0));
+    }
+    for executed in 1..=max_steps {
+        runner.try_step()?;
+        if met(runner) {
+            return Ok(Some(executed));
+        }
+    }
+    Ok(match until {
+        StopCondition::Steps => Some(max_steps),
+        _ => None,
+    })
 }
 
 impl<'p, P> Runner<P> for SyncRunner<'p, P>
@@ -380,5 +447,20 @@ mod tests {
         assert_eq!(runner.run_until(StopCondition::AllAccept, 5), Some(0));
         // FirstAlarm never fires on this program: timeout
         assert_eq!(runner.run_until(StopCondition::FirstAlarm, 2), None);
+    }
+
+    #[test]
+    fn try_surface_mirrors_the_panicking_surface_on_reference_runners() {
+        let g = path_graph(5, 0);
+        let program = MinIdFlood::new(0);
+        let mut runner: Box<dyn Runner<MinIdFlood>> =
+            Box::new(SyncRunner::new(&program, Network::new(&program, g)));
+        runner.try_step().expect("reference runners never fail");
+        assert_eq!(runner.steps(), 1);
+        assert_eq!(
+            runner.try_run_until(StopCondition::AllAccept, 100),
+            Ok(Some(3))
+        );
+        assert_eq!(runner.try_run_until(StopCondition::FirstAlarm, 2), Ok(None));
     }
 }

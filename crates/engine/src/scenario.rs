@@ -14,10 +14,14 @@
 //! [`ScenarioSpec::run`] drives whatever
 //! [`EngineConfig::instantiate`] returns through the object-safe
 //! [`Runner`](crate::runner::Runner) trait — the spec itself knows nothing about individual
-//! runner types. Invalid envelopes surface as [`ConfigError`] from the
-//! `try_*` variants instead of panicking deep in dispatch.
+//! runner types. Invalid envelopes and unrecovered worker failures surface
+//! as typed [`EngineError`]s from the `try_*` variants instead of panicking
+//! deep in dispatch. The chaos knobs ride along: [`ScenarioSpec::recovery`]
+//! arms supervised retry of panicked steps and [`ScenarioSpec::inject`]
+//! plants a one-shot worker panic or stall, so robustness scenarios are as
+//! declarative as fault scenarios.
 
-use crate::config::{ConfigError, EngineConfig};
+use crate::config::{EngineConfig, EngineError, InjectionSpec, RecoveryPolicy};
 use crate::layout::LayoutPolicy;
 use crate::pool::PinPolicy;
 pub use crate::runner::StopCondition;
@@ -167,7 +171,8 @@ impl ScenarioSpec {
     }
 
     /// Sets the worker-thread count. `0` is **not** clamped — it surfaces
-    /// as [`ConfigError::ZeroThreads`] when the scenario runs.
+    /// as [`ConfigError::ZeroThreads`](crate::config::ConfigError::ZeroThreads)
+    /// when the scenario runs.
     pub fn threads(mut self, threads: usize) -> Self {
         self.engine = self.engine.threads(threads);
         self
@@ -187,10 +192,25 @@ impl ScenarioSpec {
 
     /// Switches the halo-exchange execution mode on or off. Halo exchange
     /// is defined only for synchronous schedules — an asynchronous
-    /// scenario with halo set fails with [`ConfigError::HaloRequiresSync`]
+    /// scenario with halo set fails with
+    /// [`ConfigError::HaloRequiresSync`](crate::config::ConfigError::HaloRequiresSync)
     /// when run.
     pub fn halo_exchange(mut self, halo: bool) -> Self {
         self.engine = self.engine.halo(halo);
+        self
+    }
+
+    /// Sets the supervised-recovery policy for worker panics (retry count,
+    /// exponential backoff, barrier watchdog).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.engine = self.engine.recovery(policy);
+        self
+    }
+
+    /// Arms a one-shot chaos injection (worker panic or stall) inside the
+    /// instantiated runner — the scenario-level hook for robustness tests.
+    pub fn inject(mut self, injection: InjectionSpec) -> Self {
+        self.engine = self.engine.inject(injection);
         self
     }
 
@@ -234,11 +254,12 @@ impl ScenarioSpec {
     ///
     /// # Panics
     ///
-    /// Panics if the execution envelope is invalid (see
-    /// [`ScenarioSpec::try_run`] for the non-panicking variant) or if a
-    /// [`FaultBurst`] is scheduled at or after `max_steps` — such a burst
-    /// could never fire, and silently dropping it would make a
-    /// misconfigured fault scenario look like a passing fault-free one.
+    /// Panics if the execution envelope is invalid or a worker failure
+    /// exhausts the [`RecoveryPolicy`] (see [`ScenarioSpec::try_run`] for
+    /// the non-panicking variant), or if a [`FaultBurst`] is scheduled at
+    /// or after `max_steps` — such a burst could never fire, and silently
+    /// dropping it would make a misconfigured fault scenario look like a
+    /// passing fault-free one.
     pub fn run<P, F>(&self, program: &P, corrupt: F, max_steps: usize) -> ScenarioOutcome<P>
     where
         P: NodeProgram + Sync,
@@ -246,17 +267,18 @@ impl ScenarioSpec {
         F: FnMut(NodeId, &mut P::State),
     {
         self.try_run(program, corrupt, max_steps)
-            .unwrap_or_else(|e| panic!("invalid scenario engine config: {e}"))
+            .unwrap_or_else(|e| panic!("scenario failed: {e}"))
     }
 
-    /// [`ScenarioSpec::run`], returning [`ConfigError`] instead of
-    /// panicking on an invalid execution envelope.
+    /// [`ScenarioSpec::run`], returning a typed [`EngineError`] instead of
+    /// panicking on an invalid execution envelope or an unrecovered worker
+    /// failure.
     pub fn try_run<P, F>(
         &self,
         program: &P,
         corrupt: F,
         max_steps: usize,
-    ) -> Result<ScenarioOutcome<P>, ConfigError>
+    ) -> Result<ScenarioOutcome<P>, EngineError>
     where
         P: NodeProgram + Sync,
         P::State: Send + Sync,
@@ -287,17 +309,18 @@ impl ScenarioSpec {
         F: FnMut(NodeId, &mut P::State),
     {
         self.try_run_with(build, corrupt, max_steps)
-            .unwrap_or_else(|e| panic!("invalid scenario engine config: {e}"))
+            .unwrap_or_else(|e| panic!("scenario failed: {e}"))
     }
 
-    /// [`ScenarioSpec::run_with`], returning [`ConfigError`] instead of
-    /// panicking on an invalid execution envelope.
+    /// [`ScenarioSpec::run_with`], returning a typed [`EngineError`]
+    /// instead of panicking on an invalid execution envelope or an
+    /// unrecovered worker failure.
     pub fn try_run_with<P, B, F>(
         &self,
         build: B,
         corrupt: F,
         max_steps: usize,
-    ) -> Result<(ScenarioOutcome<P>, P), ConfigError>
+    ) -> Result<(ScenarioOutcome<P>, P), EngineError>
     where
         P: NodeProgram + Sync,
         P::State: Send + Sync,
@@ -324,7 +347,7 @@ impl ScenarioSpec {
         corrupt: F,
         max_steps: usize,
         observer: Box<dyn RoundObserver>,
-    ) -> Result<ScenarioOutcome<P>, ConfigError>
+    ) -> Result<ScenarioOutcome<P>, EngineError>
     where
         P: NodeProgram + Sync,
         P::State: Send + Sync,
@@ -348,7 +371,7 @@ impl ScenarioSpec {
         mut corrupt: F,
         max_steps: usize,
         observer: Option<Box<dyn RoundObserver>>,
-    ) -> Result<ScenarioOutcome<P>, ConfigError>
+    ) -> Result<ScenarioOutcome<P>, EngineError>
     where
         P: NodeProgram + Sync,
         P::State: Send + Sync,
@@ -381,7 +404,7 @@ impl ScenarioSpec {
                 injected += plan.len();
                 injected_nodes.extend_from_slice(plan.nodes());
             }
-            runner.step();
+            runner.try_step()?;
             steps_run = step + 1;
             let measuring = step >= measure_from;
             if first_alarm.is_none() && measuring && runner.any_alarm() {
@@ -467,7 +490,7 @@ pub struct ScenarioOutcome<P: NodeProgram> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Backend;
+    use crate::config::{Backend, ConfigError};
     use crate::programs::MinIdFlood;
     use smst_sim::{RecordingObserver, Verdict};
 
@@ -535,11 +558,11 @@ mod tests {
         let err = spec
             .try_run(&MinIdFlood::new(0), |_v, s| *s = 1, 10)
             .expect_err("zero threads must be rejected");
-        assert_eq!(err, ConfigError::ZeroThreads);
+        assert_eq!(err, EngineError::Config(ConfigError::ZeroThreads));
         let err = spec
             .try_run_with(|_g| MinIdFlood::new(0), |_v, s| *s = 1, 10)
             .expect_err("try_run_with routes through validate too");
-        assert_eq!(err, ConfigError::ZeroThreads);
+        assert_eq!(err, EngineError::Config(ConfigError::ZeroThreads));
     }
 
     #[test]
@@ -550,8 +573,43 @@ mod tests {
         assert_eq!(
             spec.try_run(&MinIdFlood::new(0), |_v, s| *s = 1, 10)
                 .expect_err("halo requires sync"),
-            ConfigError::HaloRequiresSync
+            EngineError::Config(ConfigError::HaloRequiresSync)
         );
+    }
+
+    #[test]
+    fn injected_panic_is_retried_away_inside_a_scenario() {
+        let base = ScenarioSpec::new(GraphFamily::Expander { n: 60, degree: 4 })
+            .seed(5)
+            .threads(3)
+            .fault_burst(4, 10, 99)
+            .until(StopCondition::AllAccept);
+        let clean = base.run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 500);
+        let chaos = base
+            .clone()
+            .recovery(RecoveryPolicy::retries(2))
+            .inject(InjectionSpec::panic_at(2, 0))
+            .run(&MinIdFlood::new(0), |_v, s| *s = u64::MAX, 500);
+        assert_eq!(chaos.network.states(), clean.network.states());
+        assert_eq!(chaos.report.steps_run, clean.report.steps_run);
+        assert_eq!(chaos.report.recovered, clean.report.recovered);
+    }
+
+    #[test]
+    fn unrecovered_panic_is_a_typed_pool_error() {
+        let spec = ScenarioSpec::new(GraphFamily::Path { n: 8 })
+            .threads(2)
+            .inject(InjectionSpec::panic_at(0, 0));
+        let err = spec
+            .try_run(&MinIdFlood::new(0), |_v, s| *s = 1, 10)
+            .expect_err("no recovery policy: the injected panic must surface");
+        match err {
+            EngineError::Pool(crate::pool::PoolError::WorkerPanic { attempts, message }) => {
+                assert_eq!(attempts, 1);
+                assert!(message.contains("injected chaos panic"), "{message}");
+            }
+            other => panic!("expected a pool error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! registers as they were at the start of the batch, and a batch is
 //! computed in parallel on the persistent
 //! [`WorkerPool`](crate::pool::WorkerPool) (an epoch bump on parked
-//! threads, not a per-batch thread spawn). The [`ShardedAsyncRunner::new`]
-//! convenience wraps a central [`Daemon`] into a [`ChunkedDaemon`] (uniform
-//! chunks of `batch` activations), which was the engine's only schedule
-//! shape before the trait; adversarial batch daemons live in
-//! `smst-adversary`.
+//! threads, not a per-batch thread spawn). [`EngineConfig::asynchronous`]
+//! wraps a central [`Daemon`](smst_sim::Daemon) into a
+//! [`ChunkedDaemon`](smst_sim::ChunkedDaemon) (uniform chunks of `batch`
+//! activations), which was the engine's only schedule shape before the
+//! trait; adversarial batch daemons live in `smst-adversary`.
 //!
 //! # Determinism
 //!
@@ -24,16 +24,31 @@
 //! With batch width 1 the runner reproduces the sequential
 //! [`AsyncRunner`](smst_sim::AsyncRunner) activation-for-activation, which
 //! `tests/` pins differentially.
+//!
+//! # Recovery
+//!
+//! Under a [`RecoveryPolicy`] with retries, every time unit is guarded:
+//! the runner snapshots its registers before the unit, catches a worker
+//! panic, restores the snapshot, backs off and replays the unit. The
+//! schedule is a pure function of `(daemon, n, unit_index)` and the unit
+//! counter only advances on success, so the replay re-executes the exact
+//! same schedule — recovery is invisible in the deterministic trace.
+//! Exhausted retries surface as typed [`PoolError`]s through
+//! [`try_step_time_unit`](ShardedAsyncRunner::try_step_time_unit) /
+//! [`Runner::try_step`]. (There is no round barrier on this path, so the
+//! watchdog knob is inert here.)
 
-use crate::config::{Backend, ConfigError, EngineConfig, Mode};
+use crate::config::{
+    ArmedInjection, Backend, ConfigError, EngineConfig, EngineError, InjectionSpec, Mode,
+    RecoveryPolicy,
+};
 use crate::layout::{Layout, LayoutPolicy};
-use crate::pool::{PinPolicy, PoolHandle};
+use crate::pool::{panic_message, PinPolicy, PoolError, PoolHandle};
 use crate::runner::{RunReport, Runner, StopCondition};
 use crate::topology::CsrTopology;
 use smst_graph::{NodeId, WeightedGraph};
 use smst_sim::{
-    BatchDaemon, ChunkedDaemon, Daemon, FaultPlan, Network, NodeContext, NodeProgram,
-    RoundObserver, RoundStats, Verdict,
+    BatchDaemon, FaultPlan, Network, NodeContext, NodeProgram, RoundObserver, RoundStats, Verdict,
 };
 
 /// Runs a [`NodeProgram`] under an asynchronous daemon, executing each time
@@ -48,16 +63,21 @@ pub struct ShardedAsyncRunner<'p, P: NodeProgram> {
     /// Contexts and registers in internal (layout) order.
     contexts: Vec<NodeContext>,
     states: Vec<P::State>,
-    /// `None` only transiently inside `step_time_unit` (the daemon is
-    /// taken out so its borrowed batches can drive `&mut self`) — and
-    /// permanently after a mid-unit panic, where any further use fails
-    /// loudly instead of silently running a placeholder schedule.
+    /// `None` only transiently inside `unit_attempt` (the daemon is taken
+    /// out so its borrowed batches can drive `&mut self`, and put back
+    /// unconditionally — even across a mid-unit panic, so a retried unit
+    /// replays the identical schedule).
     daemon: Option<Box<dyn BatchDaemon>>,
     pool: PoolHandle,
     pin: PinPolicy,
     threads: usize,
     time_units: usize,
     activations: usize,
+    /// Supervised recovery for panicked time units (the watchdog knob is
+    /// inert here — there is no round barrier on this path).
+    recovery: RecoveryPolicy,
+    /// A one-shot chaos injection, armed until it fires.
+    injection: Option<ArmedInjection>,
     /// Per-time-unit measurement hook; stats are computed only while
     /// attached.
     observer: Option<Box<dyn RoundObserver>>,
@@ -72,29 +92,6 @@ where
     P: NodeProgram + Sync,
     P::State: Send + Sync,
 {
-    /// Creates a runner with program-initialized registers under a central
-    /// [`Daemon`] chunked into `batch` simultaneous activations per step
-    /// (`1` replays the central daemon); `threads` only affects wall-clock.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build through `EngineConfig::asynchronous(daemon, batch)` (one validated envelope for daemon/threads/layout/pin): `EngineConfig::instantiate` or `ShardedAsyncRunner::from_config`"
-    )]
-    pub fn new(
-        program: &'p P,
-        graph: WeightedGraph,
-        daemon: Daemon,
-        batch: usize,
-        threads: usize,
-    ) -> Self {
-        Self::with_batch_daemon(
-            program,
-            graph,
-            Box::new(ChunkedDaemon::new(daemon, batch)),
-            threads,
-            LayoutPolicy::Identity,
-        )
-    }
-
     /// Builds the runner an [`EngineConfig`] describes (an asynchronous
     /// sharded envelope): daemon, threads, layout and pinning all come
     /// from the one validated config — the typed-constructor twin of
@@ -118,36 +115,17 @@ where
                 got: config.describe(),
             });
         }
-        Ok(Self::with_batch_daemon(
+        let mut runner = Self::with_batch_daemon(
             program,
             graph,
             daemon.build(),
             config.threads,
             config.layout,
         )
-        .pinning(config.pin))
-    }
-
-    /// [`ShardedAsyncRunner::new`] with an explicit [`LayoutPolicy`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "build through `EngineConfig::asynchronous(daemon, batch)` (one validated envelope for daemon/threads/layout/pin): `EngineConfig::instantiate` or `ShardedAsyncRunner::from_config`"
-    )]
-    pub fn with_layout(
-        program: &'p P,
-        graph: WeightedGraph,
-        daemon: Daemon,
-        batch: usize,
-        threads: usize,
-        policy: LayoutPolicy,
-    ) -> Self {
-        Self::with_batch_daemon(
-            program,
-            graph,
-            Box::new(ChunkedDaemon::new(daemon, batch)),
-            threads,
-            policy,
-        )
+        .pinning(config.pin);
+        runner.recovery = config.recovery;
+        runner.injection = config.injection.map(ArmedInjection::new);
+        Ok(runner)
     }
 
     /// Creates a runner under **any** [`BatchDaemon`] — the fully general
@@ -183,9 +161,27 @@ where
             threads,
             time_units: 0,
             activations: 0,
+            recovery: RecoveryPolicy::default(),
+            injection: None,
             observer: None,
             unit_compute_ns: 0,
         }
+    }
+
+    /// Sets the [`RecoveryPolicy`] guarding every time unit (retries +
+    /// backoff; the watchdog knob is inert on this path). Results are
+    /// recovery-invariant: a replay re-executes the exact same schedule
+    /// from the pre-unit registers.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Arms a one-shot chaos [`InjectionSpec`] (tests and campaigns): the
+    /// matching `(time unit, batch piece)` compute misbehaves exactly once.
+    pub fn inject(mut self, spec: InjectionSpec) -> Self {
+        self.injection = Some(ArmedInjection::new(spec));
+        self
     }
 
     /// Attaches a [`RoundObserver`] invoked after every time unit
@@ -331,7 +327,12 @@ where
         // one worker piece per MIN_BATCH_SPAWN activations, capped by the
         // thread count; pieces == 1 stays inline on the caller
         let pieces = self.threads.min(internal.len() / MIN_BATCH_SPAWN).max(1);
+        let injection = self.injection.as_ref();
+        let unit = self.time_units;
         let computed: Vec<P::State> = if pieces == 1 {
+            if let Some(inj) = injection {
+                inj.maybe_fire(unit, 0);
+            }
             compute_nodes(
                 self.program,
                 &self.topo,
@@ -344,6 +345,9 @@ where
             let (contexts, states) = (&self.contexts, &self.states);
             let nodes = internal;
             let parts = self.pool.pool().dispatch_map(pieces, |k| {
+                if let Some(inj) = injection {
+                    inj.maybe_fire(unit, k);
+                }
                 let lo = nodes.len() * k / pieces;
                 let hi = nodes.len() * (k + 1) / pieces;
                 compute_nodes(program, topo, contexts, states, &nodes[lo..hi])
@@ -363,18 +367,11 @@ where
         }
     }
 
-    /// Executes one normalized time unit (every node activated at least
-    /// once, in daemon-chosen batches).
-    ///
-    /// # Panics
-    ///
-    /// Propagates program / daemon panics; after one, the runner refuses
-    /// further steps (its daemon slot stays empty) rather than silently
-    /// continuing under a different schedule.
-    pub fn step_time_unit(&mut self) {
-        let start = self.observer.is_some().then(std::time::Instant::now);
-        self.unit_compute_ns = 0;
-        let activations_before = self.activations;
+    /// One attempt at a time unit's full schedule. The daemon is put back
+    /// in its slot **unconditionally** — a panic leaves the runner ready to
+    /// replay the exact same unit (the schedule is a pure function of
+    /// `(daemon, n, unit_index)` and the unit counter has not advanced).
+    fn unit_attempt(&mut self) -> Result<(), Box<dyn std::any::Any + Send>> {
         // take the daemon out so its borrowed batches can drive &mut self;
         // for_each_batch lends slices (no per-batch Vec materialization —
         // ChunkedDaemon chunks one flat schedule, the adversarial daemons
@@ -382,18 +379,70 @@ where
         let daemon = self
             .daemon
             .take()
-            .expect("runner daemon missing: a prior time unit panicked mid-schedule");
+            .expect("runner daemon missing (stolen mid-unit?)");
         let n = self.topo.node_count();
-        let mut chunk: Vec<u32> = Vec::new();
-        daemon.for_each_batch(n, self.time_units, &mut |batch| {
-            if batch.is_empty() {
-                return;
-            }
-            chunk.clear();
-            chunk.extend(batch.iter().map(|v| v.index() as u32));
-            self.activate_batch(&chunk);
-        });
+        let unit = self.time_units;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut chunk: Vec<u32> = Vec::new();
+            daemon.for_each_batch(n, unit, &mut |batch| {
+                if batch.is_empty() {
+                    return;
+                }
+                chunk.clear();
+                chunk.extend(batch.iter().map(|v| v.index() as u32));
+                self.activate_batch(&chunk);
+            });
+        }));
         self.daemon = Some(daemon);
+        outcome
+    }
+
+    /// Executes one normalized time unit (every node activated at least
+    /// once, in daemon-chosen batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`PoolError`] message when the unit fails past its
+    /// [`RecoveryPolicy`] — the panicking twin of
+    /// [`try_step_time_unit`](Self::try_step_time_unit).
+    pub fn step_time_unit(&mut self) {
+        self.try_step_time_unit()
+            .unwrap_or_else(|err| panic!("{err}"));
+    }
+
+    /// [`step_time_unit`](Self::step_time_unit) surfacing failures as a
+    /// typed [`PoolError`]: a panicked unit is replayed under the
+    /// configured [`RecoveryPolicy`] (restore the pre-unit registers, back
+    /// off, re-run the identical schedule) and only surfaces as `Err` once
+    /// retries are exhausted.
+    pub fn try_step_time_unit(&mut self) -> Result<(), PoolError> {
+        let start = self.observer.is_some().then(std::time::Instant::now);
+        self.unit_compute_ns = 0;
+        let activations_before = self.activations;
+        let snapshot = (self.recovery.max_retries > 0).then(|| self.states.clone());
+        let mut attempts = 0u32;
+        loop {
+            match self.unit_attempt() {
+                Ok(()) => break,
+                Err(payload) => {
+                    self.unit_compute_ns = 0;
+                    attempts += 1;
+                    let exhausted = attempts > self.recovery.max_retries;
+                    let Some(states) = snapshot.as_ref().filter(|_| !exhausted) else {
+                        return Err(PoolError::WorkerPanic {
+                            attempts,
+                            message: panic_message(&payload),
+                        });
+                    };
+                    self.states.clone_from(states);
+                    self.activations = activations_before;
+                    let backoff = self.recovery.backoff_before(attempts);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
         self.time_units += 1;
         // measured before the observer's verdict sweep, so the phase sum
         // reflects the unit itself, not the cost of observing it
@@ -414,6 +463,7 @@ where
             });
             self.observer = Some(observer);
         }
+        Ok(())
     }
 
     /// Executes `count` time units.
@@ -480,6 +530,10 @@ where
 {
     fn step(&mut self) {
         self.step_time_unit();
+    }
+
+    fn try_step(&mut self) -> Result<(), EngineError> {
+        self.try_step_time_unit().map_err(EngineError::from)
     }
 
     fn steps(&self) -> usize {
@@ -580,13 +634,43 @@ fn compute_nodes<P: NodeProgram>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated constructor shims must keep working for one release
 mod tests {
     use super::*;
     use smst_graph::generators::{path_graph, random_connected_graph};
-    use smst_sim::AsyncRunner;
+    use smst_sim::{AsyncRunner, Daemon, RecordingObserver};
 
     struct MinId;
+
+    static MIN_ID: MinId = MinId;
+
+    /// A runner built through the one config envelope (the deprecated
+    /// positional constructors are gone).
+    fn runner(
+        g: &WeightedGraph,
+        daemon: Daemon,
+        batch: usize,
+        threads: usize,
+    ) -> ShardedAsyncRunner<'static, MinId> {
+        runner_with_layout(g, daemon, batch, threads, LayoutPolicy::Identity)
+    }
+
+    fn runner_with_layout(
+        g: &WeightedGraph,
+        daemon: Daemon,
+        batch: usize,
+        threads: usize,
+        policy: LayoutPolicy,
+    ) -> ShardedAsyncRunner<'static, MinId> {
+        ShardedAsyncRunner::from_config(
+            &MIN_ID,
+            g.clone(),
+            &EngineConfig::new()
+                .asynchronous(daemon, batch)
+                .threads(threads)
+                .layout(policy),
+        )
+        .expect("a valid test envelope")
+    }
 
     impl NodeProgram for MinId {
         type State = u64;
@@ -622,14 +706,7 @@ mod tests {
             for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
                 let mut seq =
                     AsyncRunner::new(&MinId, Network::new(&MinId, g.clone()), daemon.clone());
-                let mut par = ShardedAsyncRunner::with_layout(
-                    &MinId,
-                    g.clone(),
-                    daemon.clone(),
-                    1,
-                    4,
-                    policy,
-                );
+                let mut par = runner_with_layout(&g, daemon.clone(), 1, 4, policy);
                 for unit in 0..6 {
                     assert_eq!(
                         par.states_snapshot(),
@@ -654,8 +731,8 @@ mod tests {
         let batch = n;
         assert!(batch >= 4 * super::MIN_BATCH_SPAWN);
         let mut sync = smst_sim::SyncRunner::new(&MinId, Network::new(&MinId, g.clone()));
-        let mut single = ShardedAsyncRunner::new(&MinId, g.clone(), Daemon::RoundRobin, batch, 1);
-        let mut multi = ShardedAsyncRunner::new(&MinId, g.clone(), Daemon::RoundRobin, batch, 4);
+        let mut single = runner(&g, Daemon::RoundRobin, batch, 1);
+        let mut multi = runner(&g, Daemon::RoundRobin, batch, 4);
         for unit in 0..4 {
             sync.step_round();
             single.step_time_unit();
@@ -688,12 +765,10 @@ mod tests {
             2 * super::MIN_BATCH_SPAWN,
             4 * super::MIN_BATCH_SPAWN,
         ] {
-            let mut reference =
-                ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), batch, 1);
+            let mut reference = runner(&g, daemon.clone(), batch, 1);
             reference.run_time_units(4);
             for threads in [2, 3, 8] {
-                let mut runner =
-                    ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), batch, threads);
+                let mut runner = runner(&g, daemon.clone(), batch, threads);
                 runner.run_time_units(4);
                 assert_eq!(
                     runner.states(),
@@ -712,10 +787,10 @@ mod tests {
             seed: 13,
             extra_factor: 1,
         };
-        let mut reference = ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), 8, 1);
+        let mut reference = runner(&g, daemon.clone(), 8, 1);
         reference.run_time_units(5);
         for threads in [2, 3, 4, 9] {
-            let mut runner = ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), 8, threads);
+            let mut runner = runner(&g, daemon.clone(), 8, threads);
             runner.run_time_units(5);
             assert_eq!(
                 runner.states(),
@@ -735,7 +810,7 @@ mod tests {
             seed: 8,
             extra_factor: 1,
         };
-        let mut chunked = ShardedAsyncRunner::new(&MinId, g.clone(), daemon.clone(), 1, 2);
+        let mut chunked = runner(&g, daemon.clone(), 1, 2);
         let mut boxed = ShardedAsyncRunner::with_batch_daemon(
             &MinId,
             g,
@@ -766,7 +841,7 @@ mod tests {
                 pivot_repeats: 2,
             },
         ] {
-            let mut runner = ShardedAsyncRunner::new(&MinId, g.clone(), daemon, 4, 3);
+            let mut runner = runner(&g, daemon, 4, 3);
             let t = runner.run_until_all_accept(50).unwrap();
             assert!(t <= 12);
         }
@@ -775,11 +850,63 @@ mod tests {
     #[test]
     fn fault_injection_heals() {
         let g = random_connected_graph(20, 50, 4);
-        let mut runner = ShardedAsyncRunner::new(&MinId, g, Daemon::RoundRobin, 5, 2);
+        let mut runner = runner(&g, Daemon::RoundRobin, 5, 2);
         runner.run_until_all_accept(30).unwrap();
         let plan = FaultPlan::random(20, 4, 1);
         runner.apply_faults(&plan, |_v, s| *s = 77);
         assert!(!runner.all_accept());
         assert!(runner.run_until_all_accept(30).is_some());
+    }
+
+    #[test]
+    fn injected_panic_recovers_invisibly_in_async_units() {
+        let g = random_connected_graph(40, 100, 9);
+        let daemon = Daemon::Random {
+            seed: 21,
+            extra_factor: 1,
+        };
+        for threads in [1, 2, 8] {
+            let mut clean = runner(&g, daemon.clone(), 8, threads);
+            let mut chaos = runner(&g, daemon.clone(), 8, threads)
+                .recovery(RecoveryPolicy::retries(2))
+                .inject(InjectionSpec::panic_at(2, 0));
+            let clean_trace = RecordingObserver::new();
+            let chaos_trace = RecordingObserver::new();
+            clean.set_observer(Box::new(clean_trace.clone()));
+            chaos.set_observer(Box::new(chaos_trace.clone()));
+            for _ in 0..6 {
+                clean.step_time_unit();
+                chaos
+                    .try_step_time_unit()
+                    .expect("the injected panic is retried away");
+            }
+            assert_eq!(
+                chaos_trace.deterministic_trace(),
+                clean_trace.deterministic_trace(),
+                "recovery must be invisible ({threads} threads)"
+            );
+            assert_eq!(chaos.states(), clean.states());
+            assert_eq!(chaos.activations(), clean.activations());
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_worker_panic() {
+        let g = random_connected_graph(30, 70, 3);
+        // default policy: no retries, the first panic is the error
+        let mut chaos = runner(&g, Daemon::RoundRobin, 6, 2).inject(InjectionSpec::panic_at(0, 0));
+        match chaos.try_step_time_unit() {
+            Err(PoolError::WorkerPanic { attempts, message }) => {
+                assert_eq!(attempts, 1);
+                assert!(message.contains("injected chaos panic"), "{message}");
+            }
+            other => panic!("expected a typed worker panic, got {other:?}"),
+        }
+        // the failed unit did not advance the clock, the daemon survived
+        // the unwind, and the one-shot injection is spent: the same runner
+        // keeps stepping
+        assert_eq!(chaos.steps(), 0);
+        chaos.step_time_unit();
+        assert_eq!(chaos.steps(), 1);
     }
 }

@@ -1,0 +1,203 @@
+//! Fault-schedule determinism across the full backend matrix: the same
+//! seeded [`FaultSchedule`] replayed through every backend — the
+//! sequential sync/async references and the sharded sync/async engines at
+//! 1/2/8 threads — must produce identical per-wave chaos books
+//! ([`ChaosReport`]), identical final registers, and identical
+//! deterministic `(round, alarms, activations)` observer traces. Layering
+//! an injected worker panic plus a successful retry on top must change
+//! **nothing** (recovery is invisible in the deterministic trace), and a
+//! hung worker must surface as a typed
+//! [`PoolError::BarrierTimeout`] instead of a deadlock.
+
+use smst_engine::programs::AlarmedFlood;
+use smst_engine::{
+    run_chaos, ChaosReport, EngineConfig, InjectionSpec, LayoutPolicy, ParallelSyncRunner,
+    PoolError, RecoveryPolicy,
+};
+use smst_graph::generators::expander_graph;
+use smst_sim::{Daemon, FaultSchedule, RecordingObserver};
+use std::time::Duration;
+
+const N: usize = 48;
+
+/// Three periodic waves at steps 3, 33 and 63 — 30 steps apart, enough
+/// for the [`AlarmedFlood`] garbage (≈15 halvings plus the expander
+/// diameter: 25 steps measured on this graph) to decay and the flood to
+/// re-converge between waves.
+fn schedule() -> FaultSchedule {
+    FaultSchedule::periodic(30, 5, 23).offset(3)
+}
+
+/// Everything a chaos campaign determines: the per-wave books, the final
+/// configuration, and the per-step observer trace.
+#[derive(Debug, PartialEq, Eq)]
+struct CampaignTrace {
+    report: ChaosReport,
+    states: Vec<u64>,
+    trace: Vec<(usize, usize, usize)>,
+}
+
+/// One seeded campaign on whatever execution path `config` describes.
+fn run_campaign(config: &EngineConfig, steps: usize) -> CampaignTrace {
+    let program = AlarmedFlood::new(0, N as u64 - 1);
+    let graph = expander_graph(N, 4, 7);
+    let recording = RecordingObserver::new();
+    let mut runner = config
+        .instantiate(&program, graph)
+        .expect("a valid chaos envelope");
+    runner.set_observer(Box::new(recording.clone()));
+    let report = run_chaos(runner.as_mut(), &schedule(), steps, &mut |_v, s| {
+        *s = AlarmedFlood::BOGUS
+    })
+    .expect("the campaign survives the schedule");
+    let states = runner.into_network().states().to_vec();
+    let trace = recording
+        .deterministic_trace()
+        .into_iter()
+        .map(|(round, alarms, activations, _halo_bytes)| (round, alarms, activations))
+        .collect();
+    CampaignTrace {
+        report,
+        states,
+        trace,
+    }
+}
+
+#[test]
+fn every_sync_backend_replays_the_same_campaign() {
+    // the sequential reference plus the sharded engine at 1/2/8 threads
+    // (with a layout permutation and halo exchange thrown in): one trace
+    let envelopes = [
+        EngineConfig::reference(),
+        EngineConfig::new().threads(1),
+        EngineConfig::new().threads(2).layout(LayoutPolicy::Rcm),
+        EngineConfig::new()
+            .threads(8)
+            .layout(LayoutPolicy::Rcm)
+            .halo(true),
+    ];
+    let baseline = run_campaign(&envelopes[0], 90);
+    // the baseline campaign is a real one: every wave detected by the
+    // monitor and fully digested, the flood back at the true maximum
+    assert_eq!(baseline.report.waves.len(), 3, "waves at 3, 33 and 63");
+    assert_eq!(baseline.report.detected_waves(), 3);
+    assert_eq!(baseline.report.quiesced_waves(), 3);
+    assert_eq!(baseline.trace.len(), 90);
+    assert!(baseline.states.iter().all(|&s| s == N as u64 - 1));
+    for config in &envelopes[1..] {
+        let replay = run_campaign(config, 90);
+        assert_eq!(
+            replay,
+            baseline,
+            "{} diverged from {}",
+            config.describe(),
+            envelopes[0].describe()
+        );
+    }
+}
+
+#[test]
+fn every_async_backend_replays_the_same_campaign() {
+    // batch 1 under the central round-robin daemon replays the sequential
+    // asynchronous reference exactly — whatever the thread count
+    let reference = EngineConfig::reference().asynchronous(Daemon::RoundRobin, 1);
+    let baseline = run_campaign(&reference, 75);
+    assert_eq!(baseline.report.waves.len(), 3);
+    assert_eq!(baseline.trace.len(), 75);
+    for threads in [1usize, 2, 8] {
+        let config = EngineConfig::new()
+            .threads(threads)
+            .asynchronous(Daemon::RoundRobin, 1);
+        let replay = run_campaign(&config, 75);
+        assert_eq!(
+            replay,
+            baseline,
+            "{} diverged from {}",
+            config.describe(),
+            reference.describe()
+        );
+    }
+}
+
+#[test]
+fn wide_async_batches_replay_across_thread_counts() {
+    // batch 16 makes each step a real concurrent slice (three sweeps of
+    // the graph per wave period) — still one trace at every thread count
+    let config_for = |threads: usize| {
+        EngineConfig::new()
+            .threads(threads)
+            .asynchronous(Daemon::RoundRobin, 16)
+    };
+    let baseline = run_campaign(&config_for(1), 90);
+    assert_eq!(baseline.report.waves.len(), 3, "waves at 3, 33 and 63");
+    assert!(
+        baseline.report.detected_waves() >= 1,
+        "the monitor hears at least one wave within the budget"
+    );
+    for threads in [2usize, 8] {
+        let replay = run_campaign(&config_for(threads), 90);
+        assert_eq!(
+            replay,
+            baseline,
+            "{} diverged from {}",
+            config_for(threads).describe(),
+            config_for(1).describe()
+        );
+    }
+}
+
+#[test]
+fn a_recovered_panic_is_invisible_at_every_thread_count() {
+    // the same campaign with a worker panic injected mid-run and retried
+    // away must reproduce the clean run bit-for-bit — books, registers
+    // and observer trace — on both sharded backends at 1/2/8 threads
+    let envelopes: Vec<EngineConfig> = [1usize, 2, 8]
+        .into_iter()
+        .flat_map(|threads| {
+            [
+                EngineConfig::new().threads(threads),
+                EngineConfig::new()
+                    .threads(threads)
+                    .asynchronous(Daemon::RoundRobin, 16),
+            ]
+        })
+        .collect();
+    for config in envelopes {
+        let clean = run_campaign(&config, 75);
+        let chaotic = run_campaign(
+            &config
+                .clone()
+                .recovery(RecoveryPolicy::retries(2).backoff(Duration::from_millis(1)))
+                .inject(InjectionSpec::panic_at(7, 0)),
+            75,
+        );
+        assert_eq!(
+            chaotic,
+            clean,
+            "recovery leaked into the deterministic trace of {}",
+            config.describe()
+        );
+    }
+}
+
+#[test]
+fn a_hung_worker_is_a_typed_timeout_not_a_deadlock() {
+    // the watchdog guards the round barrier inside multi-round chunks, so
+    // drive a chunked run: the stalled worker must surface the configured
+    // limit as a typed error instead of hanging the barrier forever
+    let watchdog = Duration::from_millis(50);
+    let program = AlarmedFlood::new(0, N as u64 - 1);
+    let graph = expander_graph(N, 4, 7);
+    let config = EngineConfig::new()
+        .threads(2)
+        .recovery(RecoveryPolicy::retries(1).watchdog(watchdog))
+        .inject(InjectionSpec::stall_at(2, 1, 400));
+    let mut runner =
+        ParallelSyncRunner::from_config(&program, graph, &config).expect("a valid stall envelope");
+    match runner.try_run_rounds(6) {
+        Err(PoolError::BarrierTimeout { timeout }) => {
+            assert_eq!(timeout, watchdog, "the configured watchdog surfaced")
+        }
+        other => panic!("a hung worker must trip the watchdog, got {other:?}"),
+    }
+}

@@ -6,16 +6,11 @@
 //! on the expander scenario the RCM layout must leave strictly smaller
 //! halos than the identity layout.
 
-// the deprecated per-runner constructors are shims over the EngineConfig
-// path for one release; this suite deliberately keeps exercising them so
-// the shims stay bit-for-bit equal to the new surface until removal
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use smst_engine::programs::MinIdFlood;
 use smst_engine::{
-    partition_balanced, CsrTopology, HaloPlan, LayoutPolicy, ParallelSyncRunner, PinPolicy,
-    ShardedAsyncRunner,
+    partition_balanced, CsrTopology, EngineConfig, HaloPlan, LayoutPolicy, ParallelSyncRunner,
+    PinPolicy, ShardedAsyncRunner,
 };
 use smst_graph::generators::{expander_graph, random_connected_graph};
 use smst_graph::WeightedGraph;
@@ -46,10 +41,13 @@ proptest! {
         for threads in [1usize, 2, 8] {
             for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
                 for pin in [PinPolicy::None, PinPolicy::Cores] {
-                    let mut par =
-                        ParallelSyncRunner::with_layout(&program, g.clone(), threads, policy)
-                            .halo_exchange(true)
-                            .pinning(pin);
+                    let config = EngineConfig::new()
+                        .threads(threads)
+                        .layout(policy)
+                        .halo(true)
+                        .pin(pin);
+                    let mut par = ParallelSyncRunner::from_config(&program, g.clone(), &config)
+                        .expect("a valid halo envelope");
                     par.run_rounds(rounds);
                     let snapshot = par.states_snapshot();
                     prop_assert_eq!(
@@ -76,12 +74,12 @@ proptest! {
         // injection does) must never desynchronize them
         let g = graph_for(expander, n, seed);
         let program = MinIdFlood::new(0);
-        let mut halo = ParallelSyncRunner::with_layout(
-            &program, g.clone(), 4, LayoutPolicy::Rcm,
-        ).halo_exchange(true);
-        let mut direct = ParallelSyncRunner::with_layout(
-            &program, g.clone(), 4, LayoutPolicy::Rcm,
-        );
+        let rcm4 = EngineConfig::new().threads(4).layout(LayoutPolicy::Rcm);
+        let mut halo =
+            ParallelSyncRunner::from_config(&program, g.clone(), &rcm4.clone().halo(true))
+                .expect("a valid halo envelope");
+        let mut direct = ParallelSyncRunner::from_config(&program, g.clone(), &rcm4)
+            .expect("a valid sharded sync envelope");
         halo.step_round();
         direct.step_round();
         halo.run_rounds(3);
@@ -110,9 +108,13 @@ proptest! {
         seq.run_time_units(units);
         for threads in [2usize, 8] {
             for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
-                let mut par = ShardedAsyncRunner::with_layout(
-                    &program, g.clone(), daemon.clone(), 1, threads, policy,
-                ).pinning(PinPolicy::Cores);
+                let config = EngineConfig::new()
+                    .asynchronous(daemon.clone(), 1)
+                    .threads(threads)
+                    .layout(policy)
+                    .pin(PinPolicy::Cores);
+                let mut par = ShardedAsyncRunner::from_config(&program, g.clone(), &config)
+                    .expect("a valid sharded async envelope");
                 par.run_time_units(units);
                 let snapshot = par.states_snapshot();
                 prop_assert_eq!(

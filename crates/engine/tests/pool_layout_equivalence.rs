@@ -5,15 +5,12 @@
 //! layout on and off; and the RCM renumbering must round-trip node ids on
 //! random and expander graphs.
 
-// the deprecated per-runner constructors are shims over the EngineConfig
-// path for one release; this suite deliberately keeps exercising them so
-// the shims stay bit-for-bit equal to the new surface until removal
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use smst_engine::layout::mean_bandwidth;
 use smst_engine::programs::MinIdFlood;
-use smst_engine::{CsrTopology, Layout, LayoutPolicy, ParallelSyncRunner, ShardedAsyncRunner};
+use smst_engine::{
+    CsrTopology, EngineConfig, Layout, LayoutPolicy, ParallelSyncRunner, ShardedAsyncRunner,
+};
 use smst_graph::generators::{expander_graph, random_connected_graph};
 use smst_graph::WeightedGraph;
 use smst_sim::{AsyncRunner, Daemon, Network, SyncRunner};
@@ -42,7 +39,9 @@ proptest! {
         seq.run_rounds(rounds);
         for threads in [1usize, 2, 8] {
             for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
-                let mut par = ParallelSyncRunner::with_layout(&program, g.clone(), threads, policy);
+                let config = EngineConfig::new().threads(threads).layout(policy);
+                let mut par = ParallelSyncRunner::from_config(&program, g.clone(), &config)
+                    .expect("a valid sharded sync envelope");
                 par.run_rounds(rounds);
                 let snapshot = par.states_snapshot();
                 prop_assert_eq!(
@@ -72,9 +71,12 @@ proptest! {
         seq.run_time_units(units);
         for threads in [1usize, 2, 8] {
             for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
-                let mut par = ShardedAsyncRunner::with_layout(
-                    &program, g.clone(), daemon.clone(), 1, threads, policy,
-                );
+                let config = EngineConfig::new()
+                    .asynchronous(daemon.clone(), 1)
+                    .threads(threads)
+                    .layout(policy);
+                let mut par = ShardedAsyncRunner::from_config(&program, g.clone(), &config)
+                    .expect("a valid sharded async envelope");
                 par.run_time_units(units);
                 let snapshot = par.states_snapshot();
                 prop_assert_eq!(
@@ -101,13 +103,19 @@ proptest! {
         let g = graph_for(expander, n, seed);
         let program = MinIdFlood::new(0);
         let daemon = Daemon::Random { seed: seed ^ 0x5a, extra_factor: 1 };
-        let mut reference = ShardedAsyncRunner::new(&program, g.clone(), daemon.clone(), batch, 1);
+        let reference_config = EngineConfig::new().asynchronous(daemon.clone(), batch);
+        let mut reference =
+            ShardedAsyncRunner::from_config(&program, g.clone(), &reference_config)
+                .expect("a valid sharded async envelope");
         reference.run_time_units(units);
         for threads in [2usize, 8] {
             for policy in [LayoutPolicy::Identity, LayoutPolicy::Rcm] {
-                let mut runner = ShardedAsyncRunner::with_layout(
-                    &program, g.clone(), daemon.clone(), batch, threads, policy,
-                );
+                let config = EngineConfig::new()
+                    .asynchronous(daemon.clone(), batch)
+                    .threads(threads)
+                    .layout(policy);
+                let mut runner = ShardedAsyncRunner::from_config(&program, g.clone(), &config)
+                    .expect("a valid sharded async envelope");
                 runner.run_time_units(units);
                 prop_assert_eq!(
                     runner.states_snapshot(),

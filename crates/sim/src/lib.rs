@@ -27,6 +27,9 @@
 //!   (batches of simultaneous activations; the central [`asynch::Daemon`]
 //!   is its batch-width-1 special case via [`asynch::ChunkedDaemon`]);
 //! * [`faults`] — transient-fault injection;
+//! * [`schedule`] — recurring fault schedules (periodic / burst /
+//!   Poisson-like arrivals) for verify-forever chaos campaigns, with
+//!   per-wave detection/quiescence accounting types;
 //! * [`memory`] — per-node memory-size accounting in bits;
 //! * [`metrics`] — detection time / detection distance / stabilization
 //!   statistics;
@@ -46,6 +49,7 @@ pub mod metrics;
 pub mod network;
 pub mod observer;
 pub mod program;
+pub mod schedule;
 pub mod sync;
 pub mod trace;
 
@@ -56,4 +60,5 @@ pub use metrics::{DetectionReport, ExecutionStats};
 pub use network::Network;
 pub use observer::{RecordingObserver, RoundObserver, RoundStats, TeeObserver};
 pub use program::{NodeContext, NodeProgram, Verdict};
+pub use schedule::{Arrival, FaultSchedule, WaveStats};
 pub use sync::SyncRunner;

@@ -1,0 +1,271 @@
+//! The chaos-campaign artifact: `BENCH_chaos*.json` with one record per
+//! fault wave — the verify-forever sibling of [`rounds`](crate::rounds).
+//!
+//! A [`ChaosArtifact`] collects labelled campaign runs. Each run carries
+//! the schedule grammar it executed (`FaultSchedule::describe()`), the
+//! run-level totals, and the per-wave [`WaveStats`] books: detection
+//! latency (steps from wave to first alarm) and rounds-to-quiescence
+//! (steps from wave until every node accepts again, the MTTR-style
+//! figure). Censored waves — cut off by the next wave or the end of the
+//! run — serialize their latencies as `null` rather than a fabricated
+//! number. Writing follows the same group-named, injectable-directory
+//! discipline as [`RoundsArtifact`](crate::rounds::RoundsArtifact).
+//!
+//! Artifact schema (the `smst-rounds-v1` family):
+//!
+//! ```json
+//! {"schema":"smst-chaos-v1","group":"chaos",
+//!  "runs":[{"label":"<case>","run":"<replay id>",
+//!           "schedule":"periodic(period=8,offset=0,f=4,seed=7)",
+//!           "steps_run":64,"injected_faults":32,
+//!           "detected_waves":8,"quiesced_waves":8,
+//!           "mean_detection_latency":1.0,"mean_quiescence":5.5,
+//!           "waves":[{"wave":0,"step":0,"faults":4,
+//!                     "detection_latency":1,"quiescence":6}]}]}
+//! ```
+
+use crate::json::json_string;
+use smst_sim::WaveStats;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// One labelled chaos campaign inside a [`ChaosArtifact`].
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Case label (what was run — mirrors bench case naming).
+    pub label: String,
+    /// Replay correlation: seed, config description, trial id.
+    pub run: String,
+    /// The schedule grammar (`FaultSchedule::describe()`).
+    pub schedule: String,
+    /// Steps the campaign executed.
+    pub steps_run: usize,
+    /// Total registers corrupted across all waves.
+    pub injected_faults: usize,
+    /// Per-wave accounting, in firing order.
+    pub waves: Vec<WaveStats>,
+}
+
+impl ChaosRun {
+    /// Waves with a recorded detection latency.
+    pub fn detected_waves(&self) -> usize {
+        self.waves
+            .iter()
+            .filter(|w| w.detection_latency.is_some())
+            .count()
+    }
+
+    /// Waves with a recorded quiescence.
+    pub fn quiesced_waves(&self) -> usize {
+        self.waves.iter().filter(|w| w.quiescence.is_some()).count()
+    }
+
+    fn mean(values: impl Iterator<Item = usize>) -> Option<f64> {
+        let (mut sum, mut count) = (0usize, 0usize);
+        for v in values {
+            sum += v;
+            count += 1;
+        }
+        (count > 0).then(|| sum as f64 / count as f64)
+    }
+
+    /// Mean detection latency over the detected waves, in steps.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        Self::mean(self.waves.iter().filter_map(|w| w.detection_latency))
+    }
+
+    /// Mean rounds-to-quiescence over the quiesced waves, in steps.
+    pub fn mean_quiescence(&self) -> Option<f64> {
+        Self::mean(self.waves.iter().filter_map(|w| w.quiescence))
+    }
+}
+
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x}"))
+}
+
+/// Collects chaos campaigns and writes `BENCH_<group>.json`.
+#[derive(Debug, Default)]
+pub struct ChaosArtifact {
+    group: String,
+    runs: Vec<ChaosRun>,
+}
+
+impl ChaosArtifact {
+    /// An empty artifact for `group` (written as `BENCH_<group>.json`;
+    /// the chaos smoke uses group `"chaos"` → literally
+    /// `BENCH_chaos.json`).
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// The artifact's group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Appends one campaign.
+    pub fn push(&mut self, run: ChaosRun) {
+        self.runs.push(run);
+    }
+
+    /// Number of campaigns collected so far.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no campaigns were collected.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The artifact as a JSON document (see the module docs for the
+    /// schema).
+    pub fn to_json(&self) -> String {
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|run| {
+                let waves: Vec<String> = run
+                    .waves
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            "{{\"wave\":{},\"step\":{},\"faults\":{},\
+                             \"detection_latency\":{},\"quiescence\":{}}}",
+                            w.wave,
+                            w.step,
+                            w.faults,
+                            json_opt_usize(w.detection_latency),
+                            json_opt_usize(w.quiescence)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"label\":{},\"run\":{},\"schedule\":{},\
+                     \"steps_run\":{},\"injected_faults\":{},\
+                     \"detected_waves\":{},\"quiesced_waves\":{},\
+                     \"mean_detection_latency\":{},\"mean_quiescence\":{},\
+                     \"waves\":[{}]}}",
+                    json_string(&run.label),
+                    json_string(&run.run),
+                    json_string(&run.schedule),
+                    run.steps_run,
+                    run.injected_faults,
+                    run.detected_waves(),
+                    run.quiesced_waves(),
+                    json_opt_f64(run.mean_detection_latency()),
+                    json_opt_f64(run.mean_quiescence()),
+                    waves.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"smst-chaos-v1\",\"group\":{},\"runs\":[{}]}}\n",
+            json_string(&self.group),
+            runs.join(",")
+        )
+    }
+
+    /// Writes `BENCH_<group>.json` into `dir` and returns its path (the
+    /// injectable core — tests pass a directory instead of mutating the
+    /// process-global `SMST_BENCH_DIR`).
+    pub fn write_json_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.group));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes `BENCH_<group>.json` into
+    /// [`artifact_dir`](crate::artifact_dir) and returns its path.
+    pub fn write_json(&self) -> io::Result<PathBuf> {
+        self.write_json_to(&crate::artifact_dir())
+    }
+
+    /// Writes the artifact, printing where it went (panics on I/O errors
+    /// — an artifact run that silently loses its results is worse than
+    /// one that fails).
+    pub fn finish(self) -> PathBuf {
+        let path = self.write_json().expect("writing the chaos JSON artifact");
+        println!("  chaos -> {}", path.display());
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(i: usize, step: usize, det: Option<usize>, qui: Option<usize>) -> WaveStats {
+        WaveStats {
+            wave: i,
+            step,
+            faults: 4,
+            detection_latency: det,
+            quiescence: qui,
+        }
+    }
+
+    fn sample_run() -> ChaosRun {
+        ChaosRun {
+            label: "sharded-sync(threads=4)".to_string(),
+            run: "seed=7".to_string(),
+            schedule: "periodic(period=8,offset=0,f=4,seed=7)".to_string(),
+            steps_run: 24,
+            injected_faults: 12,
+            waves: vec![
+                wave(0, 0, Some(1), Some(6)),
+                wave(1, 8, Some(2), Some(7)),
+                wave(2, 16, None, None),
+            ],
+        }
+    }
+
+    #[test]
+    fn summaries_skip_censored_waves() {
+        let run = sample_run();
+        assert_eq!(run.detected_waves(), 2);
+        assert_eq!(run.quiesced_waves(), 2);
+        assert_eq!(run.mean_detection_latency(), Some(1.5));
+        assert_eq!(run.mean_quiescence(), Some(6.5));
+        let empty = ChaosRun {
+            waves: vec![wave(0, 0, None, None)],
+            ..run
+        };
+        assert_eq!(empty.mean_detection_latency(), None);
+    }
+
+    #[test]
+    fn artifact_roundtrip_through_a_directory() {
+        let dir = std::env::temp_dir().join("smst_telemetry_chaos_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut artifact = ChaosArtifact::new("chaos_unit");
+        assert!(artifact.is_empty());
+        artifact.push(sample_run());
+        assert_eq!(artifact.len(), 1);
+        let path = artifact.write_json_to(&dir).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            "BENCH_chaos_unit.json"
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"schema\":\"smst-chaos-v1\",\"group\":\"chaos_unit\""));
+        assert!(body.contains("\"schedule\":\"periodic(period=8,offset=0,f=4,seed=7)\""));
+        assert!(body.contains("\"detected_waves\":2"));
+        assert!(body.contains(
+            "{\"wave\":0,\"step\":0,\"faults\":4,\"detection_latency\":1,\"quiescence\":6}"
+        ));
+        assert!(body.contains(
+            "{\"wave\":2,\"step\":16,\"faults\":4,\
+                               \"detection_latency\":null,\"quiescence\":null}"
+        ));
+    }
+}

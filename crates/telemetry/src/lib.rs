@@ -57,20 +57,25 @@
 //! * [`trace::TraceWriter`] — `TRACE_<name>.jsonl`, one record per
 //!   sampled round, env-gated by `SMST_TRACE_SAMPLE`;
 //! * [`rounds::RoundsArtifact`] — `BENCH_<group>.json` per-round
-//!   accounting, the artifact form of a recorded observer stream.
+//!   accounting, the artifact form of a recorded observer stream;
+//! * [`chaos::ChaosArtifact`] — `BENCH_chaos*.json` per-wave accounting
+//!   of recurring-fault campaigns (detection latency and
+//!   rounds-to-quiescence per wave, schedule grammar per run).
 //!
-//! Both use the bench-harness conventions (`$SMST_BENCH_DIR`, injectable
+//! All use the bench-harness conventions (`$SMST_BENCH_DIR`, injectable
 //! directories for tests, hand-rolled JSON — the offline workspace has no
 //! serde).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod json;
 pub mod metrics;
 pub mod rounds;
 pub mod trace;
 
+pub use chaos::{ChaosArtifact, ChaosRun};
 pub use metrics::{
     bucket_upper_bound, Counter, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
@@ -102,6 +107,24 @@ pub mod names {
     pub const PHASE_BARRIER_NS: &str = "phase.barrier_ns";
     /// Histogram: per-round halo-exchange phase, ns.
     pub const PHASE_EXCHANGE_NS: &str = "phase.exchange_ns";
+
+    // The chaos-plane names below are fed by campaign drivers (the chaos
+    // bins and benches), not by the per-round observer.
+
+    /// Counter: fault waves fired by a chaos schedule.
+    pub const CHAOS_WAVES: &str = "chaos.waves";
+    /// Counter: registers corrupted by chaos waves.
+    pub const CHAOS_FAULTS: &str = "chaos.faults_injected";
+    /// Histogram: per-wave detection latency, steps.
+    pub const CHAOS_DETECTION_STEPS: &str = "chaos.detection_steps";
+    /// Histogram: per-wave rounds-to-quiescence (MTTR), steps.
+    pub const CHAOS_QUIESCENCE_STEPS: &str = "chaos.quiescence_steps";
+    /// Counter: worker panics the pool caught.
+    pub const POOL_WORKER_PANICS: &str = "pool.worker_panics";
+    /// Counter: worker threads respawned after a caught panic.
+    pub const POOL_WORKER_RESPAWNS: &str = "pool.worker_respawns";
+    /// Counter: dispatches ended by the barrier watchdog.
+    pub const POOL_BARRIER_TIMEOUTS: &str = "pool.barrier_timeouts";
 }
 
 /// Where telemetry artifacts are written: `$SMST_BENCH_DIR` when set,
