@@ -69,7 +69,8 @@ pub fn campaign_json(
         None => "null".to_string(),
     };
     format!(
-        "{{\"campaign\":{},\"random_trials\":{},\"guided_trials\":{},\
+        "{{\"schema\":\"smst-campaign-v1\",\"campaign\":{},\
+         \"random_trials\":{},\"guided_trials\":{},\
          \"best\":{best},\"shrunk\":{shrunk_json},\"records\":[{}]}}\n",
         json_string(&report.name),
         report.random_trials,
@@ -126,7 +127,7 @@ mod tests {
         let best = report.best().expect("trials ran").spec.clone();
         let shrunk = shrink(&best, |_s| true);
         let json = campaign_json(&report, spec.budget, Some(&shrunk));
-        assert!(json.starts_with("{\"campaign\":\"artifact_unit\""));
+        assert!(json.starts_with("{\"schema\":\"smst-campaign-v1\",\"campaign\":\"artifact_unit\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         // every record appears once, plus the duplicated best-record object

@@ -21,7 +21,7 @@ use smst_engine::{
     RecoveryPolicy, ScenarioSpec,
 };
 use smst_sim::FaultSchedule;
-use smst_telemetry::{names, ChaosArtifact, Metrics};
+use smst_telemetry::{names, ChaosArtifact, FlightRecorder, Metrics};
 use std::time::Duration;
 
 fn main() {
@@ -114,6 +114,10 @@ fn main() {
         .inject(InjectionSpec::stall_at(3, 1, 800));
     let mut stalled = ParallelSyncRunner::from_config(&program, graph, &stalled_config)
         .expect("a valid stall envelope");
+    // the flight recorder rides along as an observer: when the watchdog
+    // trips, its final ring-buffer window becomes the postmortem artifact
+    let flight = FlightRecorder::new(32);
+    stalled.set_observer(Box::new(flight.clone()));
     let started = std::time::Instant::now();
     match stalled.try_run_rounds(8) {
         Err(PoolError::BarrierTimeout { timeout }) => {
@@ -121,6 +125,16 @@ fn main() {
             println!(
                 "  stall: barrier watchdog tripped after {:?} (limit {watchdog:?})",
                 started.elapsed()
+            );
+            let reason = format!("barrier timeout after {timeout:?}");
+            let path = flight
+                .write_json("chaos_stall", &reason)
+                .expect("writing the flight-recorder artifact");
+            println!(
+                "  flight -> {} ({} of {} rounds retained)",
+                path.display(),
+                flight.len(),
+                flight.rounds_seen()
             );
         }
         other => panic!("a hung worker must trip the watchdog, got {other:?}"),

@@ -268,7 +268,7 @@ pub fn chaos_campaign_json(name: &str, records: &[ChaosCaseRecord], pool: &PoolS
         })
         .collect();
     format!(
-        "{{\"campaign\":{},\"cases\":[{}],\
+        "{{\"schema\":\"smst-campaign-v1\",\"campaign\":{},\"cases\":[{}],\
          \"pool\":{{\"worker_panics\":{},\"worker_respawns\":{},\
          \"barrier_timeouts\":{}}}}}\n",
         json_string(name),
@@ -381,7 +381,7 @@ mod tests {
         let outcome = case.run().expect("valid case");
         let records = vec![ChaosCaseRecord::new(&case, outcome.report).recovery_invisible(true)];
         let json = chaos_campaign_json("chaos_unit", &records, &PoolStats::default());
-        assert!(json.starts_with("{\"campaign\":\"chaos_unit\""));
+        assert!(json.starts_with("{\"schema\":\"smst-campaign-v1\",\"campaign\":\"chaos_unit\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"case\":\"json_case\""));

@@ -52,6 +52,34 @@ fn smaller_families(family: &GraphFamily) -> Vec<GraphFamily> {
             out.push(GraphFamily::Expander { n: half(n), degree })
         }
         GraphFamily::Complete { n } => out.push(GraphFamily::Complete { n: half(n) }),
+        GraphFamily::KmwClusterTree { levels, delta } => {
+            if levels > 1 {
+                out.push(GraphFamily::KmwClusterTree {
+                    levels: levels - 1,
+                    delta,
+                });
+            }
+            if delta > 2 {
+                out.push(GraphFamily::KmwClusterTree {
+                    levels,
+                    delta: delta - 1,
+                });
+            }
+        }
+        GraphFamily::KmwHybrid { levels, delta } => {
+            if levels > 2 {
+                out.push(GraphFamily::KmwHybrid {
+                    levels: levels - 1,
+                    delta,
+                });
+            }
+            if delta > 3 {
+                out.push(GraphFamily::KmwHybrid {
+                    levels,
+                    delta: delta - 1,
+                });
+            }
+        }
     }
     out.retain(|f| f.node_count() >= 4 && f != family);
     out

@@ -278,6 +278,8 @@ fn encode_family(family: &GraphFamily) -> String {
         GraphFamily::RandomConnected { n, m } => format!("rand:{n}x{m}"),
         GraphFamily::Expander { n, degree } => format!("exp:{n}x{degree}"),
         GraphFamily::Complete { n } => format!("k:{n}"),
+        GraphFamily::KmwClusterTree { levels, delta } => format!("kmw:{levels}x{delta}"),
+        GraphFamily::KmwHybrid { levels, delta } => format!("kmwh:{levels}x{delta}"),
     }
 }
 
@@ -307,6 +309,8 @@ fn decode_family(s: &str) -> Result<GraphFamily, String> {
         "rand" => two().map(|(n, m)| GraphFamily::RandomConnected { n, m }),
         "exp" => two().map(|(n, degree)| GraphFamily::Expander { n, degree }),
         "k" => Ok(GraphFamily::Complete { n: one()? }),
+        "kmw" => two().map(|(levels, delta)| GraphFamily::KmwClusterTree { levels, delta }),
+        "kmwh" => two().map(|(levels, delta)| GraphFamily::KmwHybrid { levels, delta }),
         other => Err(format!("unknown family `{other}`")),
     }
 }
@@ -657,6 +661,14 @@ mod tests {
             GraphFamily::RandomConnected { n: 15, m: 30 },
             GraphFamily::Expander { n: 20, degree: 4 },
             GraphFamily::Complete { n: 6 },
+            GraphFamily::KmwClusterTree {
+                levels: 2,
+                delta: 3,
+            },
+            GraphFamily::KmwHybrid {
+                levels: 2,
+                delta: 3,
+            },
         ];
         for daemon in &daemons {
             for family in &families {

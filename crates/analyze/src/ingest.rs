@@ -1,0 +1,826 @@
+//! Typed ingestion of every artifact the workspace emits.
+//!
+//! Each producer hand-writes its JSON with a top-level `schema` tag; this
+//! module is the consumer side of that contract. [`ingest_file`] dispatches
+//! on the tag (or on the `.jsonl` extension for trace streams, whose lines
+//! carry no tag), verifies the schema **version**, and lifts the document
+//! into a typed [`Artifact`] — so everything downstream (the regression
+//! gate, the KMW accounting, the CLI summaries) works on Rust structs, not
+//! raw JSON trees.
+//!
+//! A `schema` value with a known family prefix but an unknown version
+//! (`smst-bench-v2`, say) is rejected with a version error rather than
+//! half-parsed: the gate must fail loudly when a future PR bumps a schema
+//! without teaching the analyzer about it.
+
+use crate::json::{Json, ParseError};
+use smst_sim::RoundStats;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of `BenchGroup` timing artifacts.
+pub const SCHEMA_BENCH: &str = "smst-bench-v1";
+/// Schema tag of per-round accounting artifacts.
+pub const SCHEMA_ROUNDS: &str = "smst-rounds-v1";
+/// Schema tag of chaos wave-accounting artifacts.
+pub const SCHEMA_CHAOS: &str = "smst-chaos-v1";
+/// Schema tag of campaign artifacts (both the adversarial-search and
+/// chaos-campaign shapes).
+pub const SCHEMA_CAMPAIGN: &str = "smst-campaign-v1";
+/// Schema tag of flight-recorder dumps.
+pub const SCHEMA_FLIGHT: &str = "smst-flight-v1";
+/// Schema tag of the analyzer's own `ANALYSIS_*.json` output.
+pub const SCHEMA_ANALYSIS: &str = "smst-analysis-v1";
+
+/// Why ingesting an artifact failed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The file could not be read.
+    Io(PathBuf, std::io::Error),
+    /// The file is not valid JSON.
+    Parse(PathBuf, ParseError),
+    /// The document has no top-level `schema` string.
+    MissingSchema(PathBuf),
+    /// The `schema` tag names a known family at an unknown version.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// What the file claims to be.
+        found: String,
+        /// The version this analyzer understands.
+        supported: &'static str,
+    },
+    /// The `schema` tag is entirely unknown.
+    UnknownSchema(PathBuf, String),
+    /// The document carries the right tag but is missing or mistypes a
+    /// field the schema requires.
+    Shape {
+        /// The offending file.
+        path: PathBuf,
+        /// Dotted path of the bad field (e.g. `runs[0].steps_run`).
+        field: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            IngestError::Parse(p, e) => write!(f, "{}: {e}", p.display()),
+            IngestError::MissingSchema(p) => {
+                write!(f, "{}: no top-level \"schema\" string", p.display())
+            }
+            IngestError::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{}: schema {found:?} is a version this analyzer does not \
+                 understand (supported: {supported:?})",
+                path.display()
+            ),
+            IngestError::UnknownSchema(p, s) => {
+                write!(f, "{}: unknown schema {s:?}", p.display())
+            }
+            IngestError::Shape { path, field } => {
+                write!(f, "{}: missing or mistyped field `{field}`", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// One timing case from a `smst-bench-v1` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// Case name (`group/case`).
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Median iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A parsed `smst-bench-v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// The bench group name.
+    pub group: String,
+    /// Non-timing metrics recorded alongside the timings.
+    pub meta: Vec<(String, f64)>,
+    /// The timing cases, in artifact order.
+    pub results: Vec<BenchCase>,
+}
+
+/// One labelled run from a `smst-rounds-v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundsRun {
+    /// Case label.
+    pub label: String,
+    /// Replay correlation (seed, trial id, …).
+    pub run: String,
+    /// The per-round records, in round order.
+    pub rounds: Vec<RoundStats>,
+}
+
+/// A parsed `smst-rounds-v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundsDoc {
+    /// The artifact group name.
+    pub group: String,
+    /// The labelled runs.
+    pub runs: Vec<RoundsRun>,
+}
+
+/// One fault wave from a `smst-chaos-v1` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveRecord {
+    /// Wave index.
+    pub wave: usize,
+    /// Step the wave fired at.
+    pub step: usize,
+    /// Registers corrupted by the wave.
+    pub faults: usize,
+    /// Steps from wave to first alarm (`None` = censored).
+    pub detection_latency: Option<usize>,
+    /// Steps from wave to full re-acceptance (`None` = censored).
+    pub quiescence: Option<usize>,
+}
+
+/// One labelled campaign from a `smst-chaos-v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRunRecord {
+    /// Case label.
+    pub label: String,
+    /// Replay correlation.
+    pub run: String,
+    /// The schedule grammar that was executed.
+    pub schedule: String,
+    /// Steps the campaign executed.
+    pub steps_run: usize,
+    /// Total registers corrupted.
+    pub injected_faults: usize,
+    /// Waves with a recorded detection latency.
+    pub detected_waves: usize,
+    /// Waves with a recorded quiescence.
+    pub quiesced_waves: usize,
+    /// Mean detection latency over the detected waves.
+    pub mean_detection_latency: Option<f64>,
+    /// Mean quiescence over the quiesced waves.
+    pub mean_quiescence: Option<f64>,
+    /// Per-wave accounting.
+    pub waves: Vec<WaveRecord>,
+}
+
+/// A parsed `smst-chaos-v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosDoc {
+    /// The artifact group name.
+    pub group: String,
+    /// The labelled campaigns.
+    pub runs: Vec<ChaosRunRecord>,
+}
+
+/// The two document shapes sharing the `smst-campaign-v1` tag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignDoc {
+    /// The adversarial-search shape (`random_trials` / `guided_trials` /
+    /// `records`).
+    Search {
+        /// Campaign name.
+        campaign: String,
+        /// Random trials executed.
+        random_trials: usize,
+        /// Guided trials executed.
+        guided_trials: usize,
+        /// Trial records in the document.
+        records: usize,
+    },
+    /// The chaos-campaign shape (`cases` / `pool`).
+    Chaos {
+        /// Campaign name.
+        campaign: String,
+        /// Case records in the document.
+        cases: usize,
+        /// Pool self-healing counters: (panics, respawns, barrier
+        /// timeouts).
+        pool: (usize, usize, usize),
+    },
+}
+
+impl CampaignDoc {
+    /// The campaign's name, whichever shape it is.
+    pub fn campaign(&self) -> &str {
+        match self {
+            CampaignDoc::Search { campaign, .. } | CampaignDoc::Chaos { campaign, .. } => campaign,
+        }
+    }
+}
+
+/// A parsed `smst-flight-v1` flight-recorder dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDoc {
+    /// The recorder name (`FLIGHT_<name>.json`).
+    pub name: String,
+    /// Why the dump was taken.
+    pub reason: String,
+    /// Ring-buffer capacity.
+    pub capacity: usize,
+    /// Rounds observed over the recorder's lifetime.
+    pub rounds_seen: usize,
+    /// The retained window, oldest first.
+    pub rounds: Vec<RoundStats>,
+}
+
+/// One line of a `TRACE_*.jsonl` stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLine {
+    /// Replay correlation label.
+    pub run: String,
+    /// The round record.
+    pub stats: RoundStats,
+}
+
+/// A parsed `TRACE_*.jsonl` stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDoc {
+    /// The records, in stream order.
+    pub lines: Vec<TraceLine>,
+}
+
+/// Any artifact the workspace emits, lifted to typed records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// A `smst-bench-v1` timing artifact.
+    Bench(BenchDoc),
+    /// A `smst-rounds-v1` per-round artifact.
+    Rounds(RoundsDoc),
+    /// A `smst-chaos-v1` wave-accounting artifact.
+    Chaos(ChaosDoc),
+    /// A `smst-campaign-v1` campaign artifact (either shape).
+    Campaign(CampaignDoc),
+    /// A `smst-flight-v1` flight-recorder dump.
+    Flight(FlightDoc),
+    /// A `TRACE_*.jsonl` stream.
+    Trace(TraceDoc),
+}
+
+impl Artifact {
+    /// A one-line human summary (the CLI `ingest` listing).
+    pub fn describe(&self) -> String {
+        match self {
+            Artifact::Bench(d) => format!(
+                "bench group {:?}: {} cases, {} meta entries",
+                d.group,
+                d.results.len(),
+                d.meta.len()
+            ),
+            Artifact::Rounds(d) => format!(
+                "rounds group {:?}: {} runs, {} rounds total",
+                d.group,
+                d.runs.len(),
+                d.runs.iter().map(|r| r.rounds.len()).sum::<usize>()
+            ),
+            Artifact::Chaos(d) => format!(
+                "chaos group {:?}: {} runs, {} waves total",
+                d.group,
+                d.runs.len(),
+                d.runs.iter().map(|r| r.waves.len()).sum::<usize>()
+            ),
+            Artifact::Campaign(CampaignDoc::Search {
+                campaign,
+                random_trials,
+                guided_trials,
+                records,
+            }) => format!(
+                "campaign {campaign:?} (search): {random_trials} random + \
+                 {guided_trials} guided trials, {records} records"
+            ),
+            Artifact::Campaign(CampaignDoc::Chaos {
+                campaign,
+                cases,
+                pool,
+            }) => format!(
+                "campaign {campaign:?} (chaos): {cases} cases, pool \
+                 panics={} respawns={} barrier_timeouts={}",
+                pool.0, pool.1, pool.2
+            ),
+            Artifact::Flight(d) => format!(
+                "flight {:?}: {} of {} rounds retained (capacity {}) — {}",
+                d.name,
+                d.rounds.len(),
+                d.rounds_seen,
+                d.capacity,
+                d.reason
+            ),
+            Artifact::Trace(d) => format!("trace: {} records", d.lines.len()),
+        }
+    }
+}
+
+/// Reads and ingests one artifact file, dispatching on the `.jsonl`
+/// extension (trace streams) or the top-level `schema` tag (everything
+/// else).
+pub fn ingest_file(path: &Path) -> Result<Artifact, IngestError> {
+    let text = std::fs::read_to_string(path).map_err(|e| IngestError::Io(path.to_path_buf(), e))?;
+    if path.extension().is_some_and(|e| e == "jsonl") {
+        return ingest_trace(path, &text);
+    }
+    let doc = Json::parse(&text).map_err(|e| IngestError::Parse(path.to_path_buf(), e))?;
+    ingest_document(path, &doc)
+}
+
+/// Ingests an already-parsed schema-tagged document.
+pub fn ingest_document(path: &Path, doc: &Json) -> Result<Artifact, IngestError> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| IngestError::MissingSchema(path.to_path_buf()))?;
+    let cx = Cx { path };
+    match schema {
+        SCHEMA_BENCH => ingest_bench(&cx, doc).map(Artifact::Bench),
+        SCHEMA_ROUNDS => ingest_rounds(&cx, doc).map(Artifact::Rounds),
+        SCHEMA_CHAOS => ingest_chaos(&cx, doc).map(Artifact::Chaos),
+        SCHEMA_CAMPAIGN => ingest_campaign(&cx, doc).map(Artifact::Campaign),
+        SCHEMA_FLIGHT => ingest_flight(&cx, doc).map(Artifact::Flight),
+        other => {
+            let known = [
+                SCHEMA_BENCH,
+                SCHEMA_ROUNDS,
+                SCHEMA_CHAOS,
+                SCHEMA_CAMPAIGN,
+                SCHEMA_FLIGHT,
+            ];
+            let family = |tag: &str| tag.rsplit_once("-v").map(|(f, _)| f.to_string());
+            match family(other) {
+                Some(f) => {
+                    if let Some(sup) = known.iter().find(|k| family(k).as_deref() == Some(&f)) {
+                        return Err(IngestError::UnsupportedVersion {
+                            path: path.to_path_buf(),
+                            found: other.to_string(),
+                            supported: sup,
+                        });
+                    }
+                    Err(IngestError::UnknownSchema(
+                        path.to_path_buf(),
+                        other.to_string(),
+                    ))
+                }
+                None => Err(IngestError::UnknownSchema(
+                    path.to_path_buf(),
+                    other.to_string(),
+                )),
+            }
+        }
+    }
+}
+
+/// Shape-error context: the file being ingested.
+struct Cx<'a> {
+    path: &'a Path,
+}
+
+impl Cx<'_> {
+    fn shape(&self, field: impl Into<String>) -> IngestError {
+        IngestError::Shape {
+            path: self.path.to_path_buf(),
+            field: field.into(),
+        }
+    }
+
+    fn str_field(&self, obj: &Json, at: &str, key: &str) -> Result<String, IngestError> {
+        obj.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| self.shape(format!("{at}{key}")))
+    }
+
+    fn usize_field(&self, obj: &Json, at: &str, key: &str) -> Result<usize, IngestError> {
+        obj.get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| self.shape(format!("{at}{key}")))
+    }
+
+    fn u64_field(&self, obj: &Json, at: &str, key: &str) -> Result<u64, IngestError> {
+        obj.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| self.shape(format!("{at}{key}")))
+    }
+
+    fn f64_field(&self, obj: &Json, at: &str, key: &str) -> Result<f64, IngestError> {
+        obj.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| self.shape(format!("{at}{key}")))
+    }
+
+    /// `null` → `None`; missing or mistyped → error (censored values are
+    /// explicit in every writer).
+    fn opt_usize_field(
+        &self,
+        obj: &Json,
+        at: &str,
+        key: &str,
+    ) -> Result<Option<usize>, IngestError> {
+        match obj.get(key) {
+            Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| self.shape(format!("{at}{key}"))),
+            None => Err(self.shape(format!("{at}{key}"))),
+        }
+    }
+
+    fn opt_f64_field(&self, obj: &Json, at: &str, key: &str) -> Result<Option<f64>, IngestError> {
+        match obj.get(key) {
+            Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| self.shape(format!("{at}{key}"))),
+            None => Err(self.shape(format!("{at}{key}"))),
+        }
+    }
+
+    fn arr_field<'j>(&self, obj: &'j Json, at: &str, key: &str) -> Result<&'j [Json], IngestError> {
+        obj.get(key)
+            .and_then(Json::as_array)
+            .ok_or_else(|| self.shape(format!("{at}{key}")))
+    }
+
+    fn round_stats(&self, obj: &Json, at: &str) -> Result<RoundStats, IngestError> {
+        Ok(RoundStats {
+            round: self.usize_field(obj, at, "round")?,
+            alarms: self.usize_field(obj, at, "alarms")?,
+            activations: self.usize_field(obj, at, "activations")?,
+            halo_bytes: self.u64_field(obj, at, "halo_bytes")?,
+            dispatch_ns: self.u64_field(obj, at, "dispatch_ns")?,
+            compute_ns: self.u64_field(obj, at, "compute_ns")?,
+            barrier_ns: self.u64_field(obj, at, "barrier_ns")?,
+            exchange_ns: self.u64_field(obj, at, "exchange_ns")?,
+        })
+    }
+}
+
+fn ingest_bench(cx: &Cx, doc: &Json) -> Result<BenchDoc, IngestError> {
+    let meta = match doc.get("meta") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|x| (k.clone(), x))
+                    .ok_or_else(|| cx.shape(format!("meta.{k}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(cx.shape("meta")),
+    };
+    let results = cx
+        .arr_field(doc, "", "results")?
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let at = format!("results[{i}].");
+            Ok(BenchCase {
+                name: cx.str_field(r, &at, "name")?,
+                iters: cx.u64_field(r, &at, "iters")?,
+                min_ns: cx.u64_field(r, &at, "min_ns")?,
+                median_ns: cx.u64_field(r, &at, "median_ns")?,
+                mean_ns: cx.f64_field(r, &at, "mean_ns")?,
+                max_ns: cx.u64_field(r, &at, "max_ns")?,
+            })
+        })
+        .collect::<Result<Vec<_>, IngestError>>()?;
+    Ok(BenchDoc {
+        group: cx.str_field(doc, "", "group")?,
+        meta,
+        results,
+    })
+}
+
+fn ingest_rounds(cx: &Cx, doc: &Json) -> Result<RoundsDoc, IngestError> {
+    let runs = cx
+        .arr_field(doc, "", "runs")?
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let at = format!("runs[{i}].");
+            let rounds = cx
+                .arr_field(r, &at, "rounds")?
+                .iter()
+                .enumerate()
+                .map(|(j, s)| cx.round_stats(s, &format!("{at}rounds[{j}].")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(RoundsRun {
+                label: cx.str_field(r, &at, "label")?,
+                run: cx.str_field(r, &at, "run")?,
+                rounds,
+            })
+        })
+        .collect::<Result<Vec<_>, IngestError>>()?;
+    Ok(RoundsDoc {
+        group: cx.str_field(doc, "", "group")?,
+        runs,
+    })
+}
+
+fn ingest_chaos(cx: &Cx, doc: &Json) -> Result<ChaosDoc, IngestError> {
+    let runs = cx
+        .arr_field(doc, "", "runs")?
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let at = format!("runs[{i}].");
+            let waves = cx
+                .arr_field(r, &at, "waves")?
+                .iter()
+                .enumerate()
+                .map(|(j, w)| {
+                    let wat = format!("{at}waves[{j}].");
+                    Ok(WaveRecord {
+                        wave: cx.usize_field(w, &wat, "wave")?,
+                        step: cx.usize_field(w, &wat, "step")?,
+                        faults: cx.usize_field(w, &wat, "faults")?,
+                        detection_latency: cx.opt_usize_field(w, &wat, "detection_latency")?,
+                        quiescence: cx.opt_usize_field(w, &wat, "quiescence")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, IngestError>>()?;
+            Ok(ChaosRunRecord {
+                label: cx.str_field(r, &at, "label")?,
+                run: cx.str_field(r, &at, "run")?,
+                schedule: cx.str_field(r, &at, "schedule")?,
+                steps_run: cx.usize_field(r, &at, "steps_run")?,
+                injected_faults: cx.usize_field(r, &at, "injected_faults")?,
+                detected_waves: cx.usize_field(r, &at, "detected_waves")?,
+                quiesced_waves: cx.usize_field(r, &at, "quiesced_waves")?,
+                mean_detection_latency: cx.opt_f64_field(r, &at, "mean_detection_latency")?,
+                mean_quiescence: cx.opt_f64_field(r, &at, "mean_quiescence")?,
+                waves,
+            })
+        })
+        .collect::<Result<Vec<_>, IngestError>>()?;
+    Ok(ChaosDoc {
+        group: cx.str_field(doc, "", "group")?,
+        runs,
+    })
+}
+
+fn ingest_campaign(cx: &Cx, doc: &Json) -> Result<CampaignDoc, IngestError> {
+    let campaign = cx.str_field(doc, "", "campaign")?;
+    // one tag, two producers: the chaos campaign carries `cases` + `pool`,
+    // the adversarial search carries `records` + trial counts
+    if doc.get("cases").is_some() {
+        let pool = doc.get("pool").ok_or_else(|| cx.shape("pool"))?;
+        Ok(CampaignDoc::Chaos {
+            campaign,
+            cases: cx.arr_field(doc, "", "cases")?.len(),
+            pool: (
+                cx.usize_field(pool, "pool.", "worker_panics")?,
+                cx.usize_field(pool, "pool.", "worker_respawns")?,
+                cx.usize_field(pool, "pool.", "barrier_timeouts")?,
+            ),
+        })
+    } else {
+        Ok(CampaignDoc::Search {
+            campaign,
+            random_trials: cx.usize_field(doc, "", "random_trials")?,
+            guided_trials: cx.usize_field(doc, "", "guided_trials")?,
+            records: cx.arr_field(doc, "", "records")?.len(),
+        })
+    }
+}
+
+fn ingest_flight(cx: &Cx, doc: &Json) -> Result<FlightDoc, IngestError> {
+    let rounds = cx
+        .arr_field(doc, "", "rounds")?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| cx.round_stats(s, &format!("rounds[{i}].")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FlightDoc {
+        name: cx.str_field(doc, "", "name")?,
+        reason: cx.str_field(doc, "", "reason")?,
+        capacity: cx.usize_field(doc, "", "capacity")?,
+        rounds_seen: cx.usize_field(doc, "", "rounds_seen")?,
+        rounds,
+    })
+}
+
+fn ingest_trace(path: &Path, text: &str) -> Result<Artifact, IngestError> {
+    let cx = Cx { path };
+    let lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            let doc = Json::parse(line).map_err(|e| IngestError::Parse(path.to_path_buf(), e))?;
+            let at = format!("line {}: ", i + 1);
+            Ok(TraceLine {
+                run: cx.str_field(&doc, &at, "run")?,
+                stats: cx.round_stats(&doc, &at)?,
+            })
+        })
+        .collect::<Result<Vec<_>, IngestError>>()?;
+    Ok(Artifact::Trace(TraceDoc { lines }))
+}
+
+/// Artifact files recognized inside a directory: the upload-glob
+/// prefixes, in scan order. `ANALYSIS_*.json` (the analyzer's own output)
+/// is deliberately excluded — ingest reads producers, not itself.
+pub const ARTIFACT_PREFIXES: [&str; 4] = ["BENCH_", "CAMPAIGN_", "TRACE_", "FLIGHT_"];
+
+/// Ingests every recognized artifact directly inside `dir`, sorted by
+/// file name (deterministic CLI output). Each file's result is returned
+/// individually — one corrupt artifact must not hide the rest.
+pub fn ingest_dir(dir: &Path) -> std::io::Result<Vec<(PathBuf, Result<Artifact, IngestError>)>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.is_file()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| ARTIFACT_PREFIXES.iter().any(|pre| n.starts_with(pre)))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let result = ingest_file(&p);
+            (p, result)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, body: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("smst_analyze_ingest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn bench_documents_lift_to_typed_cases() {
+        let path = tmp(
+            "BENCH_unit.json",
+            "{\"schema\":\"smst-bench-v1\",\"group\":\"g\",\
+             \"meta\":{\"halo_entries\":42},\
+             \"results\":[{\"name\":\"g/a\",\"iters\":5,\"min_ns\":10,\
+             \"median_ns\":20,\"mean_ns\":21.5,\"max_ns\":40}]}\n",
+        );
+        let Artifact::Bench(doc) = ingest_file(&path).unwrap() else {
+            panic!("expected a bench artifact");
+        };
+        assert_eq!(doc.group, "g");
+        assert_eq!(doc.meta, vec![("halo_entries".to_string(), 42.0)]);
+        assert_eq!(doc.results.len(), 1);
+        assert_eq!(doc.results[0].median_ns, 20);
+        assert_eq!(doc.results[0].mean_ns, 21.5);
+    }
+
+    #[test]
+    fn chaos_documents_keep_censored_waves_as_none() {
+        let path = tmp(
+            "BENCH_chaos_unit.json",
+            "{\"schema\":\"smst-chaos-v1\",\"group\":\"chaos\",\"runs\":[\
+             {\"label\":\"l\",\"run\":\"seed=7\",\"schedule\":\"s\",\
+             \"steps_run\":24,\"injected_faults\":12,\"detected_waves\":1,\
+             \"quiesced_waves\":0,\"mean_detection_latency\":1,\
+             \"mean_quiescence\":null,\"waves\":[\
+             {\"wave\":0,\"step\":0,\"faults\":4,\"detection_latency\":1,\
+             \"quiescence\":null}]}]}\n",
+        );
+        let Artifact::Chaos(doc) = ingest_file(&path).unwrap() else {
+            panic!("expected a chaos artifact");
+        };
+        assert_eq!(doc.runs[0].waves[0].detection_latency, Some(1));
+        assert_eq!(doc.runs[0].waves[0].quiescence, None);
+        assert_eq!(doc.runs[0].mean_quiescence, None);
+    }
+
+    #[test]
+    fn both_campaign_shapes_share_one_tag() {
+        let search = tmp(
+            "CAMPAIGN_search.json",
+            "{\"schema\":\"smst-campaign-v1\",\"campaign\":\"s\",\
+             \"random_trials\":4,\"guided_trials\":0,\"best\":null,\
+             \"shrunk\":null,\"records\":[]}\n",
+        );
+        let chaos = tmp(
+            "CAMPAIGN_chaos.json",
+            "{\"schema\":\"smst-campaign-v1\",\"campaign\":\"c\",\
+             \"cases\":[],\"pool\":{\"worker_panics\":1,\
+             \"worker_respawns\":2,\"barrier_timeouts\":3}}\n",
+        );
+        let Artifact::Campaign(CampaignDoc::Search { random_trials, .. }) =
+            ingest_file(&search).unwrap()
+        else {
+            panic!("expected the search shape");
+        };
+        assert_eq!(random_trials, 4);
+        let Artifact::Campaign(CampaignDoc::Chaos { pool, .. }) = ingest_file(&chaos).unwrap()
+        else {
+            panic!("expected the chaos shape");
+        };
+        assert_eq!(pool, (1, 2, 3));
+    }
+
+    #[test]
+    fn trace_streams_dispatch_on_extension() {
+        let path = tmp(
+            "TRACE_unit.jsonl",
+            "{\"run\":\"t\",\"round\":0,\"alarms\":0,\"activations\":4,\
+             \"halo_bytes\":0,\"dispatch_ns\":1,\"compute_ns\":2,\
+             \"barrier_ns\":3,\"exchange_ns\":4}\n",
+        );
+        let Artifact::Trace(doc) = ingest_file(&path).unwrap() else {
+            panic!("expected a trace artifact");
+        };
+        assert_eq!(doc.lines.len(), 1);
+        assert_eq!(doc.lines[0].run, "t");
+        assert_eq!(doc.lines[0].stats.exchange_ns, 4);
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected_loudly() {
+        let path = tmp(
+            "BENCH_future.json",
+            "{\"schema\":\"smst-bench-v2\",\"group\":\"g\"}\n",
+        );
+        match ingest_file(&path).unwrap_err() {
+            IngestError::UnsupportedVersion {
+                found, supported, ..
+            } => {
+                assert_eq!(found, "smst-bench-v2");
+                assert_eq!(supported, SCHEMA_BENCH);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_and_missing_schemas_are_distinct_errors() {
+        let unknown = tmp("BENCH_x.json", "{\"schema\":\"something-else\"}\n");
+        assert!(matches!(
+            ingest_file(&unknown).unwrap_err(),
+            IngestError::UnknownSchema(..)
+        ));
+        let missing = tmp("BENCH_y.json", "{\"group\":\"g\"}\n");
+        assert!(matches!(
+            ingest_file(&missing).unwrap_err(),
+            IngestError::MissingSchema(..)
+        ));
+    }
+
+    #[test]
+    fn shape_errors_name_the_offending_field() {
+        let path = tmp(
+            "BENCH_shape.json",
+            "{\"schema\":\"smst-bench-v1\",\"group\":\"g\",\"meta\":{},\
+             \"results\":[{\"name\":\"a\",\"iters\":1,\"min_ns\":1,\
+             \"mean_ns\":1.0,\"max_ns\":1}]}\n",
+        );
+        match ingest_file(&path).unwrap_err() {
+            IngestError::Shape { field, .. } => assert_eq!(field, "results[0].median_ns"),
+            other => panic!("expected Shape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directory_scan_is_sorted_and_prefix_filtered() {
+        let dir = std::env::temp_dir().join("smst_analyze_ingest_dir_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_b.json"),
+            "{\"schema\":\"smst-bench-v1\",\"group\":\"b\",\"meta\":{},\"results\":[]}\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("ANALYSIS_kmw.json"), "{}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        std::fs::write(dir.join("BENCH_a.json"), "not json").unwrap();
+        let results = ingest_dir(&dir).unwrap();
+        let names: Vec<_> = results
+            .iter()
+            .map(|(p, _)| p.file_name().unwrap().to_string_lossy().to_string())
+            .collect();
+        assert_eq!(names, vec!["BENCH_a.json", "BENCH_b.json"]);
+        assert!(
+            results[0].1.is_err(),
+            "corrupt artifact reported, not hidden"
+        );
+        assert!(results[1].1.is_ok());
+    }
+}

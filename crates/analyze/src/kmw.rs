@@ -1,0 +1,435 @@
+//! KMW bound accounting: measured detection rounds vs the paper's bounds,
+//! per graph family — the `ANALYSIS_kmw.json` producer.
+//!
+//! The paper proves MST verification detects a fault within `O(log² n)`
+//! synchronous rounds; Kuhn–Moscibroda–Wattenhofer's lower bound says no
+//! local algorithm beats `Ω(√(log n / log log n))` rounds on their hard
+//! cluster-tree family. This module runs the actual verifier on both
+//! sides of that gap:
+//!
+//! * **hard** — the KMW cluster trees ([`GraphFamily::KmwClusterTree`])
+//!   and the triangle-free hybrid ([`GraphFamily::KmwHybrid`]), the
+//!   simplified `CT_k` realizations grown in `smst-graph`;
+//! * **easy** — degree-4 circulant expanders at matched node counts,
+//!   where locality is cheap.
+//!
+//! Each point is a small detection campaign: per trial, warm the
+//! verifier up on the correctly-marked instance, corrupt one stored
+//! piece weight, and count the synchronous rounds to the first alarm;
+//! the point records the worst (maximum) detected latency next to the
+//! two bound curves (both in base-2 logs). Trials are needed because a
+//! single corrupted register can land where the verifier legitimately
+//! never looks (a value that collides with the correct one, a register
+//! the comparison machinery does not consult on that topology) — a
+//! one-shot experiment reads such a miss as "bound broken" when it is
+//! just an undetectable fault.
+//! The warm-up is a modest constant, not the paper's full
+//! `sync_budget(n)` (which is ~584k steps at `n = 393` — a budget for
+//! proofs, not for CI): the verifier starts from the correct
+//! configuration, so it is already converged at round 0 and the warm-up
+//! only demonstrates steady-state silence before the fault lands.
+
+use crate::json::Json;
+use smst_bench::engine_metrics::mst_verifier_for;
+use smst_bench::harness::json_string;
+use smst_core::faults::{corrupt, FaultKind};
+use smst_engine::{EngineConfig, GraphFamily, ScenarioSpec, StopCondition};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Configuration of one accounting sweep.
+#[derive(Debug, Clone)]
+pub struct KmwConfig {
+    /// Base graph / corruption seed (trial `t` uses `seed + t`; every
+    /// point is a pure function of the family, this seed, and the trial
+    /// count).
+    pub seed: u64,
+    /// Fault-free steps before each trial's burst.
+    pub warmup: usize,
+    /// Detection trials per point.
+    pub trials: usize,
+    /// Cluster-hierarchy depths to sweep (each contributes one cluster
+    /// tree, one hybrid at depth ≥ 2, and one matched expander).
+    pub levels: Vec<usize>,
+    /// Branching factor δ between cluster levels.
+    pub delta: usize,
+    /// Engine envelope the scenarios run on (thread count and layout
+    /// never change the measured rounds — the engine's determinism
+    /// contract).
+    pub engine: EngineConfig,
+}
+
+impl Default for KmwConfig {
+    fn default() -> Self {
+        // levels 2/3/4 at δ=3 give cluster trees of 17/78/393 nodes —
+        // three sizes spanning a 23x range while the largest run stays
+        // in CI-smoke territory
+        KmwConfig {
+            seed: 7,
+            warmup: 64,
+            trials: 5,
+            levels: vec![2, 3, 4],
+            delta: 3,
+            engine: EngineConfig::new(),
+        }
+    }
+}
+
+/// One measured point of the accounting sweep.
+#[derive(Debug, Clone)]
+pub struct KmwPoint {
+    /// Family slug (`kmw_cluster_tree`, `kmw_hybrid`, `expander`).
+    pub family: &'static str,
+    /// `hard` (KMW constructions) or `easy` (expander).
+    pub kind: &'static str,
+    /// Cluster-hierarchy depth (0 for the expander points).
+    pub levels: usize,
+    /// Branching factor δ (0 for the expander points).
+    pub delta: usize,
+    /// Node count.
+    pub n: usize,
+    /// Detection trials run.
+    pub trials: usize,
+    /// Trials that alarmed within the budget.
+    pub detected: usize,
+    /// Worst-case synchronous rounds from the fault burst to the first
+    /// alarm, over the detected trials (`None`: no trial detected — a
+    /// finding, not an error).
+    pub measured_rounds: Option<usize>,
+    /// The paper's upper-bound curve at this size: `log₂² n`.
+    pub upper_bound: f64,
+    /// The KMW lower-bound curve at this size:
+    /// `√(log₂ n / log₂ log₂ n)`.
+    pub lower_bound: f64,
+}
+
+/// A completed sweep, ready to serialize as `ANALYSIS_kmw.json`.
+#[derive(Debug, Clone)]
+pub struct KmwAnalysis {
+    /// The seed the sweep ran with.
+    pub seed: u64,
+    /// The warm-up the sweep ran with.
+    pub warmup: usize,
+    /// All measured points, grouped by family in sweep order.
+    pub points: Vec<KmwPoint>,
+}
+
+/// The paper's upper-bound curve: `log₂² n`.
+pub fn upper_bound(n: usize) -> f64 {
+    let l = (n.max(2) as f64).log2();
+    l * l
+}
+
+/// The KMW lower-bound curve: `√(log₂ n / log₂ log₂ n)`. Clamped below
+/// `n = 5` where `log log n` dips under 1 and the expression loses
+/// meaning.
+pub fn lower_bound(n: usize) -> f64 {
+    let l = (n.max(5) as f64).log2();
+    (l / l.log2()).sqrt()
+}
+
+/// Detection budget after the warm-up: a generous multiple of the upper
+/// bound, so "not detected" in a point means the bound story is broken,
+/// not that the budget was tight.
+fn detection_budget(n: usize) -> usize {
+    16 * upper_bound(n).ceil() as usize + 64
+}
+
+/// Runs one detection trial: warm up, corrupt one stored piece weight,
+/// count rounds to the first alarm.
+fn measure_trial(family: &GraphFamily, config: &KmwConfig, trial: u64) -> Option<usize> {
+    let n = family.node_count();
+    let seed = config.seed + trial;
+    let budget = config.warmup + detection_budget(n);
+    let spec = ScenarioSpec::new(family.clone())
+        .engine(config.engine.clone())
+        .seed(seed)
+        .fault_burst(config.warmup, 1, seed)
+        .until(StopCondition::FirstAlarm);
+    let mut i = 0u64;
+    let (outcome, _verifier) = spec.run_with(
+        mst_verifier_for,
+        |_v, state| {
+            corrupt(state, FaultKind::StoredPieceWeight, seed.wrapping_add(i));
+            i += 1;
+        },
+        budget,
+    );
+    outcome.report.first_alarm
+}
+
+/// Runs the point's campaign: `trials` independent trials, keeping the
+/// detected count and the worst detected latency.
+fn measure(family: &GraphFamily, config: &KmwConfig) -> (usize, Option<usize>) {
+    let mut detected = 0usize;
+    let mut worst: Option<usize> = None;
+    for trial in 0..config.trials.max(1) as u64 {
+        if let Some(rounds) = measure_trial(family, config, trial) {
+            detected += 1;
+            worst = Some(worst.map_or(rounds, |w: usize| w.max(rounds)));
+        }
+    }
+    (detected, worst)
+}
+
+/// Runs the full accounting sweep described by `config`.
+pub fn run_kmw_accounting(config: &KmwConfig) -> KmwAnalysis {
+    let mut points = Vec::new();
+    let point = |family: &'static str,
+                 kind: &'static str,
+                 levels: usize,
+                 delta: usize,
+                 g: GraphFamily,
+                 config: &KmwConfig| {
+        let n = g.node_count();
+        let (detected, measured_rounds) = measure(&g, config);
+        KmwPoint {
+            family,
+            kind,
+            levels,
+            delta,
+            n,
+            trials: config.trials.max(1),
+            detected,
+            measured_rounds,
+            upper_bound: upper_bound(n),
+            lower_bound: lower_bound(n),
+        }
+    };
+    for &levels in &config.levels {
+        let g = GraphFamily::KmwClusterTree {
+            levels,
+            delta: config.delta,
+        };
+        points.push(point(
+            "kmw_cluster_tree",
+            "hard",
+            levels,
+            config.delta,
+            g,
+            config,
+        ));
+    }
+    for &levels in config.levels.iter().filter(|&&l| l >= 2) {
+        let g = GraphFamily::KmwHybrid {
+            levels,
+            delta: config.delta,
+        };
+        points.push(point("kmw_hybrid", "hard", levels, config.delta, g, config));
+    }
+    for &levels in &config.levels {
+        // the easy side of the gap: an expander matched to the cluster
+        // tree's node count, so each hard point has an easy twin
+        let n = GraphFamily::KmwClusterTree {
+            levels,
+            delta: config.delta,
+        }
+        .node_count();
+        let g = GraphFamily::Expander { n, degree: 4 };
+        points.push(point("expander", "easy", 0, 0, g, config));
+    }
+    KmwAnalysis {
+        seed: config.seed,
+        warmup: config.warmup,
+        points,
+    }
+}
+
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+impl KmwAnalysis {
+    /// The family slugs present, in first-appearance order.
+    pub fn families(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.family) {
+                out.push(p.family);
+            }
+        }
+        out
+    }
+
+    /// The analysis as a JSON document:
+    ///
+    /// ```json
+    /// {"schema":"smst-analysis-v1","analysis":"kmw","seed":7,"warmup":64,
+    ///  "families":[{"family":"kmw_cluster_tree","kind":"hard",
+    ///   "points":[{"levels":2,"delta":3,"n":17,"trials":5,"detected":5,
+    ///              "measured_rounds":1,"upper_bound":16.7,
+    ///              "lower_bound":1.4}]}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let families: Vec<String> = self
+            .families()
+            .into_iter()
+            .map(|family| {
+                let members: Vec<&KmwPoint> =
+                    self.points.iter().filter(|p| p.family == family).collect();
+                let kind = members[0].kind;
+                let points: Vec<String> = members
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{{\"levels\":{},\"delta\":{},\"n\":{},\
+                             \"trials\":{},\"detected\":{},\
+                             \"measured_rounds\":{},\"upper_bound\":{:.3},\
+                             \"lower_bound\":{:.3}}}",
+                            p.levels,
+                            p.delta,
+                            p.n,
+                            p.trials,
+                            p.detected,
+                            json_opt_usize(p.measured_rounds),
+                            p.upper_bound,
+                            p.lower_bound
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"family\":{},\"kind\":{},\"points\":[{}]}}",
+                    json_string(family),
+                    json_string(kind),
+                    points.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"smst-analysis-v1\",\"analysis\":\"kmw\",\
+             \"seed\":{},\"warmup\":{},\"families\":[{}]}}\n",
+            self.seed,
+            self.warmup,
+            families.join(",")
+        )
+    }
+
+    /// Writes `ANALYSIS_kmw.json` into `dir` and returns its path (the
+    /// same injectable-directory discipline as every artifact writer).
+    pub fn write_json_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join("ANALYSIS_kmw.json");
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// A console rendering of the measured-vs-bound table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>4} {:>4} {:>6} {:>9} {:>9} {:>11} {:>11}",
+            "family", "kind", "lvl", "n", "detected", "measured", "upper", "lower"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>4} {:>4} {:>6} {:>9} {:>9} {:>11.2} {:>11.2}",
+                p.family,
+                p.kind,
+                p.levels,
+                p.n,
+                format!("{}/{}", p.detected, p.trials),
+                p.measured_rounds
+                    .map_or_else(|| "none".to_string(), |r| r.to_string()),
+                p.upper_bound,
+                p.lower_bound
+            );
+        }
+        out
+    }
+}
+
+/// Sanity gate on a written `ANALYSIS_kmw.json` body: parses it back and
+/// confirms the acceptance shape — per-family curves with at least
+/// `min_tree_sizes` cluster-tree points (the CLI asserts this after every
+/// sweep, so a broken sweep cannot quietly publish an empty analysis).
+pub fn validate_analysis_json(body: &str, min_tree_sizes: usize) -> Result<(), String> {
+    let doc = Json::parse(body).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(Json::as_str) != Some(crate::ingest::SCHEMA_ANALYSIS) {
+        return Err("missing or wrong \"schema\" tag".to_string());
+    }
+    let families = doc
+        .get("families")
+        .and_then(Json::as_array)
+        .ok_or("missing \"families\" array")?;
+    let tree = families
+        .iter()
+        .find(|f| f.get("family").and_then(Json::as_str) == Some("kmw_cluster_tree"))
+        .ok_or("no kmw_cluster_tree family")?;
+    let points = tree
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or("kmw_cluster_tree has no points array")?;
+    if points.len() < min_tree_sizes {
+        return Err(format!(
+            "kmw_cluster_tree has {} points, need at least {min_tree_sizes}",
+            points.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_curves_are_monotone_and_ordered() {
+        let sizes = [17usize, 78, 393, 10_000];
+        for w in sizes.windows(2) {
+            assert!(upper_bound(w[0]) < upper_bound(w[1]));
+            assert!(lower_bound(w[0]) < lower_bound(w[1]));
+        }
+        for &n in &sizes {
+            assert!(lower_bound(n) < upper_bound(n), "gap must be open at n={n}");
+        }
+    }
+
+    #[test]
+    fn a_small_sweep_measures_detection_within_the_upper_bound_regime() {
+        // levels=2 only: the full 3-size sweep belongs to the CLI run,
+        // not the unit suite
+        let config = KmwConfig {
+            levels: vec![2],
+            ..KmwConfig::default()
+        };
+        let analysis = run_kmw_accounting(&config);
+        assert_eq!(analysis.points.len(), 3, "tree + hybrid + expander");
+        for p in &analysis.points {
+            assert!(
+                p.detected >= 1,
+                "{} n={}: no trial of {} detected",
+                p.family,
+                p.n,
+                p.trials
+            );
+            let measured = p.measured_rounds.unwrap();
+            assert!(
+                (measured as f64) <= 4.0 * p.upper_bound + 8.0,
+                "{} n={}: {measured} rounds vs upper bound {}",
+                p.family,
+                p.n,
+                p.upper_bound
+            );
+        }
+        let json = analysis.to_json();
+        validate_analysis_json(&json, 1).unwrap();
+        assert!(json.starts_with("{\"schema\":\"smst-analysis-v1\",\"analysis\":\"kmw\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn validation_rejects_thin_analyses() {
+        let body = "{\"schema\":\"smst-analysis-v1\",\"analysis\":\"kmw\",\
+                    \"seed\":7,\"warmup\":64,\"families\":[\
+                    {\"family\":\"kmw_cluster_tree\",\"kind\":\"hard\",\
+                     \"points\":[{\"levels\":2,\"delta\":3,\"n\":17,\
+                     \"trials\":5,\"detected\":5,\"measured_rounds\":1,\
+                     \"upper_bound\":16.7,\"lower_bound\":1.4}]}]}\n";
+        validate_analysis_json(body, 1).unwrap();
+        assert!(validate_analysis_json(body, 3).is_err());
+        assert!(validate_analysis_json("{}", 1).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! `smst-analyze`: the artifact analysis plane.
+//!
+//! Every other crate in the workspace *produces* observability artifacts —
+//! `BENCH_*.json` timing and accounting files, `CAMPAIGN_*.json` search
+//! and chaos summaries, `TRACE_*.jsonl` round streams, `FLIGHT_*.json`
+//! crash dumps. This crate is the *consumer*: it parses them back
+//! ([`json`]), lifts them into typed records with schema-version checks
+//! ([`ingest`]), gates CI on perf baselines ([`check`]), and runs the KMW
+//! bound accounting that turns detection experiments into
+//! measured-vs-bound curves ([`kmw`], the `ANALYSIS_kmw.json` producer).
+//!
+//! The `smst-analyze` binary fronts all of it:
+//!
+//! ```text
+//! smst-analyze ingest  <dir>                    # list + validate artifacts
+//! smst-analyze check   --baseline <dir> [--current <dir>]   # CI gate
+//! smst-analyze kmw     [--out <dir>]            # bound accounting sweep
+//! smst-analyze baseline --from <dir> --to <dir> # seed ci/baselines/
+//! ```
+//!
+//! Exit codes: `0` clean, `1` gate failure (a regression or chaos
+//! mismatch), `2` usage or ingest error.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod ingest;
+pub mod json;
+pub mod kmw;
+
+pub use check::{check_dirs, CheckError, CheckReport, Thresholds};
+pub use ingest::{ingest_dir, ingest_file, Artifact, IngestError};
+pub use json::Json;
+pub use kmw::{run_kmw_accounting, KmwAnalysis, KmwConfig};

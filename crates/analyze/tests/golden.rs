@@ -1,0 +1,165 @@
+//! Golden-file tests: the `smst-rounds-v1` and `smst-chaos-v1` schemas,
+//! pinned byte-for-byte and field-for-field.
+//!
+//! The files under `tests/golden/` are checked in; each test regenerates
+//! the same document through the real telemetry writer and demands byte
+//! equality, then ingests the golden file and pins the exact ordered key
+//! sets. A PR that touches a writer's field order, adds a field, or bumps
+//! a schema version fails here first — and the fix (regenerate the golden
+//! file, bump the analyzer's supported version) is the documentation of
+//! the schema change.
+
+use smst_analyze::ingest::{ingest_file, Artifact};
+use smst_analyze::Json;
+use smst_sim::{RoundStats, WaveStats};
+use smst_telemetry::chaos::{ChaosArtifact, ChaosRun};
+use smst_telemetry::rounds::RoundsArtifact;
+use std::path::PathBuf;
+
+const ROUNDS_GOLDEN: &str = include_str!("golden/BENCH_rounds_golden.json");
+const CHAOS_GOLDEN: &str = include_str!("golden/BENCH_chaos_golden.json");
+
+/// The fixed run the rounds golden file captures.
+fn rounds_artifact() -> RoundsArtifact {
+    let stat = |round: usize| RoundStats {
+        round,
+        alarms: round % 2,
+        activations: 48,
+        halo_bytes: 128,
+        dispatch_ns: 1_000 + round as u64,
+        compute_ns: 90_000,
+        barrier_ns: 2_500,
+        exchange_ns: 700,
+    };
+    let mut artifact = RoundsArtifact::new("rounds_golden");
+    artifact.push("expander/n=48", "seed=7", vec![stat(0), stat(1), stat(2)]);
+    artifact.push("ring/n=12", "trial=r0-3", vec![stat(0)]);
+    artifact
+}
+
+/// The fixed campaign the chaos golden file captures.
+fn chaos_artifact() -> ChaosArtifact {
+    let mut artifact = ChaosArtifact::new("chaos_golden");
+    artifact.push(ChaosRun {
+        label: "sharded-sync(threads=4)".to_string(),
+        run: "seed=7".to_string(),
+        schedule: "periodic(period=8,offset=0,f=4,seed=7)".to_string(),
+        steps_run: 24,
+        injected_faults: 12,
+        waves: vec![
+            WaveStats {
+                wave: 0,
+                step: 0,
+                faults: 4,
+                detection_latency: Some(1),
+                quiescence: Some(6),
+            },
+            WaveStats {
+                wave: 1,
+                step: 8,
+                faults: 4,
+                detection_latency: Some(2),
+                quiescence: None,
+            },
+        ],
+    });
+    artifact
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn rounds_writer_reproduces_the_golden_file_byte_for_byte() {
+    assert_eq!(
+        rounds_artifact().to_json(),
+        ROUNDS_GOLDEN,
+        "the smst-rounds-v1 writer changed; if intentional, regenerate \
+         tests/golden/BENCH_rounds_golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn chaos_writer_reproduces_the_golden_file_byte_for_byte() {
+    assert_eq!(
+        chaos_artifact().to_json(),
+        CHAOS_GOLDEN,
+        "the smst-chaos-v1 writer changed; if intentional, regenerate \
+         tests/golden/BENCH_chaos_golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn rounds_golden_field_sets_are_pinned() {
+    let doc = Json::parse(ROUNDS_GOLDEN).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("smst-rounds-v1"));
+    assert_eq!(doc.keys(), vec!["schema", "group", "runs"]);
+    let run = &doc.get("runs").unwrap().as_array().unwrap()[0];
+    assert_eq!(run.keys(), vec!["label", "run", "rounds"]);
+    let round = &run.get("rounds").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        round.keys(),
+        vec![
+            "round",
+            "alarms",
+            "activations",
+            "halo_bytes",
+            "dispatch_ns",
+            "compute_ns",
+            "barrier_ns",
+            "exchange_ns"
+        ]
+    );
+}
+
+#[test]
+fn chaos_golden_field_sets_are_pinned() {
+    let doc = Json::parse(CHAOS_GOLDEN).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("smst-chaos-v1"));
+    assert_eq!(doc.keys(), vec!["schema", "group", "runs"]);
+    let run = &doc.get("runs").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        run.keys(),
+        vec![
+            "label",
+            "run",
+            "schedule",
+            "steps_run",
+            "injected_faults",
+            "detected_waves",
+            "quiesced_waves",
+            "mean_detection_latency",
+            "mean_quiescence",
+            "waves"
+        ]
+    );
+    let wave = &run.get("waves").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        wave.keys(),
+        vec!["wave", "step", "faults", "detection_latency", "quiescence"]
+    );
+}
+
+#[test]
+fn golden_files_ingest_into_typed_records() {
+    let Artifact::Rounds(rounds) = ingest_file(&golden_dir().join("BENCH_rounds_golden.json"))
+        .expect("the checked-in rounds golden must ingest")
+    else {
+        panic!("expected a rounds artifact");
+    };
+    assert_eq!(rounds.group, "rounds_golden");
+    assert_eq!(rounds.runs.len(), 2);
+    assert_eq!(rounds.runs[0].rounds.len(), 3);
+    assert_eq!(rounds.runs[0].rounds[2].dispatch_ns, 1_002);
+
+    let Artifact::Chaos(chaos) = ingest_file(&golden_dir().join("BENCH_chaos_golden.json"))
+        .expect("the checked-in chaos golden must ingest")
+    else {
+        panic!("expected a chaos artifact");
+    };
+    assert_eq!(chaos.group, "chaos_golden");
+    assert_eq!(chaos.runs[0].detected_waves, 2);
+    assert_eq!(chaos.runs[0].quiesced_waves, 1);
+    assert_eq!(chaos.runs[0].waves[1].quiescence, None);
+}

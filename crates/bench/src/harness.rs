@@ -168,7 +168,7 @@ impl BenchGroup {
             .map(|(k, v)| format!("{}:{v}", json_string(k)))
             .collect();
         format!(
-            "{{\"group\":{},\"meta\":{{{}}},\"results\":[{}]}}\n",
+            "{{\"schema\":\"smst-bench-v1\",\"group\":{},\"meta\":{{{}}},\"results\":[{}]}}\n",
             json_string(&self.group),
             meta.join(","),
             results.join(",")
@@ -290,7 +290,7 @@ mod tests {
         group.bench("case_b", 3, || 2 * 2);
         group.record_meta("halo_entries", 42.0);
         let json = group.to_json();
-        assert!(json.starts_with("{\"group\":\"unit_test_group\""));
+        assert!(json.starts_with("{\"schema\":\"smst-bench-v1\",\"group\":\"unit_test_group\""));
         assert_eq!(json.matches("\"name\":").count(), 2);
         assert_eq!(json.matches("\"median_ns\":").count(), 2);
         assert!(json.contains("\"meta\":{\"halo_entries\":42}"));

@@ -776,10 +776,12 @@ impl WorkerPool {
     /// part 0's compute, barrier-wait and halo-exchange nanoseconds
     /// accumulate into the given [`PhaseTimes`] (see its docs for the
     /// sampling contract); when `watchdog` is `Some`, a part that fails to
-    /// reach a round barrier within the timeout poisons the barrier and the
-    /// run unwinds with the typed timeout sentinel instead of deadlocking.
-    /// `(None, None)` is exactly the untimed primitive — the round loop
-    /// then never reads the clock.
+    /// reach a round barrier — or the final chunk-completion barrier the
+    /// armed watchdog adds, so even single-round chunks are guarded —
+    /// within the timeout poisons the barrier and the run unwinds with the
+    /// typed timeout sentinel instead of deadlocking. `(None, None)` is
+    /// exactly the untimed primitive — the round loop then never reads the
+    /// clock.
     ///
     /// # Panics
     ///
@@ -930,6 +932,16 @@ impl WorkerPool {
                             barrier.wait();
                             lap(timing, &mut mark, PhaseSlot::Barrier);
                         }
+                    }
+                    // an armed watchdog also guards chunk completion: a
+                    // single-round chunk (the observed, round-granular
+                    // dispatch mode) has no inter-round barrier, so without
+                    // this a part stalled in its last round would only be
+                    // detected when the blocking completion wait ends
+                    if watchdog.is_some() {
+                        let mut mark = timing.map(|_| Instant::now());
+                        barrier.wait();
+                        lap(timing, &mut mark, PhaseSlot::Barrier);
                     }
                 };
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(work)) {

@@ -26,7 +26,8 @@ use crate::layout::LayoutPolicy;
 use crate::pool::PinPolicy;
 pub use crate::runner::StopCondition;
 use smst_graph::generators::{
-    caterpillar_graph, complete_graph, expander_graph, grid_graph, path_graph,
+    caterpillar_graph, complete_graph, expander_graph, grid_graph, kmw_cluster_tree,
+    kmw_cluster_tree_node_count, kmw_hybrid_graph, kmw_hybrid_node_count, path_graph,
     random_connected_graph, ring_graph, star_graph,
 };
 use smst_graph::{NodeId, WeightedGraph};
@@ -83,6 +84,22 @@ pub enum GraphFamily {
         /// Node count.
         n: usize,
     },
+    /// A KMW-style cluster tree (the hard family for lower-bound
+    /// accounting; a simplified realization of the `CT_k` skeleton from
+    /// "A Breezing Proof of the KMW Bound").
+    KmwClusterTree {
+        /// Cluster-hierarchy depth (`k` in `CT_k`).
+        levels: usize,
+        /// Branching factor δ between adjacent cluster levels.
+        delta: usize,
+    },
+    /// The triangle-free KMW hybrid (ring interiors + spread gadgets).
+    KmwHybrid {
+        /// Cluster-hierarchy depth.
+        levels: usize,
+        /// Branching factor δ between adjacent cluster levels.
+        delta: usize,
+    },
 }
 
 impl GraphFamily {
@@ -97,6 +114,8 @@ impl GraphFamily {
             GraphFamily::RandomConnected { n, m } => random_connected_graph(n, m, seed),
             GraphFamily::Expander { n, degree } => expander_graph(n, degree, seed),
             GraphFamily::Complete { n } => complete_graph(n, seed),
+            GraphFamily::KmwClusterTree { levels, delta } => kmw_cluster_tree(levels, delta, seed),
+            GraphFamily::KmwHybrid { levels, delta } => kmw_hybrid_graph(levels, delta, seed),
         }
     }
 
@@ -111,6 +130,10 @@ impl GraphFamily {
             | GraphFamily::Complete { n } => n,
             GraphFamily::Grid { rows, cols } => rows * cols,
             GraphFamily::Caterpillar { spine, legs } => spine * (1 + legs),
+            GraphFamily::KmwClusterTree { levels, delta } => {
+                kmw_cluster_tree_node_count(levels, delta)
+            }
+            GraphFamily::KmwHybrid { levels, delta } => kmw_hybrid_node_count(levels, delta),
         }
     }
 }
@@ -505,6 +528,14 @@ mod tests {
             GraphFamily::RandomConnected { n: 15, m: 30 },
             GraphFamily::Expander { n: 20, degree: 4 },
             GraphFamily::Complete { n: 6 },
+            GraphFamily::KmwClusterTree {
+                levels: 2,
+                delta: 3,
+            },
+            GraphFamily::KmwHybrid {
+                levels: 2,
+                delta: 3,
+            },
         ];
         for family in families {
             let g = family.build(3);

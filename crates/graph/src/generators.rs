@@ -250,6 +250,185 @@ pub fn expander_graph(n: usize, degree: usize, seed: u64) -> WeightedGraph {
     g
 }
 
+/// One cluster of the KMW skeleton: a contiguous node range at a depth,
+/// optionally attached to a parent cluster exactly `delta` times larger.
+struct KmwCluster {
+    start: usize,
+    size: usize,
+    parent: Option<usize>,
+}
+
+/// The cluster-tree skeleton shared by [`kmw_cluster_tree`] and
+/// [`kmw_hybrid_graph`]: a root cluster of `δ^levels` nodes at depth 0;
+/// every depth-`d` cluster has `levels − d` child clusters, each `δ`
+/// times smaller — the degree asymmetry of the CT_k cluster trees from
+/// "A Breezing Proof of the KMW Bound" (arXiv:2002.06005). `max_depth`
+/// trims the recursion (the hybrid stops one level early so its leaf
+/// clusters keep `δ` nodes).
+fn kmw_skeleton(levels: usize, delta: usize, max_depth: usize) -> Vec<KmwCluster> {
+    let root_size = delta
+        .checked_pow(levels as u32)
+        .expect("kmw cluster tree too large");
+    let mut clusters = vec![KmwCluster {
+        start: 0,
+        size: root_size,
+        parent: None,
+    }];
+    let mut next = root_size;
+    let mut frontier = vec![0usize];
+    for d in 0..max_depth {
+        let child_size = delta.pow((levels - d - 1) as u32);
+        let mut new_frontier = Vec::new();
+        for &ci in &frontier {
+            for _ in 0..(levels - d) {
+                clusters.push(KmwCluster {
+                    start: next,
+                    size: child_size,
+                    parent: Some(ci),
+                });
+                next += child_size;
+                new_frontier.push(clusters.len() - 1);
+            }
+        }
+        frontier = new_frontier;
+    }
+    clusters
+}
+
+fn kmw_node_count(levels: usize, delta: usize, max_depth: usize) -> usize {
+    let mut clusters = 1usize;
+    let mut total = 0usize;
+    for d in 0..=max_depth {
+        total += clusters
+            * delta
+                .checked_pow((levels - d) as u32)
+                .expect("kmw cluster tree too large");
+        clusters *= levels - d;
+    }
+    total
+}
+
+/// Number of nodes of [`kmw_cluster_tree`]`(levels, delta, _)`.
+pub fn kmw_cluster_tree_node_count(levels: usize, delta: usize) -> usize {
+    kmw_node_count(levels, delta, levels)
+}
+
+/// Number of nodes of [`kmw_hybrid_graph`]`(levels, delta, _)`.
+pub fn kmw_hybrid_node_count(levels: usize, delta: usize) -> usize {
+    kmw_node_count(levels, delta, levels - 1)
+}
+
+fn build_kmw(
+    levels: usize,
+    delta: usize,
+    seed: u64,
+    max_depth: usize,
+    hybrid: bool,
+) -> WeightedGraph {
+    let clusters = kmw_skeleton(levels, delta, max_depth);
+    let n = clusters.last().map_or(0, |c| c.start + c.size);
+    let mut m = 0usize;
+    for c in &clusters {
+        m += if hybrid && c.size >= 4 {
+            c.size // ring interior
+        } else {
+            c.size.saturating_sub(1) // path interior
+        };
+        if let Some(p) = c.parent {
+            m += clusters[p].size; // one gadget edge per parent node
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut weights = distinct_weights(m, &mut rng);
+    let mut g = WeightedGraph::with_nodes(n);
+    for c in &clusters {
+        if hybrid && c.size >= 4 {
+            for i in 0..c.size {
+                g.add_edge(
+                    NodeId(c.start + i),
+                    NodeId(c.start + (i + 1) % c.size),
+                    weights.pop().unwrap(),
+                )
+                .expect("ring interiors are unique");
+            }
+        } else {
+            for i in 0..c.size.saturating_sub(1) {
+                g.add_edge(
+                    NodeId(c.start + i),
+                    NodeId(c.start + i + 1),
+                    weights.pop().unwrap(),
+                )
+                .expect("path interiors are unique");
+            }
+        }
+        if let Some(pi) = c.parent {
+            let p = &clusters[pi];
+            debug_assert_eq!(p.size, delta * c.size, "parent is exactly δ× larger");
+            for j in 0..c.size {
+                for i in 0..delta {
+                    // contiguous groups realize the biregular (1, δ)
+                    // gadget; the hybrid spreads each child's parents a
+                    // stride of `c.size` apart so no two of them are
+                    // interior-adjacent (triangle-freeness)
+                    let off = if hybrid {
+                        (j + i * c.size) % p.size
+                    } else {
+                        j * delta + i
+                    };
+                    g.add_edge(
+                        NodeId(c.start + j),
+                        NodeId(p.start + off),
+                        weights.pop().unwrap(),
+                    )
+                    .expect("gadget edges are unique");
+                }
+            }
+        }
+    }
+    g
+}
+
+/// A KMW cluster tree: the hard-instance family of the KMW lower bound
+/// (Ω(√(log n / log log n)) for LOCAL-model verification-style problems),
+/// in the simplified deterministic realization of the CT_k skeleton from
+/// "A Breezing Proof of the KMW Bound" (arXiv:2002.06005).
+///
+/// The root cluster has `δ^levels` nodes; every depth-`d` cluster has
+/// `levels − d` child clusters, each `δ` times smaller, down to
+/// singleton leaves. Cluster interiors are paths (connectivity), and
+/// each parent–child pair is joined by a biregular `(1, δ)` bipartite
+/// gadget: every child node sees `δ` parent nodes, every parent node
+/// exactly one node per child cluster — the degree asymmetry that makes
+/// parent and child locally hard to distinguish. Weights are distinct
+/// and seeded; the topology itself is deterministic in `(levels, delta)`.
+///
+/// # Panics
+///
+/// Panics if `levels == 0`, `delta < 2`, or the node count overflows.
+pub fn kmw_cluster_tree(levels: usize, delta: usize, seed: u64) -> WeightedGraph {
+    assert!(levels >= 1, "kmw_cluster_tree requires at least one level");
+    assert!(delta >= 2, "kmw_cluster_tree requires delta >= 2");
+    build_kmw(levels, delta, seed, levels, false)
+}
+
+/// The high-girth hybrid of [`kmw_cluster_tree`]: the same cluster-tree
+/// skeleton trimmed one level early (leaf clusters keep `δ` nodes),
+/// cluster interiors of size ≥ 4 upgraded from paths to rings, and the
+/// `(1, δ)` gadgets spread so a child's `δ` parent neighbors sit a full
+/// child-cluster-size stride apart. The result is triangle-free (girth
+/// ≥ 4, pinned by a test) while keeping the hierarchy's degree asymmetry
+/// — a step toward the high-girth G_k realizations the KMW bound needs.
+///
+/// # Panics
+///
+/// Panics if `levels < 2`, `delta < 3` (the stride argument needs it), or
+/// the node count overflows.
+pub fn kmw_hybrid_graph(levels: usize, delta: usize, seed: u64) -> WeightedGraph {
+    assert!(levels >= 2, "kmw_hybrid_graph requires at least two levels");
+    assert!(delta >= 3, "kmw_hybrid_graph requires delta >= 3");
+    build_kmw(levels, delta, seed, levels - 1, true)
+}
+
 /// Distinct odd weights in random order (odd so that explicitly-chosen even
 /// weights in tests can never collide with generated ones).
 fn distinct_weights(count: usize, rng: &mut StdRng) -> Vec<u64> {
@@ -354,6 +533,95 @@ mod tests {
         for seed in 0..10 {
             let g = expander_graph(6, 4, seed);
             assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn kmw_cluster_tree_shape() {
+        // levels 2, δ 3: root of 9, two depth-1 clusters of 3, two
+        // singleton leaves — 17 nodes
+        let g = kmw_cluster_tree(2, 3, 1);
+        assert_eq!(g.node_count(), 17);
+        assert_eq!(g.node_count(), kmw_cluster_tree_node_count(2, 3));
+        assert!(g.is_connected());
+        assert!(g.has_distinct_weights());
+        // every depth-1 node sees δ root nodes plus interior/leaf edges
+        assert!(g.degree(NodeId(9)) >= 3);
+        let g3 = kmw_cluster_tree(3, 3, 1);
+        assert_eq!(g3.node_count(), kmw_cluster_tree_node_count(3, 3));
+        assert_eq!(kmw_cluster_tree_node_count(3, 3), 27 + 3 * 9 + 6 * 3 + 6);
+        assert!(g3.is_connected());
+    }
+
+    #[test]
+    fn kmw_generators_are_deterministic_and_seed_only_moves_weights() {
+        let a = kmw_cluster_tree(3, 3, 7);
+        let b = kmw_cluster_tree(3, 3, 7);
+        assert_eq!(a.edges(), b.edges(), "same seed, identical graph");
+        let c = kmw_cluster_tree(3, 3, 8);
+        assert_eq!(a.edge_count(), c.edge_count());
+        let ends = |g: &WeightedGraph| g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>();
+        assert_eq!(ends(&a), ends(&c), "topology is seed-independent");
+        assert_ne!(
+            a.edges(),
+            c.edges(),
+            "weights are seeded (distinct assignment)"
+        );
+    }
+
+    #[test]
+    fn kmw_hybrid_is_connected_and_triangle_free() {
+        for levels in [2usize, 3, 4] {
+            let g = kmw_hybrid_graph(levels, 3, 5);
+            assert_eq!(g.node_count(), kmw_hybrid_node_count(levels, 3));
+            assert!(g.is_connected());
+            assert!(g.has_distinct_weights());
+            for e in g.edges() {
+                let u_adjacent: std::collections::HashSet<NodeId> = g.neighbors(e.u).collect();
+                assert!(
+                    !g.neighbors(e.v).any(|w| u_adjacent.contains(&w)),
+                    "levels {levels}: edge ({:?},{:?}) closes a triangle",
+                    e.u,
+                    e.v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kmw_diameter_tracks_cluster_depth() {
+        // the biregular gadgets shortcut the interior paths, so the
+        // diameter is set by the cluster hierarchy's depth — two hops per
+        // level (down the gadget, across, back up), not by node count
+        for levels in 2..=4 {
+            let tree = kmw_cluster_tree(levels, 3, 2);
+            assert_eq!(tree.diameter().unwrap(), 2 * levels, "tree levels={levels}");
+            let hybrid = kmw_hybrid_graph(levels, 3, 2);
+            assert_eq!(
+                hybrid.diameter().unwrap(),
+                2 * levels - 1,
+                "hybrid levels={levels}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn kmw_cluster_trees_connected_with_invariant_sizes(
+            levels in 1usize..5,
+            delta in 2usize..5,
+            seed in 0u64..100,
+        ) {
+            let g = kmw_cluster_tree(levels, delta, seed);
+            prop_assert_eq!(g.node_count(), kmw_cluster_tree_node_count(levels, delta));
+            prop_assert!(g.is_connected());
+            prop_assert!(g.has_distinct_weights());
+            // size is a pure function of (levels, delta): another seed
+            // builds the identical node set and edge skeleton
+            let h = kmw_cluster_tree(levels, delta, seed ^ 0xABCD);
+            prop_assert_eq!(g.node_count(), h.node_count());
+            prop_assert_eq!(g.edge_count(), h.edge_count());
         }
     }
 

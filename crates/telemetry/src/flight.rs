@@ -1,0 +1,221 @@
+//! The flight recorder: a fixed-size ring buffer of recent
+//! [`RoundStats`], dumped as `FLIGHT_<name>.json` when a run dies.
+//!
+//! Chaos postmortems (the typed [`PoolError`] surface) say *what* killed a
+//! run — a tripped barrier watchdog, an exhausted recovery policy — but
+//! not what the rounds leading up to the failure looked like. A
+//! [`FlightRecorder`] is a [`RoundObserver`] that keeps only the last
+//! `capacity` rounds in a ring buffer (O(capacity) memory no matter how
+//! long the run), so the driver can attach it to any runner and, on a
+//! `BarrierTimeout` or caught panic, dump the final window to a
+//! `FLIGHT_<name>.json` artifact carrying the failure reason.
+//!
+//! Cloning is shallow, mirroring
+//! [`RecordingObserver`](smst_sim::RecordingObserver): keep one clone,
+//! hand the other to the runner via `set_observer`, and dump from the
+//! kept clone after the runner dies (the runner consumed its observer, but
+//! the ring is shared).
+//!
+//! Artifact schema:
+//!
+//! ```json
+//! {"schema":"smst-flight-v1","name":"chaos_stall",
+//!  "reason":"barrier timeout after 100ms","capacity":32,"rounds_seen":70,
+//!  "rounds":[{"round":38,"alarms":0,"activations":192,"halo_bytes":0,
+//!             "dispatch_ns":10,"compute_ns":80,"barrier_ns":5,"exchange_ns":5}]}
+//! ```
+//!
+//! `rounds` holds at most `capacity` entries, oldest first — the final
+//! window of a `rounds_seen`-round run.
+//!
+//! [`PoolError`]: https://docs.rs/ (see `smst_engine::PoolError`)
+
+use crate::json::{json_string, round_fields};
+use smst_sim::{RoundObserver, RoundStats};
+use std::collections::VecDeque;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct FlightInner {
+    rounds: VecDeque<RoundStats>,
+    seen: usize,
+}
+
+/// A [`RoundObserver`] ring buffer holding the last `capacity` rounds.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<FlightInner>>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` rounds (clamped to at
+    /// least 1 — a zero-capacity recorder could never explain anything).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(FlightInner::default())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The ring capacity (the maximum window the dump can carry).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightInner> {
+        self.inner.lock().expect("flight recorder lock poisoned")
+    }
+
+    /// Total rounds observed over the recorder's lifetime (not capped by
+    /// the ring).
+    pub fn rounds_seen(&self) -> usize {
+        self.lock().seen
+    }
+
+    /// Rounds currently held in the ring (`min(rounds_seen, capacity)`).
+    pub fn len(&self) -> usize {
+        self.lock().rounds.len()
+    }
+
+    /// Whether nothing was observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().rounds.is_empty()
+    }
+
+    /// The retained window, oldest first (a snapshot clone).
+    pub fn recent(&self) -> Vec<RoundStats> {
+        self.lock().rounds.iter().cloned().collect()
+    }
+
+    /// The `FLIGHT_<name>.json` document for this recorder's current
+    /// window, stamped with the failure `reason` (see the module docs for
+    /// the schema).
+    pub fn to_json(&self, name: &str, reason: &str) -> String {
+        let inner = self.lock();
+        let rounds: Vec<String> = inner
+            .rounds
+            .iter()
+            .map(|s| format!("{{{}}}", round_fields(s)))
+            .collect();
+        format!(
+            "{{\"schema\":\"smst-flight-v1\",\"name\":{},\"reason\":{},\
+             \"capacity\":{},\"rounds_seen\":{},\"rounds\":[{}]}}\n",
+            json_string(name),
+            json_string(reason),
+            self.capacity,
+            inner.seen,
+            rounds.join(",")
+        )
+    }
+
+    /// Writes `FLIGHT_<name>.json` into `dir` and returns its path (the
+    /// injectable core — tests pass a directory instead of mutating the
+    /// process-global `SMST_BENCH_DIR`).
+    pub fn write_json_to(&self, dir: &Path, name: &str, reason: &str) -> io::Result<PathBuf> {
+        let path = dir.join(format!("FLIGHT_{name}.json"));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json(name, reason).as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes `FLIGHT_<name>.json` into
+    /// [`artifact_dir`](crate::artifact_dir) and returns its path.
+    pub fn write_json(&self, name: &str, reason: &str) -> io::Result<PathBuf> {
+        self.write_json_to(&crate::artifact_dir(), name, reason)
+    }
+}
+
+impl RoundObserver for FlightRecorder {
+    fn on_round(&mut self, stats: &RoundStats) {
+        let capacity = self.capacity;
+        let mut inner = self.lock();
+        if inner.rounds.len() == capacity {
+            inner.rounds.pop_front();
+        }
+        inner.rounds.push_back(stats.clone());
+        inner.seen += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(round: usize) -> RoundStats {
+        RoundStats {
+            round,
+            alarms: round % 3,
+            activations: 20,
+            halo_bytes: 4,
+            dispatch_ns: 1,
+            compute_ns: 2,
+            barrier_ns: 3,
+            exchange_ns: 4,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_final_window() {
+        let recorder = FlightRecorder::new(4);
+        let mut handle = recorder.clone();
+        assert!(recorder.is_empty());
+        for round in 0..10 {
+            handle.on_round(&stat(round));
+        }
+        assert_eq!(recorder.rounds_seen(), 10);
+        assert_eq!(recorder.len(), 4);
+        let window: Vec<usize> = recorder.recent().iter().map(|s| s.round).collect();
+        assert_eq!(window, vec![6, 7, 8, 9], "oldest first, last four rounds");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut recorder = FlightRecorder::new(0);
+        assert_eq!(recorder.capacity(), 1);
+        recorder.on_round(&stat(0));
+        recorder.on_round(&stat(1));
+        assert_eq!(recorder.len(), 1);
+        assert_eq!(recorder.recent()[0].round, 1);
+    }
+
+    #[test]
+    fn dump_pins_the_flight_schema() {
+        let dir = std::env::temp_dir().join("smst_telemetry_flight_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let recorder = FlightRecorder::new(2);
+        let mut handle = recorder.clone();
+        for round in 0..3 {
+            handle.on_round(&stat(round));
+        }
+        let path = recorder
+            .write_json_to(&dir, "unit", "barrier timeout after 100ms")
+            .unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_string_lossy(),
+            "FLIGHT_unit.json"
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with(
+            "{\"schema\":\"smst-flight-v1\",\"name\":\"unit\",\
+             \"reason\":\"barrier timeout after 100ms\",\
+             \"capacity\":2,\"rounds_seen\":3,\"rounds\":["
+        ));
+        assert!(body.contains("\"round\":1"));
+        assert!(body.contains("\"round\":2"));
+        assert!(
+            !body.contains("\"round\":0"),
+            "round 0 fell out of the ring"
+        );
+        assert!(body.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_recorder_dumps_an_empty_window() {
+        let recorder = FlightRecorder::new(8);
+        let json = recorder.to_json("idle", "caught panic");
+        assert!(json.contains("\"rounds_seen\":0,\"rounds\":[]"));
+    }
+}

@@ -60,7 +60,10 @@
 //!   accounting, the artifact form of a recorded observer stream;
 //! * [`chaos::ChaosArtifact`] — `BENCH_chaos*.json` per-wave accounting
 //!   of recurring-fault campaigns (detection latency and
-//!   rounds-to-quiescence per wave, schedule grammar per run).
+//!   rounds-to-quiescence per wave, schedule grammar per run);
+//! * [`flight::FlightRecorder`] — `FLIGHT_<name>.json`, the final
+//!   ring-buffer window of rounds dumped when a run dies (barrier
+//!   timeout, caught panic).
 //!
 //! All use the bench-harness conventions (`$SMST_BENCH_DIR`, injectable
 //! directories for tests, hand-rolled JSON — the offline workspace has no
@@ -70,12 +73,14 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod flight;
 mod json;
 pub mod metrics;
 pub mod rounds;
 pub mod trace;
 
 pub use chaos::{ChaosArtifact, ChaosRun};
+pub use flight::FlightRecorder;
 pub use metrics::{
     bucket_upper_bound, Counter, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
     HISTOGRAM_BUCKETS,
@@ -193,7 +198,9 @@ impl Telemetry {
 
     /// Env-gated construction for benches and binaries: always enables
     /// metrics; attaches a `TRACE_<name>.jsonl` stream (in
-    /// [`artifact_dir`]) iff `$SMST_TRACE_SAMPLE` requests sampling.
+    /// [`artifact_dir`]) iff `$SMST_TRACE_SAMPLE` requests sampling. An
+    /// unparsable `$SMST_TRACE_SAMPLE` warns once on stderr (via
+    /// [`trace_sample_from_env`]) instead of silently disabling tracing.
     ///
     /// # Panics
     ///

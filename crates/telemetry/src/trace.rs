@@ -28,12 +28,31 @@ use std::sync::Mutex;
 pub const TRACE_SAMPLE_ENV: &str = "SMST_TRACE_SAMPLE";
 
 /// The sampling interval `$SMST_TRACE_SAMPLE` requests (0 when unset,
-/// unparsable, or explicitly 0 — all meaning "no trace").
+/// unparsable, or explicitly 0 — all meaning "no trace"). An unparsable
+/// value additionally warns once per process on stderr — a typo'd
+/// `SMST_TRACE_SAMPLE=ten` silently producing no trace cost a debugging
+/// session once; it never gets to again.
 pub fn trace_sample_from_env() -> u64 {
-    std::env::var(TRACE_SAMPLE_ENV)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    match std::env::var(TRACE_SAMPLE_ENV) {
+        Ok(raw) => parse_trace_sample(&raw).unwrap_or_else(|| {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: {TRACE_SAMPLE_ENV}={raw:?} is not an unsigned \
+                     integer; tracing stays disabled"
+                );
+            });
+            0
+        }),
+        Err(_) => 0,
+    }
+}
+
+/// The parsing rule behind [`trace_sample_from_env`], testable without
+/// mutating the process environment: `None` means unparsable (the caller
+/// warns), `Some(0)` means explicitly disabled.
+pub(crate) fn parse_trace_sample(raw: &str) -> Option<u64> {
+    raw.trim().parse().ok()
 }
 
 /// A buffered, thread-safe `TRACE_<name>.jsonl` writer. Flushed on drop;
@@ -134,5 +153,15 @@ mod tests {
         assert!(lines[1].contains("\"round\":1"));
         assert!(lines[1].contains("\"compute_ns\":90"));
         assert!(lines[1].ends_with('}'));
+    }
+
+    #[test]
+    fn sample_parsing_distinguishes_disabled_from_unparsable() {
+        assert_eq!(parse_trace_sample("4"), Some(4));
+        assert_eq!(parse_trace_sample(" 7 "), Some(7), "whitespace is noise");
+        assert_eq!(parse_trace_sample("0"), Some(0), "explicitly disabled");
+        assert_eq!(parse_trace_sample("ten"), None, "a typo is not silence");
+        assert_eq!(parse_trace_sample("-3"), None);
+        assert_eq!(parse_trace_sample(""), None);
     }
 }
