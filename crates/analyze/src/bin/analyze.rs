@@ -14,17 +14,19 @@ usage: smst-analyze <command> [options]
 
 commands:
   ingest <dir>
-      Parse every recognized artifact (BENCH_/CAMPAIGN_/TRACE_/FLIGHT_)
-      directly inside <dir>, print a one-line summary per file, and fail
-      (exit 2) if any artifact is corrupt or carries an unknown schema
-      version.
+      Parse every recognized artifact (ANALYSIS_/BENCH_/CAMPAIGN_/
+      TRACE_/FLIGHT_) directly inside <dir>, print a one-line summary
+      per file, and fail (exit 2) if any artifact is corrupt or carries
+      an unknown schema version.
 
   check --baseline <dir> [--current <dir>] [--tolerance <x>] [--floor-ns <n>]
       Compare the current artifacts (default: $SMST_BENCH_DIR, else .)
       against the checked-in baselines. Bench medians regress only when
       they exceed baseline x tolerance (default 2.0) AND grow by more
       than floor-ns (default 250000); chaos accounting is compared
-      exactly. Exit 1 on any regression or mismatch.
+      exactly; lint artifacts fail on any unsuppressed diagnostic or a
+      suppression count above the baseline (suppression creep). Exit 1
+      on any regression, mismatch, or creep.
 
   kmw [--out <dir>] [--seed <s>] [--warmup <w>]
       Run the KMW bound-accounting sweep (cluster trees, hybrids, and
@@ -34,9 +36,9 @@ commands:
   baseline --from <dir> --to <dir>
       Seed or refresh a baseline directory: validate every recognized
       artifact in --from, then copy the gate-relevant ones (bench
-      timings and chaos accounting) into --to. Traces, campaigns, and
-      flight dumps are validated but not copied -- the gate has no
-      comparison semantics for them.
+      timings, chaos accounting, and lint artifacts) into --to. Traces,
+      campaigns, and flight dumps are validated but not copied -- the
+      gate has no comparison semantics for them.
 ";
 
 fn main() -> ExitCode {
@@ -207,7 +209,9 @@ fn cmd_baseline(args: &[String]) -> Result<ExitCode, String> {
     for (path, result) in &results {
         let gate_relevant = matches!(
             result,
-            Ok(smst_analyze::Artifact::Bench(_) | smst_analyze::Artifact::Chaos(_))
+            Ok(smst_analyze::Artifact::Bench(_)
+                | smst_analyze::Artifact::Chaos(_)
+                | smst_analyze::Artifact::Lint(_))
         );
         if !gate_relevant {
             println!("  skipped {} (not gated)", path.display());

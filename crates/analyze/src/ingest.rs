@@ -31,6 +31,8 @@ pub const SCHEMA_CAMPAIGN: &str = "smst-campaign-v1";
 pub const SCHEMA_FLIGHT: &str = "smst-flight-v1";
 /// Schema tag of the analyzer's own `ANALYSIS_*.json` output.
 pub const SCHEMA_ANALYSIS: &str = "smst-analysis-v1";
+/// Schema tag of `smst-lint` invariant-lint artifacts.
+pub const SCHEMA_LINT: &str = "smst-lint-v1";
 
 /// Why ingesting an artifact failed.
 #[derive(Debug)]
@@ -240,6 +242,58 @@ pub struct FlightDoc {
     pub rounds: Vec<RoundStats>,
 }
 
+/// One family of points from a `smst-analysis-v1` accounting document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisFamily {
+    /// Family label (e.g. the hard-instance family name).
+    pub family: String,
+    /// What the family plots (`measured`, `bound`, …).
+    pub kind: String,
+    /// Points recorded for the family.
+    pub points: usize,
+}
+
+/// A parsed `smst-analysis-v1` document (the KMW accounting shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisDoc {
+    /// Which analysis produced the document (`kmw`).
+    pub analysis: String,
+    /// The point families, in artifact order.
+    pub families: Vec<AnalysisFamily>,
+}
+
+/// One diagnostic from a `smst-lint-v1` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintRecord {
+    /// The rule that fired (`clock`, `unsafe-file`, …).
+    pub rule: String,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// Whether a suppression covers it.
+    pub suppressed: bool,
+    /// The suppression's reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+/// A parsed `smst-lint-v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintDoc {
+    /// What was scanned (`workspace`, or a fixture label in tests).
+    pub root: String,
+    /// Source files visited.
+    pub files: usize,
+    /// Diagnostics a suppression covers.
+    pub suppressed: usize,
+    /// Diagnostics nothing covers (nonzero fails the lint gate).
+    pub unsuppressed: usize,
+    /// Every diagnostic, in artifact order.
+    pub diagnostics: Vec<LintRecord>,
+}
+
 /// One line of a `TRACE_*.jsonl` stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceLine {
@@ -269,6 +323,10 @@ pub enum Artifact {
     Campaign(CampaignDoc),
     /// A `smst-flight-v1` flight-recorder dump.
     Flight(FlightDoc),
+    /// A `smst-analysis-v1` accounting document.
+    Analysis(AnalysisDoc),
+    /// A `smst-lint-v1` invariant-lint artifact.
+    Lint(LintDoc),
     /// A `TRACE_*.jsonl` stream.
     Trace(TraceDoc),
 }
@@ -321,6 +379,20 @@ impl Artifact {
                 d.capacity,
                 d.reason
             ),
+            Artifact::Analysis(d) => format!(
+                "analysis {:?}: {} families, {} points total",
+                d.analysis,
+                d.families.len(),
+                d.families.iter().map(|f| f.points).sum::<usize>()
+            ),
+            Artifact::Lint(d) => format!(
+                "lint {:?}: {} files, {} diagnostics ({} suppressed, {} unsuppressed)",
+                d.root,
+                d.files,
+                d.diagnostics.len(),
+                d.suppressed,
+                d.unsuppressed
+            ),
             Artifact::Trace(d) => format!("trace: {} records", d.lines.len()),
         }
     }
@@ -351,6 +423,8 @@ pub fn ingest_document(path: &Path, doc: &Json) -> Result<Artifact, IngestError>
         SCHEMA_CHAOS => ingest_chaos(&cx, doc).map(Artifact::Chaos),
         SCHEMA_CAMPAIGN => ingest_campaign(&cx, doc).map(Artifact::Campaign),
         SCHEMA_FLIGHT => ingest_flight(&cx, doc).map(Artifact::Flight),
+        SCHEMA_ANALYSIS => ingest_analysis(&cx, doc).map(Artifact::Analysis),
+        SCHEMA_LINT => ingest_lint(&cx, doc).map(Artifact::Lint),
         other => {
             let known = [
                 SCHEMA_BENCH,
@@ -358,6 +432,8 @@ pub fn ingest_document(path: &Path, doc: &Json) -> Result<Artifact, IngestError>
                 SCHEMA_CHAOS,
                 SCHEMA_CAMPAIGN,
                 SCHEMA_FLIGHT,
+                SCHEMA_ANALYSIS,
+                SCHEMA_LINT,
             ];
             let family = |tag: &str| tag.rsplit_once("-v").map(|(f, _)| f.to_string());
             match family(other) {
@@ -445,6 +521,29 @@ impl Cx<'_> {
             Some(v) => v
                 .as_f64()
                 .map(Some)
+                .ok_or_else(|| self.shape(format!("{at}{key}"))),
+            None => Err(self.shape(format!("{at}{key}"))),
+        }
+    }
+
+    fn bool_field(&self, obj: &Json, at: &str, key: &str) -> Result<bool, IngestError> {
+        obj.get(key)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| self.shape(format!("{at}{key}")))
+    }
+
+    /// `null` → `None`; missing or mistyped → error.
+    fn opt_str_field(
+        &self,
+        obj: &Json,
+        at: &str,
+        key: &str,
+    ) -> Result<Option<String>, IngestError> {
+        match obj.get(key) {
+            Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
                 .ok_or_else(|| self.shape(format!("{at}{key}"))),
             None => Err(self.shape(format!("{at}{key}"))),
         }
@@ -614,6 +713,57 @@ fn ingest_flight(cx: &Cx, doc: &Json) -> Result<FlightDoc, IngestError> {
     })
 }
 
+fn ingest_analysis(cx: &Cx, doc: &Json) -> Result<AnalysisDoc, IngestError> {
+    let families = cx
+        .arr_field(doc, "", "families")?
+        .iter()
+        .enumerate()
+        .map(|(i, fam)| {
+            let at = format!("families[{i}].");
+            Ok(AnalysisFamily {
+                family: cx.str_field(fam, &at, "family")?,
+                kind: cx.str_field(fam, &at, "kind")?,
+                points: cx.arr_field(fam, &at, "points")?.len(),
+            })
+        })
+        .collect::<Result<Vec<_>, IngestError>>()?;
+    Ok(AnalysisDoc {
+        analysis: cx.str_field(doc, "", "analysis")?,
+        families,
+    })
+}
+
+fn ingest_lint(cx: &Cx, doc: &Json) -> Result<LintDoc, IngestError> {
+    let summary = doc.get("summary").ok_or_else(|| cx.shape("summary"))?;
+    let diagnostics = cx
+        .arr_field(doc, "", "diagnostics")?
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let at = format!("diagnostics[{i}].");
+            Ok(LintRecord {
+                rule: cx.str_field(d, &at, "rule")?,
+                file: cx.str_field(d, &at, "file")?,
+                line: cx.usize_field(d, &at, "line")?,
+                message: cx.str_field(d, &at, "message")?,
+                suppressed: cx.bool_field(d, &at, "suppressed")?,
+                reason: cx.opt_str_field(d, &at, "reason")?,
+            })
+        })
+        .collect::<Result<Vec<_>, IngestError>>()?;
+    let total = cx.usize_field(summary, "summary.", "total")?;
+    if total != diagnostics.len() {
+        return Err(cx.shape("summary.total"));
+    }
+    Ok(LintDoc {
+        root: cx.str_field(doc, "", "root")?,
+        files: cx.usize_field(doc, "", "files")?,
+        suppressed: cx.usize_field(summary, "summary.", "suppressed")?,
+        unsuppressed: cx.usize_field(summary, "summary.", "unsuppressed")?,
+        diagnostics,
+    })
+}
+
 fn ingest_trace(path: &Path, text: &str) -> Result<Artifact, IngestError> {
     let cx = Cx { path };
     let lines = text
@@ -633,9 +783,10 @@ fn ingest_trace(path: &Path, text: &str) -> Result<Artifact, IngestError> {
 }
 
 /// Artifact files recognized inside a directory: the upload-glob
-/// prefixes, in scan order. `ANALYSIS_*.json` (the analyzer's own output)
-/// is deliberately excluded — ingest reads producers, not itself.
-pub const ARTIFACT_PREFIXES: [&str; 4] = ["BENCH_", "CAMPAIGN_", "TRACE_", "FLIGHT_"];
+/// prefixes, in scan order. `ANALYSIS_*` covers both the analyzer's own
+/// accounting output (`smst-analysis-v1`) and the lint gate's
+/// `ANALYSIS_lint.json` (`smst-lint-v1`).
+pub const ARTIFACT_PREFIXES: [&str; 5] = ["ANALYSIS_", "BENCH_", "CAMPAIGN_", "TRACE_", "FLIGHT_"];
 
 /// Ingests every recognized artifact directly inside `dir`, sorted by
 /// file name (deterministic CLI output). Each file's result is returned
@@ -802,13 +953,20 @@ mod tests {
     #[test]
     fn directory_scan_is_sorted_and_prefix_filtered() {
         let dir = std::env::temp_dir().join("smst_analyze_ingest_dir_test");
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(
             dir.join("BENCH_b.json"),
             "{\"schema\":\"smst-bench-v1\",\"group\":\"b\",\"meta\":{},\"results\":[]}\n",
         )
         .unwrap();
-        std::fs::write(dir.join("ANALYSIS_kmw.json"), "{}").unwrap();
+        std::fs::write(
+            dir.join("ANALYSIS_lint.json"),
+            "{\"schema\":\"smst-lint-v1\",\"root\":\"workspace\",\"files\":3,\
+             \"summary\":{\"total\":0,\"suppressed\":0,\"unsuppressed\":0},\
+             \"diagnostics\":[]}\n",
+        )
+        .unwrap();
         std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
         std::fs::write(dir.join("BENCH_a.json"), "not json").unwrap();
         let results = ingest_dir(&dir).unwrap();
@@ -816,11 +974,65 @@ mod tests {
             .iter()
             .map(|(p, _)| p.file_name().unwrap().to_string_lossy().to_string())
             .collect();
-        assert_eq!(names, vec!["BENCH_a.json", "BENCH_b.json"]);
+        assert_eq!(
+            names,
+            vec!["ANALYSIS_lint.json", "BENCH_a.json", "BENCH_b.json"]
+        );
+        assert!(matches!(
+            results[0].1.as_ref().unwrap(),
+            Artifact::Lint(doc) if doc.files == 3 && doc.diagnostics.is_empty()
+        ));
         assert!(
-            results[0].1.is_err(),
+            results[1].1.is_err(),
             "corrupt artifact reported, not hidden"
         );
-        assert!(results[1].1.is_ok());
+        assert!(results[2].1.is_ok());
+    }
+
+    #[test]
+    fn lint_documents_round_trip_reasons_and_counts() {
+        let path = tmp(
+            "ANALYSIS_lint_unit.json",
+            "{\"schema\":\"smst-lint-v1\",\"root\":\"fixture\",\"files\":2,\
+             \"summary\":{\"total\":2,\"suppressed\":1,\"unsuppressed\":1},\
+             \"diagnostics\":[\
+             {\"rule\":\"clock\",\"file\":\"a.rs\",\"line\":3,\
+              \"message\":\"m\",\"suppressed\":true,\"reason\":\"observed path\"},\
+             {\"rule\":\"rng\",\"file\":\"b.rs\",\"line\":9,\
+              \"message\":\"m\",\"suppressed\":false,\"reason\":null}]}\n",
+        );
+        let Artifact::Lint(doc) = ingest_file(&path).unwrap() else {
+            panic!("expected a lint artifact");
+        };
+        assert_eq!((doc.suppressed, doc.unsuppressed), (1, 1));
+        assert_eq!(doc.diagnostics[0].reason.as_deref(), Some("observed path"));
+        assert_eq!(doc.diagnostics[1].reason, None);
+        // a summary that disagrees with the diagnostics array is a shape error
+        let lying = tmp(
+            "ANALYSIS_lint_lying.json",
+            "{\"schema\":\"smst-lint-v1\",\"root\":\"fixture\",\"files\":1,\
+             \"summary\":{\"total\":5,\"suppressed\":0,\"unsuppressed\":5},\
+             \"diagnostics\":[]}\n",
+        );
+        match ingest_file(&lying).unwrap_err() {
+            IngestError::Shape { field, .. } => assert_eq!(field, "summary.total"),
+            other => panic!("expected Shape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn analysis_documents_lift_to_family_summaries() {
+        let path = tmp(
+            "ANALYSIS_kmw_unit.json",
+            "{\"schema\":\"smst-analysis-v1\",\"analysis\":\"kmw\",\
+             \"families\":[{\"family\":\"hard\",\"kind\":\"measured\",\
+             \"points\":[{\"x\":1},{\"x\":2}]}]}\n",
+        );
+        let Artifact::Analysis(doc) = ingest_file(&path).unwrap() else {
+            panic!("expected an analysis artifact");
+        };
+        assert_eq!(doc.analysis, "kmw");
+        assert_eq!(doc.families.len(), 1);
+        assert_eq!(doc.families[0].points, 2);
     }
 }

@@ -21,6 +21,7 @@
 //! Exit codes: `0` clean, `1` gate failure (a regression or chaos
 //! mismatch), `2` usage or ingest error.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod check;

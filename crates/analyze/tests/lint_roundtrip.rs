@@ -1,0 +1,53 @@
+//! Writer ↔ acceptor round-trip for the lint artifact: the document
+//! `smst-lint` renders must ingest back through `smst-analyze` with
+//! every count and reason intact — the same parity the `schema-parity`
+//! lint enforces for every other producer, proven end-to-end here.
+
+use smst_analyze::ingest::{ingest_file, Artifact};
+use smst_lint::report::render_json;
+use smst_lint::rules::{run_lints, LintConfig, SourceFile};
+
+#[test]
+fn lint_artifacts_round_trip_through_ingest() {
+    // a tiny in-memory workspace with one violation and one suppression
+    let cfg = LintConfig {
+        clock_allow: vec![],
+        unsafe_allow: vec![],
+        deterministic: vec![],
+        acceptor_file: "accept.rs".to_string(),
+        skip_dirs: vec![],
+        safety_window: 10,
+    };
+    let files = [
+        SourceFile::parse("a.rs", "fn f() { let t = Instant::now(); }\n"),
+        SourceFile::parse(
+            "b.rs",
+            "// smst-lint: allow(rng, reason = \"seeded upstream\")\nlet r = thread_rng();\n",
+        ),
+    ];
+    let diags = run_lints(&files, &cfg);
+    let json = render_json("roundtrip", files.len(), &diags);
+
+    let dir = std::env::temp_dir().join(format!("smst-lint-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ANALYSIS_lint.json");
+    std::fs::write(&path, &json).unwrap();
+
+    let Artifact::Lint(doc) = ingest_file(&path).unwrap() else {
+        panic!("expected a lint artifact");
+    };
+    assert_eq!(doc.root, "roundtrip");
+    assert_eq!(doc.files, 2);
+    assert_eq!(doc.diagnostics.len(), diags.len());
+    assert_eq!(doc.suppressed, 1);
+    assert_eq!(doc.unsuppressed, diags.len() - 1);
+    let suppressed: Vec<_> = doc.diagnostics.iter().filter(|d| d.suppressed).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].reason.as_deref(), Some("seeded upstream"));
+    assert_eq!(suppressed[0].rule, "rng");
+    // the unsuppressed clock diagnostic keeps its span
+    let clock = doc.diagnostics.iter().find(|d| d.rule == "clock").unwrap();
+    assert_eq!((clock.file.as_str(), clock.line), ("a.rs", 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,6 +6,8 @@
 //! targets time the underlying primitives with the in-repo [`harness`]
 //! (Criterion is unavailable in the offline build environment).
 
+#![forbid(unsafe_code)]
+
 pub mod engine_metrics;
 pub mod harness;
 

@@ -474,6 +474,7 @@ where
             return self.run_chunk_recovering(count, false);
         }
         for _ in 0..count {
+            // smst-lint: allow(clock, reason = "observed-path round timing; only reached when an observer is attached")
             let start = std::time::Instant::now();
             self.run_chunk_recovering(1, true)?;
             self.observe_round(start.elapsed().as_nanos() as u64);
@@ -593,6 +594,7 @@ where
                 if let Some(inj) = injection {
                     inj.maybe_fire(base + round, 0);
                 }
+                // smst-lint: allow(clock, reason = "observer-gated phase timing; wall time never feeds round state")
                 let start = timed.then(std::time::Instant::now);
                 compute_shard(
                     program,
@@ -1221,6 +1223,7 @@ mod tests {
         let mut runner = with_layout(&g, 2, LayoutPolicy::Identity)
             .recovery(RecoveryPolicy::retries(3).watchdog(Duration::from_millis(40)))
             .inject(InjectionSpec::stall_at(0, 1, 400));
+        // smst-lint: allow(clock, reason = "test asserts the watchdog's wall-time bound, not round state")
         let started = std::time::Instant::now();
         match runner.try_run_rounds(5) {
             Err(PoolError::BarrierTimeout { timeout }) => {

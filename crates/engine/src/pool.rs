@@ -906,6 +906,9 @@ impl WorkerPool {
                         let prev: &[T] =
                             unsafe { std::slice::from_raw_parts(prev_ptr as *const T, n) };
                         let (lo, hi) = regions[part];
+                        // SAFETY: `[lo, hi)` is this part's own interior
+                        // region — `regions` partitions the interior, so no
+                        // other part aliases this mutable slice.
                         let next: &mut [T] =
                             unsafe { std::slice::from_raw_parts_mut(next_ptr.add(lo), hi - lo) };
                         let mut mark = timing.map(|_| Instant::now());

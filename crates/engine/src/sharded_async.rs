@@ -310,6 +310,7 @@ where
         // any register is written, so results do not depend on the worker
         // split (the spawn threshold and the layout cannot change outcomes,
         // only wall-clock)
+        // smst-lint: allow(clock, reason = "observer-gated batch timing; wall time never feeds round state")
         let batch_start = self.observer.is_some().then(std::time::Instant::now);
         let layout = &self.layout;
         // under the identity layout the daemon's chunk already holds
@@ -416,6 +417,7 @@ where
     /// off, re-run the identical schedule) and only surfaces as `Err` once
     /// retries are exhausted.
     pub fn try_step_time_unit(&mut self) -> Result<(), PoolError> {
+        // smst-lint: allow(clock, reason = "observer-gated unit timing; wall time never feeds round state")
         let start = self.observer.is_some().then(std::time::Instant::now);
         self.unit_compute_ns = 0;
         let activations_before = self.activations;

@@ -1,0 +1,96 @@
+//! `smst-lint` — walk a workspace, enforce the invariant rules, emit
+//! `ANALYSIS_lint.json`.
+//!
+//! ```text
+//! smst-lint [--root DIR] [--format text|json] [--out DIR] [--name NAME]
+//! ```
+//!
+//! Exit codes follow the `smst-analyze` convention: 0 clean, 1 at least
+//! one unsuppressed diagnostic, 2 unreadable source or bad usage.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use smst_lint::report;
+use smst_lint::rules::LintConfig;
+
+const USAGE: &str = "usage: smst-lint [--root DIR] [--format text|json] [--out DIR] [--name NAME]
+
+Walks every .rs file under --root (default: the current directory),
+enforces the repo invariants (clock / unsafe / rng / hash-order /
+schema-parity hygiene), and prints the report.
+
+  --root DIR      workspace root to scan (default .)
+  --format FMT    report format: text (default) or json (the
+                  smst-lint-v1 document)
+  --out DIR       also write ANALYSIS_lint.json under DIR
+  --name NAME     root label recorded in the artifact (default: workspace)
+
+exit status: 0 clean, 1 unsuppressed diagnostics, 2 unreadable source
+or bad usage.";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    let mut found = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            match args.get(i + 1) {
+                Some(v) => found = Some(v.as_str()),
+                None => return Err(format!("{flag} requires a value")),
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(found)
+}
+
+fn run() -> Result<u8, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(0);
+    }
+    let known = ["--root", "--format", "--out", "--name"];
+    let mut i = 0;
+    while i < args.len() {
+        if known.contains(&args[i].as_str()) {
+            i += 2;
+        } else {
+            return Err(format!("unknown argument `{}`\n{USAGE}", args[i]));
+        }
+    }
+    let root = PathBuf::from(flag_value(&args, "--root")?.unwrap_or("."));
+    let format = flag_value(&args, "--format")?.unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("--format must be text or json, got `{format}`"));
+    }
+    let out_dir = flag_value(&args, "--out")?.map(PathBuf::from);
+    let name = flag_value(&args, "--name")?.unwrap_or("workspace");
+
+    let cfg = LintConfig::repo_default();
+    let run = smst_lint::lint_root(&root, &cfg).map_err(|e| e.to_string())?;
+
+    let json = report::render_json(name, run.files, &run.diagnostics);
+    match format {
+        "json" => print!("{json}"),
+        _ => print!("{}", report::render_text(name, run.files, &run.diagnostics)),
+    }
+    if let Some(dir) = out_dir {
+        let path: &Path = &dir.join("ANALYSIS_lint.json");
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("smst-lint: wrote {}", path.display());
+    }
+    Ok(if run.unsuppressed() == 0 { 0 } else { 1 })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("smst-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

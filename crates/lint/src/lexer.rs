@@ -1,0 +1,427 @@
+//! A lightweight Rust lexer: just enough token structure for invariant
+//! linting.
+//!
+//! This is **not** a full Rust front-end. It exists to answer exactly the
+//! questions the rule engine asks — "is this `Instant` an identifier in
+//! code or a word in a comment?", "what line does this `unsafe` start
+//! on?", "what schema tags hide inside this string literal?" — which
+//! means it must classify the handful of constructs that routinely fool
+//! regex-based linters:
+//!
+//! * **raw strings** `r"…"`, `r#"…"#` (any hash depth), plus byte and
+//!   raw-byte strings `b"…"` / `br#"…"#`;
+//! * **raw identifiers** `r#match` (an identifier, not a raw string);
+//! * **nested block comments** `/* a /* b */ c */` (Rust nests them;
+//!   C-style lexers end at the first `*/`);
+//! * **lifetimes vs char literals**: `'a` (lifetime) vs `'a'` (char) vs
+//!   `'\''` (escaped char).
+//!
+//! Everything else — numbers, punctuation — is tokenized coarsely: rules
+//! only ever look at identifiers, comments, and string contents. Lexing
+//! never fails; malformed input degrades to punctuation tokens rather
+//! than an error, because a linter that dies on the file it is judging
+//! reports nothing at all.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `Instant`, `r#match`, …).
+    Ident,
+    /// A string literal of any flavor (plain, raw, byte, raw-byte); the
+    /// token text includes the delimiters.
+    Str,
+    /// A character literal (`'a'`, `'\n'`, `'\''`).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A `//` line comment (doc comments included), text without the
+    /// trailing newline.
+    LineComment,
+    /// A `/* … */` block comment, nesting handled, text including
+    /// delimiters.
+    BlockComment,
+    /// A numeric literal (coarse: digits/alphanumerics, no `.`).
+    Number,
+    /// Any single other character (operators, brackets, `#`, …).
+    Punct,
+}
+
+/// One lexed token: kind, 1-based start line, and source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// The token's source text (delimiters included for strings and
+    /// comments).
+    pub text: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens. Infallible: unrecognized or unterminated
+/// constructs degrade to the longest sensible token rather than an error.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: usize, text: String) {
+        self.out.push(Token { kind, line, text });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.plain_string();
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_string();
+            } else {
+                let line = self.line;
+                self.bump();
+                self.push(TokenKind::Punct, line, c.to_string());
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, line, text);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        // an unterminated comment swallows the rest of the file — the
+        // conservative reading for a linter
+        self.push(TokenKind::BlockComment, line, text);
+    }
+
+    /// A `"…"` string with `\` escapes (also the body of `b"…"`).
+    fn plain_string(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        text.push(self.bump().expect("caller saw the opening quote"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, line, text);
+    }
+
+    /// A `r"…"` / `r#"…"#` raw string starting at the current `#`-or-quote
+    /// position; `prefix` is the already-consumed `r`/`br`. Returns false
+    /// (consuming nothing) if what follows is not actually a raw string.
+    fn raw_string(&mut self, prefix: &str, line: usize) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        let mut text = String::from(prefix);
+        for _ in 0..=hashes {
+            text.push(self.bump().expect("counted above"));
+        }
+        'scan: while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    text.push(self.bump().expect("peeked above"));
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Str, line, text);
+        true
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // deliberately excludes `.`: `0..n` must lex as number-punct-
+            // punct-ident, and rules never care about float structure
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, line, text);
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match (text.as_str(), self.peek(0)) {
+            // raw identifier r#match — an identifier, not a raw string
+            ("r", Some('#')) if self.peek(1).is_some_and(is_ident_start) => {
+                self.bump();
+                let mut name = String::from("r#");
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Ident, line, name);
+            }
+            ("r" | "br", Some('#' | '"')) => {
+                let prefix = text.clone();
+                if !self.raw_string(&prefix, line) {
+                    self.push(TokenKind::Ident, line, text);
+                }
+            }
+            ("b", Some('"')) => {
+                // byte string: same escape rules as a plain string
+                let start = self.out.len();
+                self.plain_string();
+                let inner = self.out.remove(start);
+                self.push(TokenKind::Str, line, format!("b{}", inner.text));
+            }
+            _ => self.push(TokenKind::Ident, line, text),
+        }
+    }
+
+    /// `'a'` (char) vs `'a` (lifetime) vs `'\''` (escaped char).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        match self.peek(1) {
+            Some('\\') => {
+                // definitely a char literal: consume until the closing
+                // quote, honouring escapes
+                let mut text = String::new();
+                text.push(self.bump().expect("opening quote"));
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(esc) = self.bump() {
+                            text.push(esc);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, line, text);
+            }
+            Some(c1) if is_ident_start(c1) => {
+                // 'abc' → char, 'abc → lifetime: scan the word, then look
+                // for a closing quote
+                let mut word_len = 0usize;
+                while self.peek(1 + word_len).is_some_and(is_ident_continue) {
+                    word_len += 1;
+                }
+                let closed = self.peek(1 + word_len) == Some('\'');
+                let mut text = String::new();
+                for _ in 0..(1 + word_len + usize::from(closed)) {
+                    text.push(self.bump().expect("peeked above"));
+                }
+                let kind = if closed {
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                };
+                self.push(kind, line, text);
+            }
+            Some(c1) if c1 != '\'' && self.peek(2) == Some('\'') => {
+                // '1', '{', ' ' …
+                let mut text = String::new();
+                for _ in 0..3 {
+                    text.push(self.bump().expect("peeked above"));
+                }
+                self.push(TokenKind::Char, line, text);
+            }
+            _ => {
+                // lone quote (malformed): degrade to punctuation
+                self.bump();
+                self.push(TokenKind::Punct, line, "'".to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_comments_and_strings_classify() {
+        let toks = kinds("let x = \"a // not a comment\"; // real comment");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".to_string()));
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert!(toks[3].1.contains("not a comment"));
+        assert_eq!(toks.last().unwrap().0, TokenKind::LineComment);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds("r#\"has \"quotes\" inside\"# after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, "r#\"has \"quotes\" inside\"#");
+        assert_eq!(toks[1], (TokenKind::Ident, "after".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers() {
+        let toks = kinds("r#match x");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds("b\"bytes\" br##\"raw # bytes\"## end");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[1].1, "br##\"raw # bytes\"##");
+        assert_eq!(toks[2], (TokenKind::Ident, "end".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_at_depth_zero() {
+        let toks = kinds("/* a /* nested */ b */ code");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; let c = 'a'; let q = '\\''; let s = 'static");
+        assert_eq!(toks[1].0, TokenKind::Lifetime);
+        assert_eq!(toks[1].1, "'a");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\''");
+        assert_eq!(toks.last().unwrap().0, TokenKind::Lifetime);
+        assert_eq!(toks.last().unwrap().1, "'static");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("a\n/* x\ny */\nb \"s\nt\" c");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5, "string newline advanced the line counter");
+    }
+
+    #[test]
+    fn ranges_do_not_glue_into_floats() {
+        let toks = kinds("for i in 0..n {}");
+        assert_eq!(toks[3], (TokenKind::Number, "0".to_string()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".to_string()));
+        assert_eq!(toks[5], (TokenKind::Punct, ".".to_string()));
+        assert_eq!(toks[6], (TokenKind::Ident, "n".to_string()));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        lex("\"never closed");
+        lex("/* never closed");
+        lex("r###\"never closed");
+        lex("'");
+        lex("r#");
+    }
+}

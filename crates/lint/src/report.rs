@@ -1,0 +1,141 @@
+//! Rendering: the `smst-lint-v1` artifact (`ANALYSIS_lint.json`) and the
+//! human-readable text report.
+//!
+//! The JSON writer is hand-rolled and fully deterministic — same
+//! diagnostics in, same bytes out — so golden tests can pin the artifact
+//! byte-for-byte and `smst-analyze check` can diff runs structurally.
+
+use crate::rules::{unsuppressed, Diagnostic};
+
+/// The schema tag `smst-analyze ingest` accepts for lint artifacts.
+pub const SCHEMA_LINT: &str = "smst-lint-v1";
+
+/// Escapes `s` as a JSON string body (same rules as the telemetry and
+/// analyze writers: quote, backslash, the common controls, `\u` for the
+/// rest).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the full `smst-lint-v1` document. `root_name` labels what was
+/// scanned ("workspace" for the real run, "fixture" in tests) and
+/// `files` is how many sources the walk visited.
+pub fn render_json(root_name: &str, files: usize, diags: &[Diagnostic]) -> String {
+    let total = diags.len();
+    let open = unsuppressed(diags);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", json_string(SCHEMA_LINT)));
+    out.push_str(&format!("  \"root\": {},\n", json_string(root_name)));
+    out.push_str(&format!("  \"files\": {files},\n"));
+    out.push_str(&format!(
+        "  \"summary\": {{ \"total\": {total}, \"suppressed\": {}, \"unsuppressed\": {open} }},\n",
+        total - open
+    ));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&render_diag(d));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn render_diag(d: &Diagnostic) -> String {
+    let reason = match &d.reason {
+        Some(r) => json_string(r),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{ \"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"suppressed\": {}, \"reason\": {} }}",
+        json_string(d.rule),
+        json_string(&d.file),
+        d.line,
+        json_string(&d.message),
+        d.suppressed,
+        reason
+    )
+}
+
+/// Renders the human-readable report: one line per diagnostic plus a
+/// summary tail.
+pub fn render_text(root_name: &str, files: usize, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let open = unsuppressed(diags);
+    out.push_str(&format!(
+        "smst-lint: {root_name}: {files} files, {} diagnostics ({} suppressed, {open} unsuppressed)\n",
+        diags.len(),
+        diags.len() - open
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, suppressed: bool) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "a \"quoted\" message".to_string(),
+            suppressed,
+            reason: suppressed.then(|| "because\ttabs".to_string()),
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let diags = vec![diag(crate::rules::RULE_CLOCK, true)];
+        let a = render_json("fixture", 3, &diags);
+        let b = render_json("fixture", 3, &diags);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"smst-lint-v1\""));
+        assert!(a.contains("a \\\"quoted\\\" message"));
+        assert!(a.contains("because\\ttabs"));
+        assert!(a.contains("\"suppressed\": 1, \"unsuppressed\": 0"));
+    }
+
+    #[test]
+    fn empty_run_renders_an_empty_array() {
+        let json = render_json("workspace", 0, &[]);
+        assert!(json.contains("\"diagnostics\": []"));
+        assert!(json.contains("\"total\": 0"));
+    }
+
+    #[test]
+    fn text_report_tallies_suppressed_and_open() {
+        let diags = vec![
+            diag(crate::rules::RULE_CLOCK, true),
+            diag(crate::rules::RULE_RNG, false),
+        ];
+        let text = render_text("workspace", 42, &diags);
+        assert!(text.contains("42 files, 2 diagnostics (1 suppressed, 1 unsuppressed)"));
+        assert!(text.contains("[rng]"));
+    }
+}

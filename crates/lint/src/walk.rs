@@ -1,0 +1,117 @@
+//! Deterministic workspace traversal: collect every `.rs` file under a
+//! root, sorted, skipping build products and fixture trees.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A source file the walker could not read — the CLI turns this into
+/// exit code 2, matching `smst-analyze`'s unreadable-input convention.
+#[derive(Debug)]
+pub struct ScanError {
+    /// The path that failed.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot read {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Recursively collects every `.rs` file under `root`, skipping any
+/// directory whose *name* appears in `skip_dirs`. Paths come back
+/// workspace-relative with `/` separators, sorted bytewise, so the lint
+/// run is reproducible across filesystems.
+pub fn collect_sources(root: &Path, skip_dirs: &[String]) -> Result<Vec<PathBuf>, ScanError> {
+    let mut out = Vec::new();
+    walk(root, root, skip_dirs, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    skip_dirs: &[String],
+    out: &mut Vec<PathBuf>,
+) -> Result<(), ScanError> {
+    let entries = fs::read_dir(dir).map_err(|source| ScanError {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| ScanError {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if skip_dirs.iter().any(|d| d.as_str() == name) {
+                continue;
+            }
+            walk(root, &path, skip_dirs, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Renders a path workspace-relative with `/` separators regardless of
+/// host OS, for stable diagnostics and artifacts.
+pub fn rel_display(path: &Path) -> String {
+    let mut s = String::new();
+    for comp in path.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("smst-lint-walk-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn walks_sorted_and_skips_named_dirs() {
+        let root = scratch("sorted");
+        fs::create_dir_all(root.join("b/src")).unwrap();
+        fs::create_dir_all(root.join("a")).unwrap();
+        fs::create_dir_all(root.join("target/debug")).unwrap();
+        fs::write(root.join("b/src/lib.rs"), "").unwrap();
+        fs::write(root.join("a/main.rs"), "").unwrap();
+        fs::write(root.join("a/notes.txt"), "").unwrap();
+        fs::write(root.join("target/debug/gen.rs"), "").unwrap();
+        let got = collect_sources(&root, &["target".to_string()]).unwrap();
+        let rels: Vec<String> = got.iter().map(|p| rel_display(p)).collect();
+        assert_eq!(rels, vec!["a/main.rs", "b/src/lib.rs"]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_root_is_a_scan_error() {
+        let root = scratch("missing").join("nope");
+        let err = collect_sources(&root, &[]).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+}

@@ -1,0 +1,91 @@
+//! The `smst-lint` CLI exit-code contract, matching `smst-analyze`:
+//! 0 clean, 1 unsuppressed diagnostics, 2 unreadable source or bad
+//! usage. Also pins the `--format json` / `--out` artifact plumbing.
+
+use std::path::Path;
+use std::process::Command;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smst-lint"))
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let out = lint()
+        .args(["--root"])
+        .arg(fixture("clean"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 diagnostics"), "{text}");
+}
+
+#[test]
+fn diagnostics_exit_one() {
+    let out = lint()
+        .args(["--root"])
+        .arg(fixture("dirty"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn unreadable_root_exits_two() {
+    let out = lint()
+        .args(["--root", "/nonexistent/smst-lint-root"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = lint().args(["--frmat", "json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = lint().args(["--format", "yaml"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = lint().args(["--root"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn json_format_and_out_dir_write_the_artifact() {
+    let out_dir = std::env::temp_dir().join(format!("smst-lint-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let out = lint()
+        .args(["--format", "json", "--name", "fixture", "--root"])
+        .arg(fixture("dirty"))
+        .arg("--out")
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let written = std::fs::read_to_string(out_dir.join("ANALYSIS_lint.json")).unwrap();
+    // stdout and the artifact are the same bytes, and match the golden file
+    assert_eq!(stdout, written);
+    let golden = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/ANALYSIS_lint.json"),
+    )
+    .unwrap();
+    assert_eq!(written, golden);
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = lint().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("usage:"));
+}

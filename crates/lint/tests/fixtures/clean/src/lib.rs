@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn compliant() -> u64 {
+    42
+}

@@ -1,0 +1,8 @@
+// Ambient randomness three ways: `rng` at each site.
+use std::collections::hash_map::RandomState;
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    let x: u64 = random();
+    x
+}

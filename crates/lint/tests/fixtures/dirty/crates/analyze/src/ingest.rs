@@ -1,0 +1,4 @@
+// The fixture acceptor registry: one live tag, one ghost with no
+// writer (`schema-parity` at the ghost's const line).
+pub const SCHEMA_GOOD: &str = "smst-good-v1";
+pub const SCHEMA_GHOST: &str = "smst-ghost-v1";

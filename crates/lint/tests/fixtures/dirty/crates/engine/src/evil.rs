@@ -1,0 +1,5 @@
+// `unsafe` outside the allowlisted core, with no SAFETY comment:
+// `unsafe-file` + `safety-comment` on the same line.
+pub fn sneak(p: *const u32) -> u32 {
+    unsafe { *p }
+}

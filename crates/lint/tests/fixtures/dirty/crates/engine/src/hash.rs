@@ -1,0 +1,6 @@
+// A hash-ordered container in a deterministic module: `hash-order`.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

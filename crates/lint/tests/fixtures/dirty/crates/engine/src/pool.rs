@@ -1,0 +1,18 @@
+// The allowlisted unsafe core: a documented site passes, an
+// undocumented one still needs its SAFETY comment.
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: fixture — the caller pins `p` to a live allocation.
+    unsafe { *p }
+}
+
+pub fn filler_a() -> u32 {
+    1
+}
+
+pub fn filler_b() -> u32 {
+    2
+}
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}

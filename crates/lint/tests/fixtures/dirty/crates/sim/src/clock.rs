@@ -1,0 +1,4 @@
+// A wall-clock read on a deterministic path: `clock`.
+pub fn step() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,15 @@
+// One justified suppression, one reason-less suppression, one unused one.
+pub fn observed() -> std::time::Instant {
+    // smst-lint: allow(clock, reason = "fixture: observer-gated timing")
+    std::time::Instant::now()
+}
+
+// smst-lint: allow(clock)
+pub fn reasonless() -> u64 {
+    0
+}
+
+// smst-lint: allow(rng, reason = "fixture: nothing to suppress here")
+pub fn idle() -> u64 {
+    1
+}

@@ -1,0 +1,9 @@
+// Emits one accepted tag and one orphan tag: `schema-parity` at the
+// orphan's emitting site.
+pub fn good_header() -> String {
+    "{\"schema\":\"smst-good-v1\"}".to_string()
+}
+
+pub fn orphan_header() -> String {
+    "{\"schema\":\"smst-orphan-v1\"}".to_string()
+}

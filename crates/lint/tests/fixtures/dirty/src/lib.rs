@@ -1,0 +1,4 @@
+// A crate root with no crate-level unsafe attribute: `unsafe-attr`.
+pub fn entry() -> u32 {
+    7
+}

@@ -1,0 +1,60 @@
+//! The golden-file test: linting the dirty fixture tree under the
+//! repo-default config must reproduce `tests/golden/ANALYSIS_lint.json`
+//! byte-for-byte. Any rule, renderer, or sort-order change shows up here
+//! as a diff against a reviewed artifact, not as silent drift.
+
+use smst_lint::report::render_json;
+use smst_lint::rules::LintConfig;
+use std::path::Path;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn dirty_fixture_artifact_is_pinned_byte_for_byte() {
+    let run = smst_lint::lint_root(&fixture("dirty"), &LintConfig::repo_default()).unwrap();
+    let rendered = render_json("fixture", run.files, &run.diagnostics);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/ANALYSIS_lint.json");
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        rendered,
+        golden,
+        "lint output drifted from {}; if the change is intentional, \
+         regenerate the golden file with \
+         `cargo run -p smst-lint -- --root crates/lint/tests/fixtures/dirty \
+         --name fixture --format json`",
+        golden_path.display()
+    );
+}
+
+#[test]
+fn dirty_fixture_hits_every_rule_class_once_or_more() {
+    let run = smst_lint::lint_root(&fixture("dirty"), &LintConfig::repo_default()).unwrap();
+    let fired: std::collections::BTreeSet<&str> = run.diagnostics.iter().map(|d| d.rule).collect();
+    for rule in smst_lint::rules::RULES {
+        assert!(
+            fired.contains(rule),
+            "rule {rule} never fired on the fixture"
+        );
+    }
+    assert!(fired.contains(smst_lint::rules::RULE_BAD_SUPPRESSION));
+    assert!(fired.contains(smst_lint::rules::RULE_UNUSED_SUPPRESSION));
+    // exactly one diagnostic is suppressed, and it carries its reason
+    let suppressed: Vec<_> = run.diagnostics.iter().filter(|d| d.suppressed).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(
+        suppressed[0].reason.as_deref(),
+        Some("fixture: observer-gated timing")
+    );
+}
+
+#[test]
+fn clean_fixture_is_empty() {
+    let run = smst_lint::lint_root(&fixture("clean"), &LintConfig::repo_default()).unwrap();
+    assert_eq!(run.files, 1);
+    assert!(run.diagnostics.is_empty(), "{:?}", run.diagnostics);
+    assert_eq!(run.unsuppressed(), 0);
+}

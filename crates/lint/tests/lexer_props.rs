@@ -1,0 +1,110 @@
+//! Property tests for the lexer: the token classes that make the rule
+//! engine trustworthy (strings and comments can never leak identifiers;
+//! lifetimes are never chars; lines stay exact) hold over generated
+//! inputs, not just the handwritten unit cases.
+
+use proptest::prelude::*;
+use smst_lint::lexer::{lex, TokenKind};
+
+/// A safe content alphabet for raw-string bodies: quotes, hashes, and
+/// newlines included (the characters that break naive lexers), but no
+/// way to spell the `"###` closing delimiter because `#` never follows
+/// `"` (index 1 maps `#`, index 0 maps `"`, and we drop that pairing
+/// when building).
+fn content_char(i: usize) -> char {
+    const ALPHABET: [char; 10] = ['"', '#', 'a', 'z', '_', ' ', '\n', '\\', '\'', '/'];
+    ALPHABET[i % ALPHABET.len()]
+}
+
+fn build_content(indices: &[usize]) -> String {
+    let mut s = String::new();
+    for &i in indices {
+        let c = content_char(i);
+        // never let `"` be followed by `#`: the only way to close an
+        // `r###"…"###` literal early
+        if c == '#' && s.ends_with('"') {
+            s.push('x');
+        }
+        s.push(c);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn raw_strings_never_leak_identifiers(indices in proptest::collection::vec(0usize..10, 0..40)) {
+        let content = build_content(&indices);
+        let src = format!("let s = r###\"{content}\"###;\nInstant\n");
+        let tokens = lex(&src);
+        // the raw string is one Str token carrying the full literal
+        let strs: Vec<_> = tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert!(strs[0].text.contains(&content));
+        // nothing inside the literal became an identifier: the only
+        // idents are `let`, `s`, and the `Instant` after the string
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "s", "Instant"]);
+        // and the trailing ident's line accounts for every newline in the body
+        let newlines = content.matches('\n').count();
+        let instant = tokens.iter().find(|t| t.text == "Instant").unwrap();
+        prop_assert_eq!(instant.line, newlines + 2);
+    }
+
+    #[test]
+    fn nested_block_comments_swallow_identifiers(depth in 1usize..6) {
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("{open} Instant::now() thread_rng {close}\nafter\n");
+        let tokens = lex(&src);
+        prop_assert!(tokens.iter().all(|t| t.kind != TokenKind::Ident || t.text == "after"));
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::BlockComment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn chars_and_lifetimes_never_misclassify(letter in 0usize..26, closed in proptest::bool::ANY) {
+        let c = (b'a' + letter as u8) as char;
+        let src = if closed {
+            format!("let x = '{c}';\n")
+        } else {
+            format!("fn f<'{c}>(x: &'{c} str) {{}}\n")
+        };
+        let tokens = lex(&src);
+        let chars = tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+        let lifetimes = tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        if closed {
+            prop_assert_eq!((chars, lifetimes), (1, 0));
+        } else {
+            prop_assert_eq!((chars, lifetimes), (0, 2));
+        }
+    }
+
+    #[test]
+    fn lines_stay_exact_through_leading_newlines(blank in 0usize..30) {
+        let src = format!("{}unsafe {{ }}\n", "\n".repeat(blank));
+        let tokens = lex(&src);
+        let site = tokens.iter().find(|t| t.text == "unsafe").unwrap();
+        prop_assert_eq!(site.line, blank + 1);
+    }
+
+    #[test]
+    fn lexing_is_total_on_arbitrary_soup(indices in proptest::collection::vec(0usize..96, 0..120)) {
+        // printable ASCII soup, including every delimiter the lexer
+        // special-cases — must never panic, and every token must carry a
+        // plausible line number
+        let src: String = indices.iter().map(|&i| (32 + (i as u8 % 95)) as char).collect();
+        let line_count = src.matches('\n').count() + 1;
+        let tokens = lex(&src);
+        for t in &tokens {
+            prop_assert!(t.line >= 1 && t.line <= line_count);
+        }
+    }
+}
