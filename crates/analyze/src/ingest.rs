@@ -33,6 +33,12 @@ pub const SCHEMA_FLIGHT: &str = "smst-flight-v1";
 pub const SCHEMA_ANALYSIS: &str = "smst-analysis-v1";
 /// Schema tag of `smst-lint` invariant-lint artifacts.
 pub const SCHEMA_LINT: &str = "smst-lint-v1";
+/// Schema tag of the `smst-net` socket protocol (announced by the
+/// distributed backend's `Frame::Hello` handshake). Declared here so the
+/// schema-parity lint pairs the wire's writer with an acceptor; it tags a
+/// protocol, not a JSON document, so [`ingest_document`] rejects files
+/// claiming it.
+pub const SCHEMA_WIRE: &str = "smst-wire-v1";
 
 /// Why ingesting an artifact failed.
 #[derive(Debug)]
@@ -425,6 +431,12 @@ pub fn ingest_document(path: &Path, doc: &Json) -> Result<Artifact, IngestError>
         SCHEMA_FLIGHT => ingest_flight(&cx, doc).map(Artifact::Flight),
         SCHEMA_ANALYSIS => ingest_analysis(&cx, doc).map(Artifact::Analysis),
         SCHEMA_LINT => ingest_lint(&cx, doc).map(Artifact::Lint),
+        // the wire tag names a socket protocol, not a document shape —
+        // nothing to lift into an Artifact
+        SCHEMA_WIRE => Err(IngestError::UnknownSchema(
+            path.to_path_buf(),
+            format!("{SCHEMA_WIRE} tags the smst-net socket protocol, not a JSON artifact"),
+        )),
         other => {
             let known = [
                 SCHEMA_BENCH,
@@ -434,6 +446,7 @@ pub fn ingest_document(path: &Path, doc: &Json) -> Result<Artifact, IngestError>
                 SCHEMA_FLIGHT,
                 SCHEMA_ANALYSIS,
                 SCHEMA_LINT,
+                SCHEMA_WIRE,
             ];
             let family = |tag: &str| tag.rsplit_once("-v").map(|(f, _)| f.to_string());
             match family(other) {

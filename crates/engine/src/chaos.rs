@@ -146,7 +146,7 @@ pub fn run_chaos_scenario<P, F>(
     mut corrupt: F,
 ) -> Result<ChaosOutcome<P>, EngineError>
 where
-    P: NodeProgram + Sync,
+    P: NodeProgram + Sync + 'static,
     P::State: Send + Sync,
     F: FnMut(NodeId, &mut P::State),
 {

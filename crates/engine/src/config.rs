@@ -60,6 +60,19 @@ pub enum Backend {
     /// ([`ParallelSyncRunner`] / [`ShardedAsyncRunner`]): bit-for-bit
     /// equal to the reference at any thread count.
     Sharded,
+    /// The distributed engine: each shard runs in a worker **process**
+    /// connected over a socket, the coordinator drives rounds through the
+    /// same [`Runner`] trait (bit-for-bit equal to [`Backend::Sharded`]).
+    /// Synchronous only; `threads` must equal `peers`, pinning is a worker
+    /// concern the wire cannot honor. The execution path lives in the
+    /// `smst-net` crate and is registered per program type via
+    /// [`register_remote_factory`] (e.g. `smst_net::install_stock()`) —
+    /// instantiating an unregistered program fails with
+    /// [`ConfigError::RemoteUnavailable`].
+    Remote {
+        /// Worker processes the graph is partitioned across.
+        peers: usize,
+    },
 }
 
 /// The schedule a configuration runs under.
@@ -149,6 +162,33 @@ pub enum ConfigError {
         /// What the config describes.
         got: String,
     },
+    /// A knob (named in the payload) the wire protocol cannot honor was
+    /// set on [`Backend::Remote`] (asynchronous schedules, worker
+    /// pinning, an empty peer set).
+    RemoteKnob(&'static str),
+    /// [`Backend::Remote`] requires `threads == peers`: every peer is a
+    /// worker process, there is no second level of parallelism to size.
+    RemotePeerMismatch {
+        /// The configured peer set size.
+        peers: usize,
+        /// The configured thread count.
+        threads: usize,
+    },
+    /// No remote execution path is registered for this program type —
+    /// [`Backend::Remote`] needs a [`register_remote_factory`] call first
+    /// (the `smst-net` crate's `install_stock()` registers the stock
+    /// workloads).
+    RemoteUnavailable {
+        /// The program's name.
+        program: String,
+    },
+    /// Spawning or handshaking the remote worker set failed (worker
+    /// binary missing, socket error, wire-version mismatch).
+    RemoteSetup(String),
+    /// A barrier watchdog was configured on a backend whose schedule
+    /// ignores it (named in the payload) — a silently inert watchdog is a
+    /// misconfiguration, not a default.
+    InertWatchdog(&'static str),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -169,6 +209,25 @@ impl std::fmt::Display for ConfigError {
             ConfigError::WrongMode { expected, got } => {
                 write!(f, "this constructor executes {expected} configs, got {got}")
             }
+            ConfigError::RemoteKnob(knob) => {
+                write!(f, "the remote backend does not support {knob}")
+            }
+            ConfigError::RemotePeerMismatch { peers, threads } => write!(
+                f,
+                "the remote backend requires threads == peers (got {threads} threads for {peers} peers)"
+            ),
+            ConfigError::RemoteUnavailable { program } => write!(
+                f,
+                "no remote execution path is registered for program {program:?} \
+                 (call smst_net::install_stock() or register_remote_factory first)"
+            ),
+            ConfigError::RemoteSetup(message) => {
+                write!(f, "remote worker setup failed: {message}")
+            }
+            ConfigError::InertWatchdog(backend) => write!(
+                f,
+                "a barrier watchdog is configured but {backend} ignores it"
+            ),
         }
     }
 }
@@ -247,8 +306,12 @@ pub struct RecoveryPolicy {
     /// same chunk (`backoff`, `2·backoff`, `4·backoff`, …).
     pub backoff: Duration,
     /// Round-barrier watchdog: `Some(t)` poisons a barrier whose laggard
-    /// has not arrived after `t` (synchronous sharded runs only; inert
-    /// elsewhere). `None` waits forever, as before.
+    /// has not arrived after `t`. Supported by the synchronous sharded
+    /// runner (its round barrier) and the remote backend (the
+    /// coordinator's per-round reply deadline);
+    /// [`EngineConfig::validate`] rejects a watchdog on any backend that
+    /// would ignore it ([`ConfigError::InertWatchdog`]). `None` waits
+    /// forever, as before.
     pub watchdog_timeout: Option<Duration>,
 }
 
@@ -384,6 +447,58 @@ impl ArmedInjection {
     }
 }
 
+/// The constructor a remote execution path registers for one program type:
+/// builds the [`Backend::Remote`] runner from the program, the graph and
+/// the validated envelope. A plain `fn` pointer — the registry stores it
+/// type-erased and [`EngineConfig::instantiate`] recovers it by
+/// `TypeId`.
+pub type RemoteFactory<P> =
+    for<'p> fn(&'p P, WeightedGraph, &EngineConfig) -> Result<Box<dyn Runner<P> + 'p>, ConfigError>;
+
+/// The process-wide registry mapping program types to their remote
+/// execution path: `TypeId::of::<P>()` → the monomorphic
+/// [`RemoteFactory<P>`] fn pointer, type-erased behind `Any`.
+static REMOTE_FACTORIES: std::sync::Mutex<
+    Vec<(std::any::TypeId, Box<dyn std::any::Any + Send + Sync>)>,
+> = std::sync::Mutex::new(Vec::new());
+
+/// Registers (or replaces) the [`Backend::Remote`] execution path for one
+/// program type. The engine crate stays socket-free: the `smst-net` crate
+/// registers every wire-capable program (`smst_net::install_stock()`) and
+/// [`EngineConfig::instantiate`] dispatches through this registry —
+/// instantiating an unregistered program fails with
+/// [`ConfigError::RemoteUnavailable`].
+pub fn register_remote_factory<P>(factory: RemoteFactory<P>)
+where
+    P: NodeProgram + 'static,
+{
+    let mut registry = REMOTE_FACTORIES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let key = std::any::TypeId::of::<P>();
+    if let Some(slot) = registry.iter_mut().find(|(k, _)| *k == key) {
+        slot.1 = Box::new(factory);
+    } else {
+        registry.push((key, Box::new(factory)));
+    }
+}
+
+/// The registered remote execution path for `P`, if any.
+fn remote_factory<P>() -> Option<RemoteFactory<P>>
+where
+    P: NodeProgram + 'static,
+{
+    let registry = REMOTE_FACTORIES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let key = std::any::TypeId::of::<P>();
+    registry
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, factory)| factory.downcast_ref::<RemoteFactory<P>>())
+        .copied()
+}
+
 /// The full execution envelope of one run. See the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -449,6 +564,16 @@ impl EngineConfig {
     pub fn reference() -> Self {
         EngineConfig {
             backend: Backend::Reference,
+            ..Self::new()
+        }
+    }
+
+    /// [`EngineConfig::new`] on [`Backend::Remote`] with `peers` worker
+    /// processes (`threads` set to match, as validation requires).
+    pub fn remote(peers: usize) -> Self {
+        EngineConfig {
+            backend: Backend::Remote { peers },
+            threads: peers,
             ..Self::new()
         }
     }
@@ -535,6 +660,37 @@ impl EngineConfig {
         if self.halo && self.mode.is_async() {
             return Err(ConfigError::HaloRequiresSync);
         }
+        // a watchdog lives in the synchronous sharded round barrier and the
+        // remote coordinator's reply deadline; every other schedule would
+        // silently ignore it — reject instead (see ROADMAP PR 7 follow-up)
+        if self.recovery.watchdog_timeout.is_some() {
+            match (self.backend, &self.mode) {
+                (Backend::Sharded, Mode::Async(_)) => {
+                    return Err(ConfigError::InertWatchdog(
+                        "the asynchronous sharded backend",
+                    ));
+                }
+                (Backend::Remote { .. }, _) | (Backend::Sharded, Mode::Sync) => {}
+                (Backend::Reference, _) => {} // rejected below with every recovery knob
+            }
+        }
+        if let Backend::Remote { peers } = self.backend {
+            if peers == 0 {
+                return Err(ConfigError::RemoteKnob("an empty peer set"));
+            }
+            if self.mode.is_async() {
+                return Err(ConfigError::RemoteKnob("asynchronous schedules"));
+            }
+            if self.pin != PinPolicy::None {
+                return Err(ConfigError::RemoteKnob("worker pinning"));
+            }
+            if self.threads != peers {
+                return Err(ConfigError::RemotePeerMismatch {
+                    peers,
+                    threads: self.threads,
+                });
+            }
+        }
         if self.backend == Backend::Reference {
             if self.threads > 1 {
                 return Err(ConfigError::ReferenceKnob("threads > 1"));
@@ -570,6 +726,7 @@ impl EngineConfig {
         let backend = match self.backend {
             Backend::Reference => "reference",
             Backend::Sharded => "sharded",
+            Backend::Remote { .. } => "remote",
         };
         let mut knobs = format!("threads={}", self.threads);
         if self.layout != LayoutPolicy::Identity {
@@ -599,7 +756,7 @@ impl EngineConfig {
         graph: WeightedGraph,
     ) -> Result<Box<dyn Runner<P> + 'p>, ConfigError>
     where
-        P: NodeProgram + Sync,
+        P: NodeProgram + Sync + 'static,
         P::State: Send + Sync,
     {
         self.validate()?;
@@ -609,6 +766,16 @@ impl EngineConfig {
             }
             (Backend::Sharded, Mode::Async(_)) => {
                 Box::new(ShardedAsyncRunner::from_config(program, graph, self)?)
+            }
+            (Backend::Remote { .. }, Mode::Sync) => {
+                let factory =
+                    remote_factory::<P>().ok_or_else(|| ConfigError::RemoteUnavailable {
+                        program: program.name().to_string(),
+                    })?;
+                factory(program, graph, self)?
+            }
+            (Backend::Remote { .. }, Mode::Async(_)) => {
+                unreachable!("validate rejects asynchronous remote envelopes")
             }
             (Backend::Reference, Mode::Sync) => {
                 Box::new(SyncRunner::new(program, Network::new(program, graph)))
@@ -725,6 +892,93 @@ mod tests {
                 )
                 .inject(InjectionSpec::stall_at(2, 1, 10))
                 .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn remote_envelopes_validate_the_wire_contract() {
+        assert_eq!(EngineConfig::remote(4).validate(), Ok(()));
+        assert_eq!(
+            EngineConfig::remote(0).validate(),
+            Err(ConfigError::ZeroThreads),
+            "remote(0) sets threads = peers = 0"
+        );
+        assert_eq!(
+            EngineConfig::new()
+                .backend(Backend::Remote { peers: 0 })
+                .validate(),
+            Err(ConfigError::RemoteKnob("an empty peer set"))
+        );
+        assert_eq!(
+            EngineConfig::remote(2)
+                .asynchronous(Daemon::RoundRobin, 4)
+                .validate(),
+            Err(ConfigError::RemoteKnob("asynchronous schedules"))
+        );
+        assert_eq!(
+            EngineConfig::remote(2).pin(PinPolicy::Cores).validate(),
+            Err(ConfigError::RemoteKnob("worker pinning"))
+        );
+        assert_eq!(
+            EngineConfig::remote(2).threads(3).validate(),
+            Err(ConfigError::RemotePeerMismatch {
+                peers: 2,
+                threads: 3
+            })
+        );
+        // halo, layout, recovery (watchdog included) and injection are all
+        // wire-honorable knobs
+        assert_eq!(
+            EngineConfig::remote(2)
+                .halo(true)
+                .layout(LayoutPolicy::Rcm)
+                .recovery(
+                    RecoveryPolicy::retries(1)
+                        .backoff(Duration::from_millis(1))
+                        .watchdog(Duration::from_secs(1))
+                )
+                .inject(InjectionSpec::panic_at(1, 0))
+                .validate(),
+            Ok(())
+        );
+        assert_eq!(EngineConfig::remote(3).describe(), "remote-sync(threads=3)");
+        // without a registered factory, instantiate is a typed error
+        let program = MinIdFlood::new(0);
+        let err = EngineConfig::remote(2)
+            .instantiate(&program, path_graph(4, 0))
+            .err()
+            .expect("no remote factory is registered in this crate");
+        assert_eq!(
+            err,
+            ConfigError::RemoteUnavailable {
+                program: "min-id-flood".to_string()
+            }
+        );
+        assert!(err.to_string().contains("min-id-flood"));
+    }
+
+    #[test]
+    fn watchdog_on_an_ignoring_backend_is_rejected() {
+        let watchdog = RecoveryPolicy::none().watchdog(Duration::from_secs(1));
+        assert_eq!(
+            EngineConfig::new()
+                .threads(2)
+                .asynchronous(Daemon::RoundRobin, 4)
+                .recovery(watchdog)
+                .validate(),
+            Err(ConfigError::InertWatchdog(
+                "the asynchronous sharded backend"
+            ))
+        );
+        // the synchronous sharded barrier and the remote reply deadline
+        // both honor the watchdog
+        assert_eq!(
+            EngineConfig::new().threads(2).recovery(watchdog).validate(),
+            Ok(())
+        );
+        assert_eq!(
+            EngineConfig::remote(2).recovery(watchdog).validate(),
             Ok(())
         );
     }

@@ -96,8 +96,8 @@ pub mod topology;
 
 pub use chaos::{run_chaos, run_chaos_scenario, ChaosOutcome, ChaosReport};
 pub use config::{
-    Backend, ConfigError, DaemonConfig, EngineConfig, EngineError, InjectionKind, InjectionSpec,
-    Mode, RecoveryPolicy,
+    register_remote_factory, Backend, ConfigError, DaemonConfig, EngineConfig, EngineError,
+    InjectionKind, InjectionSpec, Mode, RecoveryPolicy, RemoteFactory,
 };
 pub use layout::{Layout, LayoutPolicy};
 pub use parallel_sync::ParallelSyncRunner;

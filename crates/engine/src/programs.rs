@@ -171,6 +171,16 @@ impl AlarmedFlood {
         AlarmedFlood { monitor, ceiling }
     }
 
+    /// The monitor's identity.
+    pub fn monitor(&self) -> u64 {
+        self.monitor
+    }
+
+    /// The largest legitimate identity.
+    pub fn ceiling(&self) -> u64 {
+        self.ceiling
+    }
+
     /// A register value no legitimate identity can reach (ids up to a
     /// million stay well below it), small enough that its decay — one
     /// halving per step — completes within a few dozen steps.

@@ -285,7 +285,7 @@ impl ScenarioSpec {
     /// passing fault-free one.
     pub fn run<P, F>(&self, program: &P, corrupt: F, max_steps: usize) -> ScenarioOutcome<P>
     where
-        P: NodeProgram + Sync,
+        P: NodeProgram + Sync + 'static,
         P::State: Send + Sync,
         F: FnMut(NodeId, &mut P::State),
     {
@@ -303,7 +303,7 @@ impl ScenarioSpec {
         max_steps: usize,
     ) -> Result<ScenarioOutcome<P>, EngineError>
     where
-        P: NodeProgram + Sync,
+        P: NodeProgram + Sync + 'static,
         P::State: Send + Sync,
         F: FnMut(NodeId, &mut P::State),
     {
@@ -326,7 +326,7 @@ impl ScenarioSpec {
         max_steps: usize,
     ) -> (ScenarioOutcome<P>, P)
     where
-        P: NodeProgram + Sync,
+        P: NodeProgram + Sync + 'static,
         P::State: Send + Sync,
         B: FnOnce(&WeightedGraph) -> P,
         F: FnMut(NodeId, &mut P::State),
@@ -345,7 +345,7 @@ impl ScenarioSpec {
         max_steps: usize,
     ) -> Result<(ScenarioOutcome<P>, P), EngineError>
     where
-        P: NodeProgram + Sync,
+        P: NodeProgram + Sync + 'static,
         P::State: Send + Sync,
         B: FnOnce(&WeightedGraph) -> P,
         F: FnMut(NodeId, &mut P::State),
@@ -372,7 +372,7 @@ impl ScenarioSpec {
         observer: Box<dyn RoundObserver>,
     ) -> Result<ScenarioOutcome<P>, EngineError>
     where
-        P: NodeProgram + Sync,
+        P: NodeProgram + Sync + 'static,
         P::State: Send + Sync,
         F: FnMut(NodeId, &mut P::State),
     {
@@ -396,7 +396,7 @@ impl ScenarioSpec {
         observer: Option<Box<dyn RoundObserver>>,
     ) -> Result<ScenarioOutcome<P>, EngineError>
     where
-        P: NodeProgram + Sync,
+        P: NodeProgram + Sync + 'static,
         P::State: Send + Sync,
         F: FnMut(NodeId, &mut P::State),
     {

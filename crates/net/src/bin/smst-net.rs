@@ -1,0 +1,24 @@
+//! The `smst-net` binary: the shard worker process the coordinator
+//! spawns (`smst-net worker --connect <unix:PATH|tcp:ADDR> --part <K>`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => match smst_net::worker::worker_main(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("smst-net worker: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: smst-net worker --connect <unix:PATH|tcp:ADDR> --part <K> \
+                 [--wire-version <N>]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Programs that can cross the wire: a spec codec (so the worker can
+//! rebuild the program from [`SetupFrame::spec`](crate::wire::SetupFrame))
+//! plus a register codec (so halo/patch/interior payloads stay opaque to
+//! the frame layer).
+//!
+//! The stock engine workloads ([`MinIdFlood`], [`MonitorFlood`],
+//! [`AlarmedFlood`]) all implement it; `crate::install_stock()` registers
+//! their remote execution paths with the engine. A custom program joins
+//! the wire by implementing [`WireProgram`], adding a dispatch arm in the
+//! worker (`crate::worker`), and calling `crate::install::<P>()` in the
+//! coordinator process.
+
+use crate::wire::{Dec, WireError};
+use smst_engine::programs::{AlarmedFlood, MinIdFlood, MonitorFlood};
+use smst_sim::NodeProgram;
+
+/// A [`NodeProgram`] with a wire codec: the spec (program parameters) and
+/// the per-node register both encode to the workspace's hand-rolled
+/// little-endian format. `'static` because the coordinator-side registry
+/// is keyed by `TypeId`.
+pub trait WireProgram: NodeProgram + Sync + Sized + 'static {
+    /// The stable program name carried in
+    /// [`SetupFrame::program`](crate::wire::SetupFrame::program) — the
+    /// worker's dispatch key. Matches [`NodeProgram::name`].
+    const WIRE_NAME: &'static str;
+
+    /// Encodes the program parameters.
+    fn encode_spec(&self, out: &mut Vec<u8>);
+
+    /// Rebuilds the program from its encoded parameters.
+    fn decode_spec(dec: &mut Dec<'_>) -> Result<Self, WireError>;
+
+    /// Encodes one register.
+    fn encode_state(state: &Self::State, out: &mut Vec<u8>);
+
+    /// Decodes one register.
+    fn decode_state(dec: &mut Dec<'_>) -> Result<Self::State, WireError>;
+}
+
+/// Encodes a register sequence back-to-back (the count travels out of
+/// band — patch lists carry it explicitly, halo/interior payloads derive
+/// it from the shard geometry).
+pub fn encode_states<'a, P, I>(states: I) -> Vec<u8>
+where
+    P: WireProgram,
+    P::State: 'a,
+    I: IntoIterator<Item = &'a P::State>,
+{
+    let mut out = Vec::new();
+    for state in states {
+        P::encode_state(state, &mut out);
+    }
+    out
+}
+
+/// Decodes exactly `count` registers; the payload must be an exact fit
+/// (trailing bytes are a framing bug, surfaced as
+/// [`WireError::Trailing`]).
+pub fn decode_states<P: WireProgram>(
+    bytes: &[u8],
+    count: usize,
+) -> Result<Vec<P::State>, WireError> {
+    let mut dec = Dec::new(bytes);
+    let mut states = Vec::with_capacity(count);
+    for _ in 0..count {
+        states.push(P::decode_state(&mut dec)?);
+    }
+    dec.finish()?;
+    Ok(states)
+}
+
+impl WireProgram for MinIdFlood {
+    const WIRE_NAME: &'static str = "min-id-flood";
+
+    fn encode_spec(&self, out: &mut Vec<u8>) {
+        crate::wire::put_u64(out, self.leader());
+    }
+
+    fn decode_spec(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(MinIdFlood::new(dec.u64()?))
+    }
+
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        crate::wire::put_u64(out, *state);
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> Result<u64, WireError> {
+        dec.u64()
+    }
+}
+
+impl WireProgram for MonitorFlood {
+    const WIRE_NAME: &'static str = "monitor-flood";
+
+    fn encode_spec(&self, out: &mut Vec<u8>) {
+        crate::wire::put_u64(out, self.monitor());
+        crate::wire::put_u64(out, self.ceiling());
+    }
+
+    fn decode_spec(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let monitor = dec.u64()?;
+        let ceiling = dec.u64()?;
+        Ok(MonitorFlood::new(monitor, ceiling))
+    }
+
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        crate::wire::put_u64(out, *state);
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> Result<u64, WireError> {
+        dec.u64()
+    }
+}
+
+impl WireProgram for AlarmedFlood {
+    const WIRE_NAME: &'static str = "alarmed-flood";
+
+    fn encode_spec(&self, out: &mut Vec<u8>) {
+        crate::wire::put_u64(out, self.monitor());
+        crate::wire::put_u64(out, self.ceiling());
+    }
+
+    fn decode_spec(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let monitor = dec.u64()?;
+        let ceiling = dec.u64()?;
+        Ok(AlarmedFlood::new(monitor, ceiling))
+    }
+
+    fn encode_state(state: &u64, out: &mut Vec<u8>) {
+        crate::wire::put_u64(out, *state);
+    }
+
+    fn decode_state(dec: &mut Dec<'_>) -> Result<u64, WireError> {
+        dec.u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_wire_names_match_the_program_names() {
+        assert_eq!(MinIdFlood::new(0).name(), MinIdFlood::WIRE_NAME);
+        assert_eq!(MonitorFlood::new(0, 9).name(), MonitorFlood::WIRE_NAME);
+        assert_eq!(AlarmedFlood::new(0, 9).name(), AlarmedFlood::WIRE_NAME);
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        let mut buf = Vec::new();
+        AlarmedFlood::new(7, 99).encode_spec(&mut buf);
+        let decoded = AlarmedFlood::decode_spec(&mut Dec::new(&buf)).unwrap();
+        assert_eq!(decoded.monitor(), 7);
+        assert_eq!(decoded.ceiling(), 99);
+    }
+
+    #[test]
+    fn state_sequences_round_trip_exactly() {
+        let states = [3u64, u64::MAX, 0, 42];
+        let bytes = encode_states::<MinIdFlood, _>(states.iter());
+        assert_eq!(decode_states::<MinIdFlood>(&bytes, 4).unwrap(), states);
+        // short payload is Truncated, long payload is Trailing
+        assert!(matches!(
+            decode_states::<MinIdFlood>(&bytes, 5),
+            Err(WireError::Truncated)
+        ));
+        assert!(matches!(
+            decode_states::<MinIdFlood>(&bytes, 3),
+            Err(WireError::Trailing { extra: 8 })
+        ));
+    }
+}

@@ -1,0 +1,723 @@
+//! The coordinator: [`RemoteRunner`] drives `Backend::Remote` rounds over
+//! worker processes through the engine's object-safe `Runner` trait.
+//!
+//! The coordinator owns the canonical register mirror (internal layout
+//! order), the barrier (it commits a round only when **every** worker's
+//! reply is in), fault injection (the one-shot chaos injection rides the
+//! round dispatch) and observer aggregation (`exchange_ns` is real wire
+//! time, `compute_ns` the slowest worker's measured compute). Workers own
+//! nothing durable: each holds a shard-local arena rebuilt
+//! deterministically from the one-time setup frame, so killing and
+//! respawning a worker loses no state the coordinator cannot restore.
+//!
+//! # Failure surface
+//!
+//! The typed `PoolError` machinery carries over from the in-process pool:
+//! a dead peer (socket close, worker panic) is retried under the
+//! envelope's `RecoveryPolicy` — kill + respawn + full interior resync +
+//! replay from the exact pre-round registers, so a successful recovery is
+//! **bit-for-bit invisible** in the register stream — and surfaces as
+//! `PoolError::WorkerPanic` once retries are exhausted. A peer that hangs
+//! past the policy's watchdog surfaces as `PoolError::BarrierTimeout`
+//! (never retried), both through `Runner::try_step`. Stale replies from a
+//! failed attempt are recognized by the dispatch counter echoed in every
+//! reply and skipped.
+
+use crate::program::{decode_states, encode_states, WireProgram};
+use crate::transport::{unique_endpoint, Conn, Endpoint, Listener};
+use crate::wire::{
+    read_frame, write_frame, Frame, RoundFrame, SetupFrame, WireError, WireGraph, WireInjection,
+    ERR_VERSION, WIRE_VERSION,
+};
+use crate::worker::layout_to_wire;
+use smst_engine::{
+    partition_balanced, Backend, ConfigError, CsrTopology, EngineConfig, EngineError, HaloPlan,
+    InjectionKind, InjectionSpec, Layout, LayoutPolicy, PoolError, RecoveryPolicy, RunReport,
+    Runner, Shard,
+};
+use smst_graph::{NodeId, WeightedGraph};
+use smst_sim::{FaultPlan, Network, NodeContext, RoundObserver, RoundStats, Verdict};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How long the coordinator waits for a spawned worker to connect and
+/// handshake.
+const SETUP_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// How long an orderly shutdown waits before killing a worker.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// One connected worker process.
+#[derive(Debug)]
+struct Worker {
+    part: usize,
+    child: Child,
+    conn: Conn,
+}
+
+/// The coordinator-side armed form of an [`InjectionSpec`]: disarmed the
+/// moment it is put on the wire, so a recovery replay of the same round
+/// runs clean (the process analog of the pool's `ArmedInjection`).
+#[derive(Debug)]
+struct PendingInjection {
+    spec: InjectionSpec,
+    armed: bool,
+}
+
+/// Why one round dispatch failed.
+enum RoundFailure {
+    /// A peer missed the reply deadline (the watchdog). Never retried.
+    Timeout(Duration),
+    /// Peers died or spoke out of protocol; retried under the
+    /// `RecoveryPolicy` by respawn + resync + replay.
+    Peers { parts: Vec<usize>, message: String },
+}
+
+/// The `Backend::Remote` execution path: shards as worker processes over
+/// sockets, driven round by round by this coordinator. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct RemoteRunner<'p, P: WireProgram> {
+    program: &'p P,
+    graph: WeightedGraph,
+    layout: Layout,
+    layout_policy: LayoutPolicy,
+    /// Static per-node contexts, internal order.
+    contexts: Vec<NodeContext>,
+    /// The canonical register mirror, internal order.
+    states: Vec<P::State>,
+    shards: Vec<Shard>,
+    plan: HaloPlan,
+    peers: usize,
+    seed: u64,
+    listener: Listener,
+    endpoint: Endpoint,
+    worker_bin: std::path::PathBuf,
+    workers: Vec<Worker>,
+    rounds: usize,
+    /// Monotone dispatch counter (staleness filter for recovery replays).
+    dispatches: u64,
+    recovery: RecoveryPolicy,
+    injection: Option<PendingInjection>,
+    observer: Option<Box<dyn RoundObserver>>,
+    /// Internal indices mutated since the last dispatch (fault injection /
+    /// `state_mut`), patched to their owning worker next round.
+    dirty: Vec<usize>,
+    /// Force a full interior resync of **every** worker next dispatch
+    /// (set on recovery — survivors replay from pre-round registers).
+    resync: bool,
+}
+
+impl<'p, P: WireProgram> RemoteRunner<'p, P> {
+    /// Launches the remote execution path on the default localhost
+    /// transport (a fresh Unix socket where available, TCP loopback
+    /// elsewhere): binds, spawns one `smst-net worker` process per shard,
+    /// handshakes and ships each its setup frame.
+    pub fn launch(
+        program: &'p P,
+        graph: WeightedGraph,
+        config: &EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        Self::launch_on(program, graph, config, unique_endpoint())
+    }
+
+    /// [`RemoteRunner::launch`] on an explicit endpoint (tests exercise
+    /// the TCP transport through this).
+    pub fn launch_on(
+        program: &'p P,
+        graph: WeightedGraph,
+        config: &EngineConfig,
+        endpoint: Endpoint,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let Backend::Remote { peers } = config.backend else {
+            return Err(ConfigError::WrongMode {
+                expected: "remote synchronous",
+                got: config.describe(),
+            });
+        };
+        let base_topo = CsrTopology::build(&graph);
+        let layout = config.layout.build(&base_topo);
+        let topo = layout.apply(&base_topo);
+        let n = graph.node_count();
+        let contexts: Vec<NodeContext> = (0..n)
+            .map(|internal| NodeContext::for_node(&graph, NodeId(layout.original(internal))))
+            .collect();
+        let states_original: Vec<P::State> = (0..n)
+            .map(|v| program.init(&contexts[layout.internal(v)]))
+            .collect();
+        let states = layout.permute(states_original);
+        let shards = partition_balanced(&topo, peers);
+        let plan = HaloPlan::build(&topo, &shards);
+        let worker_bin = worker_binary().map_err(ConfigError::RemoteSetup)?;
+        let (listener, endpoint) = Listener::bind(&endpoint)
+            .map_err(|e| ConfigError::RemoteSetup(format!("bind {}: {e}", endpoint.to_arg())))?;
+
+        let mut runner = RemoteRunner {
+            program,
+            graph,
+            layout,
+            layout_policy: config.layout,
+            contexts,
+            states,
+            shards,
+            plan,
+            peers,
+            seed: config.seed,
+            listener,
+            endpoint,
+            worker_bin,
+            workers: Vec::new(),
+            rounds: 0,
+            dispatches: 0,
+            recovery: config.recovery,
+            injection: config
+                .injection
+                .map(|spec| PendingInjection { spec, armed: true }),
+            observer: None,
+            dirty: Vec::new(),
+            resync: false,
+        };
+        // sequential spawn → accept → handshake → setup pairs each child
+        // handle with its connection (the only pending dialer is the one
+        // just spawned)
+        for part in 0..runner.shards.len() {
+            match runner.bring_up_worker(part) {
+                Ok(worker) => runner.workers.push(worker),
+                Err(message) => {
+                    runner.shutdown_workers();
+                    return Err(ConfigError::RemoteSetup(message));
+                }
+            }
+        }
+        Ok(runner)
+    }
+
+    /// Spawns, accepts, handshakes and boots the worker for `part`.
+    fn bring_up_worker(&mut self, part: usize) -> Result<Worker, String> {
+        let mut child = spawn_worker(&self.worker_bin, &self.endpoint, part)?;
+        let mut conn = match self.listener.accept_deadline(SETUP_TIMEOUT) {
+            Ok(conn) => conn,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("worker {part} never connected: {e}"));
+            }
+        };
+        let up = handshake_accept(&mut conn)
+            .and_then(|got| {
+                if got as usize == part {
+                    Ok(())
+                } else {
+                    Err(WireError::BadValue("worker announced the wrong part"))
+                }
+            })
+            .and_then(|()| write_frame(&mut conn, &Frame::Setup(self.setup_frame(part))));
+        match up {
+            Ok(()) => Ok(Worker { part, child, conn }),
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(format!("worker {part} handshake failed: {e}"))
+            }
+        }
+    }
+
+    /// The bootstrap frame for `part`: the graph, the layout policy, the
+    /// partition input and the **current** registers in original node
+    /// order (so a respawned worker starts from the mirror, not from
+    /// `init`).
+    fn setup_frame(&self, part: usize) -> SetupFrame {
+        let mut spec = Vec::new();
+        self.program.encode_spec(&mut spec);
+        let n = self.states.len();
+        SetupFrame {
+            seed: self.seed,
+            peers: self.peers as u32,
+            part: part as u32,
+            layout: layout_to_wire(self.layout_policy),
+            program: P::WIRE_NAME.to_string(),
+            spec,
+            graph: WireGraph::from_graph(&self.graph),
+            states: encode_states::<P, _>((0..n).map(|v| &self.states[self.layout.internal(v)])),
+        }
+    }
+
+    /// Kills and replaces the named workers, re-shipping each a setup
+    /// frame built from the current mirror. The caller sets
+    /// [`resync`](Self::resync) so the next dispatch restores survivors'
+    /// interiors too.
+    fn respawn(&mut self, parts: &[usize]) -> Result<(), String> {
+        for &part in parts {
+            let idx = self
+                .workers
+                .iter()
+                .position(|w| w.part == part)
+                .ok_or_else(|| format!("no worker holds part {part}"))?;
+            {
+                let worker = &mut self.workers[idx];
+                let _ = worker.child.kill();
+                let _ = worker.child.wait();
+            }
+            let replacement = self.bring_up_worker(part)?;
+            self.workers[idx] = replacement;
+        }
+        Ok(())
+    }
+
+    /// One round dispatch attempt: patches + halo snapshot + optional
+    /// injection out to every worker, then the barrier — wait for every
+    /// reply (skipping stale ones by dispatch counter) and commit the
+    /// interiors to the mirror only when all are in. Returns
+    /// `(max worker compute_ns, wire wall time)`; wall time is read only
+    /// when `observed`.
+    fn dispatch_round(&mut self, observed: bool) -> Result<(u64, u64), RoundFailure> {
+        if self.workers.is_empty() {
+            return Ok((0, 0));
+        }
+        self.dispatches += 1;
+        let dispatch = self.dispatches;
+        let round = self.rounds as u64;
+
+        // per-part patch lists: full interiors on resync, dirty nodes else
+        let mut patch_nodes: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        if self.resync {
+            for (part, shard) in self.shards.iter().enumerate() {
+                patch_nodes[part] = (0..shard.len() as u32).collect();
+            }
+        } else if !self.dirty.is_empty() {
+            self.dirty.sort_unstable();
+            self.dirty.dedup();
+            for &internal in &self.dirty {
+                let part = self.shards.partition_point(|sh| sh.end <= internal);
+                patch_nodes[part].push((internal - self.shards[part].start) as u32);
+            }
+        }
+
+        // one-shot injection: disarmed the moment it goes on the wire
+        let mut inject_at: Option<(usize, WireInjection)> = None;
+        if let Some(pending) = &mut self.injection {
+            if pending.armed
+                && pending.spec.step == self.rounds
+                && pending.spec.part < self.shards.len()
+            {
+                pending.armed = false;
+                let kind = match pending.spec.kind {
+                    InjectionKind::Panic => WireInjection::Panic,
+                    InjectionKind::Stall { millis } => WireInjection::Stall { millis },
+                };
+                inject_at = Some((pending.spec.part, kind));
+            }
+        }
+
+        // observer-gated: never read unobserved, never steers results
+        let wire_start = observed.then(Instant::now);
+        let mut failed: Vec<usize> = Vec::new();
+        let mut failure = String::new();
+
+        for worker in self.workers.iter_mut() {
+            let part = worker.part;
+            let shard = self.shards[part];
+            let mut patch_states = Vec::new();
+            for &local in &patch_nodes[part] {
+                P::encode_state(
+                    &self.states[shard.start + local as usize],
+                    &mut patch_states,
+                );
+            }
+            let halo_states = encode_states::<P, _>(
+                self.plan
+                    .halo_nodes(part)
+                    .iter()
+                    .map(|&u| &self.states[u as usize]),
+            );
+            let frame = Frame::Round(RoundFrame {
+                round,
+                dispatch,
+                patch_nodes: std::mem::take(&mut patch_nodes[part]),
+                patch_states,
+                halo_states,
+                inject: inject_at
+                    .filter(|&(target, _)| target == part)
+                    .map(|(_, kind)| kind),
+            });
+            if let Err(e) = write_frame(&mut worker.conn, &frame) {
+                failed.push(part);
+                failure = format!("worker {part} send: {e}");
+            }
+        }
+
+        // the barrier: every reply must be in before anything commits
+        let watchdog = self.recovery.watchdog_timeout;
+        let mut replies: Vec<(usize, Vec<P::State>)> = Vec::with_capacity(self.workers.len());
+        let mut max_compute = 0u64;
+        for worker in self.workers.iter_mut() {
+            let part = worker.part;
+            if failed.contains(&part) {
+                continue;
+            }
+            if let Err(e) = worker.conn.set_read_timeout(watchdog) {
+                failed.push(part);
+                failure = format!("worker {part} deadline: {e}");
+                continue;
+            }
+            loop {
+                match read_frame(&mut worker.conn) {
+                    Ok(Frame::Interiors(reply)) => {
+                        if reply.dispatch < dispatch {
+                            continue; // stale reply from a failed attempt
+                        }
+                        if reply.dispatch > dispatch || reply.round != round {
+                            failed.push(part);
+                            failure = format!("worker {part} replied out of protocol");
+                            break;
+                        }
+                        match decode_states::<P>(&reply.states, self.shards[part].len()) {
+                            Ok(states) => {
+                                max_compute = max_compute.max(reply.compute_ns);
+                                replies.push((part, states));
+                            }
+                            Err(e) => {
+                                failed.push(part);
+                                failure = format!("worker {part} reply: {e}");
+                            }
+                        }
+                        break;
+                    }
+                    Ok(Frame::Error { code, message }) => {
+                        failed.push(part);
+                        failure = format!("worker {part} error (code {code}): {message}");
+                        break;
+                    }
+                    Ok(_) => {
+                        failed.push(part);
+                        failure = format!("worker {part} replied out of protocol");
+                        break;
+                    }
+                    Err(WireError::Timeout) => {
+                        return Err(RoundFailure::Timeout(watchdog.unwrap_or_default()));
+                    }
+                    Err(e) => {
+                        failed.push(part);
+                        failure = format!("worker {part}: {e}");
+                        break;
+                    }
+                }
+            }
+        }
+        if !failed.is_empty() {
+            return Err(RoundFailure::Peers {
+                parts: failed,
+                message: failure,
+            });
+        }
+
+        for (part, interiors) in replies {
+            let shard = self.shards[part];
+            for (i, state) in interiors.into_iter().enumerate() {
+                self.states[shard.start + i] = state;
+            }
+        }
+        self.dirty.clear();
+        self.resync = false;
+        let wire_ns = wire_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        Ok((max_compute, wire_ns))
+    }
+
+    /// The supervised round loop behind [`Runner::try_step`]: dispatch,
+    /// and on peer failure retry under the [`RecoveryPolicy`] —
+    /// kill + respawn the dead peers, force a full resync, replay the
+    /// round from the exact pre-round mirror (recovery is invisible in
+    /// the register stream). Timeouts are never retried.
+    fn try_step_impl(&mut self) -> Result<(), PoolError> {
+        let observed = self.observer.is_some();
+        // observer-gated: never read unobserved, never steers results
+        let step_start = observed.then(Instant::now);
+        let mut attempts = 0u32;
+        let (compute_ns, wire_ns) = loop {
+            match self.dispatch_round(observed) {
+                Ok(timings) => break timings,
+                Err(RoundFailure::Timeout(timeout)) => {
+                    return Err(PoolError::BarrierTimeout { timeout });
+                }
+                Err(RoundFailure::Peers { parts, message }) => {
+                    attempts += 1;
+                    if attempts > self.recovery.max_retries {
+                        return Err(PoolError::WorkerPanic { attempts, message });
+                    }
+                    std::thread::sleep(backoff_before(&self.recovery, attempts));
+                    self.resync = true;
+                    if let Err(message) = self.respawn(&parts) {
+                        return Err(PoolError::WorkerPanic { attempts, message });
+                    }
+                }
+            }
+        };
+        let round = self.rounds;
+        self.rounds += 1;
+        if let Some(start) = step_start {
+            let total_ns = start.elapsed().as_nanos() as u64;
+            self.observe_round(round, total_ns, compute_ns, wire_ns);
+        }
+        Ok(())
+    }
+
+    /// Emits one observed round: `compute_ns` is the slowest worker's
+    /// measured compute, `exchange_ns` the wire wall time net of that
+    /// overlapped compute, `dispatch_ns` the residual — the four phases
+    /// sum to the measured step total, as everywhere else.
+    fn observe_round(&mut self, round: usize, total_ns: u64, compute_ns: u64, wire_ns: u64) {
+        let alarms = (0..self.states.len())
+            .filter(|&i| {
+                matches!(
+                    self.program.verdict(&self.contexts[i], &self.states[i]),
+                    Verdict::Reject
+                )
+            })
+            .count();
+        let halo_bytes = if self.shards.len() > 1 {
+            (self.plan.total_halo() * std::mem::size_of::<P::State>()) as u64
+        } else {
+            0
+        };
+        let exchange_ns = wire_ns.saturating_sub(compute_ns);
+        let stats = RoundStats {
+            round,
+            alarms,
+            activations: self.states.len(),
+            halo_bytes,
+            dispatch_ns: total_ns
+                .saturating_sub(compute_ns)
+                .saturating_sub(exchange_ns),
+            compute_ns,
+            barrier_ns: 0,
+            exchange_ns,
+        };
+        if let Some(observer) = self.observer.as_mut() {
+            observer.on_round(&stats);
+        }
+    }
+
+    /// Sends every worker an orderly shutdown, then reaps the processes
+    /// (killing any that outlive the grace period). Idempotent.
+    fn shutdown_workers(&mut self) {
+        for worker in self.workers.iter_mut() {
+            let _ = write_frame(&mut worker.conn, &Frame::Shutdown);
+        }
+        let deadline = Instant::now() + SHUTDOWN_GRACE;
+        for mut worker in self.workers.drain(..) {
+            loop {
+                match worker.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(2))
+                    }
+                    _ => {
+                        let _ = worker.child.kill();
+                        let _ = worker.child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The actual endpoint the coordinator listens on (TCP port 0
+    /// resolved) — what the worker processes dialed.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Live worker processes (== shard count, which a small graph may
+    /// cap below the configured peer count).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl<'p, P: WireProgram> Drop for RemoteRunner<'p, P> {
+    fn drop(&mut self) {
+        self.shutdown_workers();
+    }
+}
+
+impl<'p, P: WireProgram> Runner<P> for RemoteRunner<'p, P> {
+    fn step(&mut self) {
+        self.try_step_impl()
+            .unwrap_or_else(|e| panic!("remote execution failed: {e}"));
+    }
+
+    fn try_step(&mut self) -> Result<(), EngineError> {
+        self.try_step_impl().map_err(EngineError::Pool)
+    }
+
+    fn steps(&self) -> usize {
+        self.rounds
+    }
+
+    fn activations(&self) -> usize {
+        self.rounds * self.states.len()
+    }
+
+    fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    fn state(&self, v: NodeId) -> &P::State {
+        &self.states[self.layout.internal(v.0)]
+    }
+
+    fn state_mut(&mut self, v: NodeId) -> &mut P::State {
+        let internal = self.layout.internal(v.0);
+        self.dirty.push(internal);
+        &mut self.states[internal]
+    }
+
+    fn states_snapshot(&self) -> Vec<P::State> {
+        (0..self.states.len())
+            .map(|v| self.states[self.layout.internal(v)].clone())
+            .collect()
+    }
+
+    fn context(&self, v: NodeId) -> NodeContext {
+        self.contexts[self.layout.internal(v.0)].clone()
+    }
+
+    fn any_alarm(&self) -> bool {
+        (0..self.states.len()).any(|i| {
+            matches!(
+                self.program.verdict(&self.contexts[i], &self.states[i]),
+                Verdict::Reject
+            )
+        })
+    }
+
+    fn all_accept(&self) -> bool {
+        (0..self.states.len()).all(|i| {
+            matches!(
+                self.program.verdict(&self.contexts[i], &self.states[i]),
+                Verdict::Accept
+            )
+        })
+    }
+
+    fn alarming_nodes(&self) -> Vec<NodeId> {
+        (0..self.states.len())
+            .filter(|&v| {
+                let i = self.layout.internal(v);
+                matches!(
+                    self.program.verdict(&self.contexts[i], &self.states[i]),
+                    Verdict::Reject
+                )
+            })
+            .map(NodeId)
+            .collect()
+    }
+
+    fn apply_faults(&mut self, plan: &FaultPlan, mutate: &mut dyn FnMut(NodeId, &mut P::State)) {
+        for &v in plan.nodes() {
+            let internal = self.layout.internal(v.0);
+            self.dirty.push(internal);
+            mutate(v, &mut self.states[internal]);
+        }
+    }
+
+    fn set_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        self.observer = Some(observer);
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            node_count: self.states.len(),
+            steps: self.rounds,
+            activations: Runner::activations(self),
+            threads: self.peers,
+            engine: format!("remote-sync(peers={})", self.peers),
+        }
+    }
+
+    fn into_network(mut self: Box<Self>) -> Network<P> {
+        self.shutdown_workers();
+        let states = std::mem::take(&mut self.states);
+        let graph = std::mem::replace(&mut self.graph, WeightedGraph::new());
+        let states = self.layout.unpermute(states);
+        Network::with_states(graph, states)
+    }
+}
+
+/// The coordinator's half of the versioned handshake: reads the worker's
+/// [`Frame::Hello`], rejects a version skew with a typed
+/// [`Frame::Error`] + [`WireError::VersionMismatch`], acknowledges
+/// otherwise. Returns the worker's announced part index.
+pub fn handshake_accept(conn: &mut Conn) -> Result<u32, WireError> {
+    match read_frame(conn)? {
+        Frame::Hello { version, part } => {
+            if version != WIRE_VERSION {
+                let _ = write_frame(
+                    conn,
+                    &Frame::Error {
+                        code: ERR_VERSION,
+                        message: format!(
+                            "coordinator speaks wire v{WIRE_VERSION}, worker announced v{version}"
+                        ),
+                    },
+                );
+                return Err(WireError::VersionMismatch {
+                    ours: WIRE_VERSION,
+                    theirs: version,
+                });
+            }
+            write_frame(
+                conn,
+                &Frame::HelloAck {
+                    version: WIRE_VERSION,
+                },
+            )?;
+            Ok(part)
+        }
+        _ => Err(WireError::BadValue("expected Hello")),
+    }
+}
+
+/// Locates the `smst-net` worker binary: the `SMST_NET_WORKER` env
+/// override first (tests point it at `CARGO_BIN_EXE_smst-net`), then a
+/// sibling of the current executable, then the parent directory (the
+/// `target/<profile>/` layout when tests run from `deps/`).
+fn worker_binary() -> Result<std::path::PathBuf, String> {
+    if let Ok(path) = std::env::var("SMST_NET_WORKER") {
+        return Ok(std::path::PathBuf::from(path));
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let name = format!("smst-net{}", std::env::consts::EXE_SUFFIX);
+    let mut candidates = Vec::new();
+    if let Some(dir) = exe.parent() {
+        candidates.push(dir.join(&name));
+        if let Some(parent) = dir.parent() {
+            candidates.push(parent.join(&name));
+        }
+    }
+    candidates
+        .into_iter()
+        .find(|c| c.is_file())
+        .ok_or_else(|| "cannot locate the smst-net worker binary; set SMST_NET_WORKER".to_string())
+}
+
+/// Spawns one worker process dialing `endpoint` for `part`.
+fn spawn_worker(bin: &std::path::Path, endpoint: &Endpoint, part: usize) -> Result<Child, String> {
+    Command::new(bin)
+        .arg("worker")
+        .arg("--connect")
+        .arg(endpoint.to_arg())
+        .arg("--part")
+        .arg(part.to_string())
+        .stdin(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn worker {part} ({}): {e}", bin.display()))
+}
+
+/// The retry backoff: base backoff doubled per prior retry, saturating —
+/// the same curve as the in-process pool's `RecoveryPolicy`.
+fn backoff_before(policy: &RecoveryPolicy, attempt: u32) -> Duration {
+    let factor = 1u32 << attempt.saturating_sub(1).min(16);
+    policy.backoff.saturating_mul(factor)
+}

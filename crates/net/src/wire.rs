@@ -1,0 +1,629 @@
+//! The `smst-wire-v1` frame codec: length-prefixed frames over any byte
+//! stream, hand-rolled little-endian encode/decode (no serde, mirroring
+//! the `analyze::json` convention of dependency-free codecs).
+//!
+//! Every frame on the wire is `u32-LE length ‖ payload`, where the payload
+//! is one tag byte followed by the frame body. The handshake is versioned:
+//! a worker opens with [`Frame::Hello`] carrying the schema string
+//! ([`WIRE_SCHEMA`]) and its protocol version, and the coordinator either
+//! acknowledges ([`Frame::HelloAck`]) or rejects with a typed
+//! [`Frame::Error`] — a version skew is a typed
+//! [`WireError::VersionMismatch`], never a silent misparse.
+//!
+//! Node registers travel as **opaque program-encoded byte payloads**
+//! ([`crate::program::WireProgram`] owns the state codec); the frame layer
+//! only length-delimits them, so the codec here is monomorphic and the
+//! framing property tests need no program type.
+
+use std::io::{Read, Write};
+
+/// The wire schema tag carried by every [`Frame::Hello`]: the writer side
+/// of the `smst-analyze` schema-parity pairing (`analyze::ingest` declares
+/// the matching acceptor const).
+pub const WIRE_SCHEMA: &str = "smst-wire-v1";
+
+/// The protocol version spoken by this build. Bumped on any frame-layout
+/// change; a worker and coordinator disagreeing on it refuse to pair.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Hard ceiling on a single frame's payload (1 GiB). A length prefix
+/// beyond this is rejected before allocation — a torn or hostile prefix
+/// must not look like a request for unbounded memory.
+pub const MAX_FRAME: u32 = 1 << 30;
+
+/// [`Frame::Error`] code: handshake version mismatch.
+pub const ERR_VERSION: u32 = 1;
+/// [`Frame::Error`] code: the worker has no codec for the program named in
+/// [`SetupFrame::program`].
+pub const ERR_UNKNOWN_PROGRAM: u32 = 2;
+/// [`Frame::Error`] code: a frame arrived out of protocol order.
+pub const ERR_PROTOCOL: u32 = 3;
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_SETUP: u8 = 3;
+const TAG_ROUND: u8 = 4;
+const TAG_INTERIORS: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+const TAG_ERROR: u8 = 127;
+
+/// Why a wire operation failed. Every decode and I/O failure is typed —
+/// the coordinator maps these onto the engine's `PoolError` surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended inside a frame (torn frame / short read).
+    Truncated,
+    /// A frame body decoded cleanly but left unconsumed bytes.
+    Trailing {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// The handshake carried an unknown schema string.
+    BadMagic(String),
+    /// An unknown frame tag.
+    BadTag(u8),
+    /// The peers speak different protocol versions.
+    VersionMismatch {
+        /// The version this side speaks.
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// A length prefix exceeded [`MAX_FRAME`].
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u64,
+    },
+    /// A field value that cannot be honored (out-of-range index, bad
+    /// UTF-8, an unhonorable graph edge, …).
+    BadValue(&'static str),
+    /// The peer rejected us with a typed [`Frame::Error`].
+    Rejected {
+        /// The `ERR_*` code.
+        code: u32,
+        /// The peer's message.
+        message: String,
+    },
+    /// The peer closed the connection cleanly between frames.
+    PeerClosed,
+    /// A read deadline (socket timeout) expired.
+    Timeout,
+    /// Any other I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "torn frame: the stream ended mid-frame"),
+            WireError::Trailing { extra } => {
+                write!(f, "frame decoded with {extra} trailing byte(s)")
+            }
+            WireError::BadMagic(schema) => {
+                write!(
+                    f,
+                    "unknown wire schema {schema:?} (expected {WIRE_SCHEMA:?})"
+                )
+            }
+            WireError::BadTag(tag) => write!(f, "unknown frame tag {tag}"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "wire version mismatch: we speak v{ours}, peer speaks v{theirs}"
+                )
+            }
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte ceiling")
+            }
+            WireError::BadValue(what) => write!(f, "unhonorable field value: {what}"),
+            WireError::Rejected { code, message } => {
+                write!(f, "peer rejected us (code {code}): {message}")
+            }
+            WireError::PeerClosed => write!(f, "peer closed the connection"),
+            WireError::Timeout => write!(f, "read deadline expired"),
+            WireError::Io(message) => write!(f, "socket error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maps an I/O error onto the typed surface: a socket read timeout
+/// (`SO_RCVTIMEO` surfaces as `WouldBlock` on Unix, `TimedOut` elsewhere)
+/// becomes [`WireError::Timeout`], everything else [`WireError::Io`].
+pub(crate) fn io_error(err: std::io::Error) -> WireError {
+    match err.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::Timeout,
+        std::io::ErrorKind::UnexpectedEof => WireError::Truncated,
+        _ => WireError::Io(err.to_string()),
+    }
+}
+
+// --- primitive little-endian writers -----------------------------------
+
+/// Appends one byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u16`, little-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`-length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+// --- primitive little-endian reader ------------------------------------
+
+/// A bounds-checked cursor over one frame body. Every read is typed; a
+/// read past the end is [`WireError::Truncated`], leftover bytes at
+/// [`finish`](Dec::finish) are [`WireError::Trailing`].
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| WireError::BadValue("non-UTF-8 string"))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the body was consumed exactly.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            extra => Err(WireError::Trailing { extra }),
+        }
+    }
+}
+
+// --- frame bodies -------------------------------------------------------
+
+/// The graph on the wire: node identities in dense-index order plus the
+/// edge list in insertion order. Rebuilding with `add_node_with_id` /
+/// `add_edge` in this exact order reproduces the coordinator's port
+/// numbering bit-for-bit — port order is edge-insertion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireGraph {
+    /// Node identities, dense `NodeId` order.
+    pub ids: Vec<u64>,
+    /// Edges `(u, v, weight)` in insertion order.
+    pub edges: Vec<(u32, u32, u64)>,
+}
+
+impl WireGraph {
+    /// Snapshots a graph for the wire.
+    pub fn from_graph(graph: &smst_graph::WeightedGraph) -> Self {
+        WireGraph {
+            ids: (0..graph.node_count())
+                .map(|v| graph.id(smst_graph::NodeId(v)))
+                .collect(),
+            edges: graph
+                .edges()
+                .iter()
+                .map(|e| (e.u.0 as u32, e.v.0 as u32, e.weight))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the graph, reproducing node numbering and port order.
+    pub fn to_graph(&self) -> Result<smst_graph::WeightedGraph, WireError> {
+        let mut graph = smst_graph::WeightedGraph::new();
+        for &id in &self.ids {
+            graph.add_node_with_id(id);
+        }
+        let n = self.ids.len();
+        for &(u, v, weight) in &self.edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(WireError::BadValue("edge endpoint out of range"));
+            }
+            graph
+                .add_edge(
+                    smst_graph::NodeId(u as usize),
+                    smst_graph::NodeId(v as usize),
+                    weight,
+                )
+                .map_err(|_| WireError::BadValue("unhonorable edge"))?;
+        }
+        Ok(graph)
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.ids.len() as u32);
+        for &id in &self.ids {
+            put_u64(out, id);
+        }
+        put_u32(out, self.edges.len() as u32);
+        for &(u, v, w) in &self.edges {
+            put_u32(out, u);
+            put_u32(out, v);
+            put_u64(out, w);
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, WireError> {
+        let n = dec.u32()? as usize;
+        let mut ids = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            ids.push(dec.u64()?);
+        }
+        let m = dec.u32()? as usize;
+        let mut edges = Vec::with_capacity(m.min(1 << 20));
+        for _ in 0..m {
+            edges.push((dec.u32()?, dec.u32()?, dec.u64()?));
+        }
+        Ok(WireGraph { ids, edges })
+    }
+}
+
+/// The one-time worker bootstrap: everything a peer needs to rebuild its
+/// shard deterministically — the graph, the layout policy, the peer-set
+/// size (the partition input), its part index, the program spec and the
+/// full initial registers in original node order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetupFrame {
+    /// The envelope seed (bookkeeping; carried for artifact labels).
+    pub seed: u64,
+    /// Worker processes the graph is partitioned across.
+    pub peers: u32,
+    /// This worker's part index (`< peers`).
+    pub part: u32,
+    /// The layout policy: 0 = identity, 1 = RCM.
+    pub layout: u8,
+    /// The program's wire name ([`crate::program::WireProgram::WIRE_NAME`]).
+    pub program: String,
+    /// Program-specific spec bytes (decoded by `WireProgram::decode_spec`).
+    pub spec: Vec<u8>,
+    /// The graph.
+    pub graph: WireGraph,
+    /// Initial registers, original node order, program-encoded.
+    pub states: Vec<u8>,
+}
+
+/// A chaos injection riding on a [`RoundFrame`] — the wire form of the
+/// engine's `InjectionKind`, armed by the coordinator exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireInjection {
+    /// The worker panics before computing.
+    Panic,
+    /// The worker sleeps this many milliseconds before computing.
+    Stall {
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// One round dispatch, coordinator → worker: register patches (external
+/// mutations / recovery resync), the fresh halo snapshot in
+/// `HaloPlan::halo_nodes` order, and an optional one-shot injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundFrame {
+    /// The round this dispatch computes (the coordinator's step counter).
+    pub round: u64,
+    /// Monotone dispatch counter, echoed in the reply: a recovery replay
+    /// of the same `round` gets a fresh `dispatch`, so stale replies from
+    /// the failed attempt are recognized and skipped.
+    pub dispatch: u64,
+    /// Region-local interior indices whose registers are patched.
+    pub patch_nodes: Vec<u32>,
+    /// The patch registers, program-encoded, one per
+    /// [`patch_nodes`](Self::patch_nodes) entry.
+    pub patch_states: Vec<u8>,
+    /// The halo registers, program-encoded, `HaloPlan::halo_nodes(part)`
+    /// order (empty for a single-shard run — the zero-length payload is a
+    /// first-class frame, not a special case).
+    pub halo_states: Vec<u8>,
+    /// A one-shot chaos injection to execute before computing.
+    pub inject: Option<WireInjection>,
+}
+
+/// One round reply, worker → coordinator: the recomputed interior
+/// registers plus the measured compute time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteriorsFrame {
+    /// Echo of [`RoundFrame::round`].
+    pub round: u64,
+    /// Echo of [`RoundFrame::dispatch`] (staleness filter).
+    pub dispatch: u64,
+    /// The worker's measured compute time for this round.
+    pub compute_ns: u64,
+    /// The interior registers, program-encoded, shard order.
+    pub states: Vec<u8>,
+}
+
+/// Every message of the `smst-wire-v1` protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → coordinator greeting: schema string, protocol version,
+    /// part index (from the worker's command line).
+    Hello {
+        /// The worker's protocol version.
+        version: u16,
+        /// The worker's part index.
+        part: u32,
+    },
+    /// Coordinator → worker handshake acknowledgement.
+    HelloAck {
+        /// The coordinator's protocol version.
+        version: u16,
+    },
+    /// Coordinator → worker bootstrap.
+    Setup(SetupFrame),
+    /// Coordinator → worker round dispatch.
+    Round(RoundFrame),
+    /// Worker → coordinator round reply.
+    Interiors(InteriorsFrame),
+    /// Coordinator → worker orderly teardown.
+    Shutdown,
+    /// Either direction: a typed rejection (`ERR_*` code + message).
+    Error {
+        /// The `ERR_*` code.
+        code: u32,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Encodes the frame payload (tag + body, **without** the length
+    /// prefix [`write_frame`] adds).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { version, part } => {
+                put_u8(&mut out, TAG_HELLO);
+                put_str(&mut out, WIRE_SCHEMA);
+                put_u16(&mut out, *version);
+                put_u32(&mut out, *part);
+            }
+            Frame::HelloAck { version } => {
+                put_u8(&mut out, TAG_HELLO_ACK);
+                put_u16(&mut out, *version);
+            }
+            Frame::Setup(setup) => {
+                put_u8(&mut out, TAG_SETUP);
+                put_u64(&mut out, setup.seed);
+                put_u32(&mut out, setup.peers);
+                put_u32(&mut out, setup.part);
+                put_u8(&mut out, setup.layout);
+                put_str(&mut out, &setup.program);
+                put_bytes(&mut out, &setup.spec);
+                setup.graph.encode(&mut out);
+                put_bytes(&mut out, &setup.states);
+            }
+            Frame::Round(round) => {
+                put_u8(&mut out, TAG_ROUND);
+                put_u64(&mut out, round.round);
+                put_u64(&mut out, round.dispatch);
+                put_u32(&mut out, round.patch_nodes.len() as u32);
+                for &node in &round.patch_nodes {
+                    put_u32(&mut out, node);
+                }
+                put_bytes(&mut out, &round.patch_states);
+                put_bytes(&mut out, &round.halo_states);
+                match round.inject {
+                    None => put_u8(&mut out, 0),
+                    Some(WireInjection::Panic) => put_u8(&mut out, 1),
+                    Some(WireInjection::Stall { millis }) => {
+                        put_u8(&mut out, 2);
+                        put_u64(&mut out, millis);
+                    }
+                }
+            }
+            Frame::Interiors(interiors) => {
+                put_u8(&mut out, TAG_INTERIORS);
+                put_u64(&mut out, interiors.round);
+                put_u64(&mut out, interiors.dispatch);
+                put_u64(&mut out, interiors.compute_ns);
+                put_bytes(&mut out, &interiors.states);
+            }
+            Frame::Shutdown => put_u8(&mut out, TAG_SHUTDOWN),
+            Frame::Error { code, message } => {
+                put_u8(&mut out, TAG_ERROR);
+                put_u32(&mut out, *code);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes one frame payload (as produced by [`Frame::encode`]).
+    /// Total: every byte is consumed or the decode is an error.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let mut dec = Dec::new(payload);
+        let frame = match dec.u8()? {
+            TAG_HELLO => {
+                let schema = dec.str()?;
+                if schema != WIRE_SCHEMA {
+                    return Err(WireError::BadMagic(schema.to_string()));
+                }
+                Frame::Hello {
+                    version: dec.u16()?,
+                    part: dec.u32()?,
+                }
+            }
+            TAG_HELLO_ACK => Frame::HelloAck {
+                version: dec.u16()?,
+            },
+            TAG_SETUP => {
+                let seed = dec.u64()?;
+                let peers = dec.u32()?;
+                let part = dec.u32()?;
+                let layout = dec.u8()?;
+                let program = dec.str()?.to_string();
+                let spec = dec.bytes()?.to_vec();
+                let graph = WireGraph::decode(&mut dec)?;
+                let states = dec.bytes()?.to_vec();
+                Frame::Setup(SetupFrame {
+                    seed,
+                    peers,
+                    part,
+                    layout,
+                    program,
+                    spec,
+                    graph,
+                    states,
+                })
+            }
+            TAG_ROUND => {
+                let round = dec.u64()?;
+                let dispatch = dec.u64()?;
+                let patches = dec.u32()? as usize;
+                let mut patch_nodes = Vec::with_capacity(patches.min(1 << 20));
+                for _ in 0..patches {
+                    patch_nodes.push(dec.u32()?);
+                }
+                let patch_states = dec.bytes()?.to_vec();
+                let halo_states = dec.bytes()?.to_vec();
+                let inject = match dec.u8()? {
+                    0 => None,
+                    1 => Some(WireInjection::Panic),
+                    2 => Some(WireInjection::Stall { millis: dec.u64()? }),
+                    _ => return Err(WireError::BadValue("unknown injection kind")),
+                };
+                Frame::Round(RoundFrame {
+                    round,
+                    dispatch,
+                    patch_nodes,
+                    patch_states,
+                    halo_states,
+                    inject,
+                })
+            }
+            TAG_INTERIORS => Frame::Interiors(InteriorsFrame {
+                round: dec.u64()?,
+                dispatch: dec.u64()?,
+                compute_ns: dec.u64()?,
+                states: dec.bytes()?.to_vec(),
+            }),
+            TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_ERROR => Frame::Error {
+                code: dec.u32()?,
+                message: dec.str()?.to_string(),
+            },
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        dec.finish()?;
+        Ok(frame)
+    }
+}
+
+// --- stream I/O ---------------------------------------------------------
+
+/// Writes one length-prefixed frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
+    let payload = frame.encode();
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len() as u64,
+        });
+    }
+    let mut message = Vec::with_capacity(payload.len() + 4);
+    put_u32(&mut message, payload.len() as u32);
+    message.extend_from_slice(&payload);
+    w.write_all(&message).map_err(io_error)?;
+    w.flush().map_err(io_error)
+}
+
+/// Reads one length-prefixed frame. A clean close **between** frames is
+/// [`WireError::PeerClosed`]; a close mid-frame is
+/// [`WireError::Truncated`]; an expired socket read deadline is
+/// [`WireError::Timeout`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    // the first byte distinguishes a clean close from a torn frame
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(WireError::PeerClosed),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest).map_err(io_error)?;
+    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]);
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(io_error)?;
+    Frame::decode(&payload)
+}
+
+/// [`Frame::encode`] plus the length prefix — the exact byte string
+/// [`write_frame`] puts on the wire (torn-frame tests truncate this).
+pub fn frame_bytes(frame: &Frame) -> Vec<u8> {
+    let payload = frame.encode();
+    let mut message = Vec::with_capacity(payload.len() + 4);
+    put_u32(&mut message, payload.len() as u32);
+    message.extend_from_slice(&payload);
+    message
+}

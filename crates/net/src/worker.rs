@@ -1,0 +1,254 @@
+//! The shard worker: the process behind `smst-net worker`. It dials the
+//! coordinator, handshakes, rebuilds its shard **deterministically** from
+//! the [`SetupFrame`] (same `CsrTopology` → layout → `partition_balanced`
+//! → `HaloPlan` pipeline as the coordinator, so both sides agree on the
+//! geometry without shipping it), then serves round dispatches until
+//! [`Frame::Shutdown`].
+//!
+//! Per round the worker applies the coordinator's register patches,
+//! refreshes its halo slots from the dispatch payload, optionally executes
+//! a one-shot chaos injection (panic / stall — the process-level analogs
+//! of the in-process pool's `ArmedInjection`), computes one synchronous
+//! round over its interior on the shard-local CSR, and replies with the
+//! recomputed interiors plus the measured compute time.
+
+use crate::program::{decode_states, encode_states, WireProgram};
+use crate::transport::{Conn, Endpoint};
+use crate::wire::{
+    read_frame, write_frame, Dec, Frame, InteriorsFrame, SetupFrame, WireError, WireInjection,
+    ERR_PROTOCOL, ERR_UNKNOWN_PROGRAM, WIRE_VERSION,
+};
+use smst_engine::programs::{AlarmedFlood, MinIdFlood, MonitorFlood};
+use smst_engine::{partition_balanced, CsrTopology, HaloPlan, LayoutPolicy};
+use smst_graph::NodeId;
+use smst_sim::NodeContext;
+use std::time::Duration;
+
+/// How long the worker keeps dialing the coordinator before giving up.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Wire form of [`LayoutPolicy::Identity`] in
+/// [`SetupFrame::layout`].
+pub const LAYOUT_IDENTITY: u8 = 0;
+/// Wire form of [`LayoutPolicy::Rcm`].
+pub const LAYOUT_RCM: u8 = 1;
+
+/// Encodes a layout policy for [`SetupFrame::layout`].
+pub fn layout_to_wire(layout: LayoutPolicy) -> u8 {
+    match layout {
+        LayoutPolicy::Identity => LAYOUT_IDENTITY,
+        LayoutPolicy::Rcm => LAYOUT_RCM,
+    }
+}
+
+fn layout_from_wire(byte: u8) -> Result<LayoutPolicy, WireError> {
+    match byte {
+        LAYOUT_IDENTITY => Ok(LayoutPolicy::Identity),
+        LAYOUT_RCM => Ok(LayoutPolicy::Rcm),
+        _ => Err(WireError::BadValue("unknown layout policy")),
+    }
+}
+
+/// The worker entry point: dial, handshake (announcing `wire_version` —
+/// tests inject a skewed version to exercise the typed rejection), serve
+/// rounds until shutdown.
+pub fn run_worker(endpoint: &Endpoint, part: u32, wire_version: u16) -> Result<(), WireError> {
+    let mut conn = endpoint.connect(CONNECT_TIMEOUT)?;
+    write_frame(
+        &mut conn,
+        &Frame::Hello {
+            version: wire_version,
+            part,
+        },
+    )?;
+    match read_frame(&mut conn)? {
+        Frame::HelloAck { .. } => {}
+        Frame::Error { code, message } => return Err(WireError::Rejected { code, message }),
+        _ => return Err(WireError::BadValue("expected HelloAck")),
+    }
+    let setup = match read_frame(&mut conn)? {
+        Frame::Setup(setup) => setup,
+        Frame::Error { code, message } => return Err(WireError::Rejected { code, message }),
+        _ => return Err(WireError::BadValue("expected Setup")),
+    };
+    dispatch_program(setup, conn)
+}
+
+/// Routes the setup to the typed round loop for the named program. Every
+/// [`WireProgram`] the worker can execute needs an arm here.
+fn dispatch_program(setup: SetupFrame, mut conn: Conn) -> Result<(), WireError> {
+    let name = setup.program.clone();
+    if name == MinIdFlood::WIRE_NAME {
+        serve_rounds::<MinIdFlood>(setup, conn)
+    } else if name == MonitorFlood::WIRE_NAME {
+        serve_rounds::<MonitorFlood>(setup, conn)
+    } else if name == AlarmedFlood::WIRE_NAME {
+        serve_rounds::<AlarmedFlood>(setup, conn)
+    } else {
+        let _ = write_frame(
+            &mut conn,
+            &Frame::Error {
+                code: ERR_UNKNOWN_PROGRAM,
+                message: format!("this worker has no codec for program {name:?}"),
+            },
+        );
+        Err(WireError::BadValue("unknown program"))
+    }
+}
+
+/// The typed round loop: deterministic shard rebuild, then
+/// patch → halo-refresh → (inject) → compute → reply until shutdown.
+fn serve_rounds<P: WireProgram>(setup: SetupFrame, mut conn: Conn) -> Result<(), WireError> {
+    let mut spec = Dec::new(&setup.spec);
+    let program = P::decode_spec(&mut spec)?;
+    spec.finish()?;
+    let graph = setup.graph.to_graph()?;
+    let n = graph.node_count();
+    let states_original = decode_states::<P>(&setup.states, n)?;
+
+    // the same build pipeline as the coordinator: both sides derive the
+    // identical geometry from (graph, layout, peers) instead of wiring it
+    let base_topo = CsrTopology::build(&graph);
+    let layout = layout_from_wire(setup.layout)?.build(&base_topo);
+    let topo = layout.apply(&base_topo);
+    let states_internal = layout.permute(states_original);
+    let shards = partition_balanced(&topo, setup.peers as usize);
+    let plan = HaloPlan::build(&topo, &shards);
+    let part = setup.part as usize;
+    if part >= shards.len() {
+        let _ = write_frame(
+            &mut conn,
+            &Frame::Error {
+                code: ERR_PROTOCOL,
+                message: format!("part {part} out of range ({} shards)", shards.len()),
+            },
+        );
+        return Err(WireError::BadValue("part out of range"));
+    }
+    let shard = plan.shard(part);
+    let interior_len = shard.len();
+    let halo_len = plan.halo_size(part);
+    let offset = plan.arena_offset(part);
+    // rebase the shard-local CSR from absolute arena coordinates to this
+    // region (every coordinate of shard `part` falls inside region `part`)
+    let (csr_offsets, csr_neighbors) = plan.local_csr(part);
+    let offsets: Vec<usize> = csr_offsets.to_vec();
+    let neighbors: Vec<u32> = csr_neighbors.iter().map(|&a| a - offset as u32).collect();
+    let contexts: Vec<NodeContext> = shard
+        .nodes()
+        .map(|internal| NodeContext::for_node(&graph, NodeId(layout.original(internal))))
+        .collect();
+
+    // region arena: interiors then halo slots, double-buffered against
+    // `next` so a round reads only previous-round registers
+    let mut prev: Vec<P::State> = Vec::with_capacity(interior_len + halo_len);
+    prev.extend(states_internal[shard.start..shard.end].iter().cloned());
+    for &u in plan.halo_nodes(part) {
+        prev.push(states_internal[u as usize].clone());
+    }
+    let mut next: Vec<P::State> = prev[..interior_len].to_vec();
+
+    loop {
+        let round = match read_frame(&mut conn)? {
+            Frame::Shutdown => return Ok(()),
+            Frame::Round(round) => round,
+            _ => {
+                let _ = write_frame(
+                    &mut conn,
+                    &Frame::Error {
+                        code: ERR_PROTOCOL,
+                        message: "expected Round or Shutdown".to_string(),
+                    },
+                );
+                return Err(WireError::BadValue("expected Round or Shutdown"));
+            }
+        };
+        let mut patches = Dec::new(&round.patch_states);
+        for &local in &round.patch_nodes {
+            let state = P::decode_state(&mut patches)?;
+            if local as usize >= interior_len {
+                return Err(WireError::BadValue("patch index out of range"));
+            }
+            prev[local as usize] = state;
+        }
+        patches.finish()?;
+        let halo = decode_states::<P>(&round.halo_states, halo_len)?;
+        prev[interior_len..].clone_from_slice(&halo);
+        match round.inject {
+            None => {}
+            Some(WireInjection::Panic) => {
+                panic!("injected chaos panic (round {}, part {part})", round.round)
+            }
+            Some(WireInjection::Stall { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis))
+            }
+        }
+        // smst-lint: allow(clock, reason = "compute_ns measurement reported to the coordinator's observer; never steers results")
+        let compute_start = std::time::Instant::now();
+        {
+            let mut neighbor_refs: Vec<&P::State> = Vec::new();
+            for i in 0..interior_len {
+                neighbor_refs.clear();
+                neighbor_refs.extend(
+                    neighbors[offsets[i]..offsets[i + 1]]
+                        .iter()
+                        .map(|&a| &prev[a as usize]),
+                );
+                next[i] = program.step(&contexts[i], &prev[i], &neighbor_refs);
+            }
+        }
+        let compute_ns = compute_start.elapsed().as_nanos() as u64;
+        prev[..interior_len].clone_from_slice(&next);
+        write_frame(
+            &mut conn,
+            &Frame::Interiors(InteriorsFrame {
+                round: round.round,
+                dispatch: round.dispatch,
+                compute_ns,
+                states: encode_states::<P, _>(next.iter()),
+            }),
+        )?;
+    }
+}
+
+/// Parses the `worker` subcommand's arguments and runs the loop. The wire
+/// version defaults to [`WIRE_VERSION`]; `--wire-version <n>` (a test
+/// hook) announces a different one to exercise the handshake rejection.
+pub fn worker_main(args: &[String]) -> Result<(), WireError> {
+    let mut endpoint = None;
+    let mut part = None;
+    let mut wire_version = WIRE_VERSION;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--connect" => {
+                let value = iter
+                    .next()
+                    .ok_or(WireError::BadValue("--connect needs a value"))?;
+                endpoint = Some(Endpoint::parse(value)?);
+            }
+            "--part" => {
+                let value = iter
+                    .next()
+                    .ok_or(WireError::BadValue("--part needs a value"))?;
+                part = Some(
+                    value
+                        .parse::<u32>()
+                        .map_err(|_| WireError::BadValue("--part must be a u32"))?,
+                );
+            }
+            "--wire-version" => {
+                let value = iter
+                    .next()
+                    .ok_or(WireError::BadValue("--wire-version needs a value"))?;
+                wire_version = value
+                    .parse::<u16>()
+                    .map_err(|_| WireError::BadValue("--wire-version must be a u16"))?;
+            }
+            _ => return Err(WireError::BadValue("unknown worker argument")),
+        }
+    }
+    let endpoint = endpoint.ok_or(WireError::BadValue("--connect is required"))?;
+    let part = part.ok_or(WireError::BadValue("--part is required"))?;
+    run_worker(&endpoint, part, wire_version)
+}

@@ -1,0 +1,293 @@
+//! The distributed backend's acceptance suite: `Backend::Remote` over
+//! real localhost worker processes must be **bit-for-bit** equal to the
+//! in-process sharded backend and the sequential reference — register
+//! streams, chaos books and deterministic observer traces alike — at 2
+//! and 4 workers, through the unmodified `EngineConfig::instantiate`
+//! entry point. A worker killed mid-campaign and respawned under the
+//! `RecoveryPolicy` must be invisible in the trace; a permanently hung
+//! peer must surface the barrier watchdog as a typed
+//! [`PoolError::BarrierTimeout`] through `Runner::try_step`; a wire
+//! version skew must be a typed [`WireError::VersionMismatch`], never a
+//! misparse.
+
+use smst_engine::programs::{AlarmedFlood, MinIdFlood};
+use smst_engine::{
+    run_chaos, ChaosReport, EngineConfig, EngineError, InjectionSpec, LayoutPolicy, PoolError,
+    RecoveryPolicy, Runner,
+};
+use smst_graph::generators::{expander_graph, path_graph};
+use smst_net::{handshake_accept, unique_tcp_endpoint, Listener, RemoteRunner, WireError};
+use smst_sim::{FaultSchedule, RecordingObserver};
+use std::sync::Once;
+use std::time::Duration;
+
+const N: usize = 48;
+
+/// Installs the remote factories and points the coordinator at the
+/// `smst-net` worker binary Cargo built for this test run.
+fn setup() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        smst_net::install_stock();
+        std::env::set_var("SMST_NET_WORKER", env!("CARGO_BIN_EXE_smst-net"));
+    });
+}
+
+/// Three periodic fault waves (the `chaos_determinism` schedule): 30
+/// steps apart, room for the [`AlarmedFlood`] garbage to decay and the
+/// flood to re-converge between waves.
+fn schedule() -> FaultSchedule {
+    FaultSchedule::periodic(30, 5, 23).offset(3)
+}
+
+/// Everything a campaign determines: per-wave books, final registers and
+/// the full deterministic observer trace (halo bytes included — the
+/// remote wire must account exactly like the in-process halo engine).
+#[derive(Debug, PartialEq, Eq)]
+struct CampaignTrace {
+    report: ChaosReport,
+    states: Vec<u64>,
+    trace: Vec<(usize, usize, usize, u64)>,
+}
+
+/// One seeded chaos campaign on whatever path `config` describes.
+fn run_campaign(config: &EngineConfig, steps: usize) -> CampaignTrace {
+    let program = AlarmedFlood::new(0, N as u64 - 1);
+    let graph = expander_graph(N, 4, 7);
+    let recording = RecordingObserver::new();
+    let mut runner = config
+        .instantiate(&program, graph)
+        .expect("a valid chaos envelope");
+    runner.set_observer(Box::new(recording.clone()));
+    let report = run_chaos(runner.as_mut(), &schedule(), steps, &mut |_v, s| {
+        *s = AlarmedFlood::BOGUS
+    })
+    .expect("the campaign survives the schedule");
+    let states = runner.into_network().states().to_vec();
+    CampaignTrace {
+        report,
+        states,
+        trace: recording.deterministic_trace(),
+    }
+}
+
+#[test]
+fn remote_matches_sharded_and_reference_round_by_round() {
+    setup();
+    let rounds = 30usize;
+    for peers in [2usize, 4] {
+        let program = AlarmedFlood::new(0, N as u64 - 1);
+        let graph = expander_graph(N, 4, 7);
+        let mut remote = EngineConfig::remote(peers)
+            .instantiate(&program, graph.clone())
+            .expect("a valid remote envelope");
+        // the in-process twin: same shard count, halo-structured exchange
+        let mut sharded = EngineConfig::new()
+            .threads(peers)
+            .halo(true)
+            .instantiate(&program, graph.clone())
+            .expect("a valid sharded envelope");
+        for round in 0..rounds {
+            remote.step();
+            sharded.step();
+            assert_eq!(
+                remote.states_snapshot(),
+                sharded.states_snapshot(),
+                "remote({peers}) diverged from sharded at round {round}"
+            );
+            assert_eq!(remote.alarming_nodes(), sharded.alarming_nodes());
+        }
+        assert_eq!(
+            remote.report().engine,
+            format!("remote-sync(peers={peers})")
+        );
+        let mut reference = EngineConfig::reference()
+            .instantiate(&program, graph)
+            .expect("a valid reference envelope");
+        for _ in 0..rounds {
+            reference.step();
+        }
+        assert_eq!(
+            remote.states_snapshot(),
+            reference.states_snapshot(),
+            "remote({peers}) diverged from the sequential reference"
+        );
+    }
+}
+
+#[test]
+fn remote_replays_the_rcm_layout_bit_for_bit() {
+    setup();
+    // a layout permutation must stay invisible: the wire ships original-
+    // order registers and both sides re-derive the permutation locally
+    let program = MinIdFlood::new(0);
+    let graph = expander_graph(N, 4, 11);
+    let mut remote = EngineConfig::remote(2)
+        .layout(LayoutPolicy::Rcm)
+        .instantiate(&program, graph.clone())
+        .expect("a valid remote RCM envelope");
+    let mut plain = EngineConfig::remote(2)
+        .instantiate(&program, graph)
+        .expect("a valid remote envelope");
+    for _ in 0..12 {
+        remote.step();
+        plain.step();
+        assert_eq!(remote.states_snapshot(), plain.states_snapshot());
+    }
+}
+
+#[test]
+fn more_peers_than_nodes_collapses_gracefully() {
+    setup();
+    // the balanced partition caps the shard count at the node count; the
+    // coordinator spawns only as many workers as there are shards
+    let program = MinIdFlood::new(0);
+    let graph = path_graph(3, 5);
+    let config = EngineConfig::remote(4);
+    let mut remote = RemoteRunner::launch(&program, graph.clone(), &config)
+        .expect("a valid degenerate envelope");
+    assert!(remote.worker_count() <= 3, "at most one worker per node");
+    let mut reference = EngineConfig::reference()
+        .instantiate(&program, graph)
+        .expect("a valid reference envelope");
+    for _ in 0..4 {
+        remote.step();
+        reference.step();
+        assert_eq!(remote.states_snapshot(), reference.states_snapshot());
+    }
+}
+
+#[test]
+fn chaos_campaigns_replay_identically_over_the_wire() {
+    setup();
+    // the full campaign — books, registers, observer trace with halo
+    // accounting — matches the in-process halo engine at both widths
+    for peers in [2usize, 4] {
+        let sharded = run_campaign(&EngineConfig::new().threads(peers).halo(true), 75);
+        let remote = run_campaign(&EngineConfig::remote(peers), 75);
+        assert_eq!(
+            remote, sharded,
+            "the remote campaign at {peers} peers diverged"
+        );
+        assert_eq!(remote.report.waves.len(), 3, "waves at 3, 33 and 63");
+    }
+}
+
+#[test]
+fn a_killed_worker_recovers_invisibly() {
+    setup();
+    // worker 1's process dies (an injected panic aborts it) mid-campaign;
+    // the coordinator respawns it under the recovery policy and replays
+    // the round from the pre-round mirror — the clean run's books,
+    // registers and trace must reproduce bit-for-bit
+    let config = EngineConfig::remote(2);
+    let clean = run_campaign(&config, 40);
+    let chaotic = run_campaign(
+        &config
+            .recovery(RecoveryPolicy::retries(2).backoff(Duration::from_millis(1)))
+            .inject(InjectionSpec::panic_at(7, 1)),
+        40,
+    );
+    assert_eq!(
+        chaotic, clean,
+        "worker recovery leaked into the deterministic trace"
+    );
+}
+
+#[test]
+fn a_hung_peer_is_a_typed_timeout_not_a_deadlock() {
+    setup();
+    // a peer stalled past the watchdog must surface the configured limit
+    // as a typed timeout through try_step — timeouts are never retried
+    let watchdog = Duration::from_millis(100);
+    let program = AlarmedFlood::new(0, N as u64 - 1);
+    let graph = expander_graph(N, 4, 7);
+    let config = EngineConfig::remote(2)
+        .recovery(RecoveryPolicy::retries(3).watchdog(watchdog))
+        .inject(InjectionSpec::stall_at(2, 1, 800));
+    let mut runner = config
+        .instantiate(&program, graph)
+        .expect("a valid stall envelope");
+    let outcome = (0..6).try_for_each(|_| runner.try_step());
+    match outcome {
+        Err(EngineError::Pool(PoolError::BarrierTimeout { timeout })) => {
+            assert_eq!(timeout, watchdog, "the configured watchdog surfaced")
+        }
+        other => panic!("a hung peer must trip the watchdog, got {other:?}"),
+    }
+}
+
+#[test]
+fn worker_exhausting_retries_is_a_typed_panic_error() {
+    setup();
+    // with no retries budgeted, the first dead peer is terminal and typed
+    let program = AlarmedFlood::new(0, N as u64 - 1);
+    let graph = expander_graph(N, 4, 7);
+    let config = EngineConfig::remote(2).inject(InjectionSpec::panic_at(1, 0));
+    let mut runner = config
+        .instantiate(&program, graph)
+        .expect("a valid envelope");
+    let outcome = (0..4).try_for_each(|_| runner.try_step());
+    match outcome {
+        Err(EngineError::Pool(PoolError::WorkerPanic { attempts, .. })) => {
+            assert_eq!(attempts, 1, "one attempt, zero retries")
+        }
+        other => panic!("a dead peer without recovery must be typed, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_skew_is_a_typed_rejection() {
+    setup();
+    // a worker announcing a future protocol version is refused with a
+    // typed mismatch on both sides of the wire
+    let (listener, endpoint) = Listener::bind(&smst_net::unique_endpoint()).expect("bind");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_smst-net"))
+        .arg("worker")
+        .arg("--connect")
+        .arg(endpoint.to_arg())
+        .arg("--part")
+        .arg("0")
+        .arg("--wire-version")
+        .arg("99")
+        .spawn()
+        .expect("spawning the skewed worker");
+    let mut conn = listener
+        .accept_deadline(Duration::from_secs(10))
+        .expect("the worker dials in");
+    assert_eq!(
+        handshake_accept(&mut conn),
+        Err(WireError::VersionMismatch {
+            ours: 1,
+            theirs: 99
+        })
+    );
+    // the worker sees the typed Error frame and exits nonzero
+    let status = child.wait().expect("the worker exits");
+    assert!(!status.success(), "a rejected worker exits nonzero");
+}
+
+#[test]
+fn the_tcp_transport_replays_the_reference() {
+    setup();
+    // same protocol over TCP loopback (the multi-host transport): the
+    // register stream still matches the sequential reference
+    let program = MinIdFlood::new(0);
+    let graph = expander_graph(N, 4, 3);
+    let config = EngineConfig::remote(2);
+    let mut remote =
+        RemoteRunner::launch_on(&program, graph.clone(), &config, unique_tcp_endpoint())
+            .expect("a valid TCP envelope");
+    let mut reference = EngineConfig::reference()
+        .instantiate(&program, graph)
+        .expect("a valid reference envelope");
+    for round in 0..10 {
+        remote.step();
+        reference.step();
+        assert_eq!(
+            remote.states_snapshot(),
+            reference.states_snapshot(),
+            "TCP transport diverged at round {round}"
+        );
+    }
+}
